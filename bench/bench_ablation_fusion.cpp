@@ -1,0 +1,52 @@
+// Ablation: epilogue/prologue fusion (Section III-C2) — savings of the
+// four fusion modes as a function of kc, largest where the main loop is
+// short (the paper's K=4, ~16-17% example).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "hw/chip_database.hpp"
+#include "model/kernel_model.hpp"
+
+using namespace autogemm;
+
+int main() {
+  bench::header("Ablation: epilogue/prologue fusion savings");
+  const auto hw = hw::chip_model(hw::Chip::kReference);
+  const int count = 64;  // micro-kernels chained per sub-matrix
+
+  std::printf("sequence of %d identical tiles; %% cycles saved by fusion\n",
+              count);
+  std::printf("%6s %14s %14s %14s\n", "kc", "5x16 (c_to_c)", "2x16 (m_to_m)",
+              "5x4 (paper K=4)");
+  for (int kc : {4, 8, 16, 32, 64, 128}) {
+    model::KernelModelOptions opts;
+    const auto saving = [&](codegen::TileSize tile) {
+      const double plain =
+          model::sequence_cost(tile, kc, count, hw, opts, false);
+      const double fused =
+          model::sequence_cost(tile, kc, count, hw, opts, true);
+      return 100.0 * (plain - fused) / plain;
+    };
+    std::printf("%6d %13.1f%% %13.1f%% %13.1f%%\n", kc, saving({5, 16}),
+                saving({2, 16}), saving({5, 4}));
+  }
+
+  bench::subheader("four fusion modes at a boundary (cycles, kc=18)");
+  const codegen::TileSize cb{5, 16};  // compute-bound
+  const codegen::TileSize mb{2, 16};  // memory-bound
+  struct Pair {
+    const char* name;
+    codegen::TileSize cur, next;
+  } pairs[] = {{"c_to_c", cb, cb},
+               {"m_to_m", mb, mb},
+               {"c_to_m", cb, mb},
+               {"m_to_c", mb, cb}};
+  for (const auto& p : pairs) {
+    const double fused = model::t_fused_boundary(p.cur, 18, p.next, hw);
+    const double plain = model::t_epilogue(p.cur, 18, hw) + 12.0 +
+                         model::t_prologue(p.next, hw);
+    std::printf("  %-8s fused %6.0f vs unfused %6.0f (saving %.1f%%)\n",
+                p.name, fused, plain, 100.0 * (plain - fused) / plain);
+  }
+  return 0;
+}

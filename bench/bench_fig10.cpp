@@ -1,0 +1,66 @@
+// Fig 10: roofline analysis on KP920, Graviton2 and M2 — four small GEMMs
+// (8/16/32/64 cubed) and four ResNet layers (L4, L8, L10, L16), single-
+// and multi-core, against each chip's compute peak and bandwidth ceilings.
+#include <cstdio>
+
+#include "baselines/library_zoo.hpp"
+#include "baselines/pricer.hpp"
+#include "bench_util.hpp"
+#include "dnn/shapes.hpp"
+#include "hw/chip_database.hpp"
+#include "model/roofline.hpp"
+
+using namespace autogemm;
+
+namespace {
+
+struct Point {
+  const char* label;
+  long m, n, k;
+};
+
+}  // namespace
+
+int main() {
+  bench::header("Fig 10: roofline (fp32)");
+  const Point points[] = {
+      {"8^3", 8, 8, 8},          {"16^3", 16, 16, 16},
+      {"32^3", 32, 32, 32},      {"64^3", 64, 64, 64},
+      {"L4", 256, 3136, 64},     {"L8", 512, 784, 128},
+      {"L10", 128, 784, 512},    {"L16", 512, 49, 1024},
+  };
+
+  for (const auto chip :
+       {hw::Chip::kKP920, hw::Chip::kGraviton2, hw::Chip::kM2}) {
+    const auto hw = hw::chip_model(chip);
+    bench::subheader(hw.name);
+    std::printf("ceilings: core peak %.1f GFLOPS, chip peak %.1f GFLOPS, "
+                "DRAM %.0f GB/s, LLC %.0f GB/s, ridge AI %.2f flop/B\n",
+                hw.peak_gflops_core(), hw.peak_gflops_chip(), hw.dram_bw_gbs,
+                hw.l3_bw_gbs, model::ridge_ai(hw));
+    std::printf("%6s %10s %14s %14s %16s %16s\n", "point", "AI(f/B)",
+                "roof(1core)", "roof(chip)", "autoGEMM 1core",
+                "autoGEMM chip");
+    for (const auto& p : points) {
+      const double ai = model::gemm_dram_ai(p.m, p.n, p.k);
+      const auto r1 = model::roofline_single_core(hw, ai);
+      const auto rc = model::roofline_chip(hw, ai);
+      baselines::PriceOptions single, multi;
+      multi.threads = hw.topology.cores;
+      const auto p1 = baselines::price_gemm(baselines::Library::kAutoGEMM,
+                                            p.m, p.n, p.k, hw, single);
+      const auto pc = baselines::price_gemm(baselines::Library::kAutoGEMM,
+                                            p.m, p.n, p.k, hw, multi);
+      std::printf("%6s %10.2f %11.1f %s %11.1f %s %16.1f %16.1f\n", p.label,
+                  ai, r1.attainable_gflops, r1.compute_bound ? "C" : "M",
+                  rc.attainable_gflops, rc.compute_bound ? "C" : "M",
+                  p1.gflops, pc.gflops);
+    }
+  }
+  std::printf("\n(C = compute-bound, M = memory-bound at that AI; multi-core"
+              " GFLOPS are whole-chip. The paper's observation: small GEMMs"
+              " sit near the single-core peak; ResNet layers have higher AI"
+              " and multi-core runs can exceed the DRAM/L3 ceilings because"
+              " blocks stay cache-resident.)\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Fig 12: end-to-end DL inference in the TNN-substitute framework — the
+// four networks with the GEMM operators priced under the OpenBLAS backend
+// vs the autoGEMM backend, T_other identical between backends.
+#include <cstdio>
+
+#include "baselines/library_zoo.hpp"
+#include "baselines/pricer.hpp"
+#include "bench_util.hpp"
+#include "dnn/graph.hpp"
+#include "dnn/models.hpp"
+#include "dnn/shapes.hpp"
+#include "hw/chip_database.hpp"
+
+using namespace autogemm;
+
+namespace {
+
+double total_gemm_cycles(baselines::Library lib,
+                         const std::vector<dnn::GemmShape>& layers,
+                         const hw::HardwareModel& hw) {
+  double cycles = 0;
+  for (const auto& layer : layers)
+    cycles +=
+        baselines::price_gemm(lib, layer.m, layer.n, layer.k, hw).cycles;
+  return cycles;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Fig 12: end-to-end DNN evaluation (TNN-substitute)");
+
+  for (const auto chip : {hw::Chip::kKP920, hw::Chip::kGraviton2}) {
+    const auto hw = hw::chip_model(chip);
+    bench::subheader(hw.name);
+    std::printf("%-20s %12s %12s %12s %12s %10s\n", "network",
+                "T_gemm(OB)", "T_gemm(aG)", "T_other", "total-ratio",
+                "speedup");
+    for (const auto& net : dnn::fig12_networks()) {
+      const double gemm_ob =
+          total_gemm_cycles(baselines::Library::kOpenBLAS, *net.layers, hw);
+      const double gemm_ag =
+          total_gemm_cycles(baselines::Library::kAutoGEMM, *net.layers, hw);
+      // T_other from the framework's profiled GEMM fraction under the
+      // OpenBLAS backend; identical for both backends (the paper's Fig 12
+      // shows exactly this).
+      const double other = gemm_ob * (1.0 - net.gemm_fraction) /
+                           net.gemm_fraction;
+      const double total_ob = gemm_ob + other;
+      const double total_ag = gemm_ag + other;
+      std::printf("%-20s %12.0f %12.0f %12.0f %11.2f%% %9.2fx\n",
+                  net.name.c_str(), gemm_ob, gemm_ag, other,
+                  100.0 * total_ag / total_ob, total_ob / total_ag);
+    }
+  }
+
+  bench::subheader("host demo: real graph executor wall-clock split");
+  dnn::Net net = dnn::build_resnet_stem();
+  const dnn::Tensor input = dnn::resnet_stem_input();
+  (void)net.run(input, dnn::autogemm_backend());  // plan warm-up (AOT step)
+  const auto with_openblas = net.run(input, dnn::openblas_backend());
+  const auto with_autogemm = net.run(input, dnn::autogemm_backend());
+  std::printf("ResNet stem (L1..L5 shapes) on this host:\n");
+  std::printf("  OpenBLAS-backend: gemm %.3fs other %.3fs\n",
+              with_openblas.gemm_seconds, with_openblas.other_seconds);
+  std::printf("  autoGEMM-backend: gemm %.3fs other %.3fs\n",
+              with_autogemm.gemm_seconds, with_autogemm.other_seconds);
+  std::printf("  end-to-end speedup: %.2fx\n",
+              with_openblas.total_seconds() / with_autogemm.total_seconds());
+
+  std::printf("\npaper: 1.30x end-to-end on KP920 across all four models;"
+              " 1.08-1.15x on Graviton2.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fig 2: arithmetic-intensity trend (Eqn 3) of mr x 16 micro-kernels as
+// k_c grows, against the four hardware sigma_AI thresholds.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "codegen/tile_sizes.hpp"
+#include "hw/chip_database.hpp"
+#include "sim/sigma_ai.hpp"
+
+using namespace autogemm;
+
+int main() {
+  bench::header("Fig 2: AI vs k_c for mr x 16 tiles, with hardware sigma_AI");
+
+  std::printf("%6s", "k_c");
+  for (int mr = 2; mr <= 5; ++mr) std::printf("   AI(%dx16)", mr);
+  std::printf("\n");
+  for (int kc = 4; kc <= 96; kc += 4) {
+    std::printf("%6d", kc);
+    for (int mr = 2; mr <= 5; ++mr)
+      std::printf("%11.3f", codegen::ai_finite(mr, 16, kc, 4));
+    std::printf("\n");
+  }
+
+  bench::subheader("hardware sigma_AI thresholds (lower = easier to reach peak)");
+  std::printf("  %-10s %10s %32s\n", "chip", "sigma_AI",
+              "micro-benchmarked (pipeline-only)");
+  for (const auto chip : {hw::Chip::kM2, hw::Chip::kGraviton2,
+                          hw::Chip::kAltra, hw::Chip::kKP920,
+                          hw::Chip::kA64FX}) {
+    const auto hw = hw::chip_model(chip);
+    const auto measured = sim::measure_sigma_ai(hw);
+    std::printf("  %-10s %10.1f %22.2f (best eff %.0f%%)\n", hw.name.c_str(),
+                hw.sigma_ai, measured.sigma_ai,
+                100 * measured.best_efficiency);
+  }
+
+  bench::subheader("k_c where each tile crosses each sigma_AI");
+  for (int mr = 2; mr <= 5; ++mr) {
+    std::printf("  %dx16 (AI_max %.2f):", mr, codegen::ai_max(mr, 16));
+    for (const auto chip : {hw::Chip::kM2, hw::Chip::kGraviton2,
+                            hw::Chip::kAltra, hw::Chip::kKP920}) {
+      const auto hw = hw::chip_model(chip);
+      int cross = -1;
+      for (int kc = 1; kc <= 4096; ++kc) {
+        if (codegen::ai_finite(mr, 16, kc, 4) >= hw.sigma_ai) {
+          cross = kc;
+          break;
+        }
+      }
+      if (cross > 0) {
+        std::printf("  %s@k_c=%d", hw.name.c_str(), cross);
+      } else {
+        std::printf("  %s@never", hw.name.c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Fig 6: step-wise pipeline optimization — basic generated kernels, plus
+// rotating register allocation, plus epilogue/prologue fusion — on the
+// KP920, Graviton2 and M2 models. Each point runs the actually generated
+// instruction stream for a DMT-tiled matrix through the pipeline
+// simulator.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "codegen/sequence.hpp"
+#include "hw/chip_database.hpp"
+#include "sim/pipeline.hpp"
+#include "tiling/micro_tiling.hpp"
+
+using namespace autogemm;
+
+namespace {
+
+struct Shape {
+  int m, n, k;
+};
+
+// Simulated efficiency of one (m, n, k) GEMM executed as a single cache
+// block tiled by DMT, with the requested optimization level.
+double simulated_efficiency(const Shape& s, const hw::HardwareModel& hw,
+                            bool rra, bool fuse) {
+  // One tile map for all three optimization levels, so the comparison
+  // isolates the pipeline changes (the paper's step-wise methodology).
+  model::KernelModelOptions mopts;
+  mopts.rotate_registers = true;
+  const auto tiles = tiling::tile_dmt(s.m, s.n, s.k, hw, mopts);
+
+  codegen::SequenceSpec spec;
+  spec.lanes = hw.lanes;
+  spec.fuse = fuse;
+  spec.options.rotate_registers = rra;
+  spec.lda = s.k;
+  spec.ldb = s.n;
+  spec.ldc = s.n;
+  for (const auto& t : tiles.tiles) {
+    codegen::TileInstance ti;
+    ti.mr = t.mr;
+    ti.nr = t.nr;
+    ti.kc = s.k;
+    ti.a_offset = static_cast<long>(t.row) * s.k;
+    ti.b_offset = t.col;
+    ti.c_offset = static_cast<long>(t.row) * s.n + t.col;
+    spec.tiles.push_back(ti);
+  }
+  const auto seq = codegen::generate_sequence(spec);
+
+  sim::SimOptions sopts;
+  sopts.lda = s.k;
+  sopts.ldb = s.n;
+  sopts.ldc = s.n;
+  sopts.launch_overhead = 12;
+  // Operands were just packed: warm in cache (capacity effects remain).
+  sopts.warm_ranges = {
+      {sopts.a_base, static_cast<std::uint64_t>(s.m) * s.k * 4},
+      {sopts.b_base, static_cast<std::uint64_t>(s.k) * s.n * 4},
+      {sopts.c_base, static_cast<std::uint64_t>(s.m) * s.n * 4}};
+  auto stats = sim::simulate(seq.program, hw, sopts);
+  if (!fuse)  // separate kernel launches, one per micro-tile
+    stats.cycles += sopts.launch_overhead * (spec.tiles.size() - 1);
+  return stats.efficiency(hw);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Fig 6: step-wise pipeline optimization (simulated)");
+  const Shape shapes[] = {{16, 64, 4}, {64, 64, 4},  {32, 32, 32},
+                          {64, 64, 16}, {64, 64, 64}, {64, 64, 128},
+                          {64, 64, 256}};
+
+  for (const auto chip :
+       {hw::Chip::kKP920, hw::Chip::kGraviton2, hw::Chip::kM2}) {
+    const auto hw = hw::chip_model(chip);
+    bench::subheader(hw.name);
+    std::printf("%16s %10s %10s %16s %12s %12s\n", "MxNxK", "basic",
+                "+rotate", "+rotate+fusion", "rot gain", "fuse gain");
+    for (const auto& s : shapes) {
+      const double basic = simulated_efficiency(s, hw, false, false);
+      const double rot = simulated_efficiency(s, hw, true, false);
+      const double fused = simulated_efficiency(s, hw, true, true);
+      std::printf("%5dx%4dx%4d %9.1f%% %9.1f%% %15.1f%% %11.1f%% %11.1f%%\n",
+                  s.m, s.n, s.k, basic * 100, rot * 100, fused * 100,
+                  (rot / basic - 1) * 100, (fused / rot - 1) * 100);
+    }
+  }
+  bench::subheader("analytic model: rotation gain on the 5x16 main kernel");
+  std::printf("%12s %10s %10s %10s\n", "kc", "KP920", "Graviton2", "M2");
+  for (int kc : {16, 64, 256}) {
+    std::printf("%12d", kc);
+    for (const auto chip :
+         {hw::Chip::kKP920, hw::Chip::kGraviton2, hw::Chip::kM2}) {
+      const auto hw = hw::chip_model(chip);
+      const double basic = model::t_mainloop({5, 16}, kc, hw, false, false);
+      const double rot = model::t_mainloop({5, 16}, kc, hw, false, true);
+      std::printf("%9.1f%%", 100.0 * (basic - rot) / basic);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\npaper: rotation ~ +3%% on KP920 and neutral on Graviton2/M2"
+              " (the wide out-of-order windows already hide the A stream —"
+              " visible above in the model row and in the simulator's"
+              " near-zero KP920-vs-Graviton2 difference);\n"
+              "       fusion ~ +16-17%% at K=4; KP920 drops when K grows to"
+              " 256 at N=64 (B spills L1).\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig 7: micro-tiling strategy comparison (OpenBLAS vs LIBXSMM vs DMT) on
+// KP920, Graviton2 and M2, over the paper's sub-matrix shapes. Cycles come
+// from the analytic model composition over each strategy's tile list
+// (tests cross-check the model against the pipeline simulator).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "hw/chip_database.hpp"
+#include "tiling/micro_tiling.hpp"
+
+using namespace autogemm;
+
+namespace {
+
+struct Shape {
+  int m, n;
+};
+
+double efficiency(const tiling::TilingResult& r, int m, int n, int kc,
+                  const hw::HardwareModel& hw) {
+  // Ideal cycles: every FMA pipe busy.
+  const double ideal =
+      static_cast<double>(m) * n * kc / hw.lanes * hw.cpi_fma;
+  return ideal / r.projected_cycles;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Fig 7: micro-tiling strategies across sub-matrix shapes");
+  const Shape shapes[] = {{80, 32}, {25, 64}, {26, 64}, {26, 36},
+                          {33, 48}, {50, 50}};
+  const int kc = 16;
+
+  for (const auto chip :
+       {hw::Chip::kKP920, hw::Chip::kGraviton2, hw::Chip::kM2}) {
+    const auto hw = hw::chip_model(chip);
+    bench::subheader(hw.name + " (sigma_AI " + std::to_string(hw.sigma_ai) + ")");
+    std::printf("%10s %12s %12s %12s %14s\n", "McxNc", "OpenBLAS", "LIBXSMM",
+                "DMT(ours)", "DMT low-AI");
+    model::KernelModelOptions opts;
+    opts.rotate_registers = true;
+    for (const auto& s : shapes) {
+      const auto ob = tiling::tile_openblas(s.m, s.n, kc, hw, opts);
+      const auto xs = tiling::tile_libxsmm(s.m, s.n, kc, hw, opts);
+      const auto dm = tiling::tile_dmt(s.m, s.n, kc, hw, opts);
+      std::printf("%5dx%4d %11.1f%% %11.1f%% %11.1f%% %10d/%zu\n", s.m, s.n,
+                  efficiency(ob, s.m, s.n, kc, hw) * 100,
+                  efficiency(xs, s.m, s.n, kc, hw) * 100,
+                  efficiency(dm, s.m, s.n, kc, hw) * 100, dm.low_ai_tiles,
+                  dm.tiles.size());
+    }
+  }
+  std::printf("\npaper: identical tilings (no gain) at 80x32 and 25x64; at"
+              " 26x64 DMT matches LIBXSMM on high-sigma_AI KP920 and beats"
+              " it on Graviton2/M2 (4x16 edge tiles run at peak there).\n");
+  return 0;
+}

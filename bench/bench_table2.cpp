@@ -1,0 +1,46 @@
+// Table II: arithmetic intensity of every register-feasible micro-kernel
+// tile size (Eqn 2), with the paper's preferred ("blue") shapes marked and
+// infeasible grid cells dashed.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "codegen/tile_sizes.hpp"
+
+using namespace autogemm;
+
+int main() {
+  bench::header("Table II: micro-kernel tile sizes and arithmetic intensity");
+
+  const int lanes = 4;
+  const auto preferred = codegen::preferred_tiles(lanes);
+  const auto is_preferred = [&](int mr, int nr) {
+    for (const auto& p : preferred)
+      if (p.mr == mr && p.nr == nr) return true;
+    return false;
+  };
+
+  std::printf("%6s", "mr\\nr");
+  for (int nr = 4; nr <= 28; nr += 4) std::printf("%9d", nr);
+  std::printf("\n");
+  for (int mr = 2; mr <= 8; ++mr) {
+    std::printf("%6d", mr);
+    for (int nr = 4; nr <= 28; nr += 4) {
+      if (!codegen::tile_feasible(mr, nr, lanes)) {
+        std::printf("%9s", "-");
+      } else {
+        const double ai = codegen::ai_max(mr, nr);
+        std::printf("%7.2f%s", ai, is_preferred(mr, nr) ? " *" : "  ");
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("(* = preferred first-choice shape; '-' = needs > %d vector "
+              "registers)\n",
+              codegen::kVectorRegisters);
+
+  const auto all = codegen::enumerate_feasible_tiles(lanes);
+  std::printf("\nTotal feasible tile sizes (32 vector registers): %zu "
+              "(paper: 58)\n",
+              all.size());
+  return 0;
+}

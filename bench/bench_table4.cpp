@@ -1,0 +1,71 @@
+// Table IV: hardware specifications of the five evaluated chips — printed
+// from the model database so every simulator/pricer run is traceable to
+// the same parameter set.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "hw/chip_database.hpp"
+
+using namespace autogemm;
+
+int main() {
+  bench::header("Table IV: hardware specifications (model database)");
+  std::printf("%-14s", "");
+  for (const auto chip : hw::evaluated_chips())
+    std::printf("%14s", hw::chip_name(chip));
+  std::printf("\n");
+
+  const auto row = [&](const char* name, auto getter) {
+    std::printf("%-14s", name);
+    for (const auto chip : hw::evaluated_chips()) {
+      const auto hw = hw::chip_model(chip);
+      std::printf("%14s", getter(hw).c_str());
+    }
+    std::printf("\n");
+  };
+  const auto fmt = [](double v, const char* suffix) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g%s", v, suffix);
+    return std::string(buf);
+  };
+  row("Cores", [&](const hw::HardwareModel& h) {
+    return fmt(h.topology.cores, "");
+  });
+  row("Freq (GHz)", [&](const hw::HardwareModel& h) {
+    return fmt(h.freq_ghz, "");
+  });
+  row("L1d (KiB)", [&](const hw::HardwareModel& h) {
+    return fmt(h.caches.empty() ? 0 : h.caches[0].size_bytes / 1024.0, "");
+  });
+  row("L2 (KiB)", [&](const hw::HardwareModel& h) {
+    return h.caches.size() > 1 ? fmt(h.caches[1].size_bytes / 1024.0, "")
+                               : std::string("-");
+  });
+  row("L3 (MiB)", [&](const hw::HardwareModel& h) {
+    return h.caches.size() > 2
+               ? fmt(h.caches[2].size_bytes / (1024.0 * 1024.0), "")
+               : std::string("none");
+  });
+  row("SIMD (bit)", [&](const hw::HardwareModel& h) {
+    return fmt(h.lanes * 32.0, h.lanes > 4 ? " SVE" : " NEON");
+  });
+  row("sigma_AI", [&](const hw::HardwareModel& h) {
+    return fmt(h.sigma_ai, "");
+  });
+  row("OOO window", [&](const hw::HardwareModel& h) {
+    return fmt(h.ooo_window, "");
+  });
+  row("Peak GF/core", [&](const hw::HardwareModel& h) {
+    return fmt(h.peak_gflops_core(), "");
+  });
+  row("DRAM GB/s", [&](const hw::HardwareModel& h) {
+    return fmt(h.dram_bw_gbs, "");
+  });
+  row("NUMA/CMG grp", [&](const hw::HardwareModel& h) {
+    return fmt(h.topology.cores / h.topology.cores_per_group, "");
+  });
+  std::printf("\n(paper Table IV: KP920 8@2.6 64K/512K/32M NEON; Graviton2"
+              " 16@2.5 64K/1M/32M NEON; Altra 70@3.0 64K/1M/32M NEON 2-NUMA;"
+              " M2 4@3.49 128K/16M NEON; A64FX 48@2.2 64K/8M-CMG SVE-512)\n");
+  return 0;
+}

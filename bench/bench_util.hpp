@@ -1,0 +1,23 @@
+// Shared formatting helpers for the experiment drivers.
+//
+// Each bench binary regenerates one table or figure of the paper as plain
+// text rows (series in CSV-ish columns), so outputs can be diffed across
+// runs and compared against the paper's reported numbers (EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace autogemm::bench {
+
+inline void header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void subheader(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+}  // namespace autogemm::bench

@@ -1,0 +1,130 @@
+#include "baselines/host_baselines.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "kernels/dispatch.hpp"
+#include "kernels/packing.hpp"
+
+namespace autogemm::baselines {
+
+using common::ConstMatrixView;
+using common::MatrixView;
+
+namespace {
+
+void check(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  if (a.rows != c.rows || b.cols != c.cols || a.cols != b.rows)
+    throw std::invalid_argument("baseline gemm: shape mismatch");
+}
+
+}  // namespace
+
+void naive_gemm(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  check(a, b, c);
+  for (int i = 0; i < c.rows; ++i) {
+    for (int j = 0; j < c.cols; ++j) {
+      float acc = c.at(i, j);
+      for (int p = 0; p < a.cols; ++p) acc += a.at(i, p) * b.at(p, j);
+      c.at(i, j) = acc;
+    }
+  }
+}
+
+void openblas_like_gemm(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  check(a, b, c);
+  constexpr int kMr = 5, kNr = 16;
+  constexpr int kMc = 160, kNc = 240, kKc = 256;
+  common::AlignedBuffer a_pack(static_cast<std::size_t>(kMc) * kKc);
+  common::AlignedBuffer b_pack(static_cast<std::size_t>(kKc) * kNc);
+  // The real library always packs both operands, however small the call —
+  // part of why its small-GEMM efficiency is poor (Table I).
+  for (int j0 = 0; j0 < c.cols; j0 += kNc) {
+    const int bn = std::min(kNc, c.cols - j0);
+    for (int p0 = 0; p0 < a.cols; p0 += kKc) {
+      const int bk = std::min(kKc, a.cols - p0);
+      kernels::pack_block(b.block(p0, j0, bk, bn), b_pack.data(), bn);
+      for (int i0 = 0; i0 < c.rows; i0 += kMc) {
+        const int bm = std::min(kMc, c.rows - i0);
+        kernels::pack_block(a.block(i0, p0, bm, bk), a_pack.data(), bk);
+        // Fixed-tile grid with clipping at the block edge (the padded
+        // compute of the real kernel never escapes the packed buffers; on
+        // the C side it must clip, which costs it the generic kernel).
+        for (int r = 0; r < bm; r += kMr) {
+          const int rows = std::min(kMr, bm - r);
+          for (int q = 0; q < bn; q += kNr) {
+            const int cols = std::min(kNr, bn - q);
+            kernels::run_tile(rows, cols, a_pack.data() + static_cast<long>(r) * bk,
+                              bk, b_pack.data() + q, bn,
+                              c.data + static_cast<long>(i0 + r) * c.ld + j0 + q,
+                              c.ld, bk);
+          }
+        }
+      }
+    }
+  }
+}
+
+void libxsmm_like_gemm(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  check(a, b, c);
+  constexpr int kMr = 5, kNr = 16;
+  const int m_main = c.rows / kMr * kMr;
+  const int n_main = c.cols / kNr * kNr;
+  const int kc = a.cols;
+  const auto tile = [&](int r, int q, int rows, int cols) {
+    kernels::run_tile(rows, cols, a.data + static_cast<long>(r) * a.ld, a.ld,
+                      b.data + q, b.ld,
+                      c.data + static_cast<long>(r) * c.ld + q, c.ld, kc);
+  };
+  for (int r = 0; r < m_main; r += kMr)
+    for (int q = 0; q < n_main; q += kNr) tile(r, q, kMr, kNr);
+  if (n_main < c.cols)  // right edge strip
+    for (int r = 0; r < m_main; r += kMr) tile(r, n_main, kMr, c.cols - n_main);
+  if (m_main < c.rows)  // bottom strip
+    for (int q = 0; q < n_main; q += kNr) tile(m_main, q, c.rows - m_main, kNr);
+  if (m_main < c.rows && n_main < c.cols)
+    tile(m_main, n_main, c.rows - m_main, c.cols - n_main);
+}
+
+void eigen_like_gemm(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  check(a, b, c);
+  constexpr int kMr = 4, kNr = 16;
+  for (int r = 0; r < c.rows; r += kMr) {
+    const int rows = std::min(kMr, c.rows - r);
+    for (int q = 0; q < c.cols; q += kNr) {
+      const int cols = std::min(kNr, c.cols - q);
+      kernels::run_tile(rows, cols, a.data + static_cast<long>(r) * a.ld,
+                        a.ld, b.data + q, b.ld,
+                        c.data + static_cast<long>(r) * c.ld + q, c.ld,
+                        a.cols);
+    }
+  }
+}
+
+bool libshalom_supports(int n, int k) { return n % 8 == 0 && k % 8 == 0; }
+
+void libshalom_like_gemm(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  check(a, b, c);
+  if (!libshalom_supports(c.cols, a.cols))
+    throw std::invalid_argument(
+        "libshalom baseline requires N % 8 == 0 and K % 8 == 0");
+  constexpr int kMr = 8, kNr = 8;
+  const int kc = a.cols;
+  // Offline-style packing of B into column panels of width 8.
+  std::vector<float> b_pack(static_cast<std::size_t>(kc) * c.cols);
+  for (int q = 0; q < c.cols; q += kNr)
+    kernels::pack_block(b.block(0, q, kc, kNr),
+                        b_pack.data() + static_cast<std::size_t>(q) * kc, kNr);
+  for (int r = 0; r < c.rows; r += kMr) {
+    const int rows = std::min(kMr, c.rows - r);
+    for (int q = 0; q < c.cols; q += kNr) {
+      kernels::run_tile(rows, kNr, a.data + static_cast<long>(r) * a.ld, a.ld,
+                        b_pack.data() + static_cast<std::size_t>(q) * kc, kNr,
+                        c.data + static_cast<long>(r) * c.ld + q, c.ld, kc);
+    }
+  }
+}
+
+}  // namespace autogemm::baselines

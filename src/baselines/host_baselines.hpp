@@ -1,0 +1,41 @@
+// Host reimplementations of the comparison libraries' *strategies*.
+//
+// The paper benchmarks released binaries of OpenBLAS, Eigen, LIBXSMM,
+// LibShalom and SSL2. Those libraries are not reproducible dependencies
+// here, so each baseline reimplements the strategy the paper attributes to
+// it (fixed 5x16 tiles + padding for OpenBLAS, edge tiles for LIBXSMM,
+// packed hand-style kernels with the N%8/K%8 restriction for LibShalom,
+// expression-style register blocking for Eigen), all validated against the
+// same reference oracle. C += A*B semantics throughout.
+#pragma once
+
+#include "common/matrix.hpp"
+
+namespace autogemm::baselines {
+
+/// Textbook triple loop (the lower anchor for every comparison).
+void naive_gemm(common::ConstMatrixView a, common::ConstMatrixView b,
+                common::MatrixView c);
+
+/// Goto-style cache blocking with a single fixed 5x16 register tile and
+/// padded edges — the OpenBLAS strategy of Fig 5-(a).
+void openblas_like_gemm(common::ConstMatrixView a, common::ConstMatrixView b,
+                        common::MatrixView c);
+
+/// Fixed main tile plus low-AI remainder tiles on the edges — the LIBXSMM
+/// strategy of Fig 5-(b); operates in-place (JIT style, no packing).
+void libxsmm_like_gemm(common::ConstMatrixView a, common::ConstMatrixView b,
+                       common::MatrixView c);
+
+/// Eigen-style: register blocking without cache blocking (gebp over the
+/// whole operand, fine for the small/irregular sizes evaluated).
+void eigen_like_gemm(common::ConstMatrixView a, common::ConstMatrixView b,
+                     common::MatrixView c);
+
+/// LibShalom-style: packed 8x8 kernels; supports only N and K divisible by
+/// 8 (the restriction the paper notes under Fig 8).
+bool libshalom_supports(int n, int k);
+void libshalom_like_gemm(common::ConstMatrixView a, common::ConstMatrixView b,
+                         common::MatrixView c);
+
+}  // namespace autogemm::baselines

@@ -1,0 +1,205 @@
+#include "baselines/library_zoo.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "baselines/pricer.hpp"
+
+namespace autogemm::baselines {
+
+const char* library_name(Library lib) {
+  switch (lib) {
+    case Library::kAutoGEMM: return "autoGEMM";
+    case Library::kOpenBLAS: return "OpenBLAS";
+    case Library::kEigen: return "Eigen";
+    case Library::kLibShalom: return "LibShalom";
+    case Library::kFastConv: return "FastConv";
+    case Library::kLIBXSMM: return "LIBXSMM";
+    case Library::kTVM: return "TVM";
+    case Library::kSSL2: return "SSL2";
+  }
+  return "?";
+}
+
+std::vector<Library> table_one_libraries() {
+  return {Library::kOpenBLAS, Library::kEigen,   Library::kLibShalom,
+          Library::kFastConv, Library::kLIBXSMM, Library::kTVM,
+          Library::kAutoGEMM};
+}
+
+LibraryTraits traits(Library lib) {
+  switch (lib) {
+    case Library::kOpenBLAS:
+    case Library::kEigen:
+    case Library::kLibShalom:
+    case Library::kSSL2:
+      return {true, false, false, false};
+    case Library::kFastConv:
+      return {true, true, true, false};
+    case Library::kLIBXSMM:
+    case Library::kTVM:
+    case Library::kAutoGEMM:
+      return {true, true, true, true};
+  }
+  return {};
+}
+
+bool available_on(Library lib, hw::Chip chip) {
+  if (lib == Library::kLibShalom)
+    return chip != hw::Chip::kM2 && chip != hw::Chip::kA64FX;
+  if (lib == Library::kSSL2) return chip == hw::Chip::kA64FX;
+  return true;
+}
+
+bool supports_shape(Library lib, long m, long n, long k) {
+  if (lib == Library::kLibShalom) return n % 8 == 0 && k % 8 == 0;
+  // LIBXSMM is a small-matrix JIT ("dimensions up to 80" per its paper;
+  // Table I marks the 256x3136x64 irregular case N/A).
+  if (lib == Library::kLIBXSMM) return m * n * k <= 128L * 128 * 128;
+  return true;
+}
+
+namespace {
+
+int clampi(long v, long lo, long hi) {
+  return static_cast<int>(std::clamp(v, lo, hi));
+}
+
+// Per-GEMM-call framework overhead in cycles. Calibrated once against the
+// Table I small-GEMM efficiency row (M=N=K=64 anchor; see EXPERIMENTS.md);
+// the same constants are used for every chip and shape, so all relative
+// behaviour elsewhere comes from the structural model, not these numbers.
+double call_overhead_for(Library lib) {
+  switch (lib) {
+    case Library::kAutoGEMM: return 300;
+    case Library::kOpenBLAS: return 55000;
+    case Library::kEigen: return 30000;
+    case Library::kLibShalom: return 900;
+    case Library::kFastConv: return 22000;
+    case Library::kLIBXSMM: return 14000;
+    case Library::kTVM: return 8500;
+    case Library::kSSL2: return 24000;
+  }
+  return 0;
+}
+
+// Model-pruned parameter search (Section IV-B/C): evaluate the Eqn 13
+// composition for a small candidate grid and keep the best — the pruning
+// makes this a handful of model evaluations instead of a measurement
+// campaign.
+LibraryStrategy tuned_blocking(LibraryStrategy s, long m, long n, long k,
+                               const hw::HardwareModel& hw, bool force_kc_k) {
+  std::vector<int> mcs = {16, 48, 96, clampi(m, 1, 128)};
+  std::vector<int> ncs = {32, 120, clampi(n, 1, 240)};
+  std::vector<int> kcs = {32, 128, clampi(k, 1, 256)};
+  if (force_kc_k) kcs = {clampi(k, 1, 4096)};
+  double best = std::numeric_limits<double>::infinity();
+  LibraryStrategy best_s = s;
+  for (int mc : mcs) {
+    if (mc > m && mc != mcs.back()) continue;
+    for (int nc : ncs) {
+      if (nc > n && nc != ncs.back()) continue;
+      for (int kc : kcs) {
+        if (kc > k && kc != kcs.back()) continue;
+        LibraryStrategy cand = s;
+        cand.mc = clampi(mc, 1, m);
+        cand.nc = clampi(nc, 1, n);
+        cand.kc = clampi(kc, 1, k);
+        const double cycles = price_strategy(cand, m, n, k, hw).cycles;
+        if (cycles < best) {
+          best = cycles;
+          best_s = cand;
+        }
+      }
+    }
+  }
+  return best_s;
+}
+
+}  // namespace
+
+LibraryStrategy strategy_for(Library lib, long m, long n, long k,
+                             const hw::HardwareModel& hw, bool multicore) {
+  LibraryStrategy s;
+  s.call_overhead = call_overhead_for(lib);
+  switch (lib) {
+    case Library::kAutoGEMM: {
+      s.tiling = TilingKind::kDMT;
+      s.rotate_registers = true;
+      s.fuse = true;
+      // The paper skips packing when N is small (the locality benefit does
+      // not amortize the copy).
+      s.packing = (n * k <= 64 * 64) ? kernels::Packing::kNone
+                                     : kernels::Packing::kOffline;
+      return tuned_blocking(s, m, n, k, hw, /*force_kc_k=*/multicore);
+    }
+    case Library::kTVM: {
+      s.tiling = TilingKind::kLIBXSMMEdges;
+      s.fuse = true;  // one generated loop nest per block
+      // TVM v0.10 schedules compute in place without an explicit packed
+      // buffer stage — costless for cache-resident small GEMMs, but for
+      // irregular shapes the strided B walks push the working set to L2/L3
+      // (the main reason the paper measures it at 72% there).
+      s.packing = kernels::Packing::kNone;
+      return tuned_blocking(s, m, n, k, hw, /*force_kc_k=*/multicore);
+    }
+    case Library::kFastConv: {
+      s.tiling = TilingKind::kLIBXSMMEdges;
+      s.rotate_registers = true;
+      s.packing = kernels::Packing::kOnline;
+      s.launch_overhead = 20;
+      return tuned_blocking(s, m, n, k, hw, false);
+    }
+    case Library::kLIBXSMM: {
+      // Small-GEMM JIT: one fused kernel over the whole problem, no
+      // packing, no cache blocking.
+      s.tiling = TilingKind::kLIBXSMMEdges;
+      s.fuse = true;
+      s.packing = kernels::Packing::kNone;
+      s.mc = clampi(m, 1, m);
+      s.nc = clampi(n, 1, n);
+      s.kc = clampi(k, 1, k);
+      return s;
+    }
+    case Library::kOpenBLAS: {
+      s.tiling = TilingKind::kOpenBLASPadded;
+      s.rotate_registers = true;  // hand-scheduled kernels
+      s.packing = kernels::Packing::kOnline;
+      s.mc = clampi(m, 1, 128);
+      s.nc = clampi(n, 1, 3072);
+      s.kc = clampi(k, 1, 240);
+      return s;
+    }
+    case Library::kEigen: {
+      s.tiling = TilingKind::kOpenBLASPadded;
+      s.packing = kernels::Packing::kOnline;
+      s.mc = clampi(m, 1, 64);
+      s.nc = clampi(n, 1, n);
+      s.kc = clampi(k, 1, 256);
+      return s;
+    }
+    case Library::kLibShalom: {
+      s.tiling = TilingKind::kLIBXSMMEdges;
+      s.rotate_registers = true;
+      s.fuse = true;
+      s.packing = kernels::Packing::kOffline;
+      s.mc = clampi(m, 1, 96);
+      s.nc = clampi(n, 1, 256);
+      s.kc = clampi(k, 1, 256);
+      return s;
+    }
+    case Library::kSSL2: {
+      s.tiling = TilingKind::kOpenBLASPadded;
+      s.rotate_registers = true;
+      s.packing = kernels::Packing::kOnline;
+      s.mc = clampi(m, 1, 128);
+      s.nc = clampi(n, 1, 1024);
+      s.kc = clampi(k, 1, 512);
+      return s;
+    }
+  }
+  return s;
+}
+
+}  // namespace autogemm::baselines

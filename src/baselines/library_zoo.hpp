@@ -1,0 +1,72 @@
+// The library zoo: the seven GEMM implementations compared in Table I,
+// described by the strategy features the paper attributes to each, plus
+// per-chip availability rules (Fig 8's footnotes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/chip_database.hpp"
+#include "kernels/packing.hpp"
+
+namespace autogemm::baselines {
+
+enum class Library {
+  kAutoGEMM,
+  kOpenBLAS,
+  kEigen,
+  kLibShalom,
+  kFastConv,
+  kLIBXSMM,
+  kTVM,
+  kSSL2,  ///< Fujitsu Scientific Subroutine Library (A64FX only)
+};
+
+const char* library_name(Library lib);
+std::vector<Library> table_one_libraries();  ///< the 7 columns of Table I
+
+/// Table I's qualitative feature rows.
+struct LibraryTraits {
+  bool handwritten_microkernels = false;
+  bool code_generation = false;
+  bool auto_tuning = false;
+  bool loop_scheduling = false;
+};
+LibraryTraits traits(Library lib);
+
+/// Fig 8 availability: LibShalom does not build with clang / has no SVE
+/// port (no M2, no A64FX); SSL2 exists only on A64FX.
+bool available_on(Library lib, hw::Chip chip);
+
+/// LibShalom computes correctly only for N % 8 == 0 && K % 8 == 0.
+bool supports_shape(Library lib, long m, long n, long k);
+
+/// Tiling strategy kinds used by the pricer.
+enum class TilingKind { kOpenBLASPadded, kLIBXSMMEdges, kDMT };
+
+/// Everything the analytic pricer needs to know about how a library
+/// executes one GEMM on one chip.
+struct LibraryStrategy {
+  int mc = 0, nc = 0, kc = 0;     ///< chosen cache blocking
+  TilingKind tiling = TilingKind::kOpenBLASPadded;
+  bool rotate_registers = false;  ///< hand-arranged pipelines (Section III-C1)
+  bool fuse = false;              ///< single generated kernel per block
+  kernels::Packing packing = kernels::Packing::kNone;
+  /// Cycles per micro-kernel invocation (function-call dispatch); fused
+  /// strategies pay it once per cache block.
+  double launch_overhead = 12.0;
+  /// Fixed per-GEMM-call framework overhead (argument checking, buffer
+  /// management, dispatch). Calibrated once against Table I's measured
+  /// small-GEMM efficiencies at the 64^3 anchor; see EXPERIMENTS.md.
+  double call_overhead = 0.0;
+};
+
+/// The strategy `lib` uses for problem (m, n, k) on `chip_hw`. autoGEMM and
+/// TVM run a model-pruned parameter search (Section IV-C); the others use
+/// their libraries' fixed heuristics. `multicore` forces kc = K for the
+/// TVM-based libraries (the paper's K-dimension limitation).
+LibraryStrategy strategy_for(Library lib, long m, long n, long k,
+                             const hw::HardwareModel& chip_hw,
+                             bool multicore = false);
+
+}  // namespace autogemm::baselines

@@ -1,0 +1,221 @@
+#include "baselines/pricer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "model/kernel_model.hpp"
+#include "tiling/micro_tiling.hpp"
+
+namespace autogemm::baselines {
+namespace {
+
+int ceil_div(long a, long b) { return static_cast<int>((a + b - 1) / b); }
+
+// Inflates the load latency to the cache level that actually holds the
+// per-block working set. Packed strategies touch exactly the block
+// footprint; unpacked ones drag whole rows of B through the cache, which
+// is modeled as a footprint inflated to the full row span.
+hw::HardwareModel pressure_adjusted(const hw::HardwareModel& hw,
+                                    const LibraryStrategy& s, long n) {
+  if (hw.caches.empty()) return hw;
+  double footprint =
+      4.0 * (static_cast<double>(s.mc) * s.kc + static_cast<double>(s.kc) * s.nc +
+             static_cast<double>(s.mc) * s.nc);
+  if (s.packing == kernels::Packing::kNone) {
+    // Unpacked B: the kc x nc window is strided across the full matrix
+    // row, so cache lines and TLB pages hold mostly untouched neighbours
+    // when nc < N — the effective occupancy spans several window widths.
+    footprint += 4.0 * s.kc * (std::min<long>(n, 4L * s.nc) - s.nc);
+  }
+  int level = static_cast<int>(hw.caches.size());  // DRAM by default
+  for (std::size_t i = 0; i < hw.caches.size(); ++i) {
+    if (footprint <= static_cast<double>(hw.caches[i].size_bytes)) {
+      level = static_cast<int>(i);
+      break;
+    }
+  }
+  hw::HardwareModel adj = hw;
+  adj.lat_load += hw.level_latency(level) - hw.caches.front().latency_cycles;
+  return adj;
+}
+
+// Cycles to move `elements` floats through a packing buffer (one load +
+// one store per vector of lanes).
+double pack_cost(double elements, const hw::HardwareModel& hw) {
+  return elements / hw.lanes * (hw.cpi_load + hw.cpi_store);
+}
+
+// Model cost of one cache block's micro-tile schedule.
+double block_cycles(const tiling::TilingResult& tiles,
+                    const LibraryStrategy& s, int bk,
+                    const hw::HardwareModel& hw) {
+  model::KernelModelOptions kopts;
+  kopts.rotate_registers = s.rotate_registers;
+  kopts.launch_overhead = s.launch_overhead;
+  if (tiles.tiles.empty()) return 0;
+  if (!s.fuse) {
+    double total = 0;
+    for (const auto& t : tiles.tiles)
+      total += model::kernel_cost({t.mr, t.nr}, bk, hw, kopts).total();
+    return total;
+  }
+  // Fused: one launch, first prologue and last epilogue in full, interior
+  // boundaries collapsed per Section III-C2.
+  double total = s.launch_overhead;
+  const auto& first = tiles.tiles.front();
+  const auto& last = tiles.tiles.back();
+  total += model::t_prologue({first.mr, first.nr}, hw);
+  total += model::t_epilogue({last.mr, last.nr}, bk, hw);
+  for (std::size_t i = 0; i < tiles.tiles.size(); ++i) {
+    const auto& t = tiles.tiles[i];
+    const auto cost = model::kernel_cost({t.mr, t.nr}, bk, hw, kopts);
+    total += cost.mainloop;
+    if (i + 1 < tiles.tiles.size()) {
+      const auto& nx = tiles.tiles[i + 1];
+      // The boundary replaces this tile's epilogue-remainder + stores and
+      // the next tile's prologue.
+      total += model::t_fused_boundary({t.mr, t.nr}, bk, {nx.mr, nx.nr}, hw);
+    }
+  }
+  return total;
+}
+
+tiling::TilingResult compute_tile_block(const LibraryStrategy& s, int bm,
+                                        int bn, int bk,
+                                        const hw::HardwareModel& hw) {
+  model::KernelModelOptions kopts;
+  kopts.rotate_registers = s.rotate_registers;
+  kopts.launch_overhead = s.launch_overhead;
+  switch (s.tiling) {
+    case TilingKind::kOpenBLASPadded:
+      return tiling::tile_openblas(bm, bn, bk, hw, kopts);
+    case TilingKind::kLIBXSMMEdges:
+      return tiling::tile_libxsmm(bm, bn, bk, hw, kopts);
+    case TilingKind::kDMT:
+      return tiling::tile_dmt(bm, bn, bk, hw, kopts);
+  }
+  return {};
+}
+
+// DMT's dynamic program is the expensive part of pricing, and the tuner's
+// candidate grids revisit the same block shapes constantly; memoize on the
+// full set of inputs that influence the result. The benches run
+// single-threaded, so a plain map suffices.
+const tiling::TilingResult& tile_block(const LibraryStrategy& s, int bm,
+                                       int bn, int bk,
+                                       const hw::HardwareModel& hw) {
+  static std::map<std::string, tiling::TilingResult> cache;
+  char key[192];
+  std::snprintf(key, sizeof(key), "%d|%d|%d|%d|%d|%.1f|%.2f|%.2f|%.2f|%.2f|%.2f|%.2f|%d",
+                static_cast<int>(s.tiling), bm, bn, bk,
+                s.rotate_registers ? 1 : 0, s.launch_overhead, hw.lat_load,
+                hw.lat_fma, hw.cpi_fma, hw.cpi_load, hw.cpi_store,
+                hw.sigma_ai, hw.lanes);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  return cache.emplace(key, compute_tile_block(s, bm, bn, bk, hw))
+      .first->second;
+}
+
+}  // namespace
+
+Priced price_strategy(const LibraryStrategy& s, long m, long n, long k,
+                      const hw::HardwareModel& hw, const PriceOptions& opts) {
+  Priced out;
+  out.strategy = s;
+  const hw::HardwareModel adj = pressure_adjusted(hw, s, n);
+
+  // Single-thread kernel cycles: at most two distinct block sizes per
+  // dimension (full blocks and one edge block), so up to eight distinct
+  // block shapes overall, each weighted by its multiplicity.
+  struct DimSplit {
+    int sizes[2];
+    long counts[2];
+    int entries;
+  };
+  const auto split = [](long total, int block) {
+    DimSplit d{};
+    const long count = (total + block - 1) / block;
+    const int edge = static_cast<int>(total - static_cast<long>(block) * (count - 1));
+    if (edge == block) {
+      d.sizes[0] = block;
+      d.counts[0] = count;
+      d.entries = 1;
+    } else {
+      d.sizes[0] = block;
+      d.counts[0] = count - 1;
+      d.sizes[1] = edge;
+      d.counts[1] = 1;
+      d.entries = d.counts[0] > 0 ? 2 : 1;
+      if (d.entries == 1) {
+        d.sizes[0] = edge;
+        d.counts[0] = 1;
+      }
+    }
+    return d;
+  };
+  const DimSplit dm = split(m, s.mc), dn = split(n, s.nc), dk = split(k, s.kc);
+  const int nm = ceil_div(m, s.mc), nn = ceil_div(n, s.nc);
+  double kernel_cycles = 0;
+  for (int i = 0; i < dm.entries; ++i) {
+    for (int j = 0; j < dn.entries; ++j) {
+      for (int p = 0; p < dk.entries; ++p) {
+        const auto tiles = tile_block(s, dm.sizes[i], dn.sizes[j], dk.sizes[p], adj);
+        kernel_cycles += static_cast<double>(dm.counts[i]) * dn.counts[j] *
+                         dk.counts[p] *
+                         block_cycles(tiles, s, dk.sizes[p], adj);
+      }
+    }
+  }
+
+  // Packing traffic.
+  double pack_elements = 0;
+  if (s.packing == kernels::Packing::kOnline) {
+    pack_elements += static_cast<double>(m) * k;  // A packed once
+    pack_elements += static_cast<double>(k) * n;  // B packed once
+  } else if (s.packing == kernels::Packing::kOffline) {
+    pack_elements += static_cast<double>(m) * k;  // A still packed online
+    if (!opts.amortize_offline_packing)
+      pack_elements += static_cast<double>(k) * n;
+  }
+  out.pack_cycles = pack_cost(pack_elements, hw);
+
+  double cycles = kernel_cycles + out.pack_cycles + s.call_overhead;
+
+  // Thread scaling: the C surface is the unit of parallelism (libraries
+  // split their M/N loops across threads down to roughly a 64x64 region
+  // per worker even when that is finer than the cache blocks); the K
+  // dimension never splits, so small-M*N/large-K problems stop scaling —
+  // the paper's L7/L12/L17/L20 multicore observation.
+  int threads = std::clamp(opts.threads, 1, hw.topology.cores);
+  const long c_blocks =
+      std::max<long>(static_cast<long>(nm) * nn,
+                     (m * n + 64L * 64 - 1) / (64L * 64));
+  if (threads > 1) {
+    const int usable = static_cast<int>(std::min<long>(threads, c_blocks));
+    // Load balance: the slowest worker carries ceil(blocks/usable) blocks.
+    const double balance =
+        static_cast<double>(c_blocks) /
+        (static_cast<double>((c_blocks + usable - 1) / usable) * usable);
+    const double speedup = hw.scaling_speedup(usable) * balance;
+    cycles /= std::max(1.0, speedup);
+  }
+  out.cycles = cycles;
+  out.seconds = cycles / (hw.freq_ghz * 1e9);
+  const double flops = 2.0 * static_cast<double>(m) * n * k;
+  out.gflops = flops / out.seconds / 1e9;
+  out.efficiency = out.gflops / (hw.peak_gflops_core() * threads);
+  return out;
+}
+
+Priced price_gemm(Library lib, long m, long n, long k,
+                  const hw::HardwareModel& hw, const PriceOptions& opts) {
+  const LibraryStrategy s =
+      strategy_for(lib, m, n, k, hw, opts.threads > 1);
+  return price_strategy(s, m, n, k, hw, opts);
+}
+
+}  // namespace autogemm::baselines

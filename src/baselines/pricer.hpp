@@ -1,0 +1,50 @@
+// Analytic whole-problem pricer.
+//
+// Prices one GEMM call of a given library strategy on a chip model by
+// composing the Section III-B kernel model over every cache block and
+// micro-tile, with three whole-problem effects the kernel model cannot
+// see:
+//   * cache pressure — when a block set's footprint exceeds a cache level,
+//     every load in the block pays that level's latency (the Fig 6 K=256
+//     cliff and the Table I irregular-GEMM gaps);
+//   * packing cost — elements moved through the packing buffers;
+//   * thread scaling — the topology model, capped by the number of C
+//     blocks (K is never split, so small-N/large-K layers stop scaling —
+//     the paper's L7/L12/L17/L20 observation).
+//
+// This pricer is what regenerates Table I and Figs 8/9/10/12; the
+// instruction-level pipeline simulator (sim::) cross-checks it on the
+// small configurations of Figs 3/6/7.
+#pragma once
+
+#include "baselines/library_zoo.hpp"
+#include "hw/hardware_model.hpp"
+
+namespace autogemm::baselines {
+
+struct PriceOptions {
+  int threads = 1;
+  /// Offline packing amortized away (B constant across calls, the ResNet
+  /// deployment); only libraries whose strategy supports it benefit.
+  bool amortize_offline_packing = true;
+};
+
+struct Priced {
+  double cycles = 0;        ///< per-call cycles on one chip
+  double pack_cycles = 0;   ///< portion spent packing
+  double seconds = 0;
+  double gflops = 0;
+  double efficiency = 0;    ///< vs threads * per-core peak
+  LibraryStrategy strategy; ///< what the library chose (for reports)
+};
+
+/// Prices library `lib` running C += A(m,k) * B(k,n) once.
+Priced price_gemm(Library lib, long m, long n, long k,
+                  const hw::HardwareModel& hw, const PriceOptions& opts = {});
+
+/// Prices an explicit strategy (used by the ablation benches).
+Priced price_strategy(const LibraryStrategy& strategy, long m, long n, long k,
+                      const hw::HardwareModel& hw,
+                      const PriceOptions& opts = {});
+
+}  // namespace autogemm::baselines

@@ -1,0 +1,484 @@
+#include "codegen/generator.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace autogemm::codegen {
+namespace {
+
+using isa::AddrMode;
+using isa::Instruction;
+using isa::Op;
+using isa::PrefetchLevel;
+using isa::Program;
+using isa::Reg;
+using isa::V;
+using isa::X;
+
+// Emission context for one micro-kernel. Wraps the register-allocation
+// conventions of Listing 1 so the three stages read declaratively.
+struct Emitter {
+  Program& prog;
+  int mr, nr, kc, lanes;
+  GeneratorOptions opts;
+
+  int vnr;         // nr / lanes
+  int nbody;       // full unrolled main-loop iterations = floor(kc/lanes)
+  int rem;         // kc - nbody*lanes
+  int spare_base;  // first spare vector register
+  int spare;       // number of spare vector registers
+  int n_alt_a;     // rotated A registers (compute-bound rotation)
+  bool rotate_a;   // rotation decisions after spare-count check
+  bool rotate_b;
+
+  Emitter(Program& p, int mr_, int nr_, int kc_, int lanes_,
+          const GeneratorOptions& o)
+      : prog(p), mr(mr_), nr(nr_), kc(kc_), lanes(lanes_), opts(o) {
+    vnr = nr / lanes;
+    nbody = kc / lanes;
+    rem = kc - nbody * lanes;
+    spare_base = mr * vnr + mr + vnr;
+    spare = kVectorRegisters - spare_base;
+    rotate_a = opts.rotate_registers && !opts.memory_bound && spare > 0;
+    rotate_b = opts.rotate_registers && opts.memory_bound && spare >= vnr;
+    n_alt_a = rotate_a ? std::min(spare, mr) : 0;
+  }
+
+  // ---- register map ------------------------------------------------------
+  Reg c_reg(int row, int col) const { return V(row * vnr + col); }
+  Reg a_reg(int row) const { return V(mr * vnr + row); }
+  Reg b_reg(int col) const { return V(mr * vnr + mr + col); }
+  Reg alt_a_reg(int row) const { return V(spare_base + row); }  // row < n_alt_a
+  Reg alt_b_reg(int col) const { return V(spare_base + col); }  // col < vnr
+
+  // A operand for a given block index under (possible) rotation: blocks
+  // alternate between the primary and the alternate set for rotated rows.
+  Reg a_operand(int row, int block) const {
+    if (row < n_alt_a && block % 2 == 1) return alt_a_reg(row);
+    return a_reg(row);
+  }
+  // B operand register for absolute k index under (possible) B rotation:
+  // odd k rows live in the alternate set.
+  Reg b_operand_col(int k, int col) const {
+    if (rotate_b && k % 2 == 1) return alt_b_reg(col);
+    return b_reg(col);
+  }
+
+  Reg a_row_ptr(int row) const { return X(isa::Abi::kRowPtrBase + row); }
+  Reg c_row_ptr(int row) const { return X(isa::Abi::kRowPtrBase + mr + row); }
+
+  // ---- instruction helpers ------------------------------------------------
+  void emit(Instruction inst) { prog.push(std::move(inst)); }
+
+  void ldr_q(Reg dst, Reg base, AddrMode mode, int imm, std::string cmt = {}) {
+    Instruction i;
+    i.op = Op::kLdrQ;
+    i.dst = dst;
+    i.src1 = base;
+    i.addr = mode;
+    i.imm = imm;
+    i.comment = std::move(cmt);
+    emit(i);
+  }
+  void str_q(Reg src, Reg base, AddrMode mode, int imm, std::string cmt = {}) {
+    Instruction i;
+    i.op = Op::kStrQ;
+    i.dst = src;
+    i.src1 = base;
+    i.addr = mode;
+    i.imm = imm;
+    i.comment = std::move(cmt);
+    emit(i);
+  }
+  void fmla(Reg acc, Reg bvec, Reg avec, int lane, std::string cmt = {}) {
+    Instruction i;
+    i.op = Op::kFmla;
+    i.dst = acc;
+    i.src1 = bvec;
+    i.src2 = avec;
+    i.lane = static_cast<std::int8_t>(lane);
+    i.comment = std::move(cmt);
+    emit(i);
+  }
+  void prfm(Reg base, int imm, PrefetchLevel lvl, std::string cmt = {}) {
+    Instruction i;
+    i.op = Op::kPrfm;
+    i.src1 = base;
+    i.addr = AddrMode::kOffset;
+    i.imm = imm;
+    i.prefetch = lvl;
+    i.comment = std::move(cmt);
+    emit(i);
+  }
+  void mov_reg(Reg dst, Reg src, std::string cmt = {}) {
+    Instruction i;
+    i.op = Op::kMovReg;
+    i.dst = dst;
+    i.src1 = src;
+    i.comment = std::move(cmt);
+    emit(i);
+  }
+  void mov_imm(Reg dst, int imm, std::string cmt = {}) {
+    Instruction i;
+    i.op = Op::kMovImm;
+    i.dst = dst;
+    i.imm = imm;
+    i.comment = std::move(cmt);
+    emit(i);
+  }
+  void add_reg(Reg dst, Reg a, Reg b, std::string cmt = {}) {
+    Instruction i;
+    i.op = Op::kAddReg;
+    i.dst = dst;
+    i.src1 = a;
+    i.src2 = b;
+    i.comment = std::move(cmt);
+    emit(i);
+  }
+  void lsl_imm(Reg dst, Reg src, int shift, std::string cmt = {}) {
+    Instruction i;
+    i.op = Op::kLslImm;
+    i.dst = dst;
+    i.src1 = src;
+    i.imm = shift;
+    i.comment = std::move(cmt);
+    emit(i);
+  }
+  void subs_imm(Reg dst, Reg src, int imm) {
+    Instruction i;
+    i.op = Op::kSubsImm;
+    i.dst = dst;
+    i.src1 = src;
+    i.imm = imm;
+    emit(i);
+  }
+  void movi0(Reg dst, std::string cmt = {}) {
+    Instruction i;
+    i.op = Op::kMovi0;
+    i.dst = dst;
+    i.comment = std::move(cmt);
+    emit(i);
+  }
+  void label(int id) {
+    Instruction i;
+    i.op = Op::kLabel;
+    i.label = id;
+    emit(i);
+  }
+  void bne(int id) {
+    Instruction i;
+    i.op = Op::kBne;
+    i.label = id;
+    emit(i);
+  }
+
+  int vec_bytes() const { return lanes * 4; }
+
+  // ---- composite pieces ---------------------------------------------------
+
+  // Loads B row (relative: the next row the B pointer addresses) into the
+  // given register set, then advances the B pointer by ldb.
+  void load_b_row(bool into_alt, const char* what) {
+    for (int col = 0; col < vnr; ++col) {
+      const Reg dst = into_alt ? alt_b_reg(col) : b_reg(col);
+      ldr_q(dst, X(isa::Abi::kB), AddrMode::kOffset, col * vec_bytes(),
+            col == 0 ? what : "");
+    }
+    add_reg(X(isa::Abi::kB), X(isa::Abi::kB), X(isa::Abi::kLdb));
+  }
+
+  // Loads the next A vector block for one row (post-index walk along the
+  // row), into either the primary or the alternate register.
+  void load_a_row_block(int row, bool into_alt, const char* what) {
+    const Reg dst = into_alt ? alt_a_reg(row) : a_reg(row);
+    ldr_q(dst, a_row_ptr(row), AddrMode::kPostIndex, vec_bytes(), what);
+  }
+
+  void emit_prologue() {
+    if (opts.prefetch) {
+      prfm(X(isa::Abi::kA), 64, PrefetchLevel::kL1, "prefetch A");
+      prfm(X(isa::Abi::kB), 64, PrefetchLevel::kL1, "prefetch B");
+      prfm(X(isa::Abi::kC), 64, PrefetchLevel::kL1, "prefetch C");
+    }
+    lsl_imm(X(isa::Abi::kLda), X(isa::Abi::kLda), 2, "lda *= 4 (bytes)");
+    lsl_imm(X(isa::Abi::kLdb), X(isa::Abi::kLdb), 2, "ldb *= 4 (bytes)");
+    lsl_imm(X(isa::Abi::kLdc), X(isa::Abi::kLdc), 2, "ldc *= 4 (bytes)");
+
+    mov_reg(a_row_ptr(0), X(isa::Abi::kA), "A row pointers");
+    mov_reg(c_row_ptr(0), X(isa::Abi::kC), "C row pointers");
+    for (int row = 1; row < mr; ++row) {
+      add_reg(a_row_ptr(row), a_row_ptr(row - 1), X(isa::Abi::kLda));
+      add_reg(c_row_ptr(row), c_row_ptr(row - 1), X(isa::Abi::kLdc));
+    }
+
+    for (int row = 0; row < mr; ++row) {
+      for (int col = 0; col < vnr; ++col) {
+        if (opts.load_c) {
+          ldr_q(c_reg(row, col), c_row_ptr(row), AddrMode::kOffset,
+                col * vec_bytes(), row == 0 && col == 0 ? "load C" : "");
+        } else {
+          movi0(c_reg(row, col), row == 0 && col == 0 ? "zero C" : "");
+        }
+      }
+    }
+    for (int row = 0; row < mr; ++row)
+      load_a_row_block(row, /*into_alt=*/false, row == 0 ? "load A[.][0:l)" : "");
+    load_b_row(/*into_alt=*/false, "load B[0][:]");
+    if (rotate_b) load_b_row(/*into_alt=*/true, "load B[1][:] (rotated)");
+  }
+
+  // One main-loop block (lanes k-steps). `block` carries only the register-
+  // set parity (the loop body repeats, so absolute k is not known here);
+  // with lanes even, the B-rotation parity of k matches i's parity.
+  void emit_block(int block) {
+    const int k_base = block * lanes;
+    int pending_alt_a = rotate_a ? n_alt_a : 0;  // early A loads to place
+    for (int i = 0; i < lanes; ++i) {
+      const int k_abs = k_base + i;
+      for (int col = 0; col < vnr; ++col) {
+        for (int row = 0; row < mr; ++row) {
+          fmla(c_reg(row, col), b_operand_col(k_abs, col),
+               a_operand(row, block), i,
+               row == 0 && col == 0 && i == 0 ? "main-loop block" : "");
+        }
+        // B load bound to this column group: value for k_abs+1 (or +2 when
+        // rotated, targeting the set this lane just consumed).
+        const int k_next = rotate_b ? k_abs + 2 : k_abs + 1;
+        const Reg dst = rotate_b ? b_operand_col(k_next, col)
+                                 : b_reg(col);
+        ldr_q(dst, X(isa::Abi::kB), AddrMode::kOffset, col * vec_bytes());
+        // Rotated-A early loads ride between column groups of early lanes,
+        // overlapping the A stream with FMA work (Fig 3-(c)).
+        if (pending_alt_a > 0 && i < lanes - 1) {
+          const int row = n_alt_a - pending_alt_a;
+          const bool into_alt = (block % 2 == 0);
+          const Reg adst = into_alt ? alt_a_reg(row) : a_reg(row);
+          ldr_q(adst, a_row_ptr(row), AddrMode::kPostIndex, vec_bytes(),
+                "rotated A preload");
+          --pending_alt_a;
+        }
+      }
+      add_reg(X(isa::Abi::kB), X(isa::Abi::kB), X(isa::Abi::kLdb));
+    }
+    if (opts.l2_prefetch) {
+      // Pull the lines a few blocks ahead into L2 (distance fixed at 4
+      // unrolled blocks for the B stream, one cache line for A).
+      prfm(X(isa::Abi::kB), 4 * lanes * vec_bytes(), PrefetchLevel::kL2,
+           "L2 prefetch B");
+      prfm(a_row_ptr(0), 64, PrefetchLevel::kL2, "L2 prefetch A");
+    }
+    // Trailing A loads for rows not covered by rotation.
+    for (int row = n_alt_a; row < mr; ++row)
+      load_a_row_block(row, /*into_alt=*/false, row == n_alt_a ? "next A" : "");
+    // Any rotated loads that did not fit between column groups.
+    for (; pending_alt_a > 0; --pending_alt_a) {
+      const int row = n_alt_a - pending_alt_a;
+      const bool into_alt = (block % 2 == 0);
+      const Reg adst = into_alt ? alt_a_reg(row) : a_reg(row);
+      ldr_q(adst, a_row_ptr(row), AddrMode::kPostIndex, vec_bytes());
+    }
+  }
+
+  // The loop-based main loop. With A rotation the loop is unrolled by two
+  // blocks so register-set parity stays consistent across iterations.
+  void emit_mainloop() {
+    if (nbody == 0) return;
+    if (!rotate_a) {
+      const int l = prog.new_label();
+      mov_imm(X(isa::Abi::kLoopCounter), nbody, "main loop counter");
+      label(l);
+      emit_block(0);
+      subs_imm(X(isa::Abi::kLoopCounter), X(isa::Abi::kLoopCounter), 1);
+      bne(l);
+      return;
+    }
+    const int pairs = nbody / 2;
+    const int peel = nbody % 2;
+    if (pairs > 0) {
+      const int l = prog.new_label();
+      mov_imm(X(isa::Abi::kLoopCounter), pairs, "main loop counter (x2)");
+      label(l);
+      emit_block(0);  // even parity
+      emit_block(1);  // odd parity
+      subs_imm(X(isa::Abi::kLoopCounter), X(isa::Abi::kLoopCounter), 1);
+      bne(l);
+    }
+    if (peel == 1) emit_block(0);  // one even-parity block
+  }
+
+  // Remainder lanes (kc % lanes) plus the C stores.
+  void emit_epilogue() {
+    // The A set holding block `nbody` after the main loop: rotated rows sit
+    // in the alternate set iff an odd number of blocks were consumed.
+    const int rem_block_parity = rotate_a ? (nbody % 2) : 0;
+    for (int i = 0; i < rem; ++i) {
+      const int k_abs = nbody * lanes + i;
+      for (int col = 0; col < vnr; ++col) {
+        for (int row = 0; row < mr; ++row) {
+          fmla(c_reg(row, col), b_operand_col(k_abs, col),
+               a_operand(row, rem_block_parity), i,
+               row == 0 && col == 0 ? "remainder k" : "");
+        }
+        const int k_next = rotate_b ? k_abs + 2 : k_abs + 1;
+        const int needed_until = nbody * lanes + rem;  // exclusive
+        if (k_next < needed_until) {
+          const Reg dst =
+              rotate_b ? b_operand_col(k_next, col) : b_reg(col);
+          ldr_q(dst, X(isa::Abi::kB), AddrMode::kOffset, col * vec_bytes());
+        }
+      }
+      add_reg(X(isa::Abi::kB), X(isa::Abi::kB), X(isa::Abi::kLdb));
+    }
+    for (int row = 0; row < mr; ++row) {
+      for (int col = 0; col < vnr; ++col) {
+        str_q(c_reg(row, col), c_row_ptr(row), AddrMode::kPostIndex,
+              vec_bytes(), row == 0 && col == 0 ? "store C" : "");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+MicroKernel generate_microkernel(int mr, int nr, int kc, int lanes,
+                                 const GeneratorOptions& opts) {
+  if (lanes <= 0) throw std::invalid_argument("lanes must be positive");
+  if (kc <= 0) throw std::invalid_argument("kc must be positive");
+  if (!tile_feasible(mr, nr, lanes))
+    throw std::invalid_argument("tile " + std::to_string(mr) + "x" +
+                                std::to_string(nr) +
+                                " is not register-feasible");
+  // Listing 1 keeps one A and one C row pointer per tile row in
+  // x6..x6+2*mr-1, with x29 as the loop counter; beyond mr = 11 the
+  // general-purpose file runs out. (The fully unrolled sequence generator
+  // has no such limit — it addresses from the three base pointers.)
+  if (isa::Abi::kRowPtrBase + 2 * mr - 1 > 28)
+    throw std::invalid_argument(
+        "tile mr exceeds the general-purpose register budget of Listing 1");
+
+  const std::string name = "MicroKernel_" + std::to_string(mr) + "x" +
+                           std::to_string(nr) + "x" + std::to_string(kc);
+  MicroKernel mk;
+  mk.program = isa::Program(name, mr, nr, kc, lanes);
+  mk.tile = {mr, nr};
+  mk.kc = kc;
+
+  Emitter e(mk.program, mr, nr, kc, lanes, opts);
+  mk.rotated = e.rotate_a || e.rotate_b;
+  e.emit_prologue();
+  mk.mainloop_begin = static_cast<int>(mk.program.size());
+  e.emit_mainloop();
+  mk.epilogue_begin = static_cast<int>(mk.program.size());
+  e.emit_epilogue();
+  return mk;
+}
+
+MicroKernel generate_scalar_microkernel(int mr, int nr, int kc) {
+  if (mr < 1 || nr < 1 || kc < 1)
+    throw std::invalid_argument("scalar kernel: dimensions must be positive");
+  if (mr * nr + mr + 1 > kVectorRegisters)
+    throw std::invalid_argument("scalar kernel: tile exceeds register file");
+  if (isa::Abi::kRowPtrBase + 2 * mr - 1 > 28)
+    throw std::invalid_argument("scalar kernel: mr exceeds row pointers");
+
+  const std::string name = "ScalarKernel_" + std::to_string(mr) + "x" +
+                           std::to_string(nr) + "x" + std::to_string(kc);
+  MicroKernel mk;
+  mk.program = isa::Program(name, mr, nr, kc, /*lanes=*/1);
+  mk.tile = {mr, nr};
+  mk.kc = kc;
+  Program& prog = mk.program;
+
+  const auto c_reg = [&](int row, int col) { return V(row * nr + col); };
+  const auto a_reg = [&](int row) { return V(mr * nr + row); };
+  const Reg b_reg = V(mr * nr + mr);
+  const auto a_ptr = [&](int row) { return X(isa::Abi::kRowPtrBase + row); };
+  const auto c_ptr = [&](int row) {
+    return X(isa::Abi::kRowPtrBase + mr + row);
+  };
+  const auto push = [&](Instruction i) { prog.push(std::move(i)); };
+  const auto make = [&](Op op, Reg dst, Reg s1, Reg s2, int imm,
+                        AddrMode mode) {
+    Instruction i;
+    i.op = op;
+    i.dst = dst;
+    i.src1 = s1;
+    i.src2 = s2;
+    i.imm = imm;
+    i.addr = mode;
+    return i;
+  };
+
+  // Prologue: strides to bytes, row pointer chains, scalar C loads.
+  push(make(Op::kLslImm, X(isa::Abi::kLda), X(isa::Abi::kLda), {}, 2,
+            AddrMode::kNone));
+  push(make(Op::kLslImm, X(isa::Abi::kLdb), X(isa::Abi::kLdb), {}, 2,
+            AddrMode::kNone));
+  push(make(Op::kLslImm, X(isa::Abi::kLdc), X(isa::Abi::kLdc), {}, 2,
+            AddrMode::kNone));
+  push(make(Op::kMovReg, a_ptr(0), X(isa::Abi::kA), {}, 0, AddrMode::kNone));
+  push(make(Op::kMovReg, c_ptr(0), X(isa::Abi::kC), {}, 0, AddrMode::kNone));
+  for (int row = 1; row < mr; ++row) {
+    push(make(Op::kAddReg, a_ptr(row), a_ptr(row - 1), X(isa::Abi::kLda), 0,
+              AddrMode::kNone));
+    push(make(Op::kAddReg, c_ptr(row), c_ptr(row - 1), X(isa::Abi::kLdc), 0,
+              AddrMode::kNone));
+  }
+  for (int row = 0; row < mr; ++row)
+    for (int col = 0; col < nr; ++col)
+      push(make(Op::kLdrS, c_reg(row, col), c_ptr(row), {}, col * 4,
+                AddrMode::kOffset));
+
+  mk.mainloop_begin = static_cast<int>(prog.size());
+  // Main loop: one k step per iteration (no vector unroll).
+  const int loop = prog.new_label();
+  {
+    Instruction i;
+    i.op = Op::kMovImm;
+    i.dst = X(isa::Abi::kLoopCounter);
+    i.imm = kc;
+    push(i);
+  }
+  {
+    Instruction i;
+    i.op = Op::kLabel;
+    i.label = loop;
+    push(i);
+  }
+  for (int row = 0; row < mr; ++row)
+    push(make(Op::kLdrS, a_reg(row), a_ptr(row), {}, 4,
+              AddrMode::kPostIndex));
+  for (int col = 0; col < nr; ++col) {
+    push(make(Op::kLdrS, b_reg, X(isa::Abi::kB), {}, col * 4,
+              AddrMode::kOffset));
+    for (int row = 0; row < mr; ++row)
+      push(make(Op::kFmlaS, c_reg(row, col), a_reg(row), b_reg, 0,
+                AddrMode::kNone));
+  }
+  push(make(Op::kAddReg, X(isa::Abi::kB), X(isa::Abi::kB), X(isa::Abi::kLdb),
+            0, AddrMode::kNone));
+  push(make(Op::kSubsImm, X(isa::Abi::kLoopCounter),
+            X(isa::Abi::kLoopCounter), {}, 1, AddrMode::kNone));
+  {
+    Instruction i;
+    i.op = Op::kBne;
+    i.label = loop;
+    push(i);
+  }
+
+  mk.epilogue_begin = static_cast<int>(prog.size());
+  for (int row = 0; row < mr; ++row)
+    for (int col = 0; col < nr; ++col)
+      push(make(Op::kStrS, c_reg(row, col), c_ptr(row), {}, col * 4,
+                AddrMode::kOffset));
+  return mk;
+}
+
+int padded_k_a(int kc, int lanes) { return (kc / lanes + 1) * lanes; }
+
+int padded_k_b(int kc, int lanes) {
+  (void)lanes;
+  return kc + 2;
+}
+
+}  // namespace autogemm::codegen

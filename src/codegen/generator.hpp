@@ -1,0 +1,79 @@
+// Micro-kernel auto-generation (Listing 1) and the pipeline optimizations of
+// Section III-C: rotating register allocation and epilogue/prologue fusion.
+//
+// The generator emits isa::Program IR. Printing the IR through
+// isa::emit_cpp_wrapper reproduces the paper's generated C++-with-inline-asm
+// files; executing it on sim::Interpreter validates the semantics; running it
+// through sim::PipelineSimulator prices it on a chip model.
+//
+// Register allocation follows Listing 1 exactly (vnr = nr / sigma_lane):
+//   v[row*vnr + col]          C accumulators          (mr*vnr registers)
+//   v[mr*vnr + row]           A row operands           (mr registers)
+//   v[mr*vnr + mr + col]      B row operands           (vnr registers)
+//   v[mr*vnr + mr + vnr ...]  spare, used by rotation  (32 - above)
+// and x6..x6+mr-1 / x6+mr..x6+2mr-1 hold the A / C row pointers with x29 as
+// the main-loop counter.
+//
+// Memory contract (the generated stream over-reads like real packed BLAS
+// kernels do): the A buffer must have at least padded_k_a(kc, lanes)
+// readable columns per row and B at least padded_k_b(kc) readable rows.
+#pragma once
+
+#include "codegen/tile_sizes.hpp"
+#include "isa/program.hpp"
+
+namespace autogemm::codegen {
+
+struct GeneratorOptions {
+  /// true: C += A*B (prologue loads C). false: C = A*B (movi #0).
+  bool load_c = true;
+  /// Section III-C1. Compute-bound tiles rotate A registers (Eqn 9);
+  /// memory-bound tiles rotate B registers (Eqn 10, needs >= vnr spares).
+  bool rotate_registers = false;
+  /// Selects which operand rotation targets; callers classify the tile via
+  /// ai_finite() against the chip's sigma_AI.
+  bool memory_bound = false;
+  /// Emit the initial PLDL1KEEP prefetches of Listing 1.
+  bool prefetch = true;
+  /// Section V-C: the shipped kernels keep PLDL2KEEP prefetches in the
+  /// main loop (L1 is assumed hit by the blocking; L2 prefetch covers the
+  /// next blocks' lines). Emits one B-stream and one A-stream prefetch per
+  /// unrolled block.
+  bool l2_prefetch = false;
+};
+
+/// A generated micro-kernel with its stage boundaries (used by the fusion
+/// pass and by the stage-level cycle accounting of Fig 3).
+struct MicroKernel {
+  isa::Program program;
+  int mainloop_begin = 0;  ///< index of first main-loop instruction
+  int epilogue_begin = 0;  ///< index of first epilogue instruction
+  TileSize tile;
+  int kc = 0;
+  bool rotated = false;  ///< rotation actually applied (enough spares)
+};
+
+/// Generates the loop-based micro-kernel of Listing 1 for C(mr,nr) +=
+/// A(mr,kc)*B(kc,nr). nr must be a multiple of `lanes`; the tile must be
+/// register-feasible. lda/ldb/ldc are runtime registers (ABI of
+/// isa::Abi); kc is baked into the loop count.
+MicroKernel generate_microkernel(int mr, int nr, int kc, int lanes,
+                                 const GeneratorOptions& opts = {});
+
+/// Corner-case micro-kernel for tiles whose nr is NOT a lane multiple:
+/// scalar loads and fmadd, column by column. The paper covers such edges
+/// with alternative vector tile sizes where possible; this kernel closes
+/// the remaining gap (nr in [1, lanes)) so any C(mc, nc) edge can be
+/// generated. Register budget: mr*nr accumulators + mr A scalars + one B
+/// scalar must fit the 32-register file. Same ABI and accumulate
+/// semantics as the vector kernels; no over-reads (no padding contract).
+MicroKernel generate_scalar_microkernel(int mr, int nr, int kc);
+
+/// Columns every A row must have allocated (the final main-loop iteration
+/// preloads one vector block past kc, as real packed kernels do).
+int padded_k_a(int kc, int lanes);
+/// Rows the B block must have allocated (B is loaded up to two rows ahead
+/// under rotating register allocation).
+int padded_k_b(int kc, int lanes);
+
+}  // namespace autogemm::codegen

@@ -1,0 +1,36 @@
+// Generated-kernel library export — the last step of the paper's workflow
+// ("autoGEMM generates high-performance code using the optimal parameters
+// and packages it in the library").
+//
+// Writes a self-contained source tree: one C++ translation unit per
+// (tile, kc) pair containing the generated AArch64 inline-asm kernel, plus
+// a header with declarations and a lookup table. The output compiles on an
+// AArch64 toolchain; on other hosts it is the inspectable artifact of the
+// code generator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "codegen/generator.hpp"
+
+namespace autogemm::codegen {
+
+struct ExportSpec {
+  std::vector<TileSize> tiles;  ///< defaults to preferred_tiles(lanes)
+  std::vector<int> kcs = {64};  ///< kernel depths to instantiate
+  int lanes = 4;
+  GeneratorOptions options;     ///< rotation etc., applied to every kernel
+};
+
+struct ExportResult {
+  int files_written = 0;
+  std::vector<std::string> kernel_names;
+};
+
+/// Writes the kernel library under `dir` (created if missing). Throws
+/// std::runtime_error if a file cannot be written.
+ExportResult write_kernel_library(const std::string& dir,
+                                  const ExportSpec& spec);
+
+}  // namespace autogemm::codegen

@@ -1,0 +1,286 @@
+#include "codegen/sequence.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace autogemm::codegen {
+namespace {
+
+using isa::AddrMode;
+using isa::Instruction;
+using isa::Op;
+using isa::Program;
+using isa::Reg;
+using isa::V;
+using isa::X;
+
+Instruction make_ldr_q(Reg dst, Reg base, long elem_offset, std::string cmt) {
+  Instruction i;
+  i.op = Op::kLdrQ;
+  i.dst = dst;
+  i.src1 = base;
+  i.addr = AddrMode::kOffset;
+  i.imm = static_cast<std::int32_t>(elem_offset * 4);
+  i.comment = std::move(cmt);
+  return i;
+}
+
+Instruction make_str_q(Reg src, Reg base, long elem_offset, std::string cmt) {
+  Instruction i;
+  i.op = Op::kStrQ;
+  i.dst = src;
+  i.src1 = base;
+  i.addr = AddrMode::kOffset;
+  i.imm = static_cast<std::int32_t>(elem_offset * 4);
+  i.comment = std::move(cmt);
+  return i;
+}
+
+Instruction make_movi0(Reg dst) {
+  Instruction i;
+  i.op = Op::kMovi0;
+  i.dst = dst;
+  return i;
+}
+
+Instruction make_fmla(Reg acc, Reg bvec, Reg avec, int lane) {
+  Instruction i;
+  i.op = Op::kFmla;
+  i.dst = acc;
+  i.src1 = bvec;
+  i.src2 = avec;
+  i.lane = static_cast<std::int8_t>(lane);
+  return i;
+}
+
+// Per-tile unrolled code, split into the three stages so the fusion pass
+// can interleave across tile boundaries.
+struct TileCode {
+  std::vector<Instruction> prologue;  // C loads (or zeroing), A blk0, B row0
+  std::vector<Instruction> body;      // all FMA blocks + streaming loads
+  std::vector<Instruction> stores;    // C stores
+};
+
+class TileEmitter {
+ public:
+  TileEmitter(const TileInstance& t, const SequenceSpec& spec)
+      : t_(t), spec_(spec) {
+    if (t.nr % spec.lanes != 0)
+      throw std::invalid_argument("sequence tile nr not a lane multiple");
+    if (!tile_feasible(t.mr, t.nr, spec.lanes))
+      throw std::invalid_argument("sequence tile not register-feasible");
+    vnr_ = t.nr / spec.lanes;
+    nbody_ = t.kc / spec.lanes;
+    rem_ = t.kc - nbody_ * spec.lanes;
+    spare_base_ = t.mr * vnr_ + t.mr + vnr_;
+    const int spare = kVectorRegisters - spare_base_;
+    rotate_a_ = spec.options.rotate_registers && !spec.options.memory_bound &&
+                spare > 0;
+    rotate_b_ = spec.options.rotate_registers && spec.options.memory_bound &&
+                spare >= vnr_;
+    n_alt_a_ = rotate_a_ ? std::min(spare, t.mr) : 0;
+  }
+
+  TileCode emit() {
+    TileCode code;
+    emit_prologue(code.prologue);
+    const int nblocks = nbody_ + (rem_ > 0 ? 1 : 0);
+    for (int j = 0; j < nbody_; ++j) emit_block(code.body, j, nblocks);
+    if (rem_ > 0) emit_remainder(code.body);
+    emit_stores(code.stores);
+    return code;
+  }
+
+ private:
+  Reg c_reg(int row, int col) const { return V(row * vnr_ + col); }
+  Reg a_reg(int row) const { return V(t_.mr * vnr_ + row); }
+  Reg b_reg(int col) const { return V(t_.mr * vnr_ + t_.mr + col); }
+  Reg alt_a_reg(int row) const { return V(spare_base_ + row); }
+  Reg alt_b_reg(int col) const { return V(spare_base_ + col); }
+
+  Reg a_operand(int row, int block) const {
+    if (row < n_alt_a_ && block % 2 == 1) return alt_a_reg(row);
+    return a_reg(row);
+  }
+  Reg b_operand(int k, int col) const {
+    if (rotate_b_ && k % 2 == 1) return alt_b_reg(col);
+    return b_reg(col);
+  }
+
+  long a_elem(int row, int k) const {
+    return t_.a_offset + static_cast<long>(row) * spec_.lda + k;
+  }
+  long b_elem(int k, int col) const {
+    return t_.b_offset + static_cast<long>(k) * spec_.ldb +
+           static_cast<long>(col) * spec_.lanes;
+  }
+  long c_elem(int row, int col) const {
+    return t_.c_offset + static_cast<long>(row) * spec_.ldc +
+           static_cast<long>(col) * spec_.lanes;
+  }
+
+  // Loads the A vector block `block` for `row` into the set that block's
+  // parity dictates.
+  Instruction a_block_load(int row, int block) const {
+    const Reg dst = (row < n_alt_a_ && block % 2 == 1) ? alt_a_reg(row)
+                                                       : a_reg(row);
+    return make_ldr_q(dst, X(isa::Abi::kA),
+                      a_elem(row, block * spec_.lanes), "");
+  }
+
+  void emit_prologue(std::vector<Instruction>& out) const {
+    for (int row = 0; row < t_.mr; ++row) {
+      for (int col = 0; col < vnr_; ++col) {
+        if (spec_.options.load_c) {
+          out.push_back(make_ldr_q(c_reg(row, col), X(isa::Abi::kC),
+                                   c_elem(row, col),
+                                   row == 0 && col == 0 ? "load C tile" : ""));
+        } else {
+          out.push_back(make_movi0(c_reg(row, col)));
+        }
+      }
+    }
+    for (int row = 0; row < t_.mr; ++row)
+      out.push_back(a_block_load(row, 0));
+    for (int col = 0; col < vnr_; ++col)
+      out.push_back(make_ldr_q(b_reg(col), X(isa::Abi::kB), b_elem(0, col),
+                               col == 0 ? "load B row 0" : ""));
+    if (rotate_b_ && t_.kc > 1) {
+      for (int col = 0; col < vnr_; ++col)
+        out.push_back(make_ldr_q(alt_b_reg(col), X(isa::Abi::kB),
+                                 b_elem(1, col), ""));
+    }
+  }
+
+  void emit_block(std::vector<Instruction>& out, int block,
+                  int nblocks) const {
+    const int k_base = block * spec_.lanes;
+    int pending_alt = (rotate_a_ && block + 1 < nblocks) ? n_alt_a_ : 0;
+    for (int i = 0; i < spec_.lanes; ++i) {
+      const int k_abs = k_base + i;
+      for (int col = 0; col < vnr_; ++col) {
+        for (int row = 0; row < t_.mr; ++row) {
+          out.push_back(make_fmla(c_reg(row, col), b_operand(k_abs, col),
+                                  a_operand(row, block), i));
+        }
+        const int k_next = rotate_b_ ? k_abs + 2 : k_abs + 1;
+        if (k_next < t_.kc) {
+          out.push_back(make_ldr_q(b_operand(k_next, col), X(isa::Abi::kB),
+                                   b_elem(k_next, col), ""));
+        }
+        if (pending_alt > 0 && i < spec_.lanes - 1) {
+          const int row = n_alt_a_ - pending_alt;
+          out.push_back(a_block_load(row, block + 1));
+          --pending_alt;
+        }
+      }
+    }
+    // Trailing A loads for the next block (non-rotated rows, plus any
+    // rotated loads that did not fit between column groups).
+    if (block + 1 < nblocks) {
+      for (int row = n_alt_a_; row < t_.mr; ++row)
+        out.push_back(a_block_load(row, block + 1));
+      for (; pending_alt > 0; --pending_alt)
+        out.push_back(a_block_load(n_alt_a_ - pending_alt, block + 1));
+    }
+  }
+
+  void emit_remainder(std::vector<Instruction>& out) const {
+    for (int i = 0; i < rem_; ++i) {
+      const int k_abs = nbody_ * spec_.lanes + i;
+      for (int col = 0; col < vnr_; ++col) {
+        for (int row = 0; row < t_.mr; ++row) {
+          out.push_back(make_fmla(c_reg(row, col), b_operand(k_abs, col),
+                                  a_operand(row, nbody_), i));
+        }
+        const int k_next = rotate_b_ ? k_abs + 2 : k_abs + 1;
+        if (k_next < t_.kc) {
+          out.push_back(make_ldr_q(b_operand(k_next, col), X(isa::Abi::kB),
+                                   b_elem(k_next, col), ""));
+        }
+      }
+    }
+  }
+
+  void emit_stores(std::vector<Instruction>& out) const {
+    for (int row = 0; row < t_.mr; ++row) {
+      for (int col = 0; col < vnr_; ++col) {
+        out.push_back(make_str_q(c_reg(row, col), X(isa::Abi::kC),
+                                 c_elem(row, col),
+                                 row == 0 && col == 0 ? "store C tile" : ""));
+      }
+    }
+  }
+
+  const TileInstance& t_;
+  const SequenceSpec& spec_;
+  int vnr_ = 0, nbody_ = 0, rem_ = 0;
+  int spare_base_ = 0, n_alt_a_ = 0;
+  bool rotate_a_ = false, rotate_b_ = false;
+};
+
+// Fusion merge: interleave the previous tile's C stores with the next
+// tile's prologue loads so they dual-issue on separate ports. A load may
+// only be emitted once the store of the same vector register (if any) has
+// been emitted; both lists are processed in ascending register order, which
+// makes the rule a two-pointer merge.
+void fuse_boundary(const std::vector<Instruction>& stores,
+                   const std::vector<Instruction>& loads, Program& prog) {
+  std::vector<Instruction> sorted_stores = stores;
+  std::stable_sort(sorted_stores.begin(), sorted_stores.end(),
+                   [](const Instruction& a, const Instruction& b) {
+                     return a.dst.index < b.dst.index;
+                   });
+  std::vector<Instruction> sorted_loads = loads;
+  std::stable_sort(sorted_loads.begin(), sorted_loads.end(),
+                   [](const Instruction& a, const Instruction& b) {
+                     return a.dst.index < b.dst.index;
+                   });
+  std::size_t si = 0, li = 0;
+  while (si < sorted_stores.size() || li < sorted_loads.size()) {
+    const bool store_next =
+        si < sorted_stores.size() &&
+        (li >= sorted_loads.size() ||
+         sorted_stores[si].dst.index <= sorted_loads[li].dst.index);
+    if (store_next) {
+      prog.push(sorted_stores[si++]);
+    } else {
+      prog.push(sorted_loads[li++]);
+    }
+  }
+}
+
+}  // namespace
+
+Sequence generate_sequence(const SequenceSpec& spec) {
+  if (spec.tiles.empty())
+    throw std::invalid_argument("generate_sequence: empty tile list");
+  Sequence seq;
+  seq.program = Program("TileSequence", 0, 0, 0, spec.lanes);
+
+  std::vector<TileCode> codes;
+  codes.reserve(spec.tiles.size());
+  for (const auto& t : spec.tiles)
+    codes.push_back(TileEmitter(t, spec).emit());
+
+  for (std::size_t t = 0; t < codes.size(); ++t) {
+    seq.tile_starts.push_back(static_cast<int>(seq.program.size()));
+    if (spec.fuse && t > 0) {
+      // Stores of tile t-1 were deferred into this boundary.
+      fuse_boundary(codes[t - 1].stores, codes[t].prologue, seq.program);
+    } else {
+      for (auto& inst : codes[t].prologue) seq.program.push(inst);
+    }
+    for (auto& inst : codes[t].body) seq.program.push(inst);
+    if (!spec.fuse) {
+      for (auto& inst : codes[t].stores) seq.program.push(inst);
+    }
+  }
+  if (spec.fuse) {
+    for (auto& inst : codes.back().stores) seq.program.push(inst);
+  }
+  return seq;
+}
+
+}  // namespace autogemm::codegen

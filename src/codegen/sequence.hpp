@@ -1,0 +1,57 @@
+// Multi-tile kernel construction (Section IV preamble + Section III-C2).
+//
+// autoGEMM computes a cache-resident sub-matrix C(mc,nc) by running a
+// sequence of micro-kernels, one per micro-tile chosen by the tiling
+// algorithm. This module assembles that sequence into a single fully
+// unrolled isa::Program, optionally applying the paper's "fusing the
+// epilogue with the following prologue" optimization: the C stores of tile
+// t are interleaved with the C/A/B loads of tile t+1 so they dual-issue on
+// separate load/store ports, and the per-kernel launch overhead disappears
+// (one kernel instead of N).
+//
+// Because the sequence is generated for one concrete problem (exactly the
+// ahead-of-time setting of the paper: TVM emits code per shape), lda/ldb/
+// ldc are compile-time constants and all addressing uses immediate offsets
+// from the three base pointers — no pointer-chase instructions and no
+// over-reads past the logical matrix bounds.
+#pragma once
+
+#include <vector>
+
+#include "codegen/generator.hpp"
+#include "isa/program.hpp"
+
+namespace autogemm::codegen {
+
+/// One micro-tile to execute: C[c_offset ...](mr,nr) +=
+/// A[a_offset ...](mr,kc) * B[b_offset ...](kc,nr). Offsets in elements.
+struct TileInstance {
+  int mr = 0;
+  int nr = 0;
+  int kc = 0;
+  long a_offset = 0;
+  long b_offset = 0;
+  long c_offset = 0;
+};
+
+struct SequenceSpec {
+  std::vector<TileInstance> tiles;
+  int lanes = 4;
+  long lda = 0, ldb = 0, ldc = 0;  ///< element strides (compile-time)
+  GeneratorOptions options;        ///< load_c / rotation, applied per tile
+  bool fuse = false;               ///< Section III-C2 fusion
+};
+
+struct Sequence {
+  isa::Program program;
+  /// Instruction index where each tile's non-fused region begins; the
+  /// pipeline simulator charges one launch overhead per entry when modeling
+  /// the unfused (separate kernel calls) configuration.
+  std::vector<int> tile_starts;
+};
+
+/// Builds the unrolled instruction stream for the given tile sequence.
+/// Each tile's nr must be a multiple of lanes and register-feasible.
+Sequence generate_sequence(const SequenceSpec& spec);
+
+}  // namespace autogemm::codegen

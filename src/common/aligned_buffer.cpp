@@ -1,0 +1,36 @@
+#include "common/aligned_buffer.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+
+namespace autogemm::common {
+
+AlignedBuffer::AlignedBuffer(std::size_t count, std::size_t alignment)
+    : size_(count) {
+  if (count == 0) return;
+  // std::aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t bytes = count * sizeof(float);
+  const std::size_t rounded = (bytes + alignment - 1) / alignment * alignment;
+  data_ = static_cast<float*>(std::aligned_alloc(alignment, rounded));
+  if (data_ == nullptr) throw std::bad_alloc{};
+  std::memset(data_, 0, rounded);
+}
+
+AlignedBuffer::~AlignedBuffer() { std::free(data_); }
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
+  if (this != &other) {
+    std::free(data_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+}  // namespace autogemm::common

@@ -1,0 +1,45 @@
+// Aligned heap storage for matrix data.
+//
+// GEMM kernels issue vector loads/stores that benefit from (and on some
+// targets require) alignment beyond what operator new guarantees, so all
+// matrix storage in the library goes through this RAII buffer.
+#pragma once
+
+#include <cstddef>
+
+namespace autogemm::common {
+
+/// Default alignment for matrix storage: one cache line, which also covers
+/// the widest SIMD vector we model (SVE-512 = 64 bytes).
+inline constexpr std::size_t kDefaultAlignment = 64;
+
+/// Owning, aligned, zero-initialized float buffer.
+///
+/// Move-only. The buffer never shrinks or grows; callers size it up front.
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  /// Allocates `count` floats aligned to `alignment` bytes, zero-filled.
+  explicit AlignedBuffer(std::size_t count,
+                         std::size_t alignment = kDefaultAlignment);
+  ~AlignedBuffer();
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept;
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept;
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  float* data() noexcept { return data_; }
+  const float* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  float& operator[](std::size_t i) noexcept { return data_[i]; }
+  const float& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+ private:
+  float* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace autogemm::common

@@ -1,0 +1,36 @@
+#include "common/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace autogemm::common {
+
+Matrix::Matrix(int rows, int cols, int ld)
+    : rows_(rows), cols_(cols), ld_(ld < 0 ? cols : ld) {
+  if (rows < 0 || cols < 0) throw std::invalid_argument("negative matrix dim");
+  if (ld_ < cols_) throw std::invalid_argument("ld < cols");
+  buf_ = AlignedBuffer(static_cast<std::size_t>(rows_) * ld_);
+}
+
+void Matrix::set_zero() {
+  std::memset(buf_.data(), 0, buf_.size() * sizeof(float));
+}
+
+double max_rel_error(ConstMatrixView a, ConstMatrixView b) {
+  if (a.rows != b.rows || a.cols != b.cols)
+    throw std::invalid_argument("max_rel_error: shape mismatch");
+  double worst = 0.0;
+  for (int r = 0; r < a.rows; ++r) {
+    for (int c = 0; c < a.cols; ++c) {
+      const double x = a.at(r, c);
+      const double y = b.at(r, c);
+      const double denom = std::max(1.0, std::abs(y));
+      worst = std::max(worst, std::abs(x - y) / denom);
+    }
+  }
+  return worst;
+}
+
+}  // namespace autogemm::common

@@ -1,0 +1,101 @@
+// Row-major matrix container with an explicit leading dimension.
+//
+// The paper's API (and BLAS generally) operates on (pointer, rows, cols, ld)
+// quadruples; Matrix owns storage while MatrixView/ConstMatrixView are the
+// non-owning windows the kernels consume. lda can exceed cols, which is how
+// sub-matrix views into cache blocks are expressed without copying.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+#include "common/aligned_buffer.hpp"
+
+namespace autogemm::common {
+
+/// Non-owning mutable view of a row-major float matrix.
+struct MatrixView {
+  float* data = nullptr;
+  int rows = 0;
+  int cols = 0;
+  int ld = 0;  ///< leading dimension (elements between row starts), >= cols
+
+  float& at(int r, int c) const noexcept {
+    assert(r >= 0 && r < rows && c >= 0 && c < cols);
+    return data[static_cast<std::size_t>(r) * ld + c];
+  }
+
+  /// Window [r0, r0+nrows) x [c0, c0+ncols); shares storage.
+  MatrixView block(int r0, int c0, int nrows, int ncols) const noexcept {
+    assert(r0 >= 0 && c0 >= 0 && r0 + nrows <= rows && c0 + ncols <= cols);
+    return {data + static_cast<std::size_t>(r0) * ld + c0, nrows, ncols, ld};
+  }
+};
+
+/// Non-owning read-only view of a row-major float matrix.
+struct ConstMatrixView {
+  const float* data = nullptr;
+  int rows = 0;
+  int cols = 0;
+  int ld = 0;
+
+  ConstMatrixView() = default;
+  ConstMatrixView(const float* d, int r, int c, int l)
+      : data(d), rows(r), cols(c), ld(l) {}
+  ConstMatrixView(const MatrixView& v)  // NOLINT: implicit by design
+      : data(v.data), rows(v.rows), cols(v.cols), ld(v.ld) {}
+
+  const float& at(int r, int c) const noexcept {
+    assert(r >= 0 && r < rows && c >= 0 && c < cols);
+    return data[static_cast<std::size_t>(r) * ld + c];
+  }
+
+  ConstMatrixView block(int r0, int c0, int nrows, int ncols) const noexcept {
+    assert(r0 >= 0 && c0 >= 0 && r0 + nrows <= rows && c0 + ncols <= cols);
+    return {data + static_cast<std::size_t>(r0) * ld + c0, nrows, ncols, ld};
+  }
+};
+
+/// Owning row-major matrix. Storage is 64-byte aligned and zero-initialized.
+class Matrix {
+ public:
+  Matrix() = default;
+  /// `ld` defaults to `cols`; pass a larger value to embed padding.
+  Matrix(int rows, int cols, int ld = -1);
+
+  int rows() const noexcept { return rows_; }
+  int cols() const noexcept { return cols_; }
+  int ld() const noexcept { return ld_; }
+
+  float* data() noexcept { return buf_.data(); }
+  const float* data() const noexcept { return buf_.data(); }
+
+  float& at(int r, int c) noexcept {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return buf_[static_cast<std::size_t>(r) * ld_ + c];
+  }
+  const float& at(int r, int c) const noexcept {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return buf_[static_cast<std::size_t>(r) * ld_ + c];
+  }
+
+  MatrixView view() noexcept { return {buf_.data(), rows_, cols_, ld_}; }
+  ConstMatrixView view() const noexcept {
+    return {buf_.data(), rows_, cols_, ld_};
+  }
+  ConstMatrixView cview() const noexcept { return view(); }
+
+  void set_zero();
+
+ private:
+  AlignedBuffer buf_;
+  int rows_ = 0;
+  int cols_ = 0;
+  int ld_ = 0;
+};
+
+/// Max relative elementwise difference |a-b| / max(1, |b|).
+/// The paper verifies all libraries agree within 1e-6 on this metric.
+double max_rel_error(ConstMatrixView a, ConstMatrixView b);
+
+}  // namespace autogemm::common

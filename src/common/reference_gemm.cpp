@@ -1,0 +1,25 @@
+#include "common/reference_gemm.hpp"
+
+#include <stdexcept>
+
+namespace autogemm::common {
+
+void reference_gemm(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  if (a.rows != c.rows || b.cols != c.cols || a.cols != b.rows)
+    throw std::invalid_argument("reference_gemm: shape mismatch");
+  for (int i = 0; i < c.rows; ++i) {
+    for (int j = 0; j < c.cols; ++j) {
+      double acc = c.at(i, j);
+      for (int p = 0; p < a.cols; ++p) {
+        acc += static_cast<double>(a.at(i, p)) * b.at(p, j);
+      }
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  }
+}
+
+double gemm_flops(int m, int n, int k) {
+  return 2.0 * m * n * k;
+}
+
+}  // namespace autogemm::common

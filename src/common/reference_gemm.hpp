@@ -1,0 +1,18 @@
+// Reference GEMM used as the correctness oracle for every optimized path.
+#pragma once
+
+#include "common/matrix.hpp"
+
+namespace autogemm::common {
+
+/// C = C + A * B with double-precision accumulation.
+///
+/// Deliberately simple: the triple loop in double is the ground truth every
+/// optimized kernel (host micro-kernels, interpreted A64 code, baselines) is
+/// checked against with max_rel_error < 1e-6, matching the paper's bar.
+void reference_gemm(ConstMatrixView a, ConstMatrixView b, MatrixView c);
+
+/// Flop count of one C += A*B call: 2*M*N*K.
+double gemm_flops(int m, int n, int k);
+
+}  // namespace autogemm::common

@@ -1,0 +1,20 @@
+#include "common/rng.hpp"
+
+#include <random>
+
+namespace autogemm::common {
+
+void fill_random(MatrixView m, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (int r = 0; r < m.rows; ++r)
+    for (int c = 0; c < m.cols; ++c) m.at(r, c) = dist(rng);
+}
+
+void fill_pattern(MatrixView m) {
+  for (int r = 0; r < m.rows; ++r)
+    for (int c = 0; c < m.cols; ++c)
+      m.at(r, c) = static_cast<float>((r * 31 + c) % 17 - 8);
+}
+
+}  // namespace autogemm::common

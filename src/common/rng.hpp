@@ -1,0 +1,18 @@
+// Deterministic matrix fills for tests and benchmarks.
+#pragma once
+
+#include <cstdint>
+
+#include "common/matrix.hpp"
+
+namespace autogemm::common {
+
+/// Fills the matrix with uniform values in [-1, 1) from a fixed-seed PRNG,
+/// so every test/bench run sees identical data.
+void fill_random(MatrixView m, std::uint64_t seed);
+
+/// Fills with a position-dependent pattern (r*31 + c) % 17 - 8, handy for
+/// debugging packing/layout bugs where random data hides transpositions.
+void fill_pattern(MatrixView m);
+
+}  // namespace autogemm::common

@@ -1,0 +1,82 @@
+#include "common/threadpool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace autogemm::common {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(int count, const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  const int nchunks = std::min<int>(count, static_cast<int>(size()));
+  if (nchunks <= 1) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<int> remaining{nchunks};
+  std::exception_ptr first_error;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  const int base = count / nchunks;
+  const int extra = count % nchunks;
+  int begin = 0;
+  for (int chunk = 0; chunk < nchunks; ++chunk) {
+    const int len = base + (chunk < extra ? 1 : 0);
+    const int end = begin + len;
+    auto task = [&, begin, end] {
+      try {
+        for (int i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard lock(done_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard lock(done_mu);
+        done_cv.notify_all();
+      }
+    };
+    {
+      std::lock_guard lock(mu_);
+      tasks_.push(std::move(task));
+    }
+    begin = end;
+  }
+  cv_.notify_all();
+
+  std::unique_lock lock(done_mu);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace autogemm::common

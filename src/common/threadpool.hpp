@@ -1,0 +1,44 @@
+// Minimal fixed-size thread pool with a parallel_for front end.
+//
+// The multi-core host execution path (Figs 9 and 11) schedules cache blocks
+// — the paper's "minimum scheduling unit executed by multiple threads" —
+// through this pool. Kept deliberately simple: one task queue, condition
+// variable wakeups, and a blocking parallel_for that chunks an index range.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace autogemm::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware_concurrency, min 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs fn(i) for i in [0, count), split into `size()` contiguous chunks.
+  /// Blocks until all iterations finish. Exceptions from fn propagate to the
+  /// caller (first one wins).
+  void parallel_for(int count, const std::function<void(int)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace autogemm::common

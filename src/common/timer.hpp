@@ -1,0 +1,22 @@
+// Wall-clock timing helpers for the host benchmarks.
+#pragma once
+
+#include <chrono>
+
+namespace autogemm::common {
+
+/// Monotonic stopwatch; seconds() reads elapsed time without stopping.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace autogemm::common

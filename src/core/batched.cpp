@@ -1,0 +1,47 @@
+#include "core/batched.hpp"
+
+#include <map>
+
+#include "core/gemm.hpp"
+
+namespace autogemm {
+
+void gemm_batched(const std::vector<BatchItem>& items, const Plan& plan,
+                  common::ThreadPool* pool) {
+  if (items.empty()) return;
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_for(static_cast<int>(items.size()), [&](int i) {
+      // Each worker runs its item single-threaded (no nested parallelism).
+      gemm(items[i].a, items[i].b, items[i].c, plan, nullptr);
+    });
+  } else {
+    for (const auto& item : items) gemm(item.a, item.b, item.c, plan);
+  }
+}
+
+void gemm_batched(const std::vector<BatchItem>& items,
+                  common::ThreadPool* pool) {
+  if (items.empty()) return;
+  // Build one plan per distinct shape up front (plan construction runs
+  // DMT; workers must only read).
+  std::map<std::array<int, 3>, Plan> plans;
+  for (const auto& item : items) {
+    const std::array<int, 3> key{item.a.rows, item.b.cols, item.a.cols};
+    if (!plans.count(key)) {
+      plans.emplace(key, Plan(key[0], key[1], key[2],
+                              default_config(key[0], key[1], key[2])));
+    }
+  }
+  const auto run_item = [&](const BatchItem& item) {
+    const std::array<int, 3> key{item.a.rows, item.b.cols, item.a.cols};
+    gemm(item.a, item.b, item.c, plans.at(key), nullptr);
+  };
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_for(static_cast<int>(items.size()),
+                       [&](int i) { run_item(items[i]); });
+  } else {
+    for (const auto& item : items) run_item(item);
+  }
+}
+
+}  // namespace autogemm

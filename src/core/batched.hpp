@@ -1,0 +1,35 @@
+// Batched GEMM.
+//
+// DL inference issues many small GEMMs per step (the paper's motivating
+// workload); batching lets the thread pool parallelize *across* problems
+// — often the only available parallelism when each problem is too small
+// to split (the same K-dimension constraint that limits Fig 9's
+// multicore numbers).
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/threadpool.hpp"
+#include "core/plan.hpp"
+
+namespace autogemm {
+
+struct BatchItem {
+  common::ConstMatrixView a;
+  common::ConstMatrixView b;
+  common::MatrixView c;
+};
+
+/// C_i += A_i * B_i for every item, all sharing one shape and plan.
+/// With a pool, items run concurrently (each C_i is written by exactly one
+/// worker).
+void gemm_batched(const std::vector<BatchItem>& items, const Plan& plan,
+                  common::ThreadPool* pool = nullptr);
+
+/// Mixed-shape batch: each item gets a heuristic per-shape plan (memoized
+/// across equal shapes within the call).
+void gemm_batched(const std::vector<BatchItem>& items,
+                  common::ThreadPool* pool = nullptr);
+
+}  // namespace autogemm

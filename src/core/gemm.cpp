@@ -1,0 +1,231 @@
+#include "core/gemm.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "common/aligned_buffer.hpp"
+#include "kernels/dispatch.hpp"
+#include "kernels/packing.hpp"
+
+namespace autogemm {
+namespace {
+
+using common::ConstMatrixView;
+using common::MatrixView;
+
+int ceil_div(int a, int b) { return (a + b - 1) / b; }
+
+// Executes every micro-tile of one cache block. a/b point at the block
+// origin (packed scratch or a window into the source matrices).
+void run_block(const tiling::TilingResult& tiles, const float* a, long lda,
+               const float* b, long ldb, float* c, long ldc, int bk) {
+  for (const auto& t : tiles.tiles) {
+    kernels::run_tile(t.rows_used, t.cols_used,
+                      a + static_cast<long>(t.row) * lda, lda, b + t.col, ldb,
+                      c + static_cast<long>(t.row) * ldc + t.col, ldc, bk);
+  }
+}
+
+// Per-worker scratch for online packing, reused across blocks.
+struct Scratch {
+  common::AlignedBuffer a_buf;
+  common::AlignedBuffer b_buf;
+  int a_block_i = -1, a_block_p = -1;  // ids of currently packed blocks
+  int b_block_p = -1, b_block_j = -1;
+
+  Scratch(const Plan& plan)
+      : a_buf(static_cast<std::size_t>(plan.config().mc) * plan.config().kc),
+        b_buf(static_cast<std::size_t>(plan.config().kc) * plan.config().nc) {}
+};
+
+// One (i, j, p) cache-block step of the blocked loop nest.
+void block_step(ConstMatrixView a, ConstMatrixView b, const PackedB* packed_b,
+                MatrixView c, const Plan& plan, Scratch& scratch, int bi,
+                int bj, int bp) {
+  const GemmConfig& cfg = plan.config();
+  const int i0 = bi * cfg.mc, j0 = bj * cfg.nc, p0 = bp * cfg.kc;
+  const int bm = std::min(cfg.mc, a.rows - i0);
+  const int bn = std::min(cfg.nc, b.cols - j0);
+  const int bk = std::min(cfg.kc, a.cols - p0);
+
+  const float* a_ptr;
+  long lda;
+  const float* b_ptr;
+  long ldb;
+  const bool pack = cfg.packing == kernels::Packing::kOnline;
+  if (pack) {
+    if (scratch.a_block_i != bi || scratch.a_block_p != bp) {
+      kernels::pack_block(a.block(i0, p0, bm, bk), scratch.a_buf.data(), bk);
+      scratch.a_block_i = bi;
+      scratch.a_block_p = bp;
+    }
+    a_ptr = scratch.a_buf.data();
+    lda = bk;
+  } else {
+    a_ptr = a.data + static_cast<long>(i0) * a.ld + p0;
+    lda = a.ld;
+  }
+  if (packed_b != nullptr) {
+    b_ptr = packed_b->block(bp, bj);
+    ldb = packed_b->block_ld();
+  } else if (pack) {
+    if (scratch.b_block_p != bp || scratch.b_block_j != bj) {
+      kernels::pack_block(b.block(p0, j0, bk, bn), scratch.b_buf.data(), bn);
+      scratch.b_block_p = bp;
+      scratch.b_block_j = bj;
+    }
+    b_ptr = scratch.b_buf.data();
+    ldb = bn;
+  } else {
+    b_ptr = b.data + static_cast<long>(p0) * b.ld + j0;
+    ldb = b.ld;
+  }
+
+  float* c_ptr = c.data + static_cast<long>(i0) * c.ld + j0;
+  run_block(plan.block_tiling(bm, bn, bk), a_ptr, lda, b_ptr, ldb, c_ptr, c.ld,
+            bk);
+}
+
+// Maps the loop order to a (dim0, dim1, dim2) permutation of (M, N, K)
+// block indices; dimension codes: 0 = i (M), 1 = j (N), 2 = p (K).
+std::array<int, 3> order_permutation(LoopOrder order) {
+  switch (order) {
+    case LoopOrder::kNKM: return {1, 2, 0};
+    case LoopOrder::kNMK: return {1, 0, 2};
+    case LoopOrder::kKNM: return {2, 1, 0};
+    case LoopOrder::kKMN: return {2, 0, 1};
+    case LoopOrder::kMNK: return {0, 1, 2};
+    case LoopOrder::kMKN: return {0, 2, 1};
+  }
+  return {1, 2, 0};
+}
+
+void execute_single(ConstMatrixView a, ConstMatrixView b,
+                    const PackedB* packed_b, MatrixView c, const Plan& plan) {
+  const GemmConfig& cfg = plan.config();
+  const int nblk[3] = {ceil_div(plan.m(), cfg.mc), ceil_div(plan.n(), cfg.nc),
+                       ceil_div(plan.k(), cfg.kc)};
+  const auto perm = order_permutation(cfg.loop_order);
+  Scratch scratch(plan);
+  int idx[3];  // block index per dimension code
+  for (int x = 0; x < nblk[perm[0]]; ++x) {
+    for (int y = 0; y < nblk[perm[1]]; ++y) {
+      for (int z = 0; z < nblk[perm[2]]; ++z) {
+        idx[perm[0]] = x;
+        idx[perm[1]] = y;
+        idx[perm[2]] = z;
+        block_step(a, b, packed_b, c, plan, scratch, idx[0], idx[1], idx[2]);
+      }
+    }
+  }
+}
+
+void execute_parallel(ConstMatrixView a, ConstMatrixView b,
+                      const PackedB* packed_b, MatrixView c, const Plan& plan,
+                      common::ThreadPool& pool) {
+  const GemmConfig& cfg = plan.config();
+  const int mi = ceil_div(plan.m(), cfg.mc);
+  const int nj = ceil_div(plan.n(), cfg.nc);
+  const int kp = ceil_div(plan.k(), cfg.kc);
+  // C blocks are the scheduling unit; each worker runs the full K loop for
+  // its blocks (K is never split across threads — the paper's limitation,
+  // which is why large-K layers like ResNet L7/L12/L17/L20 scale poorly).
+  pool.parallel_for(mi * nj, [&](int block) {
+    const int bi = block / nj;
+    const int bj = block % nj;
+    Scratch scratch(plan);
+    for (int bp = 0; bp < kp; ++bp)
+      block_step(a, b, packed_b, c, plan, scratch, bi, bj, bp);
+  });
+}
+
+void check_shapes(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+                  const Plan& plan) {
+  if (a.rows != plan.m() || a.cols != plan.k() || b.rows != plan.k() ||
+      b.cols != plan.n() || c.rows != plan.m() || c.cols != plan.n())
+    throw std::invalid_argument("gemm: views do not match the plan's shape");
+}
+
+}  // namespace
+
+PackedB::PackedB(ConstMatrixView b, const Plan& plan) {
+  const GemmConfig& cfg = plan.config();
+  kblocks_ = ceil_div(plan.k(), cfg.kc);
+  nblocks_ = ceil_div(plan.n(), cfg.nc);
+  ld_ = cfg.nc;
+  data_.assign(static_cast<std::size_t>(kblocks_) * nblocks_ * cfg.kc * cfg.nc,
+               0.0f);
+  offsets_.resize(static_cast<std::size_t>(kblocks_) * nblocks_);
+  std::size_t off = 0;
+  for (int bp = 0; bp < kblocks_; ++bp) {
+    for (int bj = 0; bj < nblocks_; ++bj) {
+      const int p0 = bp * cfg.kc, j0 = bj * cfg.nc;
+      const int bk = std::min(cfg.kc, b.rows - p0);
+      const int bn = std::min(cfg.nc, b.cols - j0);
+      offsets_[static_cast<std::size_t>(bp) * nblocks_ + bj] = off;
+      kernels::pack_block(b.block(p0, j0, bk, bn), data_.data() + off, ld_);
+      off += static_cast<std::size_t>(cfg.kc) * cfg.nc;
+    }
+  }
+}
+
+const float* PackedB::block(int p_idx, int j_idx) const {
+  return data_.data() +
+         offsets_[static_cast<std::size_t>(p_idx) * nblocks_ + j_idx];
+}
+
+void gemm(ConstMatrixView a, ConstMatrixView b, MatrixView c, const Plan& plan,
+          common::ThreadPool* pool) {
+  check_shapes(a, b, c, plan);
+  if (pool != nullptr && pool->size() > 1) {
+    execute_parallel(a, b, nullptr, c, plan, *pool);
+  } else {
+    execute_single(a, b, nullptr, c, plan);
+  }
+}
+
+void gemm(ConstMatrixView a, const PackedB& packed_b,
+          ConstMatrixView b_shape, MatrixView c, const Plan& plan,
+          common::ThreadPool* pool) {
+  check_shapes(a, b_shape, c, plan);
+  if (pool != nullptr && pool->size() > 1) {
+    execute_parallel(a, b_shape, &packed_b, c, plan, *pool);
+  } else {
+    execute_single(a, b_shape, &packed_b, c, plan);
+  }
+}
+
+void gemm(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  // Per-shape plan cache: autoGEMM's deployment model is ahead-of-time
+  // parameter selection per shape, so repeated convenience calls (e.g. a
+  // DNN running the same layers every frame) must not re-run DMT.
+  static std::mutex mu;
+  static std::map<std::array<int, 3>, Plan> plans;
+  const std::array<int, 3> key{a.rows, b.cols, a.cols};
+  const Plan* plan;
+  {
+    std::lock_guard lock(mu);
+    auto it = plans.find(key);
+    if (it == plans.end()) {
+      it = plans
+               .emplace(key, Plan(a.rows, b.cols, a.cols,
+                                  default_config(a.rows, b.cols, a.cols)))
+               .first;
+    }
+    plan = &it->second;
+  }
+  gemm(a, b, c, *plan);
+}
+
+void gemm_overwrite(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  for (int r = 0; r < c.rows; ++r)
+    std::memset(c.data + static_cast<long>(r) * c.ld, 0,
+                static_cast<std::size_t>(c.cols) * sizeof(float));
+  gemm(a, b, c);
+}
+
+}  // namespace autogemm

@@ -1,0 +1,55 @@
+// autoGEMM public entry points.
+//
+// Semantics: C += A * B in fp32 (zero C first for the overwrite form, or
+// call gemm_overwrite). Shapes: A is M x K, B is K x N, C is M x N, all
+// row-major views with arbitrary leading dimensions.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/threadpool.hpp"
+#include "core/plan.hpp"
+
+namespace autogemm {
+
+/// B packed offline into cache-block-contiguous layout (sigma_packing =
+/// offline). Built once per (B, plan) pair and reused across gemm calls —
+/// the mode the ResNet-50 evaluation uses for constant weight matrices.
+class PackedB {
+ public:
+  PackedB() = default;
+  PackedB(common::ConstMatrixView b, const Plan& plan);
+
+  const float* block(int p_idx, int j_idx) const;
+  long block_ld() const { return ld_; }
+  bool empty() const { return data_.empty(); }
+
+ private:
+  std::vector<float> data_;
+  std::vector<std::size_t> offsets_;
+  int kblocks_ = 0, nblocks_ = 0;
+  long ld_ = 0;
+};
+
+/// C += A * B following the plan. `pool` enables the multithreaded path
+/// (cache blocks of C are the scheduling unit; the K dimension is never
+/// split, matching the paper's TVM-imposed limitation).
+void gemm(common::ConstMatrixView a, common::ConstMatrixView b,
+          common::MatrixView c, const Plan& plan,
+          common::ThreadPool* pool = nullptr);
+
+/// C += A * B with offline-packed B.
+void gemm(common::ConstMatrixView a, const PackedB& packed_b,
+          common::ConstMatrixView b_shape, common::MatrixView c,
+          const Plan& plan, common::ThreadPool* pool = nullptr);
+
+/// Convenience: heuristic plan, C += A * B.
+void gemm(common::ConstMatrixView a, common::ConstMatrixView b,
+          common::MatrixView c);
+
+/// Convenience: zeroes C, then C = A * B.
+void gemm_overwrite(common::ConstMatrixView a, common::ConstMatrixView b,
+                    common::MatrixView c);
+
+}  // namespace autogemm

@@ -1,0 +1,96 @@
+#include "core/plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hw/chip_database.hpp"
+
+namespace autogemm {
+
+const char* loop_order_name(LoopOrder order) {
+  switch (order) {
+    case LoopOrder::kNKM: return "NKM";
+    case LoopOrder::kNMK: return "NMK";
+    case LoopOrder::kKNM: return "KNM";
+    case LoopOrder::kKMN: return "KMN";
+    case LoopOrder::kMNK: return "MNK";
+    case LoopOrder::kMKN: return "MKN";
+  }
+  return "?";
+}
+
+GemmConfig default_config(int m, int n, int k) {
+  GemmConfig cfg;
+  cfg.hw = hw::host_model();  // tiles sized for the machine we run on
+  // Goto's sizing rule derived from the actual cache hierarchy: the
+  // streamed B panel rows (kc x nr) plus the A block (mc x kc) should
+  // occupy about half of L1 so the C tile and the B stream never evict
+  // each other, and the full B block (kc x nc) should fit comfortably in
+  // L2. For the small/irregular shapes this library targets, clamping to
+  // the problem dominates these ceilings anyway.
+  const long l1 = cfg.hw.caches.empty() ? 32 * 1024
+                                        : cfg.hw.caches.front().size_bytes;
+  const long l2 = cfg.hw.caches.size() > 1 ? cfg.hw.caches[1].size_bytes
+                                           : 8 * l1;
+  const int kc_cap = static_cast<int>(std::clamp<long>(
+      l1 / (2 * 4 * 24 /* ~max(mr)+nr working rows */), 64, 512));
+  const int mc_cap = static_cast<int>(std::clamp<long>(
+      l1 / (2 * 4 * kc_cap), 24, 256));
+  const int nc_cap = static_cast<int>(std::clamp<long>(
+      l2 / (2 * 4 * kc_cap), 64, 1024));
+  cfg.kc = std::clamp(k, 1, kc_cap);
+  cfg.nc = std::clamp(n, 1, nc_cap);
+  cfg.mc = std::clamp(m, 1, mc_cap);
+  // Packing pays off only when the streamed B block is revisited; for
+  // small N the paper skips it.
+  cfg.packing = (static_cast<long>(n) * k <= 64 * 64)
+                    ? kernels::Packing::kNone
+                    : kernels::Packing::kOnline;
+  return cfg;
+}
+
+Plan::Plan(int m, int n, int k, GemmConfig config)
+    : m_(m), n_(n), k_(k), cfg_(std::move(config)) {
+  if (m <= 0 || n <= 0 || k <= 0)
+    throw std::invalid_argument("Plan: dimensions must be positive");
+  cfg_.mc = std::clamp(cfg_.mc, 1, m);
+  cfg_.nc = std::clamp(cfg_.nc, 1, n);
+  cfg_.kc = std::clamp(cfg_.kc, 1, k);
+
+  // Project the whole-problem cost: every cache block contributes its
+  // tiling's projected cycles (edge blocks computed once per shape).
+  projected_cycles_ = 0;
+  for (int i0 = 0; i0 < m; i0 += cfg_.mc) {
+    const int bm = std::min(cfg_.mc, m - i0);
+    for (int j0 = 0; j0 < n; j0 += cfg_.nc) {
+      const int bn = std::min(cfg_.nc, n - j0);
+      for (int p0 = 0; p0 < k; p0 += cfg_.kc) {
+        const int bk = std::min(cfg_.kc, k - p0);
+        projected_cycles_ += block_tiling(bm, bn, bk).projected_cycles;
+      }
+    }
+  }
+}
+
+const tiling::TilingResult& Plan::block_tiling(int bm, int bn, int bk) const {
+  const std::array<int, 3> key{bm, bn, bk};
+  auto it = tilings_.find(key);
+  if (it != tilings_.end()) return it->second;
+  return tilings_.emplace(key, compute_tiling(bm, bn, bk)).first->second;
+}
+
+tiling::TilingResult Plan::compute_tiling(int bm, int bn, int bk) const {
+  model::KernelModelOptions opts;
+  opts.rotate_registers = true;  // autoGEMM always ships rotated kernels
+  switch (cfg_.tiling) {
+    case TilingMode::kDynamic:
+      return tiling::tile_dmt(bm, bn, bk, cfg_.hw, opts);
+    case TilingMode::kStaticOpenBLAS:
+      return tiling::tile_openblas(bm, bn, bk, cfg_.hw, opts);
+    case TilingMode::kStaticLIBXSMM:
+      return tiling::tile_libxsmm(bm, bn, bk, cfg_.hw, opts);
+  }
+  throw std::logic_error("unknown tiling mode");
+}
+
+}  // namespace autogemm

@@ -1,0 +1,86 @@
+// autoGEMM execution plans.
+//
+// A Plan fixes, for one problem shape (M, N, K), every algorithm parameter
+// of Table III: the cache block (mc, nc, kc), the loop order sigma_order,
+// the packing mode sigma_packing, and — through the Dynamic Micro-Tiling
+// algorithm — the register-tile decomposition of each distinct cache-block
+// shape. Plans are immutable after construction and cheap to reuse across
+// calls, which is the paper's deployment model (parameters are tuned ahead
+// of time per shape, then baked into the generated library).
+#pragma once
+
+#include <array>
+#include <map>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "hw/hardware_model.hpp"
+#include "kernels/packing.hpp"
+#include "tiling/micro_tiling.hpp"
+
+namespace autogemm {
+
+/// Order of the three cache-blocking loops. The paper's sigma_order spans
+/// all permutations of the five blocking parameters; the two register
+/// loops are fixed by the micro-kernel itself, so the plan exposes the 3!
+/// cache-loop permutations (named by outer-to-inner dimension letters).
+enum class LoopOrder : int {
+  kNKM = 0,  // jc outer, pc middle, ic inner (Goto's default)
+  kNMK,
+  kKNM,
+  kKMN,
+  kMNK,
+  kMKN,
+};
+
+const char* loop_order_name(LoopOrder order);
+
+/// Micro-tiling strategy selector (autoGEMM uses DMT; the static modes
+/// exist so the baselines and the ablation benches share one executor).
+enum class TilingMode { kDynamic, kStaticOpenBLAS, kStaticLIBXSMM };
+
+struct GemmConfig {
+  int mc = 64;
+  int nc = 256;
+  int kc = 256;
+  LoopOrder loop_order = LoopOrder::kNKM;
+  kernels::Packing packing = kernels::Packing::kOnline;
+  TilingMode tiling = TilingMode::kDynamic;
+  int threads = 1;
+  /// Hardware model that steers DMT's compute/memory-bound classification
+  /// and the model costs; defaults to a host-neutral profile.
+  hw::HardwareModel hw{};
+};
+
+/// Heuristic parameter choice for a problem shape (the fallback when no
+/// tuned record exists): blocks sized to the hardware model's cache
+/// hierarchy, clamped to the problem.
+GemmConfig default_config(int m, int n, int k);
+
+class Plan {
+ public:
+  Plan(int m, int n, int k, GemmConfig config);
+
+  int m() const { return m_; }
+  int n() const { return n_; }
+  int k() const { return k_; }
+  const GemmConfig& config() const { return cfg_; }
+
+  /// Micro-tile decomposition for a cache block of shape (bm x bn) at depth
+  /// bk (memoized across the at-most-eight distinct edge combinations).
+  const tiling::TilingResult& block_tiling(int bm, int bn, int bk) const;
+
+  /// Model-projected cycles for the whole problem on the plan's hardware
+  /// model (used by the tuner to rank candidate configurations).
+  double projected_cycles() const { return projected_cycles_; }
+
+ private:
+  int m_, n_, k_;
+  GemmConfig cfg_;
+  mutable std::map<std::array<int, 3>, tiling::TilingResult> tilings_;
+  double projected_cycles_ = 0;
+
+  tiling::TilingResult compute_tiling(int bm, int bn, int bk) const;
+};
+
+}  // namespace autogemm

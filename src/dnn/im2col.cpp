@@ -1,0 +1,61 @@
+#include "dnn/im2col.hpp"
+
+#include <stdexcept>
+
+namespace autogemm::dnn {
+
+void im2col(const ConvGeometry& g, const float* input,
+            common::MatrixView col) {
+  if (col.rows != g.gemm_k() || col.cols != g.gemm_n())
+    throw std::invalid_argument("im2col: column matrix has wrong shape");
+  const int oh = g.out_h(), ow = g.out_w();
+  int row = 0;
+  for (int c = 0; c < g.cin; ++c) {
+    const float* channel = input + static_cast<long>(c) * g.h * g.w;
+    for (int ky = 0; ky < g.kh; ++ky) {
+      for (int kx = 0; kx < g.kw; ++kx, ++row) {
+        int colidx = 0;
+        for (int oy = 0; oy < oh; ++oy) {
+          const int iy = oy * g.stride + ky - g.pad;
+          for (int ox = 0; ox < ow; ++ox, ++colidx) {
+            const int ix = ox * g.stride + kx - g.pad;
+            const bool inside = iy >= 0 && iy < g.h && ix >= 0 && ix < g.w;
+            col.at(row, colidx) =
+                inside ? channel[static_cast<long>(iy) * g.w + ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void direct_conv(const ConvGeometry& g, const float* input,
+                 common::ConstMatrixView weights, common::MatrixView out) {
+  if (weights.rows != g.cout || weights.cols != g.gemm_k() ||
+      out.rows != g.cout || out.cols != g.gemm_n())
+    throw std::invalid_argument("direct_conv: shape mismatch");
+  const int oh = g.out_h(), ow = g.out_w();
+  for (int co = 0; co < g.cout; ++co) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        double acc = out.at(co, oy * ow + ox);
+        int tap = 0;
+        for (int c = 0; c < g.cin; ++c) {
+          const float* channel = input + static_cast<long>(c) * g.h * g.w;
+          for (int ky = 0; ky < g.kh; ++ky) {
+            const int iy = oy * g.stride + ky - g.pad;
+            for (int kx = 0; kx < g.kw; ++kx, ++tap) {
+              const int ix = ox * g.stride + kx - g.pad;
+              if (iy < 0 || iy >= g.h || ix < 0 || ix >= g.w) continue;
+              acc += static_cast<double>(weights.at(co, tap)) *
+                     channel[static_cast<long>(iy) * g.w + ix];
+            }
+          }
+        }
+        out.at(co, oy * ow + ox) = static_cast<float>(acc);
+      }
+    }
+  }
+}
+
+}  // namespace autogemm::dnn

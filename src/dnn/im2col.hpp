@@ -1,0 +1,37 @@
+// im2col lowering: convolution as GEMM.
+//
+// conv(W, X) with W of shape (cout, cin, kh, kw) over X (cin, h, w) becomes
+// the GEMM  W' (cout x cin*kh*kw)  *  col(X) (cin*kh*kw x oh*ow), which is
+// exactly how TNN/Caffe-style frameworks produce the Table V shapes.
+#pragma once
+
+#include "common/matrix.hpp"
+
+namespace autogemm::dnn {
+
+struct ConvGeometry {
+  int cin = 0, h = 0, w = 0;
+  int cout = 0, kh = 1, kw = 1;
+  int stride = 1, pad = 0;
+
+  int out_h() const { return (h + 2 * pad - kh) / stride + 1; }
+  int out_w() const { return (w + 2 * pad - kw) / stride + 1; }
+  long gemm_m() const { return cout; }
+  long gemm_n() const { return static_cast<long>(out_h()) * out_w(); }
+  long gemm_k() const { return static_cast<long>(cin) * kh * kw; }
+};
+
+/// Expands input (cin x h x w, row-major per channel) into the column
+/// matrix (cin*kh*kw rows x oh*ow cols). `col` must be pre-sized
+/// gemm_k() x gemm_n(). Out-of-image taps (padding) contribute zeros.
+void im2col(const ConvGeometry& g, const float* input,
+            common::MatrixView col);
+
+/// Direct (loop-nest) convolution — the non-GEMM reference path. Weights
+/// are (cout x cin*kh*kw) row-major (the same layout the GEMM path uses);
+/// output is (cout x oh*ow) and must be pre-zeroed by the caller. Used to
+/// validate that the im2col+GEMM lowering is exactly a convolution.
+void direct_conv(const ConvGeometry& g, const float* input,
+                 common::ConstMatrixView weights, common::MatrixView out);
+
+}  // namespace autogemm::dnn

@@ -1,0 +1,141 @@
+#include "dnn/models.hpp"
+
+#include <memory>
+
+#include "common/rng.hpp"
+
+namespace autogemm::dnn {
+
+Net build_resnet_stem(unsigned seed) {
+  Net net;
+  // L1: 7x7/2 conv, 3 -> 64 channels, 224^2 -> 112^2 (GEMM 64x12544x147).
+  net.add(std::make_unique<Conv>(
+      "L1", ConvGeometry{3, 224, 224, 64, 7, 7, 2, 3}, seed));
+  net.add(std::make_unique<BatchNorm>(64, seed + 1));
+  net.add(std::make_unique<Relu>());
+  // 3x3/2 max pool: 112^2 -> 56^2.
+  net.add(std::make_unique<MaxPool>(2, 2));
+  // L2: 1x1 conv 64 -> 64 on 56^2 (GEMM 64x3136x64).
+  net.add(std::make_unique<Conv>(
+      "L2", ConvGeometry{64, 56, 56, 64, 1, 1, 1, 0}, seed + 2));
+  net.add(std::make_unique<Relu>());
+  // L3: 3x3 conv 64 -> 64 on 56^2 (GEMM 64x3136x576).
+  net.add(std::make_unique<Conv>(
+      "L3", ConvGeometry{64, 56, 56, 64, 3, 3, 1, 1}, seed + 3));
+  net.add(std::make_unique<Relu>());
+  // L4: 1x1 conv 64 -> 256 (GEMM 256x3136x64).
+  net.add(std::make_unique<Conv>(
+      "L4", ConvGeometry{64, 56, 56, 256, 1, 1, 1, 0}, seed + 4));
+  net.add(std::make_unique<Relu>());
+  // L5: 1x1 conv 256 -> 64 (GEMM 64x3136x256).
+  net.add(std::make_unique<Conv>(
+      "L5", ConvGeometry{256, 56, 56, 64, 1, 1, 1, 0}, seed + 5));
+  net.add(std::make_unique<Relu>());
+  return net;
+}
+
+Tensor resnet_stem_input(unsigned seed) {
+  Tensor t(3, 224, 224);
+  common::MatrixView v{t.data.data(), 3, 224 * 224, 224 * 224};
+  common::fill_random(v, seed);
+  return t;
+}
+
+Net build_small_cnn(unsigned seed) {
+  Net net;
+  net.add(std::make_unique<Conv>(
+      "conv1", ConvGeometry{3, 32, 32, 16, 3, 3, 1, 1}, seed));
+  net.add(std::make_unique<Relu>());
+  net.add(std::make_unique<MaxPool>(2, 2));
+  net.add(std::make_unique<Conv>(
+      "conv2", ConvGeometry{16, 16, 16, 32, 3, 3, 1, 1}, seed + 1));
+  net.add(std::make_unique<BatchNorm>(32, seed + 2));
+  net.add(std::make_unique<Relu>());
+  net.add(std::make_unique<MaxPool>(2, 2));
+  net.add(std::make_unique<Conv>(
+      "conv3", ConvGeometry{32, 8, 8, 64, 3, 3, 1, 1}, seed + 3));
+  net.add(std::make_unique<Relu>());
+  net.add(std::make_unique<GlobalAvgPool>());
+  net.add(std::make_unique<FullyConnected>("fc", 64, 10, seed + 4));
+  return net;
+}
+
+Tensor small_cnn_input(unsigned seed) {
+  Tensor t(3, 32, 32);
+  common::MatrixView v{t.data.data(), 3, 32 * 32, 32 * 32};
+  common::fill_random(v, seed);
+  return t;
+}
+
+namespace {
+
+std::vector<std::unique_ptr<Op>> bottleneck_body(int channels, int squeeze,
+                                                 int hw_dim, unsigned seed) {
+  std::vector<std::unique_ptr<Op>> body;
+  body.push_back(std::make_unique<Conv>(
+      "bn1x1a", ConvGeometry{channels, hw_dim, hw_dim, squeeze, 1, 1, 1, 0},
+      seed));
+  body.push_back(std::make_unique<Relu>());
+  body.push_back(std::make_unique<Conv>(
+      "bn3x3", ConvGeometry{squeeze, hw_dim, hw_dim, squeeze, 3, 3, 1, 1},
+      seed + 1));
+  body.push_back(std::make_unique<Relu>());
+  body.push_back(std::make_unique<Conv>(
+      "bn1x1b", ConvGeometry{squeeze, hw_dim, hw_dim, channels, 1, 1, 1, 0},
+      seed + 2));
+  return body;
+}
+
+}  // namespace
+
+Net build_bottleneck_net(unsigned seed) {
+  constexpr int kC = 64, kS = 16, kHw = 14;
+  Net net;
+  // First block: projection shortcut (1x1 conv) — the stage-entry variant.
+  std::vector<std::unique_ptr<Op>> shortcut;
+  shortcut.push_back(std::make_unique<Conv>(
+      "proj", ConvGeometry{kC, kHw, kHw, kC, 1, 1, 1, 0}, seed + 10));
+  net.add(std::make_unique<Residual>(bottleneck_body(kC, kS, kHw, seed),
+                                     std::move(shortcut)));
+  // Second block: identity shortcut.
+  net.add(std::make_unique<Residual>(bottleneck_body(kC, kS, kHw, seed + 20)));
+  net.add(std::make_unique<GlobalAvgPool>());
+  net.add(std::make_unique<FullyConnected>("fc", kC, 10, seed + 30));
+  net.add(std::make_unique<Softmax>());
+  return net;
+}
+
+Tensor bottleneck_input(unsigned seed) {
+  Tensor t(64, 14, 14);
+  common::MatrixView v{t.data.data(), 64, 14 * 14, 14 * 14};
+  common::fill_random(v, seed);
+  return t;
+}
+
+Net build_fire_net(unsigned seed) {
+  constexpr int kCin = 32, kSq = 8, kEx = 16, kHw = 13;
+  Net net;
+  net.add(std::make_unique<Conv>(
+      "squeeze", ConvGeometry{kCin, kHw, kHw, kSq, 1, 1, 1, 0}, seed));
+  net.add(std::make_unique<Relu>());
+  std::vector<std::vector<std::unique_ptr<Op>>> branches(2);
+  branches[0].push_back(std::make_unique<Conv>(
+      "expand1x1", ConvGeometry{kSq, kHw, kHw, kEx, 1, 1, 1, 0}, seed + 1));
+  branches[1].push_back(std::make_unique<Conv>(
+      "expand3x3", ConvGeometry{kSq, kHw, kHw, kEx, 3, 3, 1, 1}, seed + 2));
+  net.add(std::make_unique<Concat>(std::move(branches)));
+  net.add(std::make_unique<Relu>());
+  net.add(std::make_unique<GlobalAvgPool>());
+  net.add(std::make_unique<FullyConnected>("fc", 2 * kEx, 10, seed + 3));
+  net.add(std::make_unique<Softmax>());
+  return net;
+}
+
+Tensor fire_input(unsigned seed) {
+  Tensor t(32, 13, 13);
+  common::MatrixView v{t.data.data(), 32, 13 * 13, 13 * 13};
+  common::fill_random(v, seed);
+  return t;
+}
+
+}  // namespace autogemm::dnn

@@ -1,0 +1,32 @@
+// Network builders for the examples and the Fig 12 host demo.
+#pragma once
+
+#include "dnn/graph.hpp"
+
+namespace autogemm::dnn {
+
+/// A ResNet-50-style stem + early stage (conv7x7/2 -> pool -> 1x1/3x3/1x1
+/// bottleneck convs), producing exactly the Table V L1..L5 GEMM shapes.
+/// Small enough to run end-to-end on the host in tests/examples.
+Net build_resnet_stem(unsigned seed = 1);
+
+/// Input tensor shape the stem expects (3 x 224 x 224).
+Tensor resnet_stem_input(unsigned seed = 2);
+
+/// A compact CNN (CIFAR-sized) used by the quickstart tests: three conv
+/// blocks plus a classifier head.
+Net build_small_cnn(unsigned seed = 3);
+Tensor small_cnn_input(unsigned seed = 4);
+
+/// A ResNet bottleneck residual block (1x1 -> 3x3 -> 1x1 with a projection
+/// shortcut) on a compact 64 x 14 x 14 tensor, followed by an identity-
+/// shortcut block — the paper's residual topology in miniature.
+Net build_bottleneck_net(unsigned seed = 5);
+Tensor bottleneck_input(unsigned seed = 6);
+
+/// A SqueezeNet fire module (squeeze 1x1, expand 1x1 || 3x3, channel
+/// concat) with a softmax head.
+Net build_fire_net(unsigned seed = 7);
+Tensor fire_input(unsigned seed = 8);
+
+}  // namespace autogemm::dnn

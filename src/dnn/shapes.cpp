@@ -1,0 +1,86 @@
+#include "dnn/shapes.hpp"
+
+namespace autogemm::dnn {
+
+const std::vector<GemmShape>& resnet50_layers() {
+  // Table V of the paper, L1..L20.
+  static const std::vector<GemmShape> layers = {
+      {"L1", 64, 12544, 147},  {"L2", 64, 3136, 64},
+      {"L3", 64, 3136, 576},   {"L4", 256, 3136, 64},
+      {"L5", 64, 3136, 256},   {"L6", 128, 784, 256},
+      {"L7", 128, 784, 1152},  {"L8", 512, 784, 128},
+      {"L9", 512, 784, 256},   {"L10", 128, 784, 512},
+      {"L11", 256, 196, 512},  {"L12", 256, 196, 2304},
+      {"L13", 1024, 196, 256}, {"L14", 1024, 196, 512},
+      {"L15", 256, 196, 1024}, {"L16", 512, 49, 1024},
+      {"L17", 512, 49, 4608},  {"L18", 2048, 49, 512},
+      {"L19", 2048, 49, 1024}, {"L20", 512, 49, 2048},
+  };
+  return layers;
+}
+
+const std::vector<GemmShape>& inception_v3_layers() {
+  // Inception-V3 stem and representative mixed-block branches (299x299
+  // input): M = out channels, N = spatial, K = cin * kh * kw.
+  static const std::vector<GemmShape> layers = {
+      {"stem1", 32, 22201, 27},    // 3x3/2 on 299^2 -> 149^2
+      {"stem2", 32, 21609, 288},   // 3x3 on 149^2 -> 147^2
+      {"stem3", 64, 21609, 288},   // 3x3 pad on 147^2
+      {"stem4", 80, 5329, 64},     // 1x1 on 73^2
+      {"stem5", 192, 5041, 720},   // 3x3 -> 71^2
+      {"mix5_1x1", 64, 1225, 192},   // 35^2 branches
+      {"mix5_5x5", 64, 1225, 1200},  // 5x5 cin=48
+      {"mix5_3x3", 96, 1225, 576},
+      {"mix6_1x1", 192, 289, 768},   // 17^2 branches
+      {"mix6_7x1", 192, 289, 1344},  // 7x1 cin=192
+      {"mix7_1x1", 320, 64, 1280},   // 8^2 branches
+      {"mix7_3x3", 384, 64, 3456},
+  };
+  return layers;
+}
+
+const std::vector<GemmShape>& mobilenet_v1_layers() {
+  // MobileNet-V1 pointwise (1x1) convolutions — the GEMM-lowered ops (the
+  // depthwise stages are "Other" in the Fig 12 split).
+  static const std::vector<GemmShape> layers = {
+      {"pw1", 64, 12544, 32},   {"pw2", 128, 3136, 64},
+      {"pw3", 128, 3136, 128},  {"pw4", 256, 784, 128},
+      {"pw5", 256, 784, 256},   {"pw6", 512, 196, 256},
+      {"pw7", 512, 196, 512},   {"pw8", 512, 196, 512},
+      {"pw9", 512, 196, 512},   {"pw10", 512, 196, 512},
+      {"pw11", 512, 196, 512},  {"pw12", 1024, 49, 512},
+      {"pw13", 1024, 49, 1024}, {"fc", 1000, 1, 1024},
+  };
+  return layers;
+}
+
+const std::vector<GemmShape>& squeezenet_layers() {
+  // SqueezeNet v1.1 fire modules: squeeze 1x1 + expand 1x1/3x3.
+  static const std::vector<GemmShape> layers = {
+      {"conv1", 64, 12321, 27},      // 3x3/2 on 224^2 -> 111^2
+      {"fire2_s", 16, 3025, 64},     // 55^2
+      {"fire2_e1", 64, 3025, 16},    {"fire2_e3", 64, 3025, 144},
+      {"fire3_s", 16, 3025, 128},    {"fire4_s", 32, 729, 128},  // 27^2
+      {"fire4_e1", 128, 729, 32},    {"fire4_e3", 128, 729, 288},
+      {"fire6_s", 48, 169, 256},     // 13^2
+      {"fire6_e1", 192, 169, 48},    {"fire6_e3", 192, 169, 432},
+      {"fire8_s", 64, 169, 384},     {"fire8_e1", 256, 169, 64},
+      {"fire8_e3", 256, 169, 576},   {"conv10", 1000, 169, 512},
+  };
+  return layers;
+}
+
+std::vector<NetworkShapes> fig12_networks() {
+  // The gemm_fraction values reflect typical single-thread CPU inference
+  // profiles with a BLAS conv backend: ResNet/Inception are conv-dominated;
+  // MobileNet spends real time in depthwise stages; SqueezeNet in
+  // pooling/concat glue.
+  return {
+      {"ResNet50 (N1)", &resnet50_layers(), 0.90},
+      {"Inception-V3 (N2)", &inception_v3_layers(), 0.87},
+      {"MobileNet-V1 (N3)", &mobilenet_v1_layers(), 0.72},
+      {"SqueezeNet (N4)", &squeezenet_layers(), 0.70},
+  };
+}
+
+}  // namespace autogemm::dnn

@@ -1,0 +1,39 @@
+// GEMM shapes extracted from the evaluated deep networks.
+//
+// Table V of the paper lists the 20 irregular GEMM shapes ResNet-50's
+// convolution layers lower to (M = output channels, N = output spatial
+// size, K = input channels * kernel area). The other three networks of
+// Fig 12 get representative pointwise/conv shape sets assembled the same
+// way from their architectures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace autogemm::dnn {
+
+struct GemmShape {
+  std::string layer;
+  long m = 0, n = 0, k = 0;
+};
+
+/// Table V verbatim: L1..L20.
+const std::vector<GemmShape>& resnet50_layers();
+
+/// Representative conv-as-GEMM shapes for the other Fig 12 networks.
+const std::vector<GemmShape>& inception_v3_layers();
+const std::vector<GemmShape>& mobilenet_v1_layers();
+const std::vector<GemmShape>& squeezenet_layers();
+
+/// The four Fig 12 networks in order: N1..N4.
+struct NetworkShapes {
+  std::string name;
+  const std::vector<GemmShape>* layers;
+  /// Fraction of end-to-end time spent in GEMM operators under the
+  /// OpenBLAS backend (profiled framework characteristic; used to split
+  /// T_GEMM vs T_other in the Fig 12 reproduction).
+  double gemm_fraction;
+};
+std::vector<NetworkShapes> fig12_networks();
+
+}  // namespace autogemm::dnn

@@ -1,0 +1,23 @@
+// Renders an isa::Program as AArch64 assembly text.
+//
+// Two flavours are produced, matching the paper's Listing 1 output:
+//  * emit_asm()       — bare instruction text (one instruction per line),
+//  * emit_cpp_wrapper() — a complete C++ function wrapping the instructions
+//    in a GCC extended inline-asm block with the %[A]/%[B]/%[C]... operand
+//    bindings and clobber list, compilable by an AArch64 toolchain.
+#pragma once
+
+#include <string>
+
+#include "isa/program.hpp"
+
+namespace autogemm::isa {
+
+/// Bare AArch64 assembly for the program body.
+std::string emit_asm(const Program& prog, bool with_comments = true);
+
+/// Complete C++ translation unit: `void <name>(const float* A, const float*
+/// B, float* C, long lda, long ldb, long ldc)` with the body as inline asm.
+std::string emit_cpp_wrapper(const Program& prog);
+
+}  // namespace autogemm::isa

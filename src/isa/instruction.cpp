@@ -1,0 +1,33 @@
+#include "isa/instruction.hpp"
+
+namespace autogemm::isa {
+
+std::string op_name(Op op) {
+  switch (op) {
+    case Op::kLdrQ: return "ldr.q";
+    case Op::kStrQ: return "str.q";
+    case Op::kLdrS: return "ldr.s";
+    case Op::kStrS: return "str.s";
+    case Op::kFmla: return "fmla";
+    case Op::kFmlaS: return "fmadd";
+    case Op::kMovi0: return "movi0";
+    case Op::kPrfm: return "prfm";
+    case Op::kMovReg: return "mov";
+    case Op::kMovImm: return "mov.imm";
+    case Op::kAddReg: return "add";
+    case Op::kAddImm: return "add.imm";
+    case Op::kLslImm: return "lsl";
+    case Op::kSubsImm: return "subs";
+    case Op::kLabel: return "label";
+    case Op::kBne: return "b.ne";
+  }
+  return "?";
+}
+
+std::string reg_name(Reg r) {
+  if (!r.valid()) return "<none>";
+  const char prefix = r.kind == RegKind::kX ? 'x' : 'v';
+  return prefix + std::to_string(static_cast<int>(r.index));
+}
+
+}  // namespace autogemm::isa

@@ -1,0 +1,87 @@
+// A64 instruction IR.
+//
+// The code generator (Listing 1 in the paper) emits this IR rather than raw
+// text. One IR serves three consumers:
+//   * asm_printer  -> AArch64 assembly / GCC inline-asm (the paper's output),
+//   * sim::Interpreter -> functional execution on the host (correctness),
+//   * sim::PipelineSimulator -> cycle counts under a chip model (performance).
+//
+// Only the subset of A64 the generated micro-kernels need is represented.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace autogemm::isa {
+
+/// Register file: X = 64-bit general purpose (x0..x30),
+/// V = SIMD vector (v0..v31, 128-bit NEON view; the SVE configs widen the
+/// architectural element count but keep the same 32-register budget).
+enum class RegKind : std::uint8_t { kNone, kX, kV };
+
+struct Reg {
+  RegKind kind = RegKind::kNone;
+  std::int8_t index = -1;
+
+  constexpr bool valid() const { return kind != RegKind::kNone; }
+  constexpr bool operator==(const Reg&) const = default;
+};
+
+constexpr Reg X(int i) { return {RegKind::kX, static_cast<std::int8_t>(i)}; }
+constexpr Reg V(int i) { return {RegKind::kV, static_cast<std::int8_t>(i)}; }
+
+/// Opcodes. Vector memory ops move one full vector register.
+enum class Op : std::uint8_t {
+  kLdrQ,     // ldr qD, [Xn], #imm  (post-index) | ldr qD, [Xn, #imm]
+  kStrQ,     // str qD, ...
+  kLdrS,     // ldr sD, ...   scalar 32-bit load (edge/corner lanes)
+  kStrS,     // str sD, ...
+  kFmla,     // fmla vD.4s, vN.4s, vM.s[lane]
+  kFmlaS,    // fmadd sD, sN, sM, sD  (scalar corner-case FMA)
+  kMovi0,    // movi vD.4s, #0  (zero an accumulator; beta=0 path)
+  kPrfm,     // prfm PLDL1KEEP/PLDL2KEEP, [Xn, #imm]
+  kMovReg,   // mov Xd, Xn
+  kMovImm,   // mov Xd, #imm
+  kAddReg,   // add Xd, Xn, Xm
+  kAddImm,   // add Xd, Xn, #imm
+  kLslImm,   // lsl Xd, Xn, #imm
+  kSubsImm,  // subs Xd, Xn, #imm
+  kLabel,    // local label (pseudo-op)
+  kBne,      // b.ne label
+};
+
+/// Memory addressing for load/store ops.
+enum class AddrMode : std::uint8_t {
+  kNone,
+  kOffset,     // [Xn, #imm]           base unchanged
+  kPostIndex,  // [Xn], #imm           base += imm after access
+};
+
+/// Prefetch target cache level (PLDL1KEEP / PLDL2KEEP).
+enum class PrefetchLevel : std::uint8_t { kL1, kL2 };
+
+struct Instruction {
+  Op op = Op::kLabel;
+  Reg dst;            // destination (result register, or store source)
+  Reg src1, src2;     // sources (base register for memory ops in src1)
+  std::int32_t imm = 0;
+  std::int8_t lane = -1;           // fmla by-element lane index
+  AddrMode addr = AddrMode::kNone;
+  PrefetchLevel prefetch = PrefetchLevel::kL1;
+  std::int32_t label = -1;         // kLabel id / kBne target id
+  std::string comment;             // carried through to the asm printer
+
+  bool is_load() const { return op == Op::kLdrQ || op == Op::kLdrS; }
+  bool is_store() const { return op == Op::kStrQ || op == Op::kStrS; }
+  bool is_fma() const { return op == Op::kFmla || op == Op::kFmlaS; }
+  bool is_vector_mem() const { return op == Op::kLdrQ || op == Op::kStrQ; }
+  bool is_branch() const { return op == Op::kBne; }
+};
+
+/// Human-readable mnemonic for diagnostics.
+std::string op_name(Op op);
+
+/// Register name as it appears in assembly ("x12", "v7").
+std::string reg_name(Reg r);
+
+}  // namespace autogemm::isa

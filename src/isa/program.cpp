@@ -1,0 +1,26 @@
+#include "isa/program.hpp"
+
+namespace autogemm::isa {
+
+Program::Counts Program::counts() const {
+  Counts c;
+  for (const auto& inst : code_) {
+    if (inst.is_load()) ++c.loads;
+    else if (inst.is_store()) ++c.stores;
+    else if (inst.is_fma()) ++c.fmas;
+    else if (inst.op == Op::kPrfm) ++c.prefetches;
+    else if (inst.op == Op::kBne) ++c.branches;
+    else if (inst.op != Op::kLabel) ++c.integer;
+  }
+  return c;
+}
+
+int Program::find_label(int label_id) const {
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    if (code_[i].op == Op::kLabel && code_[i].label == label_id)
+      return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace autogemm::isa

@@ -1,0 +1,78 @@
+// A generated micro-kernel program: instruction stream plus metadata.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace autogemm::isa {
+
+/// Calling convention for generated micro-kernels, mirroring the paper's
+/// inline-asm operand bindings:
+///   x0 = &A[0][0]   x1 = &B[0][0]   x2 = &C[0][0]
+///   x3 = lda        x4 = ldb        x5 = ldc      (in *elements*; the
+/// generated prologue shifts them to bytes with `lsl #2`)
+/// x6..x6+mr-1 hold A row pointers, x6+mr..x6+2mr-1 hold C row pointers,
+/// x29 is the main-loop counter.
+struct Abi {
+  static constexpr int kA = 0;
+  static constexpr int kB = 1;
+  static constexpr int kC = 2;
+  static constexpr int kLda = 3;
+  static constexpr int kLdb = 4;
+  static constexpr int kLdc = 5;
+  static constexpr int kRowPtrBase = 6;
+  static constexpr int kLoopCounter = 29;
+};
+
+/// Instruction stream for one micro-kernel of register-tile (mr x nr) with a
+/// depth of kc, at SIMD lane width `lanes` (σ_lane: 4 for NEON, 16 for
+/// SVE-512 chips like A64FX / Graviton3 per the paper).
+class Program {
+ public:
+  Program() = default;
+  Program(std::string name, int mr, int nr, int kc, int lanes)
+      : name_(std::move(name)), mr_(mr), nr_(nr), kc_(kc), lanes_(lanes) {}
+
+  const std::string& name() const { return name_; }
+  int mr() const { return mr_; }
+  int nr() const { return nr_; }
+  int kc() const { return kc_; }
+  int lanes() const { return lanes_; }
+
+  /// Appends an instruction and returns its index.
+  int push(Instruction inst) {
+    code_.push_back(std::move(inst));
+    return static_cast<int>(code_.size()) - 1;
+  }
+  /// Allocates a fresh label id (to be placed with a kLabel instruction).
+  int new_label() { return next_label_++; }
+
+  const std::vector<Instruction>& code() const { return code_; }
+  std::vector<Instruction>& code() { return code_; }
+  bool empty() const { return code_.empty(); }
+  std::size_t size() const { return code_.size(); }
+
+  /// Instruction-count summary used by tests and reports.
+  struct Counts {
+    int loads = 0;
+    int stores = 0;
+    int fmas = 0;
+    int prefetches = 0;
+    int integer = 0;
+    int branches = 0;
+  };
+  Counts counts() const;
+
+  /// Index of the kLabel instruction with the given id, or -1.
+  int find_label(int label_id) const;
+
+ private:
+  std::string name_;
+  int mr_ = 0, nr_ = 0, kc_ = 0, lanes_ = 4;
+  int next_label_ = 0;
+  std::vector<Instruction> code_;
+};
+
+}  // namespace autogemm::isa

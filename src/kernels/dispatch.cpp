@@ -1,0 +1,105 @@
+#include "kernels/dispatch.hpp"
+
+namespace autogemm::kernels {
+
+void generic_microkernel(int rows, int cols, const float* a, long lda,
+                         const float* b, long ldb, float* c, long ldc,
+                         int kc) {
+  for (int p = 0; p < kc; ++p) {
+    const float* brow = b + static_cast<long>(p) * ldb;
+    for (int r = 0; r < rows; ++r) {
+      const float av = a[r * lda + p];
+      float* crow = c + static_cast<long>(r) * ldc;
+      for (int j = 0; j < cols; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+namespace {
+
+struct Entry {
+  int mr;
+  int nr;
+  MicroKernelFn fn;
+};
+
+// Every register-feasible NEON (lanes=4) shape from the Table II grid, plus
+// the lane-scaled preferred shapes used for SVE-width modeling. Kept as a
+// flat table: ~40 entries, scanned linearly (dispatch happens once per
+// tile, outside the hot k loop).
+constexpr Entry kTable[] = {
+    // mr = 1 (edge rows; the paper's Graviton2 1x16 example)
+    {1, 4, microkernel<1, 4>},
+    {1, 8, microkernel<1, 8>},
+    {1, 12, microkernel<1, 12>},
+    {1, 16, microkernel<1, 16>},
+    {1, 20, microkernel<1, 20>},
+    {1, 24, microkernel<1, 24>},
+    {1, 28, microkernel<1, 28>},
+    // mr = 2
+    {2, 4, microkernel<2, 4>},
+    {2, 8, microkernel<2, 8>},
+    {2, 12, microkernel<2, 12>},
+    {2, 16, microkernel<2, 16>},
+    {2, 20, microkernel<2, 20>},
+    {2, 24, microkernel<2, 24>},
+    {2, 28, microkernel<2, 28>},
+    // mr = 3
+    {3, 4, microkernel<3, 4>},
+    {3, 8, microkernel<3, 8>},
+    {3, 12, microkernel<3, 12>},
+    {3, 16, microkernel<3, 16>},
+    {3, 20, microkernel<3, 20>},
+    {3, 24, microkernel<3, 24>},
+    {3, 28, microkernel<3, 28>},
+    // mr = 4
+    {4, 4, microkernel<4, 4>},
+    {4, 8, microkernel<4, 8>},
+    {4, 12, microkernel<4, 12>},
+    {4, 16, microkernel<4, 16>},
+    {4, 20, microkernel<4, 20>},
+    // mr = 5
+    {5, 4, microkernel<5, 4>},
+    {5, 8, microkernel<5, 8>},
+    {5, 12, microkernel<5, 12>},
+    {5, 16, microkernel<5, 16>},
+    // mr = 6
+    {6, 4, microkernel<6, 4>},
+    {6, 8, microkernel<6, 8>},
+    {6, 12, microkernel<6, 12>},
+    // mr = 7
+    {7, 4, microkernel<7, 4>},
+    {7, 8, microkernel<7, 8>},
+    // mr = 8
+    {8, 4, microkernel<8, 4>},
+    {8, 8, microkernel<8, 8>},
+    // Taller narrow edge tiles (feasible with vnr = 1/2)
+    {9, 4, microkernel<9, 4>},
+    {10, 4, microkernel<10, 4>},
+    {9, 8, microkernel<9, 8>},
+    {10, 8, microkernel<10, 8>},
+    // SVE-512-width preferred shapes (lanes = 16)
+    {8, 32, microkernel<8, 32>},
+    {6, 48, microkernel<6, 48>},
+    {5, 64, microkernel<5, 64>},
+    {4, 80, microkernel<4, 80>},
+};
+
+}  // namespace
+
+MicroKernelFn find_microkernel(int mr, int nr) {
+  for (const auto& e : kTable)
+    if (e.mr == mr && e.nr == nr) return e.fn;
+  return nullptr;
+}
+
+void run_tile(int rows, int cols, const float* a, long lda, const float* b,
+              long ldb, float* c, long ldc, int kc) {
+  if (MicroKernelFn fn = find_microkernel(rows, cols)) {
+    fn(a, lda, b, ldb, c, ldc, kc);
+    return;
+  }
+  generic_microkernel(rows, cols, a, lda, b, ldb, c, ldc, kc);
+}
+
+}  // namespace autogemm::kernels

@@ -1,0 +1,20 @@
+// Runtime dispatch from a (mr, nr) tile shape to the host micro-kernel.
+#pragma once
+
+#include "kernels/microkernel.hpp"
+
+namespace autogemm::kernels {
+
+/// Returns the specialized kernel for the tile, or nullptr when no template
+/// instantiation exists (callers fall back to generic_microkernel). All
+/// register-feasible Table II shapes for sigma_lane=4 are instantiated,
+/// plus the SVE-scaled preferred shapes used when modeling A64FX-class
+/// chips (nr up to 80).
+MicroKernelFn find_microkernel(int mr, int nr);
+
+/// Executes one (possibly clipped) tile: uses the specialized kernel when
+/// rows==mr and cols==nr match an instantiation, otherwise the generic one.
+void run_tile(int rows, int cols, const float* a, long lda, const float* b,
+              long ldb, float* c, long ldc, int kc);
+
+}  // namespace autogemm::kernels

@@ -1,0 +1,42 @@
+#include "kernels/packing.hpp"
+
+#include <cstring>
+
+namespace autogemm::kernels {
+
+void pack_block(common::ConstMatrixView src, float* dst, long dst_ld) {
+  for (int r = 0; r < src.rows; ++r) {
+    std::memcpy(dst + static_cast<long>(r) * dst_ld,
+                src.data + static_cast<long>(r) * src.ld,
+                static_cast<std::size_t>(src.cols) * sizeof(float));
+  }
+}
+
+void pack_block_scaled(common::ConstMatrixView src, float* dst, long dst_ld,
+                       float alpha) {
+  for (int r = 0; r < src.rows; ++r) {
+    const float* in = src.data + static_cast<long>(r) * src.ld;
+    float* out = dst + static_cast<long>(r) * dst_ld;
+    for (int c = 0; c < src.cols; ++c) out[c] = alpha * in[c];
+  }
+}
+
+void pack_block_transposed(common::ConstMatrixView src, float* dst,
+                           long dst_ld, float alpha) {
+  for (int c = 0; c < src.cols; ++c) {
+    float* out = dst + static_cast<long>(c) * dst_ld;
+    for (int r = 0; r < src.rows; ++r)
+      out[r] = alpha * src.data[static_cast<long>(r) * src.ld + c];
+  }
+}
+
+const char* packing_name(Packing p) {
+  switch (p) {
+    case Packing::kNone: return "none";
+    case Packing::kOnline: return "online";
+    case Packing::kOffline: return "offline";
+  }
+  return "?";
+}
+
+}  // namespace autogemm::kernels

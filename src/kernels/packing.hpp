@@ -1,0 +1,35 @@
+// Data packing (sigma_packing in Table III).
+//
+// Packing copies a cache block into a dense scratch buffer so the micro-
+// kernel's streaming loads are unit-strided and stay within one block. The
+// paper exposes three modes: none, online (re-packed inside the GEMM as
+// each block is visited), and offline (B packed once ahead of time and
+// reused across calls — the mode LibShalom and autoGEMM use for the
+// ResNet-50 evaluation, where the weight matrix B is constant).
+#pragma once
+
+#include "common/matrix.hpp"
+
+namespace autogemm::kernels {
+
+/// Copies src(rows x cols) into dst with leading dimension dst_ld
+/// (dst must hold rows*dst_ld floats; dst_ld >= cols).
+void pack_block(common::ConstMatrixView src, float* dst, long dst_ld);
+
+/// pack_block with every element scaled by alpha (used to fold the BLAS
+/// alpha into the packed A block).
+void pack_block_scaled(common::ConstMatrixView src, float* dst, long dst_ld,
+                       float alpha);
+
+/// Packs src transposed: dst(r, c) = alpha * src(c, r); dst is
+/// src.cols x src.rows with leading dimension dst_ld >= src.rows. This is
+/// how transposed operands become canonical row-major for the kernels.
+void pack_block_transposed(common::ConstMatrixView src, float* dst,
+                           long dst_ld, float alpha = 1.0f);
+
+/// Packing modes of Table III.
+enum class Packing { kNone, kOnline, kOffline };
+
+const char* packing_name(Packing p);
+
+}  // namespace autogemm::kernels

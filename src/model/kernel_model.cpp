@@ -1,0 +1,165 @@
+#include "model/kernel_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autogemm::model {
+namespace {
+
+int vnr_of(const codegen::TileSize& t, const hw::HardwareModel& hw) {
+  return (t.nr + hw.lanes - 1) / hw.lanes;
+}
+
+// Stall cycles per occurrence that the chip's scheduler window can absorb.
+// Eqns 6-10 assume in-order issue (the Fig 3 reference machine, where the
+// budget is 0 and the closed forms hold exactly); a real out-of-order
+// window overlaps the A-block loads with older FMAs and register renaming
+// breaks the FMA->LOAD->FMA chain — but only up to a latency the window
+// can span, so an L1-hit stall vanishes on Graviton2/M2 while an L2/L3
+// miss stays exposed (the Fig 6 K=256 cliff). This is the analytic
+// counterpart of what the pipeline simulator shows per instruction, and it
+// is why the paper measures rotation as +3% on KP920 (small window) yet
+// neutral on Graviton2/M2, with efficiencies above its own in-order model.
+double hide_budget(const hw::HardwareModel& hw) {
+  return std::max(0.0, (hw.ooo_window - 8.0) / 8.0);
+}
+
+}  // namespace
+
+bool is_memory_bound(const codegen::TileSize& tile,
+                     const hw::HardwareModel& hw) {
+  return codegen::ai_max(tile.mr, tile.nr) < hw.sigma_ai;
+}
+
+double t_prologue(const codegen::TileSize& tile, const hw::HardwareModel& hw) {
+  const int vnr = vnr_of(tile, hw);
+  return (tile.mr * vnr + tile.mr + vnr) * hw.cpi_load + hw.lat_load;
+}
+
+double t_mainloop(const codegen::TileSize& tile, int kc,
+                  const hw::HardwareModel& hw, bool memory_bound,
+                  bool rotate_registers) {
+  const int vnr = vnr_of(tile, hw);
+  const int vkc = kc / hw.lanes;  // floor(kc_vec): full unrolled blocks
+  // Per-k-step period: every accumulator is updated once per k step and
+  // its next update is a true dependence, so the period can never drop
+  // below lat_fma — tiles with too few accumulators (mr*vnr*cpi < L_fma)
+  // are FMA-latency-bound. On the reference machine (L=8, IPC=1) this
+  // floor coincides with the issue time for every Table II tile, which is
+  // why the paper's closed forms never show it.
+  const double per_k = std::max(tile.mr * vnr * hw.cpi_fma, hw.lat_fma);
+  const double fma_time = per_k * (static_cast<double>(vkc) * hw.lanes);
+  const double budget = hide_budget(hw);
+  const double a_stall_cost =
+      std::max(0.0, tile.mr * hw.cpi_load + hw.lat_load - budget);
+  if (!memory_bound) {
+    // Eqn 6 / Eqn 9: the A-block loads stall the loop once per block
+    // (basic) or once per two blocks (rotated: spare registers prefetch the
+    // next block under the FMA stream); the scheduler window absorbs up to
+    // hide_budget cycles of each stall.
+    const double a_stalls =
+        rotate_registers ? std::ceil(vkc / 2.0) : static_cast<double>(vkc);
+    return fma_time + a_stalls * a_stall_cost;
+  }
+  // Eqn 10: with double-buffered B registers the FMA->LOAD->FMA dependency
+  // disappears and the loop costs FMA time plus one A-load stall per block
+  // (the same structure as Eqn 6).
+  const double rotated = fma_time + vkc * a_stall_cost;
+  if (rotate_registers) return rotated;
+  // Eqn 8: the single-buffered B registers serialize on the load latency.
+  // On the paper's reference machine (L=8, IPC=1) this chain dominates; on
+  // chips with short load latency and multiple load ports it can fall
+  // below the FMA-stream floor, so the loop costs the slower of the two
+  // (a kernel can never run faster than its rotated variant). Register
+  // renaming on out-of-order chips removes the chain like rotation does,
+  // again up to the window's budget per block.
+  const double chain =
+      tile.mr * hw.cpi_load * (static_cast<double>(vkc) * hw.lanes) +
+      hw.lat_load * vkc * (hw.lanes + 1);
+  const double rotated_inorder =
+      fma_time + vkc * (tile.mr * hw.cpi_load + hw.lat_load);
+  const double extra_per_block =
+      std::max(0.0, (std::max(chain, rotated_inorder) - rotated_inorder) /
+                        std::max(1, vkc));
+  return rotated + vkc * std::max(0.0, extra_per_block - budget);
+}
+
+double t_epilogue(const codegen::TileSize& tile, int kc,
+                  const hw::HardwareModel& hw) {
+  const int vnr = vnr_of(tile, hw);
+  const int rem = kc - (kc / hw.lanes) * hw.lanes;
+  const double per_k = std::max(tile.mr * vnr * hw.cpi_fma, hw.lat_fma);
+  return per_k * rem + hw.lat_fma + tile.mr * vnr * hw.cpi_store;
+}
+
+KernelCost kernel_cost(const codegen::TileSize& tile, int kc,
+                       const hw::HardwareModel& hw,
+                       const KernelModelOptions& opts) {
+  KernelCost cost;
+  cost.memory_bound = opts.force_memory_bound >= 0
+                          ? opts.force_memory_bound != 0
+                          : is_memory_bound(tile, hw);
+  cost.launch = opts.launch_overhead;
+  cost.prologue = t_prologue(tile, hw);
+  cost.mainloop =
+      t_mainloop(tile, kc, hw, cost.memory_bound, opts.rotate_registers);
+  cost.epilogue = t_epilogue(tile, kc, hw);
+  if (cost.memory_bound) {
+    // sigma_AI ceiling (Fig 2): a tile whose arithmetic intensity sits
+    // below the hardware threshold cannot reach peak — its attainable
+    // fraction of peak is AI/sigma_AI, so its cycle count is floored at
+    // ideal_fma * sigma_AI / AI(kc). This is what keeps DMT from drifting
+    // to wide-skinny low-AI tiles on strict chips like KP920 while letting
+    // lenient chips (Graviton2, M2) use them at the edges (Fig 7).
+    const int vnr = vnr_of(tile, hw);
+    const double ideal_fma = tile.mr * vnr * hw.cpi_fma * kc;
+    const double floor_cycles =
+        ideal_fma * hw.sigma_ai /
+        codegen::ai_finite(tile.mr, tile.nr, kc, hw.lanes);
+    if (cost.total() < floor_cycles) cost.mainloop += floor_cycles - cost.total();
+  }
+  return cost;
+}
+
+double t_fused_boundary(const codegen::TileSize& cur, int kc_cur,
+                        const codegen::TileSize& next,
+                        const hw::HardwareModel& hw) {
+  const int vnr_cur = vnr_of(cur, hw);
+  const int vnr_next = vnr_of(next, hw);
+  const int rem = kc_cur - (kc_cur / hw.lanes) * hw.lanes;
+  const double rem_fma = cur.mr * vnr_cur * hw.cpi_fma * rem;
+
+  const bool cur_mem = is_memory_bound(cur, hw);
+  const bool next_mem = is_memory_bound(next, hw);
+  if (!cur_mem && !next_mem) {
+    // Eqn 11 verbatim (c_to_c): the stores of the current tile hide under
+    // the next tile's C and A loads; only the load stream remains visible.
+    return rem_fma + (next.mr * vnr_next + next.mr) * hw.cpi_load +
+           hw.lat_load;
+  }
+  // The paper defines the remaining three modes (m_to_m, c_to_m, m_to_c)
+  // pictorially (Fig 4) without closed forms; we model the boundary as the
+  // slower of the two overlapped streams — the store stream of the current
+  // tile vs. the full prologue load stream of the next — which reduces to
+  // Eqn 11's structure when the load stream dominates.
+  const double store_stream = cur.mr * vnr_cur * hw.cpi_store;
+  const double load_stream =
+      (next.mr * vnr_next + next.mr + vnr_next) * hw.cpi_load;
+  return rem_fma + std::max(store_stream, load_stream) + hw.lat_load;
+}
+
+double sequence_cost(const codegen::TileSize& tile, int kc, int count,
+                     const hw::HardwareModel& hw,
+                     const KernelModelOptions& opts, bool fuse) {
+  if (count <= 0) return 0.0;
+  const KernelCost one = kernel_cost(tile, kc, hw, opts);
+  if (!fuse || count == 1) return one.total() * count;
+  // Fused: first prologue and last epilogue are paid in full; the count-1
+  // interior boundaries collapse to t_fused_boundary and T_launch is paid
+  // once for the whole sequence.
+  const double boundary = t_fused_boundary(tile, kc, tile, hw);
+  return opts.launch_overhead + one.prologue + count * one.mainloop +
+         (count - 1) * boundary + one.epilogue;
+}
+
+}  // namespace autogemm::model

@@ -1,0 +1,70 @@
+// Analytic micro-kernel performance model — Section III-B/C, Eqns 4-11.
+//
+// Projects the cycle cost of a generated micro-kernel from tile shape, kc,
+// and the hardware parameters, without simulating. This is the model that
+// (a) the step-wise evaluation validates (Fig 3's closed forms), (b) the
+// DMT algorithm minimizes (Algorithm 1's T_r), and (c) TVM-style tuning
+// uses to prune the parameter search space (Eqn 13).
+#pragma once
+
+#include "codegen/tile_sizes.hpp"
+#include "hw/hardware_model.hpp"
+
+namespace autogemm::model {
+
+struct KernelModelOptions {
+  bool rotate_registers = false;  ///< Section III-C1 applied
+  /// When >= 0 overrides the compute/memory-bound classification that is
+  /// otherwise derived from AI_max(tile) >= hw.sigma_ai.
+  int force_memory_bound = -1;
+  double launch_overhead = 12.0;  ///< T_launch cycles
+};
+
+/// Stage-resolved cycle projection of one micro-kernel invocation.
+struct KernelCost {
+  double launch = 0;
+  double prologue = 0;
+  double mainloop = 0;
+  double epilogue = 0;
+  bool memory_bound = false;
+  double total() const { return launch + prologue + mainloop + epilogue; }
+};
+
+/// True when the tile cannot keep the FMA pipes busy past sigma_AI:
+/// AI_max(mr, nr) < hw.sigma_ai (the paper's classification).
+bool is_memory_bound(const codegen::TileSize& tile,
+                     const hw::HardwareModel& hw);
+
+/// Eqn 5: T_prologue = (mr*vnr + mr + vnr)*cpi_load + L_load.
+double t_prologue(const codegen::TileSize& tile, const hw::HardwareModel& hw);
+
+/// Eqns 6/8 (basic) and 9/10 (rotating register allocation).
+double t_mainloop(const codegen::TileSize& tile, int kc,
+                  const hw::HardwareModel& hw, bool memory_bound,
+                  bool rotate_registers);
+
+/// Eqn 7: remainder FMAs + FMA drain + C stores.
+double t_epilogue(const codegen::TileSize& tile, int kc,
+                  const hw::HardwareModel& hw);
+
+/// Eqn 4: the full per-invocation projection.
+KernelCost kernel_cost(const codegen::TileSize& tile, int kc,
+                       const hw::HardwareModel& hw,
+                       const KernelModelOptions& opts = {});
+
+/// Eqn 11 (c_to_c) and its analogues for the paper's four fusion modes:
+/// projected cost of a fused boundary replacing (T_epilogue of `cur` +
+/// T_launch + T_prologue of `next`). Stores of `cur` and loads of `next`
+/// overlap on separate ports, and the launch overhead disappears.
+double t_fused_boundary(const codegen::TileSize& cur, int kc_cur,
+                        const codegen::TileSize& next,
+                        const hw::HardwareModel& hw);
+
+/// Projected cost of a run of `count` identical micro-kernels with or
+/// without epilogue/prologue fusion — the quantity Fig 6's step-wise
+/// comparison plots.
+double sequence_cost(const codegen::TileSize& tile, int kc, int count,
+                     const hw::HardwareModel& hw,
+                     const KernelModelOptions& opts, bool fuse);
+
+}  // namespace autogemm::model

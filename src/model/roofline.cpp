@@ -1,0 +1,38 @@
+#include "model/roofline.hpp"
+
+#include <algorithm>
+
+namespace autogemm::model {
+
+double gemm_dram_ai(long m, long n, long k) {
+  const double flops = 2.0 * m * n * k;
+  const double bytes = 4.0 * (static_cast<double>(m) * k +
+                              static_cast<double>(k) * n +
+                              2.0 * static_cast<double>(m) * n);
+  return flops / bytes;
+}
+
+namespace {
+RooflinePoint make_point(double peak, double bw, double ai) {
+  RooflinePoint p;
+  p.ai = ai;
+  const double mem_bound = bw * ai;
+  p.attainable_gflops = std::min(peak, mem_bound);
+  p.compute_bound = peak <= mem_bound;
+  return p;
+}
+}  // namespace
+
+RooflinePoint roofline_single_core(const hw::HardwareModel& hw, double ai) {
+  return make_point(hw.peak_gflops_core(), hw.dram_bw_gbs, ai);
+}
+
+RooflinePoint roofline_chip(const hw::HardwareModel& hw, double ai) {
+  return make_point(hw.peak_gflops_chip(), hw.dram_bw_gbs, ai);
+}
+
+double ridge_ai(const hw::HardwareModel& hw) {
+  return hw.peak_gflops_chip() / hw.dram_bw_gbs;
+}
+
+}  // namespace autogemm::model

@@ -1,0 +1,32 @@
+// Roofline model (Fig 10): attainable GFLOPS as a function of arithmetic
+// intensity under the chip's compute peak and its DRAM / last-level-cache
+// bandwidth ceilings.
+#pragma once
+
+#include "hw/hardware_model.hpp"
+
+namespace autogemm::model {
+
+/// Arithmetic intensity of a GEMM in flops per DRAM byte, assuming each of
+/// A, B, C is read once and C written once (the compulsory traffic):
+/// 2*M*N*K / (4*(M*K + K*N + 2*M*N)).
+double gemm_dram_ai(long m, long n, long k);
+
+struct RooflinePoint {
+  double ai = 0;                 ///< flops/byte
+  double attainable_gflops = 0;  ///< min(compute peak, bw * ai)
+  bool compute_bound = false;
+};
+
+/// Single-core roofline: one core's FMA peak against its share of DRAM BW
+/// (the paper plots the full-chip bandwidth for both, which we follow).
+RooflinePoint roofline_single_core(const hw::HardwareModel& hw, double ai);
+
+/// Full-chip roofline.
+RooflinePoint roofline_chip(const hw::HardwareModel& hw, double ai);
+
+/// The AI at which the chip transitions from memory- to compute-bound
+/// (ridge point): peak_gflops / dram_bw.
+double ridge_ai(const hw::HardwareModel& hw);
+
+}  // namespace autogemm::model

@@ -1,0 +1,59 @@
+#include "sim/cache_sim.hpp"
+
+#include <algorithm>
+
+namespace autogemm::sim {
+
+bool CacheSim::Level::touch(std::uint64_t line) {
+  auto it = map.find(line);
+  if (it == map.end()) return false;
+  order.splice(order.begin(), order, it->second);
+  return true;
+}
+
+void CacheSim::Level::insert(std::uint64_t line) {
+  if (touch(line)) return;
+  order.push_front(line);
+  map[line] = order.begin();
+  if (map.size() > capacity_lines) {
+    map.erase(order.back());
+    order.pop_back();
+  }
+}
+
+CacheSim::CacheSim(const hw::HardwareModel& hw)
+    : line_bytes_(hw.caches.empty() ? 64 : hw.caches.front().line_bytes) {
+  lru_.reserve(hw.caches.size());
+  for (const auto& level : hw.caches) {
+    Level l;
+    l.capacity_lines = std::max<std::size_t>(
+        1, static_cast<std::size_t>(level.size_bytes / level.line_bytes));
+    lru_.push_back(std::move(l));
+  }
+}
+
+int CacheSim::access(std::uint64_t addr) {
+  const std::uint64_t line = addr / line_bytes_;
+  int hit_level = static_cast<int>(lru_.size());  // DRAM by default
+  for (std::size_t i = 0; i < lru_.size(); ++i) {
+    if (lru_[i].touch(line)) {
+      hit_level = static_cast<int>(i);
+      break;
+    }
+  }
+  // Inclusive fill: install in every level above (and at) the hit.
+  for (int i = 0; i < hit_level && i < static_cast<int>(lru_.size()); ++i)
+    lru_[i].insert(line);
+  return hit_level;
+}
+
+void CacheSim::prefetch(std::uint64_t addr) { (void)access(addr); }
+
+void CacheSim::warm(std::uint64_t base, std::uint64_t bytes) {
+  const std::uint64_t first = base / line_bytes_;
+  const std::uint64_t last = (base + bytes + line_bytes_ - 1) / line_bytes_;
+  for (std::uint64_t line = first; line < last; ++line)
+    (void)access(line * line_bytes_);
+}
+
+}  // namespace autogemm::sim

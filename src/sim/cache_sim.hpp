@@ -1,0 +1,57 @@
+// Multi-level fully-associative LRU cache simulator.
+//
+// The pipeline simulator consults this model on every load to decide which
+// hierarchy level serves it; that is what reproduces the paper's capacity
+// effects (the KP920 K=256 cliff in Fig 6 happens exactly when the B block
+// stops fitting in the 64 KiB L1).
+//
+// Fully-associative LRU is a deliberate simplification: the working sets
+// the micro-kernels touch are orders of magnitude below the level
+// capacities except when they overflow outright, and overflow behaviour —
+// the thing the evaluation depends on — is capacity-driven, not
+// conflict-driven.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/hardware_model.hpp"
+
+namespace autogemm::sim {
+
+class CacheSim {
+ public:
+  explicit CacheSim(const hw::HardwareModel& hw);
+
+  /// Looks up the line containing `addr`; returns the level index that
+  /// serves it (caches.size() = DRAM) and installs the line in every level
+  /// (inclusive hierarchy).
+  int access(std::uint64_t addr);
+
+  /// Software prefetch: installs the line without reporting a level.
+  void prefetch(std::uint64_t addr);
+
+  /// Touches every line in [base, base+bytes) — used to model a warmed
+  /// cache (data produced/packed just before the kernel runs).
+  void warm(std::uint64_t base, std::uint64_t bytes);
+
+  int levels() const { return static_cast<int>(lru_.size()); }
+
+ private:
+  struct Level {
+    std::size_t capacity_lines;
+    // LRU order: front = most recent. Map gives O(1) membership + splice.
+    std::list<std::uint64_t> order;
+    std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map;
+
+    bool touch(std::uint64_t line);   // returns true on hit
+    void insert(std::uint64_t line);  // install (may evict)
+  };
+
+  int line_bytes_;
+  std::vector<Level> lru_;
+};
+
+}  // namespace autogemm::sim

@@ -1,0 +1,143 @@
+#include "sim/interpreter.hpp"
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace autogemm::sim {
+namespace {
+
+constexpr int kMaxLanes = 16;  // SVE-512 fp32
+
+struct State {
+  std::array<std::uint64_t, 32> x{};
+  std::array<std::array<float, kMaxLanes>, 32> v{};
+  bool zero_flag = false;
+};
+
+std::uint64_t address(const State& s, const isa::Instruction& inst) {
+  const std::uint64_t base = s.x[inst.src1.index];
+  switch (inst.addr) {
+    case isa::AddrMode::kOffset:
+      return base + static_cast<std::int64_t>(inst.imm);
+    case isa::AddrMode::kPostIndex:
+    case isa::AddrMode::kNone:
+      return base;
+  }
+  return base;
+}
+
+void post_index(State& s, const isa::Instruction& inst) {
+  if (inst.addr == isa::AddrMode::kPostIndex)
+    s.x[inst.src1.index] += static_cast<std::int64_t>(inst.imm);
+}
+
+}  // namespace
+
+void Interpreter::run(const isa::Program& prog, const KernelArgs& args) {
+  const int lanes = prog.lanes();
+  if (lanes < 1 || lanes > kMaxLanes)
+    throw std::runtime_error("interpreter: unsupported lane count");
+
+  State s;
+  s.x[isa::Abi::kA] = reinterpret_cast<std::uintptr_t>(args.a);
+  s.x[isa::Abi::kB] = reinterpret_cast<std::uintptr_t>(args.b);
+  s.x[isa::Abi::kC] = reinterpret_cast<std::uintptr_t>(args.c);
+  s.x[isa::Abi::kLda] = static_cast<std::uint64_t>(args.lda);
+  s.x[isa::Abi::kLdb] = static_cast<std::uint64_t>(args.ldb);
+  s.x[isa::Abi::kLdc] = static_cast<std::uint64_t>(args.ldc);
+
+  // Pre-resolve label ids to instruction indices.
+  std::unordered_map<int, int> labels;
+  const auto& code = prog.code();
+  for (std::size_t i = 0; i < code.size(); ++i)
+    if (code[i].op == isa::Op::kLabel) labels[code[i].label] = static_cast<int>(i);
+
+  steps_ = 0;
+  int pc = 0;
+  const int n = static_cast<int>(code.size());
+  while (pc < n) {
+    if (++steps_ > max_steps_)
+      throw std::runtime_error("interpreter: step limit exceeded (runaway loop?)");
+    const isa::Instruction& inst = code[pc];
+    switch (inst.op) {
+      case isa::Op::kLdrQ: {
+        const auto* src = reinterpret_cast<const float*>(address(s, inst));
+        std::memcpy(s.v[inst.dst.index].data(), src, lanes * sizeof(float));
+        post_index(s, inst);
+        break;
+      }
+      case isa::Op::kStrQ: {
+        auto* dst = reinterpret_cast<float*>(address(s, inst));
+        std::memcpy(dst, s.v[inst.dst.index].data(), lanes * sizeof(float));
+        post_index(s, inst);
+        break;
+      }
+      case isa::Op::kLdrS: {
+        const auto* src = reinterpret_cast<const float*>(address(s, inst));
+        s.v[inst.dst.index].fill(0.0f);  // ldr s zeroes the upper lanes
+        s.v[inst.dst.index][0] = *src;
+        post_index(s, inst);
+        break;
+      }
+      case isa::Op::kStrS: {
+        auto* dst = reinterpret_cast<float*>(address(s, inst));
+        *dst = s.v[inst.dst.index][0];
+        post_index(s, inst);
+        break;
+      }
+      case isa::Op::kFmla: {
+        const float scalar = s.v[inst.src2.index][inst.lane];
+        auto& acc = s.v[inst.dst.index];
+        const auto& vec = s.v[inst.src1.index];
+        for (int i = 0; i < lanes; ++i) acc[i] += vec[i] * scalar;
+        break;
+      }
+      case isa::Op::kFmlaS:
+        s.v[inst.dst.index][0] +=
+            s.v[inst.src1.index][0] * s.v[inst.src2.index][0];
+        break;
+      case isa::Op::kMovi0:
+        s.v[inst.dst.index].fill(0.0f);
+        break;
+      case isa::Op::kPrfm:
+        break;  // architectural no-op
+      case isa::Op::kMovReg:
+        s.x[inst.dst.index] = s.x[inst.src1.index];
+        break;
+      case isa::Op::kMovImm:
+        s.x[inst.dst.index] = static_cast<std::uint64_t>(inst.imm);
+        break;
+      case isa::Op::kAddReg:
+        s.x[inst.dst.index] = s.x[inst.src1.index] + s.x[inst.src2.index];
+        break;
+      case isa::Op::kAddImm:
+        s.x[inst.dst.index] =
+            s.x[inst.src1.index] + static_cast<std::int64_t>(inst.imm);
+        break;
+      case isa::Op::kLslImm:
+        s.x[inst.dst.index] = s.x[inst.src1.index] << inst.imm;
+        break;
+      case isa::Op::kSubsImm:
+        s.x[inst.dst.index] =
+            s.x[inst.src1.index] - static_cast<std::uint64_t>(inst.imm);
+        s.zero_flag = (s.x[inst.dst.index] == 0);
+        break;
+      case isa::Op::kLabel:
+        break;
+      case isa::Op::kBne: {
+        if (!s.zero_flag) {
+          auto it = labels.find(inst.label);
+          if (it == labels.end())
+            throw std::runtime_error("interpreter: branch to unbound label");
+          pc = it->second;
+        }
+        break;
+      }
+    }
+    ++pc;
+  }
+}
+
+}  // namespace autogemm::sim

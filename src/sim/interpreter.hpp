@@ -1,0 +1,46 @@
+// Functional A64 interpreter.
+//
+// Executes a generated isa::Program against real host memory, giving the
+// reproduction a way to check that the *semantics* of the generated
+// assembly are correct (the paper verifies its generated kernels against
+// other BLAS libraries; we verify against common::reference_gemm). The
+// interpreter is strictly sequential — one instruction at a time — so it is
+// also the ground truth that the fusion/rotation passes preserve meaning.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/program.hpp"
+
+namespace autogemm::sim {
+
+/// Pointer/stride bindings for the kernel ABI (isa::Abi): x0..x5.
+struct KernelArgs {
+  const float* a = nullptr;
+  const float* b = nullptr;
+  float* c = nullptr;
+  long lda = 0;  ///< element strides; the kernel scales to bytes itself
+  long ldb = 0;
+  long ldc = 0;
+};
+
+class Interpreter {
+ public:
+  /// `max_steps` bounds dynamic instructions (guards against a buggy
+  /// generated loop that never terminates).
+  explicit Interpreter(long max_steps = 100'000'000)
+      : max_steps_(max_steps) {}
+
+  /// Runs the program to completion. Throws std::runtime_error on an
+  /// unbound label, a misaligned register index, or step overrun.
+  void run(const isa::Program& prog, const KernelArgs& args);
+
+  /// Dynamic instructions retired by the last run().
+  long steps() const { return steps_; }
+
+ private:
+  long max_steps_;
+  long steps_ = 0;
+};
+
+}  // namespace autogemm::sim

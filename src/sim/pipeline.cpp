@@ -1,0 +1,332 @@
+#include "sim/pipeline.hpp"
+
+#include <array>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "sim/cache_sim.hpp"
+
+namespace autogemm::sim {
+namespace {
+
+// Register ids in the scoreboard: x0..x31 -> 0..31, v0..v31 -> 32..63,
+// NZCV flags -> 64.
+constexpr int kVBase = 32;
+constexpr int kFlags = 64;
+constexpr int kRegCount = 65;
+
+int reg_id(isa::Reg r) {
+  if (!r.valid()) return -1;
+  return r.kind == isa::RegKind::kX ? r.index : kVBase + r.index;
+}
+
+enum class Cls : std::uint8_t { kFma, kLoad, kStore, kInt, kPrfm };
+
+struct DynInst {
+  int static_idx = -1;
+  Cls cls = Cls::kInt;
+  int dst = -1;       // result register (latency = class latency)
+  int dst2 = -1;      // post-index base writeback (integer latency)
+  std::array<int, 3> src{-1, -1, -1};
+  std::uint64_t addr = 0;
+  bool has_addr = false;
+};
+
+// Phase 1: functional X-register execution unrolling control flow.
+std::vector<DynInst> build_trace(const isa::Program& prog,
+                                 const SimOptions& opts) {
+  std::array<std::uint64_t, 32> x{};
+  bool zero_flag = false;
+  x[isa::Abi::kA] = opts.a_base;
+  x[isa::Abi::kB] = opts.b_base;
+  x[isa::Abi::kC] = opts.c_base;
+  x[isa::Abi::kLda] = static_cast<std::uint64_t>(opts.lda);
+  x[isa::Abi::kLdb] = static_cast<std::uint64_t>(opts.ldb);
+  x[isa::Abi::kLdc] = static_cast<std::uint64_t>(opts.ldc);
+
+  std::unordered_map<int, int> labels;
+  const auto& code = prog.code();
+  for (std::size_t i = 0; i < code.size(); ++i)
+    if (code[i].op == isa::Op::kLabel) labels[code[i].label] = static_cast<int>(i);
+
+  std::vector<DynInst> trace;
+  int pc = 0;
+  const int n = static_cast<int>(code.size());
+  while (pc < n) {
+    if (static_cast<long>(trace.size()) > opts.max_dynamic_instructions)
+      throw std::runtime_error("pipeline: dynamic instruction limit exceeded");
+    const isa::Instruction& inst = code[pc];
+    DynInst d;
+    d.static_idx = pc;
+    const auto mem_addr = [&]() -> std::uint64_t {
+      const std::uint64_t base = x[inst.src1.index];
+      return inst.addr == isa::AddrMode::kOffset
+                 ? base + static_cast<std::int64_t>(inst.imm)
+                 : base;
+    };
+    const auto do_post_index = [&] {
+      if (inst.addr == isa::AddrMode::kPostIndex) {
+        x[inst.src1.index] += static_cast<std::int64_t>(inst.imm);
+        d.dst2 = reg_id(inst.src1);
+      }
+    };
+    switch (inst.op) {
+      case isa::Op::kLdrQ:
+      case isa::Op::kLdrS:
+        d.cls = Cls::kLoad;
+        d.dst = reg_id(inst.dst);
+        d.src[0] = reg_id(inst.src1);
+        d.addr = mem_addr();
+        d.has_addr = true;
+        do_post_index();
+        trace.push_back(d);
+        break;
+      case isa::Op::kStrQ:
+      case isa::Op::kStrS:
+        d.cls = Cls::kStore;
+        d.src[0] = reg_id(inst.dst);   // value register
+        d.src[1] = reg_id(inst.src1);  // base register
+        d.addr = mem_addr();
+        d.has_addr = true;
+        do_post_index();
+        trace.push_back(d);
+        break;
+      case isa::Op::kFmla:
+      case isa::Op::kFmlaS:
+        d.cls = Cls::kFma;
+        d.dst = reg_id(inst.dst);
+        d.src[0] = reg_id(inst.dst);  // accumulator is read
+        d.src[1] = reg_id(inst.src1);
+        d.src[2] = reg_id(inst.src2);
+        trace.push_back(d);
+        break;
+      case isa::Op::kMovi0:
+        d.cls = Cls::kInt;  // zeroing idiom, effectively free
+        d.dst = reg_id(inst.dst);
+        trace.push_back(d);
+        break;
+      case isa::Op::kPrfm:
+        d.cls = Cls::kPrfm;
+        d.src[0] = reg_id(inst.src1);
+        d.addr = mem_addr();
+        d.has_addr = true;
+        trace.push_back(d);
+        break;
+      case isa::Op::kMovReg:
+        x[inst.dst.index] = x[inst.src1.index];
+        d.cls = Cls::kInt;
+        d.dst = reg_id(inst.dst);
+        d.src[0] = reg_id(inst.src1);
+        trace.push_back(d);
+        break;
+      case isa::Op::kMovImm:
+        x[inst.dst.index] = static_cast<std::uint64_t>(inst.imm);
+        d.cls = Cls::kInt;
+        d.dst = reg_id(inst.dst);
+        trace.push_back(d);
+        break;
+      case isa::Op::kAddReg:
+        x[inst.dst.index] = x[inst.src1.index] + x[inst.src2.index];
+        d.cls = Cls::kInt;
+        d.dst = reg_id(inst.dst);
+        d.src[0] = reg_id(inst.src1);
+        d.src[1] = reg_id(inst.src2);
+        trace.push_back(d);
+        break;
+      case isa::Op::kAddImm:
+        x[inst.dst.index] =
+            x[inst.src1.index] + static_cast<std::int64_t>(inst.imm);
+        d.cls = Cls::kInt;
+        d.dst = reg_id(inst.dst);
+        d.src[0] = reg_id(inst.src1);
+        trace.push_back(d);
+        break;
+      case isa::Op::kLslImm:
+        x[inst.dst.index] = x[inst.src1.index] << inst.imm;
+        d.cls = Cls::kInt;
+        d.dst = reg_id(inst.dst);
+        d.src[0] = reg_id(inst.src1);
+        trace.push_back(d);
+        break;
+      case isa::Op::kSubsImm:
+        x[inst.dst.index] =
+            x[inst.src1.index] - static_cast<std::uint64_t>(inst.imm);
+        zero_flag = (x[inst.dst.index] == 0);
+        d.cls = Cls::kInt;
+        d.dst = reg_id(inst.dst);
+        d.src[0] = reg_id(inst.src1);
+        trace.push_back(d);
+        // subs also writes flags; fold into the same dyn inst via dst2.
+        trace.back().dst2 = kFlags;
+        break;
+      case isa::Op::kLabel:
+        break;  // no dynamic instruction
+      case isa::Op::kBne: {
+        d.cls = Cls::kInt;
+        d.src[0] = kFlags;
+        trace.push_back(d);
+        if (!zero_flag) {
+          auto it = labels.find(inst.label);
+          if (it == labels.end())
+            throw std::runtime_error("pipeline: branch to unbound label");
+          pc = it->second;
+        }
+        break;
+      }
+    }
+    ++pc;
+  }
+  return trace;
+}
+
+struct Scheduler {
+  const hw::HardwareModel& hw;
+  const SimOptions& opts;
+  CacheSim cache;
+  std::array<double, kRegCount> reg_ready{};
+  std::array<double, 5> port_free{};
+
+  Scheduler(const hw::HardwareModel& h, const SimOptions& o)
+      : hw(h), opts(o), cache(h) {
+    for (const auto& range : o.warm_ranges) cache.warm(range.first, range.second);
+  }
+
+  double cls_cpi(Cls c) const {
+    switch (c) {
+      case Cls::kFma: return hw.cpi_fma;
+      case Cls::kLoad: return hw.cpi_load;
+      case Cls::kStore: return hw.cpi_store;
+      case Cls::kInt: return hw.cpi_int;
+      case Cls::kPrfm: return hw.cpi_load;
+    }
+    return 1.0;
+  }
+
+  // Schedules the trace starting at cycle t0; updates stats; returns the
+  // cycle when the last instruction's result is available.
+  double run(const std::vector<DynInst>& trace, double t0, SimStats& stats) {
+    const int n = static_cast<int>(trace.size());
+    std::vector<char> issued(n, 0);
+    int head = 0;
+    double t = t0;
+    int width_used = 0;
+    double last_completion = t0;
+
+    const int window = std::max(1, hw.ooo_window);
+    while (head < n) {
+      // An instruction issues "within cycle t" at effective time
+      // max(t, port-free, sources-ready) as long as that lands before t+1;
+      // this is what lets a cpi=0.5 FMA port start two operations per
+      // cycle instead of being quantized to the integer clock.
+      int pick = -1;
+      double start = 0;
+      if (width_used < hw.issue_width) {
+        const int end = std::min(n, head + window);
+        for (int j = head; j < end; ++j) {
+          if (issued[j]) continue;
+          const DynInst& d = trace[j];
+          double eff = std::max(t, port_free[static_cast<int>(d.cls)]);
+          for (int s : d.src)
+            if (s >= 0) eff = std::max(eff, reg_ready[s]);
+          if (eff < t + 1.0 - 1e-9) {
+            pick = j;
+            start = eff;
+            break;
+          }
+        }
+      }
+      if (pick < 0) {
+        t += 1.0;
+        width_used = 0;
+        continue;
+      }
+      const DynInst& d = trace[pick];
+      issued[pick] = 1;
+      ++width_used;
+      auto& port = port_free[static_cast<int>(d.cls)];
+      port = start + cls_cpi(d.cls);
+
+      double completion = start;
+      switch (d.cls) {
+        case Cls::kFma: {
+          completion = start + hw.lat_fma;
+          ++stats.fmas;
+          break;
+        }
+        case Cls::kLoad: {
+          double lat = hw.lat_load;
+          int level = 0;
+          if (opts.use_caches && cache.levels() > 0) {
+            level = cache.access(d.addr);
+            lat += hw.level_latency(level) - hw.caches.front().latency_cycles;
+          }
+          if (static_cast<int>(stats.level_hits.size()) <= level)
+            stats.level_hits.resize(level + 1, 0);
+          ++stats.level_hits[level];
+          completion = start + lat;
+          ++stats.loads;
+          break;
+        }
+        case Cls::kStore: {
+          completion = start + hw.lat_store;
+          if (opts.use_caches && cache.levels() > 0) (void)cache.access(d.addr);
+          ++stats.stores;
+          break;
+        }
+        case Cls::kInt:
+          completion = start + hw.lat_int;
+          break;
+        case Cls::kPrfm:
+          if (opts.use_caches && cache.levels() > 0) cache.prefetch(d.addr);
+          completion = start;  // asynchronous
+          break;
+      }
+      if (d.dst >= 0) reg_ready[d.dst] = completion;
+      if (d.dst2 >= 0)
+        reg_ready[d.dst2] = std::max(reg_ready[d.dst2], start + hw.lat_int);
+      last_completion = std::max(last_completion, completion);
+      ++stats.instructions;
+
+      // Per-stage accounting (Fig 3) against static indices.
+      if (opts.mainloop_begin >= 0) {
+        if (d.static_idx < opts.mainloop_begin)
+          stats.prologue_end = std::max(stats.prologue_end, completion);
+        else if (d.static_idx < opts.epilogue_begin)
+          stats.mainloop_end = std::max(stats.mainloop_end, completion);
+        else
+          stats.epilogue_end = std::max(stats.epilogue_end, completion);
+      }
+      while (head < n && issued[head]) ++head;
+    }
+    return last_completion;
+  }
+};
+
+}  // namespace
+
+SimStats simulate(const isa::Program& prog, const hw::HardwareModel& hw,
+                  const SimOptions& opts) {
+  SimStats stats;
+  const auto trace = build_trace(prog, opts);
+  Scheduler sched(hw, opts);
+  const double end = sched.run(trace, opts.launch_overhead, stats);
+  stats.cycles = end;
+  return stats;
+}
+
+SimStats simulate_repeated(const isa::Program& prog,
+                           const hw::HardwareModel& hw, const SimOptions& opts,
+                           int launches) {
+  SimStats stats;
+  const auto trace = build_trace(prog, opts);
+  Scheduler sched(hw, opts);
+  double t = 0.0;
+  for (int i = 0; i < launches; ++i) {
+    t += opts.launch_overhead;
+    t = sched.run(trace, t, stats);
+  }
+  stats.cycles = t;
+  return stats;
+}
+
+}  // namespace autogemm::sim

@@ -1,0 +1,99 @@
+// Cycle-level pipeline simulator.
+//
+// Executes a generated micro-kernel's *dynamic instruction stream* against
+// a hw::HardwareModel and reports cycles. Substitutes for the paper's five
+// Arm machines on this x86 host: the same causes the paper identifies —
+// FMA/load latency and throughput, register dependencies, the scheduler
+// window, and cache-level hit latency — produce the cycle counts here.
+//
+// Model (documented simplifications in DESIGN.md):
+//  * two phases: a functional X-register pass unrolls control flow into a
+//    trace (counted loops = perfectly predicted branches), then a
+//    scoreboard schedules the trace;
+//  * issue: up to `issue_width` instructions enter execution per cycle; a
+//    window of `ooo_window` oldest un-issued instructions is searched
+//    oldest-first (window 1 = strict in-order issue, wide window models
+//    register-renaming out-of-order cores, so WAR/WAW are not modeled);
+//  * each instruction class has a port with reciprocal throughput `cpi_*`
+//    and result latency `lat_*`; loads add the serving cache level's
+//    latency on top of an L1 hit cost;
+//  * fmla reads its accumulator: back-to-back FMAs to one register are
+//    spaced by lat_fma, which is why micro-kernels need mr*vnr independent
+//    accumulators — the effect Table II's register budget is about.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/hardware_model.hpp"
+#include "isa/program.hpp"
+
+namespace autogemm::sim {
+
+struct SimOptions {
+  // Synthetic base addresses for the three matrices (distinct regions).
+  std::uint64_t a_base = 0x1000'0000;
+  std::uint64_t b_base = 0x2000'0000;
+  std::uint64_t c_base = 0x3000'0000;
+  long lda = 0, ldb = 0, ldc = 0;  ///< element strides bound to x3..x5
+
+  /// Cycles charged before the first instruction (T_launch). The fusion
+  /// evaluation compares one launch for a fused sequence against one per
+  /// tile for separate kernel calls.
+  double launch_overhead = 12.0;
+
+  /// Ranges pre-touched in the cache model before simulation, modeling data
+  /// that was just packed/produced: {base, bytes}.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> warm_ranges;
+
+  /// When false, every load costs a flat L1 hit (the Section III-B model's
+  /// assumption); when true the cache hierarchy decides.
+  bool use_caches = true;
+
+  long max_dynamic_instructions = 20'000'000;
+
+  // Optional stage boundaries (static instruction indices) for per-stage
+  // cycle accounting (Fig 3): prologue = [0, mainloop_begin).
+  int mainloop_begin = -1;
+  int epilogue_begin = -1;
+};
+
+struct SimStats {
+  double cycles = 0;  ///< includes launch overhead
+  long instructions = 0;
+  long fmas = 0;
+  long loads = 0;
+  long stores = 0;
+  /// Loads served per hierarchy level; index caches.size() = DRAM.
+  std::vector<long> level_hits;
+
+  // Stage completion times (cycle of last issue+latency in each stage);
+  // only filled when SimOptions carries stage boundaries.
+  double prologue_end = 0;
+  double mainloop_end = 0;
+  double epilogue_end = 0;
+
+  /// Fraction of peak FMA throughput achieved: fmas * cpi_fma / cycles.
+  double efficiency(const hw::HardwareModel& hw) const {
+    if (cycles <= 0) return 0.0;
+    return static_cast<double>(fmas) * hw.cpi_fma / cycles;
+  }
+  /// GFLOPS at the chip's clock for an fp32 workload of `flops`.
+  double gflops(const hw::HardwareModel& hw, double flops) const {
+    if (cycles <= 0) return 0.0;
+    return flops / (cycles / hw.freq_ghz);  // cycles/GHz = nanoseconds
+  }
+};
+
+/// Simulates one program execution.
+SimStats simulate(const isa::Program& prog, const hw::HardwareModel& hw,
+                  const SimOptions& opts);
+
+/// Convenience: simulates a sequence of `launches` identical runs of the
+/// program, charging launch overhead each time but keeping the cache warm
+/// across runs. Returns aggregate stats.
+SimStats simulate_repeated(const isa::Program& prog,
+                           const hw::HardwareModel& hw, const SimOptions& opts,
+                           int launches);
+
+}  // namespace autogemm::sim

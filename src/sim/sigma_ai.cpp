@@ -1,0 +1,58 @@
+#include "sim/sigma_ai.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "codegen/generator.hpp"
+#include "codegen/tile_sizes.hpp"
+#include "sim/pipeline.hpp"
+
+namespace autogemm::sim {
+
+SigmaAiResult measure_sigma_ai(const hw::HardwareModel& hw,
+                               double relative_target, int kc) {
+  // Best simulated efficiency per distinct AI_max value.
+  std::map<double, double> best_at_ai;
+  for (const auto& tile :
+       codegen::enumerate_feasible_tiles(hw.lanes, hw.vector_registers)) {
+    if (tile.mr > 11) continue;  // Listing 1's row-pointer budget
+    codegen::GeneratorOptions opts;
+    opts.rotate_registers = true;
+    opts.memory_bound = codegen::ai_max(tile.mr, tile.nr) < hw.sigma_ai;
+    const auto mk =
+        codegen::generate_microkernel(tile.mr, tile.nr, kc, hw.lanes, opts);
+
+    SimOptions sopts;
+    sopts.lda = codegen::padded_k_a(kc, hw.lanes);
+    sopts.ldb = tile.nr;
+    sopts.ldc = tile.nr;
+    sopts.launch_overhead = 0;
+    // Warm operands: the micro-benchmark measures the pipeline, not the
+    // memory system.
+    sopts.warm_ranges = {
+        {sopts.a_base, static_cast<std::uint64_t>(tile.mr) * sopts.lda * 4},
+        {sopts.b_base,
+         static_cast<std::uint64_t>(codegen::padded_k_b(kc, hw.lanes)) *
+             tile.nr * 4},
+        {sopts.c_base, static_cast<std::uint64_t>(tile.mr) * tile.nr * 4}};
+    const auto stats = simulate_repeated(mk.program, hw, sopts, 4);
+    const double ai = codegen::ai_max(tile.mr, tile.nr);
+    auto& slot = best_at_ai[ai];
+    slot = std::max(slot, stats.efficiency(hw));
+  }
+
+  SigmaAiResult result;
+  for (const auto& [ai, eff] : best_at_ai)
+    result.best_efficiency = std::max(result.best_efficiency, eff);
+  // Smallest AI whose best tile sustains the target fraction of peak, with
+  // every higher-AI tile also sustaining it (a monotone frontier).
+  result.sigma_ai = best_at_ai.empty() ? 0.0 : best_at_ai.rbegin()->first;
+  const double bar = relative_target * result.best_efficiency;
+  for (auto it = best_at_ai.rbegin(); it != best_at_ai.rend(); ++it) {
+    if (it->second < bar) break;
+    result.sigma_ai = it->first;
+  }
+  return result;
+}
+
+}  // namespace autogemm::sim

@@ -1,0 +1,24 @@
+// sigma_AI micro-benchmarking (Section III-A2).
+//
+// The paper obtains sigma_AI — the arithmetic-intensity threshold above
+// which a micro-kernel can reach peak on a given chip — "by
+// micro-benchmarking a target hardware". This is that procedure run
+// against the pipeline simulator: generate the rotated kernel for every
+// feasible tile, simulate it warm, and report the smallest AI_max whose
+// tile sustains at least `relative_target` of the best efficiency any
+// tile achieves on that chip.
+#pragma once
+
+#include "hw/hardware_model.hpp"
+
+namespace autogemm::sim {
+
+struct SigmaAiResult {
+  double sigma_ai = 0;        ///< measured threshold
+  double best_efficiency = 0; ///< best tile efficiency observed
+};
+
+SigmaAiResult measure_sigma_ai(const hw::HardwareModel& hw,
+                               double relative_target = 0.90, int kc = 256);
+
+}  // namespace autogemm::sim

@@ -1,0 +1,73 @@
+// Micro-tiling strategies for a cache-resident sub-matrix C(mc, nc)
+// (Section IV-A, Algorithm 1, Fig 5).
+//
+// Three strategies are implemented:
+//  * OpenBLAS-style: one fixed register tile, edges padded;
+//  * LIBXSMM-style: one fixed main tile plus remainder tiles on the right
+//    and bottom edges (no padding, but the edge tiles can have very low
+//    arithmetic intensity);
+//  * DMT (the paper's contribution): a dynamic-programming split of the
+//    sub-matrix into four parts, each tiled uniformly with the tile size
+//    that minimizes the projected runtime of Section III-B's model.
+#pragma once
+
+#include <vector>
+
+#include "codegen/tile_sizes.hpp"
+#include "hw/hardware_model.hpp"
+#include "model/kernel_model.hpp"
+
+namespace autogemm::tiling {
+
+/// One placed micro-tile inside the sub-matrix.
+struct MicroTile {
+  int row = 0;
+  int col = 0;
+  int mr = 0;  ///< nominal tile height (kernel shape)
+  int nr = 0;  ///< nominal tile width
+  /// Rows/cols of real data covered (== mr/nr except on padded edges).
+  int rows_used = 0;
+  int cols_used = 0;
+  bool padded() const { return rows_used < mr || cols_used < nr; }
+};
+
+struct TilingResult {
+  std::vector<MicroTile> tiles;
+  double projected_cycles = 0;  ///< sum of model::kernel_cost over tiles
+  int padded_tiles = 0;
+  int low_ai_tiles = 0;  ///< tiles with AI_max below hw.sigma_ai
+
+  /// DMT split parameters (Algorithm 1's outputs); meaningful only for DMT.
+  int n_front = 0, m_front_up = 0, m_back_up = 0;
+};
+
+/// OpenBLAS strategy with the library's classic 5x(4*lanes) main tile.
+TilingResult tile_openblas(int mc, int nc, int kc, const hw::HardwareModel& hw,
+                           const model::KernelModelOptions& opts = {});
+
+/// LIBXSMM strategy: fixed main tile + remainder edge tiles.
+TilingResult tile_libxsmm(int mc, int nc, int kc, const hw::HardwareModel& hw,
+                          const model::KernelModelOptions& opts = {});
+
+/// Algorithm 1 (Dynamic Micro-Tiling). The published algorithm is a cubic
+/// brute force over (n_front, m_front_up, m_back_up); because the two row
+/// splits are independent given n_front, this implementation factors the
+/// search to O(nc * mc) with identical optima (verified against the brute
+/// force in tests).
+TilingResult tile_dmt(int mc, int nc, int kc, const hw::HardwareModel& hw,
+                      const model::KernelModelOptions& opts = {});
+
+/// Literal Algorithm 1 (three nested loops); exposed for the equivalence
+/// tests and for small illustrative cases like Fig 5's 26x36.
+TilingResult tile_dmt_bruteforce(int mc, int nc, int kc,
+                                 const hw::HardwareModel& hw,
+                                 const model::KernelModelOptions& opts = {});
+
+/// Cost of covering an m x n part with one uniform tile size: Algorithm
+/// 1's T(m, n) = min over Table II tiles of ceil(m/mr)*ceil(n/nr)*T_r.
+/// Returns the winning tile through `best` when non-null.
+double part_cost(int m, int n, int kc, const hw::HardwareModel& hw,
+                 const model::KernelModelOptions& opts,
+                 codegen::TileSize* best = nullptr);
+
+}  // namespace autogemm::tiling

@@ -1,0 +1,151 @@
+#include "tune/gbt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace autogemm::tune {
+namespace {
+
+double mean(const std::vector<double>& y, const std::vector<int>& index,
+            int begin, int end) {
+  double sum = 0;
+  for (int i = begin; i < end; ++i) sum += y[index[i]];
+  return sum / std::max(1, end - begin);
+}
+
+}  // namespace
+
+double GbtModel::Tree::eval(const FeatureVec& x) const {
+  int node = 0;
+  while (nodes[node].feature >= 0) {
+    node = x[nodes[node].feature] <= nodes[node].threshold
+               ? nodes[node].left
+               : nodes[node].right;
+  }
+  return nodes[node].value;
+}
+
+GbtModel::Tree GbtModel::build_tree(const std::vector<FeatureVec>& x,
+                                    const std::vector<double>& residual,
+                                    std::vector<int>& index, int begin,
+                                    int end, int depth) {
+  Tree tree;
+  // Recursive lambda via explicit stack-free recursion helper.
+  struct Builder {
+    const std::vector<FeatureVec>& x;
+    const std::vector<double>& r;
+    std::vector<int>& index;
+    const GbtParams& params;
+    Tree& tree;
+
+    int build(int begin, int end, int depth) {
+      const int node_id = static_cast<int>(tree.nodes.size());
+      tree.nodes.push_back({});
+      const double node_mean = mean(r, index, begin, end);
+      tree.nodes[node_id].value = node_mean;
+      if (depth >= params.max_depth || end - begin < params.min_samples)
+        return node_id;
+
+      // Greedy best split: minimize weighted variance over all features
+      // and midpoints between sorted unique values.
+      double best_gain = 1e-12;
+      int best_feature = -1;
+      double best_threshold = 0;
+      double parent_sse = 0;
+      for (int i = begin; i < end; ++i)
+        parent_sse += (r[index[i]] - node_mean) * (r[index[i]] - node_mean);
+
+      for (std::size_t f = 0; f < kFeatureCount; ++f) {
+        std::sort(index.begin() + begin, index.begin() + end,
+                  [&](int a, int b) { return x[a][f] < x[b][f]; });
+        // Prefix sums over the sorted order.
+        double left_sum = 0, left_sq = 0;
+        double total_sum = 0, total_sq = 0;
+        for (int i = begin; i < end; ++i) {
+          total_sum += r[index[i]];
+          total_sq += r[index[i]] * r[index[i]];
+        }
+        for (int i = begin; i < end - 1; ++i) {
+          const double v = r[index[i]];
+          left_sum += v;
+          left_sq += v * v;
+          if (x[index[i]][f] == x[index[i + 1]][f]) continue;
+          const int nl = i - begin + 1;
+          const int nr = end - i - 1;
+          const double right_sum = total_sum - left_sum;
+          const double right_sq = total_sq - left_sq;
+          const double sse_l = left_sq - left_sum * left_sum / nl;
+          const double sse_r = right_sq - right_sum * right_sum / nr;
+          const double gain = parent_sse - (sse_l + sse_r);
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_feature = static_cast<int>(f);
+            best_threshold = 0.5 * (x[index[i]][f] + x[index[i + 1]][f]);
+          }
+        }
+      }
+      if (best_feature < 0) return node_id;
+
+      // Partition on the chosen split and recurse.
+      std::sort(index.begin() + begin, index.begin() + end, [&](int a, int b) {
+        return x[a][best_feature] < x[b][best_feature];
+      });
+      int mid = begin;
+      while (mid < end && x[index[mid]][best_feature] <= best_threshold) ++mid;
+      if (mid == begin || mid == end) return node_id;
+
+      tree.nodes[node_id].feature = best_feature;
+      tree.nodes[node_id].threshold = best_threshold;
+      const int left = build(begin, mid, depth + 1);
+      tree.nodes[node_id].left = left;
+      const int right = build(mid, end, depth + 1);
+      tree.nodes[node_id].right = right;
+      return node_id;
+    }
+  };
+  Builder builder{x, residual, index, params_, tree};
+  builder.build(begin, end, depth);
+  return tree;
+}
+
+void GbtModel::fit(const std::vector<FeatureVec>& x,
+                   const std::vector<double>& y) {
+  if (x.size() != y.size() || x.empty())
+    throw std::invalid_argument("GbtModel::fit: bad dataset");
+  trees_.clear();
+  base_ = std::accumulate(y.begin(), y.end(), 0.0) / y.size();
+
+  std::vector<double> pred(y.size(), base_);
+  std::vector<double> residual(y.size());
+  std::vector<int> index(y.size());
+  for (int round = 0; round < params_.rounds; ++round) {
+    for (std::size_t i = 0; i < y.size(); ++i) residual[i] = y[i] - pred[i];
+    std::iota(index.begin(), index.end(), 0);
+    Tree tree = build_tree(x, residual, index, 0,
+                           static_cast<int>(index.size()), 0);
+    for (std::size_t i = 0; i < y.size(); ++i)
+      pred[i] += params_.shrinkage * tree.eval(x[i]);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GbtModel::predict(const FeatureVec& x) const {
+  double out = base_;
+  for (const auto& tree : trees_) out += params_.shrinkage * tree.eval(x);
+  return out;
+}
+
+double GbtModel::mse(const std::vector<FeatureVec>& x,
+                     const std::vector<double>& y) const {
+  double sum = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = predict(x[i]) - y[i];
+    sum += d * d;
+  }
+  return sum / std::max<std::size_t>(1, x.size());
+}
+
+}  // namespace autogemm::tune

@@ -1,0 +1,86 @@
+#include "tune/records.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace autogemm::tune {
+
+GemmConfig config_from_candidate(int m, int n, int k, const Candidate& c) {
+  GemmConfig cfg = default_config(m, n, k);
+  cfg.mc = c.mc;
+  cfg.nc = c.nc;
+  cfg.kc = c.kc;
+  cfg.loop_order = c.loop_order;
+  cfg.packing = c.packing;
+  return cfg;
+}
+
+bool TuningRecords::add(const ShapeKey& shape, const Candidate& candidate,
+                        double cost) {
+  auto it = records_.find(shape);
+  if (it != records_.end() && it->second.cost <= cost) return false;
+  records_[shape] = {candidate, cost};
+  return true;
+}
+
+std::optional<Candidate> TuningRecords::lookup(const ShapeKey& shape) const {
+  auto it = records_.find(shape);
+  if (it == records_.end()) return std::nullopt;
+  return it->second.candidate;
+}
+
+std::optional<double> TuningRecords::cost(const ShapeKey& shape) const {
+  auto it = records_.find(shape);
+  if (it == records_.end()) return std::nullopt;
+  return it->second.cost;
+}
+
+void TuningRecords::save(std::ostream& os) const {
+  os << "# autogemm tuning records v1: m n k mc nc kc order packing cost\n";
+  for (const auto& [shape, rec] : records_) {
+    os << shape.m << ' ' << shape.n << ' ' << shape.k << ' '
+       << rec.candidate.mc << ' ' << rec.candidate.nc << ' '
+       << rec.candidate.kc << ' ' << static_cast<int>(rec.candidate.loop_order)
+       << ' ' << static_cast<int>(rec.candidate.packing) << ' ' << rec.cost
+       << '\n';
+  }
+}
+
+void TuningRecords::load(std::istream& is) {
+  records_.clear();
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    ShapeKey shape;
+    Record rec;
+    int order = 0, packing = 0;
+    if (!(ls >> shape.m >> shape.n >> shape.k >> rec.candidate.mc >>
+          rec.candidate.nc >> rec.candidate.kc >> order >> packing >>
+          rec.cost))
+      throw std::runtime_error("TuningRecords::load: malformed line: " + line);
+    if (order < 0 || order > 5 || packing < 0 || packing > 2)
+      throw std::runtime_error("TuningRecords::load: out-of-range enum: " +
+                               line);
+    rec.candidate.loop_order = static_cast<LoopOrder>(order);
+    rec.candidate.packing = static_cast<kernels::Packing>(packing);
+    records_[shape] = rec;
+  }
+}
+
+bool TuningRecords::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  save(os);
+  return static_cast<bool>(os);
+}
+
+bool TuningRecords::load_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return false;
+  load(is);
+  return true;
+}
+
+}  // namespace autogemm::tune

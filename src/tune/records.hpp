@@ -1,0 +1,57 @@
+// Tuning-record persistence.
+//
+// The paper's workflow ends with "autoGEMM generates high-performance code
+// using the optimal parameters and packages it in the library": tuned
+// parameters are an ahead-of-time artifact. TuningRecords is that
+// artifact — a per-shape table of winning candidates with their measured
+// costs, serializable to a plain-text format so a tuning campaign survives
+// the process.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "tune/search_space.hpp"
+
+namespace autogemm::tune {
+
+struct ShapeKey {
+  int m = 0, n = 0, k = 0;
+  auto operator<=>(const ShapeKey&) const = default;
+};
+
+/// Builds a GemmConfig from a tuned candidate (the tune -> core bridge):
+/// the record's blocking/order/packing over the heuristic defaults.
+GemmConfig config_from_candidate(int m, int n, int k, const Candidate& c);
+
+class TuningRecords {
+ public:
+  /// Inserts or improves the record for a shape (kept only if `cost` beats
+  /// the stored one). Returns true if stored.
+  bool add(const ShapeKey& shape, const Candidate& candidate, double cost);
+
+  std::optional<Candidate> lookup(const ShapeKey& shape) const;
+  std::optional<double> cost(const ShapeKey& shape) const;
+  std::size_t size() const { return records_.size(); }
+
+  /// Text format, one record per line:
+  ///   m n k mc nc kc loop_order packing cost
+  void save(std::ostream& os) const;
+  /// Replaces the current contents. Throws std::runtime_error on a
+  /// malformed line.
+  void load(std::istream& is);
+
+  bool save_file(const std::string& path) const;
+  bool load_file(const std::string& path);
+
+ private:
+  struct Record {
+    Candidate candidate;
+    double cost = 0;
+  };
+  std::map<ShapeKey, Record> records_;
+};
+
+}  // namespace autogemm::tune

@@ -1,0 +1,56 @@
+#include "tune/search_space.hpp"
+
+#include <algorithm>
+
+namespace autogemm::tune {
+
+std::array<double, 6> features(const Candidate& c) {
+  return {static_cast<double>(c.mc),
+          static_cast<double>(c.nc),
+          static_cast<double>(c.kc),
+          static_cast<double>(c.loop_order),
+          static_cast<double>(c.packing),
+          static_cast<double>(c.mc) * c.nc * c.kc};
+}
+
+std::vector<int> blocking_choices(int dim, bool divisors_only) {
+  std::vector<int> out;
+  for (int d = 1; d <= dim; ++d)
+    if (dim % d == 0) out.push_back(d);
+  if (!divisors_only) {
+    for (int p = 8; p < dim; p *= 2)
+      if (dim % p != 0) out.push_back(p);
+    std::sort(out.begin(), out.end());
+  }
+  return out;
+}
+
+std::vector<Candidate> enumerate_space(int m, int n, int k,
+                                       bool divisors_only) {
+  std::vector<Candidate> out;
+  const auto mcs = blocking_choices(m, divisors_only);
+  const auto ncs = blocking_choices(n, divisors_only);
+  const auto kcs = blocking_choices(k, divisors_only);
+  const LoopOrder orders[] = {LoopOrder::kNKM, LoopOrder::kNMK,
+                              LoopOrder::kKNM, LoopOrder::kKMN,
+                              LoopOrder::kMNK, LoopOrder::kMKN};
+  const kernels::Packing packings[] = {kernels::Packing::kNone,
+                                       kernels::Packing::kOnline,
+                                       kernels::Packing::kOffline};
+  out.reserve(mcs.size() * ncs.size() * kcs.size() * 18);
+  for (int mc : mcs)
+    for (int nc : ncs)
+      for (int kc : kcs)
+        for (LoopOrder order : orders)
+          for (kernels::Packing packing : packings)
+            out.push_back({mc, nc, kc, order, packing});
+  return out;
+}
+
+std::size_t space_size(int m, int n, int k, bool divisors_only) {
+  return blocking_choices(m, divisors_only).size() *
+         blocking_choices(n, divisors_only).size() *
+         blocking_choices(k, divisors_only).size() * 6 * 3;
+}
+
+}  // namespace autogemm::tune

@@ -1,0 +1,42 @@
+// The Table III algorithm-parameter search space (Section IV-C2).
+//
+// Cache blocking spans every divisor-aligned (mc, nc, kc); loop order
+// spans the cache-loop permutations; packing spans {none, online,
+// offline}. The full space is what made TVM tuning take "hours or even
+// days"; the Eqn 13 model prune (tune::Tuner) is what collapses it.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "core/plan.hpp"
+
+namespace autogemm::tune {
+
+/// One point in the search space.
+struct Candidate {
+  int mc = 0, nc = 0, kc = 0;
+  LoopOrder loop_order = LoopOrder::kNKM;
+  kernels::Packing packing = kernels::Packing::kOnline;
+
+  bool operator==(const Candidate&) const = default;
+};
+
+/// Numeric feature vector for the learning-based surrogate (GBT).
+std::array<double, 6> features(const Candidate& c);
+
+/// The paper's blocking rule: all divisors of the dimension ("0 < mc <= M,
+/// M % mc == 0"). For prime or huge dimensions this is tiny/huge, so the
+/// space also admits the clamped power-of-two ladder used in practice.
+std::vector<int> blocking_choices(int dim, bool divisors_only);
+
+/// Materializes the full cross product. `divisors_only` follows the
+/// paper's constraint; false adds the power-of-two ladder.
+std::vector<Candidate> enumerate_space(int m, int n, int k,
+                                       bool divisors_only = true);
+
+/// Size of the space without materializing it.
+std::size_t space_size(int m, int n, int k, bool divisors_only = true);
+
+}  // namespace autogemm::tune

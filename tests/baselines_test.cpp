@@ -1,0 +1,182 @@
+// Baseline strategy validation: host correctness against the reference and
+// pricer sanity (the Table I orderings and mechanisms).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "baselines/host_baselines.hpp"
+#include "baselines/library_zoo.hpp"
+#include "baselines/pricer.hpp"
+#include "common/matrix.hpp"
+#include "common/reference_gemm.hpp"
+#include "common/rng.hpp"
+#include "test_util.hpp"
+
+namespace autogemm::baselines {
+namespace {
+
+using common::Matrix;
+
+using HostFn = void (*)(common::ConstMatrixView, common::ConstMatrixView,
+                        common::MatrixView);
+
+void check_host(HostFn fn, int m, int n, int k) {
+  SCOPED_TRACE(std::to_string(m) + "x" + std::to_string(n) + "x" +
+               std::to_string(k));
+  Matrix a(m, k), b(k, n), c(m, n), c_ref(m, n);
+  common::fill_random(a.view(), 1);
+  common::fill_random(b.view(), 2);
+  common::fill_random(c.view(), 3);
+  for (int r = 0; r < m; ++r)
+    for (int j = 0; j < n; ++j) c_ref.at(r, j) = c.at(r, j);
+  common::reference_gemm(a.view(), b.view(), c_ref.view());
+  fn(a.view(), b.view(), c.view());
+  EXPECT_LT(common::max_rel_error(c.view(), c_ref.view()),
+            testutil::gemm_tolerance(k));
+}
+
+TEST(HostBaselines, NaiveMatchesReference) {
+  check_host(naive_gemm, 17, 23, 9);
+  check_host(naive_gemm, 64, 64, 64);
+}
+
+TEST(HostBaselines, OpenBlasLikeMatchesReference) {
+  check_host(openblas_like_gemm, 64, 64, 64);
+  check_host(openblas_like_gemm, 26, 36, 16);
+  check_host(openblas_like_gemm, 200, 300, 280);  // multi-block
+  check_host(openblas_like_gemm, 1, 1, 1);
+}
+
+TEST(HostBaselines, LibxsmmLikeMatchesReference) {
+  check_host(libxsmm_like_gemm, 64, 64, 64);
+  check_host(libxsmm_like_gemm, 26, 36, 16);
+  check_host(libxsmm_like_gemm, 7, 100, 13);
+}
+
+TEST(HostBaselines, EigenLikeMatchesReference) {
+  check_host(eigen_like_gemm, 64, 64, 64);
+  check_host(eigen_like_gemm, 33, 47, 20);
+}
+
+TEST(HostBaselines, LibShalomRestriction) {
+  EXPECT_TRUE(libshalom_supports(64, 64));
+  EXPECT_FALSE(libshalom_supports(63, 64));
+  EXPECT_FALSE(libshalom_supports(64, 63));
+  check_host(libshalom_like_gemm, 20, 64, 32);
+  Matrix a(4, 7), b(7, 8), c(4, 8);
+  EXPECT_THROW(libshalom_like_gemm(a.view(), b.view(), c.view()),
+               std::invalid_argument);
+}
+
+TEST(HostBaselines, ShapeMismatchThrows) {
+  Matrix a(4, 4), b(5, 4), c(4, 4);
+  EXPECT_THROW(naive_gemm(a.view(), b.view(), c.view()),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- zoo
+
+TEST(Zoo, TableOneTraits) {
+  EXPECT_FALSE(traits(Library::kOpenBLAS).code_generation);
+  EXPECT_FALSE(traits(Library::kEigen).auto_tuning);
+  EXPECT_TRUE(traits(Library::kFastConv).auto_tuning);
+  EXPECT_FALSE(traits(Library::kFastConv).loop_scheduling);
+  EXPECT_TRUE(traits(Library::kLIBXSMM).loop_scheduling);
+  EXPECT_TRUE(traits(Library::kAutoGEMM).loop_scheduling);
+  EXPECT_EQ(table_one_libraries().size(), 7u);
+}
+
+TEST(Zoo, AvailabilityRules) {
+  EXPECT_FALSE(available_on(Library::kLibShalom, hw::Chip::kM2));
+  EXPECT_FALSE(available_on(Library::kLibShalom, hw::Chip::kA64FX));
+  EXPECT_TRUE(available_on(Library::kLibShalom, hw::Chip::kKP920));
+  EXPECT_TRUE(available_on(Library::kSSL2, hw::Chip::kA64FX));
+  EXPECT_FALSE(available_on(Library::kSSL2, hw::Chip::kGraviton2));
+  EXPECT_TRUE(available_on(Library::kAutoGEMM, hw::Chip::kM2));
+}
+
+TEST(Zoo, ShapeSupport) {
+  EXPECT_FALSE(supports_shape(Library::kLibShalom, 10, 10, 10));
+  EXPECT_TRUE(supports_shape(Library::kLibShalom, 10, 16, 8));
+  EXPECT_TRUE(supports_shape(Library::kOpenBLAS, 10, 10, 10));
+}
+
+// ---------------------------------------------------------------- pricer
+
+TEST(Pricer, AutoGemmNearPeakOnSmallSquare) {
+  // Table I: autoGEMM reaches ~98% efficiency at M=N=K=64.
+  const auto hw = hw::chip_model(hw::Chip::kKP920);
+  const auto p = price_gemm(Library::kAutoGEMM, 64, 64, 64, hw);
+  EXPECT_GT(p.efficiency, 0.85);
+  EXPECT_LE(p.efficiency, 1.0);
+}
+
+TEST(Pricer, TableOneSmallGemmOrdering) {
+  // Table I's small-GEMM column ordering: autoGEMM > LibShalom > TVM >
+  // LIBXSMM > FastConv > Eigen > OpenBLAS at 64^3.
+  const auto hw = hw::chip_model(hw::Chip::kKP920);
+  const auto eff = [&](Library lib) {
+    return price_gemm(lib, 64, 64, 64, hw).efficiency;
+  };
+  EXPECT_GT(eff(Library::kAutoGEMM), eff(Library::kLibShalom));
+  EXPECT_GT(eff(Library::kLibShalom), eff(Library::kTVM));
+  EXPECT_GT(eff(Library::kTVM), eff(Library::kLIBXSMM));
+  EXPECT_GT(eff(Library::kLIBXSMM), eff(Library::kFastConv));
+  EXPECT_GT(eff(Library::kFastConv), eff(Library::kEigen));
+  EXPECT_GT(eff(Library::kEigen), eff(Library::kOpenBLAS));
+}
+
+TEST(Pricer, IrregularGemmAutoGemmBeatsBlasLibraries) {
+  // Table I irregular row (256 x 3136 x 64): autoGEMM ~91% vs OpenBLAS 47%
+  // and Eigen 49%.
+  const auto hw = hw::chip_model(hw::Chip::kKP920);
+  const auto autogemm = price_gemm(Library::kAutoGEMM, 256, 3136, 64, hw);
+  const auto openblas = price_gemm(Library::kOpenBLAS, 256, 3136, 64, hw);
+  const auto eigen = price_gemm(Library::kEigen, 256, 3136, 64, hw);
+  EXPECT_GT(autogemm.efficiency, 0.80);
+  EXPECT_GT(autogemm.gflops / openblas.gflops, 1.2);
+  EXPECT_GT(autogemm.gflops / eigen.gflops, 1.2);
+}
+
+TEST(Pricer, ThreadScalingCappedByBlocks) {
+  // A tall-skinny problem with one N block and few M blocks cannot use all
+  // cores (K never splits) — the paper's multicore L7/L12/L17/L20 effect.
+  const auto hw = hw::chip_model(hw::Chip::kGraviton2);
+  PriceOptions one, many;
+  many.threads = 16;
+  const auto single = price_gemm(Library::kAutoGEMM, 128, 784, 1152, hw, one);
+  const auto multi = price_gemm(Library::kAutoGEMM, 128, 784, 1152, hw, many);
+  const double speedup = single.cycles / multi.cycles;
+  EXPECT_GT(speedup, 1.0);
+  EXPECT_LT(speedup, 16.0);
+}
+
+TEST(Pricer, PackingCostAccounted) {
+  const auto hw = hw::chip_model(hw::Chip::kGraviton2);
+  LibraryStrategy s = strategy_for(Library::kOpenBLAS, 128, 128, 128, hw);
+  const auto p = price_strategy(s, 128, 128, 128, hw);
+  EXPECT_GT(p.pack_cycles, 0.0);
+  EXPECT_LT(p.pack_cycles, p.cycles);
+}
+
+TEST(Pricer, MulticoreForcesKcEqualsK) {
+  const auto hw = hw::chip_model(hw::Chip::kGraviton2);
+  const auto s = strategy_for(Library::kAutoGEMM, 128, 784, 1152, hw,
+                              /*multicore=*/true);
+  EXPECT_EQ(s.kc, 1152);
+}
+
+TEST(Pricer, EfficiencyAlwaysBounded) {
+  for (const auto chip : hw::evaluated_chips()) {
+    const auto hw = hw::chip_model(chip);
+    for (const Library lib : table_one_libraries()) {
+      if (!available_on(lib, chip)) continue;
+      const auto p = price_gemm(lib, 32, 32, 32, hw);
+      EXPECT_GT(p.efficiency, 0.0) << library_name(lib) << " " << hw.name;
+      EXPECT_LE(p.efficiency, 1.0) << library_name(lib) << " " << hw.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace autogemm::baselines

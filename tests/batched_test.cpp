@@ -1,0 +1,90 @@
+// Batched GEMM validation: shared-plan and mixed-shape batches, serial and
+// pooled.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/reference_gemm.hpp"
+#include "common/rng.hpp"
+#include "core/batched.hpp"
+#include "test_util.hpp"
+
+namespace autogemm {
+namespace {
+
+using common::Matrix;
+
+struct Stored {
+  Matrix a, b, c, c_ref;
+  Stored(int m, int n, int k, int seed)
+      : a(m, k), b(k, n), c(m, n), c_ref(m, n) {
+    common::fill_random(a.view(), seed);
+    common::fill_random(b.view(), seed + 1);
+    common::fill_random(c.view(), seed + 2);
+    for (int r = 0; r < m; ++r)
+      for (int j = 0; j < n; ++j) c_ref.at(r, j) = c.at(r, j);
+    common::reference_gemm(a.view(), b.view(), c_ref.view());
+  }
+};
+
+TEST(Batched, SharedPlanSerial) {
+  const int m = 24, n = 32, k = 16;
+  std::vector<std::unique_ptr<Stored>> problems;
+  std::vector<BatchItem> items;
+  for (int i = 0; i < 5; ++i) {
+    problems.push_back(std::make_unique<Stored>(m, n, k, 10 * i));
+    items.push_back(
+        {problems.back()->a.view(), problems.back()->b.view(),
+         problems.back()->c.view()});
+  }
+  Plan plan(m, n, k, default_config(m, n, k));
+  gemm_batched(items, plan);
+  for (const auto& p : problems)
+    EXPECT_LT(common::max_rel_error(p->c.view(), p->c_ref.view()),
+              testutil::gemm_tolerance(k));
+}
+
+TEST(Batched, SharedPlanPooled) {
+  const int m = 20, n = 28, k = 12;
+  std::vector<std::unique_ptr<Stored>> problems;
+  std::vector<BatchItem> items;
+  for (int i = 0; i < 9; ++i) {
+    problems.push_back(std::make_unique<Stored>(m, n, k, 7 * i));
+    items.push_back(
+        {problems.back()->a.view(), problems.back()->b.view(),
+         problems.back()->c.view()});
+  }
+  Plan plan(m, n, k, default_config(m, n, k));
+  common::ThreadPool pool(4);
+  gemm_batched(items, plan, &pool);
+  for (const auto& p : problems)
+    EXPECT_LT(common::max_rel_error(p->c.view(), p->c_ref.view()),
+              testutil::gemm_tolerance(k));
+}
+
+TEST(Batched, MixedShapes) {
+  std::vector<std::unique_ptr<Stored>> problems;
+  problems.push_back(std::make_unique<Stored>(8, 8, 8, 1));
+  problems.push_back(std::make_unique<Stored>(33, 17, 9, 2));
+  problems.push_back(std::make_unique<Stored>(8, 8, 8, 3));  // shape reuse
+  problems.push_back(std::make_unique<Stored>(64, 48, 24, 4));
+  std::vector<BatchItem> items;
+  for (auto& p : problems)
+    items.push_back({p->a.view(), p->b.view(), p->c.view()});
+  common::ThreadPool pool(3);
+  gemm_batched(items, &pool);
+  for (const auto& p : problems)
+    EXPECT_LT(common::max_rel_error(p->c.view(), p->c_ref.view()),
+              testutil::gemm_tolerance(p->a.cols()));
+}
+
+TEST(Batched, EmptyBatchIsNoop) {
+  gemm_batched({});
+  Plan plan(4, 4, 4, default_config(4, 4, 4));
+  gemm_batched({}, plan);
+}
+
+}  // namespace
+}  // namespace autogemm

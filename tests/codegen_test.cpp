@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include "codegen/generator.hpp"
+#include "codegen/sequence.hpp"
+#include "codegen/tile_sizes.hpp"
+#include "codegen/library_export.hpp"
+#include "isa/asm_printer.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace autogemm::codegen {
+namespace {
+
+// ---------------------------------------------------------------- Table II
+
+TEST(TileSizes, RegisterBudgetMatchesListingOne) {
+  // Listing 1's allocation: mr*vnr accumulators + mr A + vnr B registers.
+  EXPECT_EQ(registers_needed(5, 16, 4), 29);
+  EXPECT_EQ(registers_needed(8, 8, 4), 26);
+  EXPECT_EQ(registers_needed(4, 20, 4), 29);
+  EXPECT_EQ(registers_needed(6, 12, 4), 27);
+}
+
+TEST(TileSizes, TableTwoDashesAreInfeasible) {
+  // The '-' cells of Table II are the register-infeasible ones. (7x12 needs
+  // 31 registers and is feasible by the Listing 1 budget even though Table
+  // II leaves the cell blank; the paper's own count of 58 feasible sizes is
+  // only reached when it is included, so we treat the blank as editorial.)
+  EXPECT_FALSE(tile_feasible(4, 24, 4));
+  EXPECT_FALSE(tile_feasible(4, 28, 4));
+  EXPECT_FALSE(tile_feasible(5, 20, 4));
+  EXPECT_FALSE(tile_feasible(6, 16, 4));
+  EXPECT_TRUE(tile_feasible(7, 12, 4));
+  EXPECT_FALSE(tile_feasible(8, 12, 4));
+  // ... and the populated cells feasible.
+  EXPECT_TRUE(tile_feasible(4, 20, 4));
+  EXPECT_TRUE(tile_feasible(5, 16, 4));
+  EXPECT_TRUE(tile_feasible(6, 12, 4));
+  EXPECT_TRUE(tile_feasible(7, 8, 4));
+  EXPECT_TRUE(tile_feasible(8, 8, 4));
+  EXPECT_TRUE(tile_feasible(2, 28, 4));
+  EXPECT_TRUE(tile_feasible(3, 28, 4));
+}
+
+TEST(TileSizes, PaperCountsFiftyEightFeasibleTiles) {
+  // "With 32 vector registers being the common upper limit in ARM chips,
+  //  there are only 58 feasible tile sizes."
+  EXPECT_EQ(enumerate_feasible_tiles(4).size(), 58u);
+}
+
+TEST(TileSizes, NonLaneMultipleRejected) {
+  EXPECT_FALSE(tile_feasible(4, 10, 4));
+  EXPECT_FALSE(tile_feasible(4, 0, 4));
+}
+
+TEST(TileSizes, AiMaxMatchesTableTwo) {
+  // Spot-check Table II entries (Eqn 2 to two decimals).
+  EXPECT_NEAR(ai_max(2, 4), 2.67, 0.01);
+  EXPECT_NEAR(ai_max(2, 16), 3.56, 0.01);
+  EXPECT_NEAR(ai_max(3, 12), 4.80, 0.01);
+  EXPECT_NEAR(ai_max(4, 20), 6.67, 0.01);
+  EXPECT_NEAR(ai_max(5, 16), 7.62, 0.01);
+  EXPECT_NEAR(ai_max(6, 12), 8.00, 0.01);
+  EXPECT_NEAR(ai_max(7, 8), 7.47, 0.01);
+  EXPECT_NEAR(ai_max(8, 8), 8.00, 0.01);
+}
+
+TEST(TileSizes, PreferredTilesAreTheBlueCells) {
+  const auto pref = preferred_tiles(4);
+  ASSERT_EQ(pref.size(), 4u);
+  EXPECT_EQ(pref[0], (TileSize{8, 8}));
+  EXPECT_EQ(pref[1], (TileSize{6, 12}));
+  EXPECT_EQ(pref[2], (TileSize{5, 16}));
+  EXPECT_EQ(pref[3], (TileSize{4, 20}));
+}
+
+TEST(TileSizes, FiniteAiApproachesAiMax) {
+  // Eqn 3 -> Eqn 2 as kc grows (Fig 2's saturation).
+  const double limit = ai_max(5, 16);
+  EXPECT_LT(ai_finite(5, 16, 4, 4), limit * 0.5);
+  EXPECT_GT(ai_finite(5, 16, 1024, 4), limit * 0.97);
+  // Monotone increasing in kc.
+  double prev = 0;
+  for (int kc = 4; kc <= 256; kc *= 2) {
+    const double ai = ai_finite(5, 16, kc, 4);
+    EXPECT_GT(ai, prev);
+    prev = ai;
+  }
+}
+
+TEST(TileSizes, BadArgumentsThrow) {
+  EXPECT_THROW(ai_max(0, 4), std::invalid_argument);
+  EXPECT_THROW(ai_finite(4, 16, 0, 4), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- Listing 1
+
+TEST(Generator, RejectsInfeasibleTile) {
+  EXPECT_THROW(generate_microkernel(5, 20, 16, 4), std::invalid_argument);
+  EXPECT_THROW(generate_microkernel(5, 16, 0, 4), std::invalid_argument);
+  // Vector-feasible but out of general-purpose row pointers (mr > 11).
+  EXPECT_THROW(generate_microkernel(15, 4, 16, 4), std::invalid_argument);
+  EXPECT_NO_THROW(generate_microkernel(11, 4, 16, 4));
+}
+
+TEST(Generator, InstructionCountsMatchListingOne) {
+  // 5x16, kc=16 (4 unrolled blocks, no remainder).
+  const auto mk = generate_microkernel(5, 16, 16, 4);
+  const auto counts = mk.program.counts();
+  // Static FMAs: one emitted loop body = lanes * vnr * mr = 80 (the loop
+  // re-executes it; dynamic counts are checked by the pipeline tests).
+  EXPECT_EQ(counts.fmas, 80);
+  // Static loads: prologue C (20) + A (5) + B (4), plus one emitted loop
+  // body with 16 B loads and 5 A loads (the body is emitted once and
+  // branched over, so it contributes once to the *static* count).
+  EXPECT_EQ(counts.loads, 20 + 5 + 4 + 16 + 5);
+  EXPECT_EQ(counts.stores, 20);
+  EXPECT_EQ(counts.prefetches, 3);
+  EXPECT_EQ(counts.branches, 1);
+}
+
+TEST(Generator, StaticBodyEmittedOnce) {
+  // Static FMA count = one body (lanes*vnr*mr) + remainder lanes.
+  const auto mk = generate_microkernel(5, 16, 18, 4);
+  // body 80 + remainder 2*4*5 = 40.
+  EXPECT_EQ(mk.program.counts().fmas, 80 + 40);
+}
+
+TEST(Generator, StageBoundariesOrdered) {
+  const auto mk = generate_microkernel(4, 8, 12, 4);
+  EXPECT_GT(mk.mainloop_begin, 0);
+  EXPECT_GE(mk.epilogue_begin, mk.mainloop_begin);
+  EXPECT_LT(static_cast<std::size_t>(mk.epilogue_begin), mk.program.size());
+}
+
+TEST(Generator, RotationUsesSpareRegisters) {
+  GeneratorOptions opts;
+  opts.rotate_registers = true;
+  // 5x16 has 3 spare registers -> rotation applies (the paper's example).
+  const auto mk = generate_microkernel(5, 16, 32, 4, opts);
+  EXPECT_TRUE(mk.rotated);
+  // Rotated A preloads appear in the asm text.
+  EXPECT_NE(isa::emit_asm(mk.program).find("rotated A preload"),
+            std::string::npos);
+}
+
+TEST(Generator, MemoryBoundRotationDoubleBuffersB) {
+  GeneratorOptions opts;
+  opts.rotate_registers = true;
+  opts.memory_bound = true;
+  const auto mk = generate_microkernel(2, 16, 16, 4, opts);
+  EXPECT_TRUE(mk.rotated);
+  // Prologue loads two B rows instead of one: loads include vnr extra.
+  const auto basic = generate_microkernel(2, 16, 16, 4);
+  EXPECT_GT(mk.program.counts().loads, basic.program.counts().loads);
+}
+
+TEST(Generator, NoLoopWhenKcSmallerThanLanes) {
+  const auto mk = generate_microkernel(4, 8, 3, 4);
+  EXPECT_EQ(mk.program.counts().branches, 0);
+  EXPECT_EQ(mk.program.counts().fmas, 3 * 2 * 4);  // rem * vnr * mr
+}
+
+TEST(Generator, ZeroCVariantEmitsMovi) {
+  GeneratorOptions opts;
+  opts.load_c = false;
+  const auto mk = generate_microkernel(2, 8, 8, 4, opts);
+  EXPECT_NE(isa::emit_asm(mk.program).find("movi"), std::string::npos);
+}
+
+TEST(Generator, AsmLooksLikeListingOne) {
+  const auto mk = generate_microkernel(2, 8, 8, 4);
+  const std::string text = isa::emit_asm(mk.program);
+  EXPECT_NE(text.find("lsl x3, x3, #2"), std::string::npos);
+  EXPECT_NE(text.find("prfm PLDL1KEEP"), std::string::npos);
+  EXPECT_NE(text.find("fmla"), std::string::npos);
+  EXPECT_NE(text.find("subs x29, x29, #1"), std::string::npos);
+  const std::string wrapper = isa::emit_cpp_wrapper(mk.program);
+  EXPECT_NE(wrapper.find("MicroKernel_2x8x8"), std::string::npos);
+}
+
+TEST(Generator, L2PrefetchOption) {
+  codegen::GeneratorOptions opts;
+  opts.l2_prefetch = true;
+  const auto with = generate_microkernel(5, 16, 32, 4, opts);
+  const auto without = generate_microkernel(5, 16, 32, 4);
+  EXPECT_GT(with.program.counts().prefetches,
+            without.program.counts().prefetches);
+  EXPECT_NE(isa::emit_asm(with.program).find("PLDL2KEEP"), std::string::npos);
+}
+
+TEST(Generator, PaddingContract) {
+  EXPECT_EQ(padded_k_a(16, 4), 20);
+  EXPECT_EQ(padded_k_a(18, 4), 20);
+  EXPECT_EQ(padded_k_b(16, 4), 18);
+}
+
+// -------------------------------------------------------------- Sequences
+
+TEST(Sequence, EmptyThrows) {
+  EXPECT_THROW(generate_sequence(SequenceSpec{}), std::invalid_argument);
+}
+
+TEST(Sequence, TileStartsRecorded) {
+  SequenceSpec spec;
+  spec.lanes = 4;
+  spec.lda = spec.ldb = spec.ldc = 32;
+  spec.tiles = {{4, 8, 8, 0, 0, 0}, {4, 8, 8, 0, 8, 8}};
+  const auto seq = generate_sequence(spec);
+  EXPECT_EQ(seq.tile_starts.size(), 2u);
+  EXPECT_EQ(seq.tile_starts[0], 0);
+  EXPECT_GT(seq.tile_starts[1], 0);
+}
+
+TEST(Sequence, FusedHasSameInstructionMix) {
+  SequenceSpec spec;
+  spec.lanes = 4;
+  spec.lda = spec.ldb = spec.ldc = 64;
+  spec.tiles = {{5, 16, 12, 0, 0, 0}, {5, 16, 12, 0, 16, 16}};
+  const auto plain = generate_sequence(spec);
+  spec.fuse = true;
+  const auto fused = generate_sequence(spec);
+  // Fusion reorders across the boundary but preserves the instruction mix.
+  EXPECT_EQ(plain.program.counts().fmas, fused.program.counts().fmas);
+  EXPECT_EQ(plain.program.counts().loads, fused.program.counts().loads);
+  EXPECT_EQ(plain.program.counts().stores, fused.program.counts().stores);
+  EXPECT_EQ(plain.program.size(), fused.program.size());
+}
+
+TEST(Sequence, UnrolledHasNoBranches) {
+  SequenceSpec spec;
+  spec.lanes = 4;
+  spec.lda = spec.ldb = spec.ldc = 32;
+  spec.tiles = {{4, 8, 32, 0, 0, 0}};
+  const auto seq = generate_sequence(spec);
+  EXPECT_EQ(seq.program.counts().branches, 0);
+  EXPECT_EQ(seq.program.counts().fmas, 4 * 2 * 32);  // mr*vnr*kc vector FMAs
+}
+
+// ------------------------------------------------------------ export
+
+TEST(LibraryExport, WritesCompilableSourceTree) {
+  const std::string dir = "/tmp/autogemm_export_test";
+  std::filesystem::remove_all(dir);
+  ExportSpec spec;
+  spec.kcs = {8, 16};
+  spec.options.rotate_registers = true;
+  const auto result = write_kernel_library(dir, spec);
+  // 4 preferred tiles x 2 kc + 1 header.
+  EXPECT_EQ(result.files_written, 9);
+  EXPECT_EQ(result.kernel_names.size(), 8u);
+
+  std::ifstream header(dir + "/autogemm_generated.h");
+  ASSERT_TRUE(header.good());
+  std::stringstream ss;
+  ss << header.rdbuf();
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("kKernels"), std::string::npos);
+  EXPECT_NE(text.find("MicroKernel_5x16x16"), std::string::npos);
+
+  std::ifstream kernel(dir + "/MicroKernel_5x16x16.cpp");
+  ASSERT_TRUE(kernel.good());
+  std::stringstream ks;
+  ks << kernel.rdbuf();
+  EXPECT_NE(ks.str().find("__asm__ __volatile__"), std::string::npos);
+  EXPECT_NE(ks.str().find("fmla"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(LibraryExport, CustomTileList) {
+  const std::string dir = "/tmp/autogemm_export_test2";
+  std::filesystem::remove_all(dir);
+  ExportSpec spec;
+  spec.tiles = {{2, 8}};
+  spec.kcs = {4};
+  const auto result = write_kernel_library(dir, spec);
+  EXPECT_EQ(result.files_written, 2);
+  EXPECT_EQ(result.kernel_names.front(), "MicroKernel_2x8x4");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace autogemm::codegen

@@ -1,0 +1,117 @@
+// Cross-validation of the two performance engines (DESIGN.md §5.3): the
+// analytic model (Eqns 4-11 + window budget) and the pipeline simulator
+// executing the generated instruction streams must agree on every tile/
+// chip/depth combination — not to the cycle (the simulator sees integer
+// scheduling and real port contention the closed forms idealize), but
+// within a bounded band, and they must RANK configurations the same way.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "codegen/generator.hpp"
+#include "hw/chip_database.hpp"
+#include "model/kernel_model.hpp"
+#include "sim/pipeline.hpp"
+
+namespace autogemm {
+namespace {
+
+struct Outcome {
+  double model_cycles = 0;
+  double sim_cycles = 0;
+};
+
+Outcome run_both(const codegen::TileSize& tile, int kc, hw::Chip chip,
+                 bool rra) {
+  const auto hw = hw::chip_model(chip);
+  Outcome out;
+
+  model::KernelModelOptions mopts;
+  mopts.rotate_registers = rra;
+  mopts.launch_overhead = 0;
+  out.model_cycles = model::kernel_cost(tile, kc, hw, mopts).total();
+
+  codegen::GeneratorOptions gopts;
+  gopts.rotate_registers = rra;
+  gopts.memory_bound = model::is_memory_bound(tile, hw);
+  const auto mk =
+      codegen::generate_microkernel(tile.mr, tile.nr, kc, hw.lanes, gopts);
+  sim::SimOptions sopts;
+  sopts.lda = codegen::padded_k_a(kc, hw.lanes);
+  sopts.ldb = tile.nr;
+  sopts.ldc = tile.nr;
+  sopts.launch_overhead = 0;
+  sopts.warm_ranges = {
+      {sopts.a_base, static_cast<std::uint64_t>(tile.mr) * sopts.lda * 4},
+      {sopts.b_base,
+       static_cast<std::uint64_t>(codegen::padded_k_b(kc, hw.lanes)) *
+           tile.nr * 4},
+      {sopts.c_base, static_cast<std::uint64_t>(tile.mr) * tile.nr * 4}};
+  out.sim_cycles = sim::simulate(mk.program, hw, sopts).cycles;
+  return out;
+}
+
+using Case = std::tuple<int, int, int, hw::Chip, bool>;  // mr, nr, kc, chip, rra
+
+class ModelVsSimulator : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ModelVsSimulator, AgreeWithinBand) {
+  const auto [mr, nr, kc, chip, rra] = GetParam();
+  SCOPED_TRACE(std::string(hw::chip_name(chip)) + " " + std::to_string(mr) +
+               "x" + std::to_string(nr) + " kc=" + std::to_string(kc) +
+               (rra ? " rra" : ""));
+  const auto o = run_both({mr, nr}, kc, chip, rra);
+  ASSERT_GT(o.sim_cycles, 0);
+  const double ratio = o.model_cycles / o.sim_cycles;
+  // The model idealizes integer overhead and the sigma_AI ceiling is a
+  // conservative floor, so it may sit above or below the simulator — but
+  // never by more than ~2x in either direction for warm kernels.
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+std::vector<Case> band_cases() {
+  std::vector<Case> cases;
+  const int tiles[][2] = {{5, 16}, {8, 8}, {4, 20}, {2, 16}, {6, 12}};
+  for (const auto& t : tiles)
+    for (int kc : {16, 64, 128})
+      for (const auto chip : {hw::Chip::kReference, hw::Chip::kKP920,
+                              hw::Chip::kGraviton2, hw::Chip::kM2})
+        for (bool rra : {false, true})
+          cases.emplace_back(t[0], t[1], kc, chip, rra);
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ModelVsSimulator,
+                         ::testing::ValuesIn(band_cases()));
+
+TEST(ModelVsSimulator, RankPreferredTilesConsistently) {
+  // Both engines must prefer the high-AI tiles over the low-AI ones for a
+  // compute-heavy depth on the strict chips (the ranking DMT relies on).
+  for (const auto chip : {hw::Chip::kReference, hw::Chip::kKP920}) {
+    const auto good = run_both({5, 16}, 64, chip, true);
+    const auto bad = run_both({2, 16}, 64, chip, true);
+    // Normalize per flop: 5x16 does 2.5x the work of 2x16.
+    const double model_good = good.model_cycles / (5.0 * 16);
+    const double model_bad = bad.model_cycles / (2.0 * 16);
+    const double sim_good = good.sim_cycles / (5.0 * 16);
+    const double sim_bad = bad.sim_cycles / (2.0 * 16);
+    EXPECT_LT(model_good, model_bad) << hw::chip_name(chip);
+    EXPECT_LT(sim_good, sim_bad) << hw::chip_name(chip);
+  }
+}
+
+TEST(ModelVsSimulator, KcScalingTracksLinearly) {
+  // Doubling kc must roughly double both projections (launch/pro/epi are
+  // amortized at these depths).
+  for (const auto chip : {hw::Chip::kGraviton2, hw::Chip::kKP920}) {
+    const auto small = run_both({5, 16}, 64, chip, true);
+    const auto big = run_both({5, 16}, 128, chip, true);
+    EXPECT_NEAR(big.model_cycles / small.model_cycles, 2.0, 0.25);
+    EXPECT_NEAR(big.sim_cycles / small.sim_cycles, 2.0, 0.25);
+  }
+}
+
+}  // namespace
+}  // namespace autogemm

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "isa/asm_printer.hpp"
+#include "isa/instruction.hpp"
+#include "isa/program.hpp"
+
+namespace autogemm::isa {
+namespace {
+
+TEST(Instruction, RegisterNames) {
+  EXPECT_EQ(reg_name(X(0)), "x0");
+  EXPECT_EQ(reg_name(X(29)), "x29");
+  EXPECT_EQ(reg_name(V(31)), "v31");
+  EXPECT_EQ(reg_name(Reg{}), "<none>");
+}
+
+TEST(Instruction, Classification) {
+  Instruction ld;
+  ld.op = Op::kLdrQ;
+  EXPECT_TRUE(ld.is_load());
+  EXPECT_TRUE(ld.is_vector_mem());
+  EXPECT_FALSE(ld.is_store());
+  Instruction fma;
+  fma.op = Op::kFmla;
+  EXPECT_TRUE(fma.is_fma());
+  Instruction br;
+  br.op = Op::kBne;
+  EXPECT_TRUE(br.is_branch());
+}
+
+TEST(Program, PushAndCounts) {
+  Program p("test", 2, 8, 16, 4);
+  Instruction ld;
+  ld.op = Op::kLdrQ;
+  ld.dst = V(0);
+  ld.src1 = X(0);
+  p.push(ld);
+  Instruction fma;
+  fma.op = Op::kFmla;
+  fma.dst = V(1);
+  fma.src1 = V(2);
+  fma.src2 = V(3);
+  fma.lane = 0;
+  p.push(fma);
+  Instruction st;
+  st.op = Op::kStrQ;
+  st.dst = V(1);
+  st.src1 = X(2);
+  p.push(st);
+
+  const auto counts = p.counts();
+  EXPECT_EQ(counts.loads, 1);
+  EXPECT_EQ(counts.fmas, 1);
+  EXPECT_EQ(counts.stores, 1);
+  EXPECT_EQ(p.size(), 3u);
+}
+
+TEST(Program, LabelsResolve) {
+  Program p("test", 1, 4, 4, 4);
+  const int l = p.new_label();
+  Instruction lab;
+  lab.op = Op::kLabel;
+  lab.label = l;
+  p.push(lab);
+  EXPECT_EQ(p.find_label(l), 0);
+  EXPECT_EQ(p.find_label(l + 1), -1);
+}
+
+TEST(AsmPrinter, RendersCoreInstructions) {
+  Program p("k", 1, 4, 4, 4);
+  Instruction ld;
+  ld.op = Op::kLdrQ;
+  ld.dst = V(5);
+  ld.src1 = X(6);
+  ld.addr = AddrMode::kPostIndex;
+  ld.imm = 16;
+  p.push(ld);
+  Instruction fma;
+  fma.op = Op::kFmla;
+  fma.dst = V(0);
+  fma.src1 = V(9);
+  fma.src2 = V(4);
+  fma.lane = 2;
+  p.push(fma);
+  Instruction st;
+  st.op = Op::kStrQ;
+  st.dst = V(0);
+  st.src1 = X(11);
+  st.addr = AddrMode::kOffset;
+  st.imm = 32;
+  p.push(st);
+
+  const std::string text = emit_asm(p);
+  EXPECT_NE(text.find("ldr q5, [x6], #16"), std::string::npos);
+  EXPECT_NE(text.find("fmla v0.4s, v9.4s, v4.s[2]"), std::string::npos);
+  EXPECT_NE(text.find("str q0, [x11, #32]"), std::string::npos);
+}
+
+TEST(AsmPrinter, SveLaneArrangement) {
+  Program p("k", 1, 16, 16, 16);
+  Instruction fma;
+  fma.op = Op::kFmla;
+  fma.dst = V(0);
+  fma.src1 = V(1);
+  fma.src2 = V(2);
+  fma.lane = 0;
+  p.push(fma);
+  EXPECT_NE(emit_asm(p).find("v0.16s"), std::string::npos);
+}
+
+TEST(AsmPrinter, PrefetchLevels) {
+  Program p("k", 1, 4, 4, 4);
+  Instruction pf;
+  pf.op = Op::kPrfm;
+  pf.src1 = X(0);
+  pf.addr = AddrMode::kOffset;
+  pf.imm = 64;
+  pf.prefetch = PrefetchLevel::kL2;
+  p.push(pf);
+  EXPECT_NE(emit_asm(p).find("PLDL2KEEP"), std::string::npos);
+}
+
+TEST(AsmPrinter, CppWrapperHasInterfaceAndClobbers) {
+  Program p("MicroKernel_2x8x16", 2, 8, 16, 4);
+  Instruction mov;
+  mov.op = Op::kMovReg;
+  mov.dst = X(6);
+  mov.src1 = X(0);
+  p.push(mov);
+  const std::string text = emit_cpp_wrapper(p);
+  EXPECT_NE(text.find("void MicroKernel_2x8x16(const float* A"), std::string::npos);
+  EXPECT_NE(text.find("__asm__ __volatile__"), std::string::npos);
+  EXPECT_NE(text.find("\"cc\", \"memory\""), std::string::npos);
+  EXPECT_NE(text.find("[lda] \"+r\"(lda_)"), std::string::npos);
+}
+
+TEST(AsmPrinter, BranchAndLabel) {
+  Program p("k", 1, 4, 4, 4);
+  const int l = p.new_label();
+  Instruction lab;
+  lab.op = Op::kLabel;
+  lab.label = l;
+  p.push(lab);
+  Instruction b;
+  b.op = Op::kBne;
+  b.label = l;
+  p.push(b);
+  const std::string text = emit_asm(p);
+  EXPECT_NE(text.find("0:"), std::string::npos);
+  EXPECT_NE(text.find("b.ne 0b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace autogemm::isa

@@ -1,0 +1,189 @@
+// Analytic-model validation: the closed forms worked out in Section III-B/C
+// of the paper must fall out of Eqns 4-11 exactly on the reference machine.
+#include <gtest/gtest.h>
+
+#include "hw/chip_database.hpp"
+#include "model/kernel_model.hpp"
+#include "model/roofline.hpp"
+
+namespace autogemm::model {
+namespace {
+
+hw::HardwareModel ref() { return hw::chip_model(hw::Chip::kReference); }
+
+TEST(KernelModel, PrologueEqnFive) {
+  // 5x16: (20 + 5 + 4)*1 + 8 = 37 cycles (the Fig 3-(a) walkthrough).
+  EXPECT_DOUBLE_EQ(t_prologue({5, 16}, ref()), 37.0);
+  // 2x16: (8 + 2 + 4)*1 + 8 = 22.
+  EXPECT_DOUBLE_EQ(t_prologue({2, 16}, ref()), 22.0);
+}
+
+TEST(KernelModel, ComputeBoundMainloopEqnSix) {
+  // Paper: 5x16 basic main loop = 20*kc + 13*floor(kc_vec) cycles.
+  for (int kc : {4, 16, 64, 256}) {
+    const double expected = 20.0 * kc + 13.0 * (kc / 4);
+    EXPECT_DOUBLE_EQ(t_mainloop({5, 16}, kc, ref(), false, false), expected)
+        << "kc=" << kc;
+  }
+}
+
+TEST(KernelModel, ComputeBoundRotatedEqnNine) {
+  // With rotation: 20*kc + 13*ceil(floor(kc_vec)/2).
+  for (int kc : {8, 16, 64}) {
+    const int vkc = kc / 4;
+    const double expected = 20.0 * kc + 13.0 * ((vkc + 1) / 2);
+    EXPECT_DOUBLE_EQ(t_mainloop({5, 16}, kc, ref(), false, true), expected)
+        << "kc=" << kc;
+  }
+}
+
+TEST(KernelModel, MemoryBoundMainloopEqnEight) {
+  // Paper: 2x16 basic main loop = 48*floor(kc_vec) cycles.
+  for (int kc : {4, 16, 64}) {
+    EXPECT_DOUBLE_EQ(t_mainloop({2, 16}, kc, ref(), true, false),
+                     48.0 * (kc / 4))
+        << "kc=" << kc;
+  }
+}
+
+TEST(KernelModel, MemoryBoundRotatedEqnTen) {
+  // Paper: with B double-buffering the 2x16 main loop becomes 42*vkc.
+  for (int kc : {4, 16, 64}) {
+    EXPECT_DOUBLE_EQ(t_mainloop({2, 16}, kc, ref(), true, true),
+                     42.0 * (kc / 4))
+        << "kc=" << kc;
+  }
+}
+
+TEST(KernelModel, EpilogueEqnSeven) {
+  // No remainder: L_fma + store time = 8 + 20 = 28 for 5x16.
+  EXPECT_DOUBLE_EQ(t_epilogue({5, 16}, 16, ref()), 28.0);
+  // kc=18: two remainder lanes add 2 * 20 FMA cycles.
+  EXPECT_DOUBLE_EQ(t_epilogue({5, 16}, 18, ref()), 40.0 + 28.0);
+}
+
+TEST(KernelModel, TotalMatchesPaperClosedForm) {
+  // "the micro-kernel generated from tile size 5x16 will use
+  //  20*kc + 13*floor(kc_vec) + 65 cycles" in addition to launch time.
+  KernelModelOptions opts;
+  opts.launch_overhead = 0;
+  for (int kc : {4, 16, 64, 256}) {
+    const auto cost = kernel_cost({5, 16}, kc, ref(), opts);
+    EXPECT_FALSE(cost.memory_bound);
+    EXPECT_DOUBLE_EQ(cost.total(), 20.0 * kc + 13.0 * (kc / 4) + 65.0)
+        << "kc=" << kc;
+  }
+}
+
+TEST(KernelModel, RotatedTotalMatchesPaperClosedForm) {
+  // "the projected runtime of the micro-kernel of tile size 5x16 will be
+  //  20*kc + 13*ceil(floor(kc_vec)/2) + 65 cycles."
+  KernelModelOptions opts;
+  opts.launch_overhead = 0;
+  opts.rotate_registers = true;
+  for (int kc : {8, 64}) {
+    const int vkc = kc / 4;
+    const auto cost = kernel_cost({5, 16}, kc, ref(), opts);
+    EXPECT_DOUBLE_EQ(cost.total(), 20.0 * kc + 13.0 * ((vkc + 1) / 2) + 65.0);
+  }
+}
+
+TEST(KernelModel, BoundClassificationFollowsSigmaAi) {
+  auto hw = ref();  // sigma_ai = 6.0
+  EXPECT_FALSE(is_memory_bound({5, 16}, hw));  // AI 7.62
+  EXPECT_TRUE(is_memory_bound({2, 16}, hw));   // AI 3.56
+  hw.sigma_ai = 8.5;
+  EXPECT_TRUE(is_memory_bound({5, 16}, hw));
+}
+
+TEST(KernelModel, FusedBoundaryEqnEleven) {
+  // c_to_c with no k remainder: (mr*vnr + mr)*cpi_load + L_load
+  //  = (20 + 5)*1 + 8 = 33 for back-to-back 5x16 tiles.
+  EXPECT_DOUBLE_EQ(t_fused_boundary({5, 16}, 16, {5, 16}, ref()), 33.0);
+  // kc=18: the two remainder lanes' FMAs precede the overlap: +40.
+  EXPECT_DOUBLE_EQ(t_fused_boundary({5, 16}, 18, {5, 16}, ref()), 73.0);
+}
+
+TEST(KernelModel, FusionSavesOverSeparateKernels) {
+  KernelModelOptions opts;
+  const double separate = sequence_cost({5, 16}, 16, 8, ref(), opts, false);
+  const double fused = sequence_cost({5, 16}, 16, 8, ref(), opts, true);
+  EXPECT_LT(fused, separate);
+  // Fusion's saving matters most at small kc (the paper's K=4 example shows
+  // ~16-17% end-to-end).
+  const double sep_small = sequence_cost({5, 4}, 4, 32, ref(), opts, false);
+  const double fus_small = sequence_cost({5, 4}, 4, 32, ref(), opts, true);
+  EXPECT_GT((sep_small - fus_small) / sep_small, 0.10);
+}
+
+TEST(KernelModel, SequenceCostDegenerateCases) {
+  KernelModelOptions opts;
+  EXPECT_EQ(sequence_cost({5, 16}, 16, 0, ref(), opts, true), 0.0);
+  const double one = kernel_cost({5, 16}, 16, ref(), opts).total();
+  EXPECT_DOUBLE_EQ(sequence_cost({5, 16}, 16, 1, ref(), opts, true), one);
+}
+
+// ----------------------------------------------------------------- roofline
+
+TEST(Roofline, GemmAiGrowsWithSize) {
+  EXPECT_LT(gemm_dram_ai(8, 8, 8), gemm_dram_ai(64, 64, 64));
+  // Square n^3 GEMM AI ~ n/8 flops per byte.
+  EXPECT_NEAR(gemm_dram_ai(64, 64, 64), 64.0 / 8.0, 0.1);
+}
+
+TEST(Roofline, RidgeSeparatesRegimes) {
+  const auto hw = hw::chip_model(hw::Chip::kKP920);
+  const double ridge = ridge_ai(hw);
+  EXPECT_FALSE(roofline_chip(hw, ridge * 0.5).compute_bound);
+  EXPECT_TRUE(roofline_chip(hw, ridge * 2.0).compute_bound);
+  EXPECT_DOUBLE_EQ(roofline_chip(hw, ridge * 2.0).attainable_gflops,
+                   hw.peak_gflops_chip());
+}
+
+TEST(Roofline, SingleCorePeakBelowChipPeak) {
+  const auto hw = hw::chip_model(hw::Chip::kGraviton2);
+  const double ai = 100.0;
+  EXPECT_LT(roofline_single_core(hw, ai).attainable_gflops,
+            roofline_chip(hw, ai).attainable_gflops);
+}
+
+TEST(Roofline, PeakGflopsFormula) {
+  const auto hw = hw::chip_model(hw::Chip::kA64FX);
+  // 2.2 GHz * 2 pipes * 16 lanes * 2 flops = 140.8 GFLOPS/core.
+  EXPECT_NEAR(hw.peak_gflops_core(), 140.8, 0.1);
+  EXPECT_NEAR(hw.peak_gflops_chip(), 140.8 * 48, 1.0);
+}
+
+TEST(Scaling, TopologyModelMatchesPaperEfficiencies) {
+  // Fig 11's reported parallel efficiencies at full core count.
+  struct Expect {
+    hw::Chip chip;
+    double eff;
+    double tol;
+  } cases[] = {
+      {hw::Chip::kKP920, 0.980, 0.02},
+      {hw::Chip::kGraviton2, 0.982, 0.02},
+      {hw::Chip::kAltra, 0.832, 0.03},
+      {hw::Chip::kM2, 0.935, 0.02},
+      {hw::Chip::kA64FX, 0.303, 0.03},
+  };
+  for (const auto& c : cases) {
+    const auto hw = hw::chip_model(c.chip);
+    const double eff =
+        hw.scaling_speedup(hw.topology.cores) / hw.topology.cores;
+    EXPECT_NEAR(eff, c.eff, c.tol) << hw.name;
+  }
+}
+
+TEST(Scaling, MonotoneSpeedup) {
+  const auto hw = hw::chip_model(hw::Chip::kAltra);
+  double prev = 0;
+  for (int t = 1; t <= hw.topology.cores; t *= 2) {
+    const double s = hw.scaling_speedup(t);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+}  // namespace
+}  // namespace autogemm::model

@@ -1,0 +1,98 @@
+// Tuning-record persistence: round trips, improvement semantics, and
+// malformed input handling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/plan.hpp"
+#include "tune/records.hpp"
+
+namespace autogemm::tune {
+namespace {
+
+Candidate make_candidate(int mc) {
+  return {mc, 32, 16, LoopOrder::kKNM, kernels::Packing::kOffline};
+}
+
+TEST(Records, AddAndLookup) {
+  TuningRecords records;
+  EXPECT_TRUE(records.add({64, 64, 64}, make_candidate(16), 1000.0));
+  ASSERT_TRUE(records.lookup({64, 64, 64}).has_value());
+  EXPECT_EQ(records.lookup({64, 64, 64})->mc, 16);
+  EXPECT_FALSE(records.lookup({1, 2, 3}).has_value());
+  EXPECT_EQ(records.cost({64, 64, 64}).value(), 1000.0);
+}
+
+TEST(Records, KeepsOnlyImprovements) {
+  TuningRecords records;
+  records.add({8, 8, 8}, make_candidate(4), 500.0);
+  EXPECT_FALSE(records.add({8, 8, 8}, make_candidate(2), 600.0));  // worse
+  EXPECT_EQ(records.lookup({8, 8, 8})->mc, 4);
+  EXPECT_TRUE(records.add({8, 8, 8}, make_candidate(8), 400.0));  // better
+  EXPECT_EQ(records.lookup({8, 8, 8})->mc, 8);
+}
+
+TEST(Records, StreamRoundTrip) {
+  TuningRecords records;
+  records.add({64, 64, 64}, make_candidate(16), 1234.5);
+  records.add({256, 3136, 64},
+              {128, 240, 64, LoopOrder::kNKM, kernels::Packing::kNone},
+              9.75e6);
+  std::stringstream ss;
+  records.save(ss);
+
+  TuningRecords loaded;
+  loaded.load(ss);
+  EXPECT_EQ(loaded.size(), 2u);
+  const auto c = loaded.lookup({256, 3136, 64});
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->mc, 128);
+  EXPECT_EQ(c->loop_order, LoopOrder::kNKM);
+  EXPECT_EQ(c->packing, kernels::Packing::kNone);
+  EXPECT_NEAR(loaded.cost({64, 64, 64}).value(), 1234.5, 1e-9);
+}
+
+TEST(Records, LoadRejectsMalformedLine) {
+  TuningRecords records;
+  std::stringstream ss("64 64 64 16 not-a-number 16 0 1 10.0\n");
+  EXPECT_THROW(records.load(ss), std::runtime_error);
+  std::stringstream bad_enum("64 64 64 16 32 16 9 1 10.0\n");
+  EXPECT_THROW(records.load(bad_enum), std::runtime_error);
+}
+
+TEST(Records, CommentsAndBlankLinesIgnored) {
+  TuningRecords records;
+  std::stringstream ss("# header\n\n64 64 64 16 32 16 2 1 10.0\n");
+  records.load(ss);
+  EXPECT_EQ(records.size(), 1u);
+  EXPECT_EQ(records.lookup({64, 64, 64})->loop_order, LoopOrder::kKNM);
+}
+
+TEST(Records, FileRoundTrip) {
+  TuningRecords records;
+  records.add({4, 5, 6}, make_candidate(2), 42.0);
+  const std::string path = "/tmp/autogemm_records_test.txt";
+  ASSERT_TRUE(records.save_file(path));
+  TuningRecords loaded;
+  ASSERT_TRUE(loaded.load_file(path));
+  EXPECT_EQ(loaded.size(), 1u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(loaded.load_file("/nonexistent/dir/records.txt"));
+}
+
+TEST(Records, ConfigFromCandidateBridgesToCore) {
+  const Candidate c{24, 48, 12, LoopOrder::kKMN, kernels::Packing::kNone};
+  const GemmConfig cfg = config_from_candidate(96, 96, 48, c);
+  EXPECT_EQ(cfg.mc, 24);
+  EXPECT_EQ(cfg.nc, 48);
+  EXPECT_EQ(cfg.kc, 12);
+  EXPECT_EQ(cfg.loop_order, LoopOrder::kKMN);
+  EXPECT_EQ(cfg.packing, kernels::Packing::kNone);
+  // And the resulting plan executes (clamped to the problem).
+  Plan plan(96, 96, 48, cfg);
+  EXPECT_GT(plan.projected_cycles(), 0.0);
+}
+
+}  // namespace
+}  // namespace autogemm::tune

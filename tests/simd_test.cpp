@@ -1,0 +1,65 @@
+// Portable SIMD vector unit tests (the host micro-kernels' substrate).
+#include <gtest/gtest.h>
+
+#include "simd/vec.hpp"
+
+namespace autogemm::simd {
+namespace {
+
+TEST(Vec4, LoadStoreRoundTrip) {
+  const float in[4] = {1.0f, -2.5f, 3.25f, 0.0f};
+  float out[4] = {};
+  vec4::load(in).store(out);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[i], in[i]);
+}
+
+TEST(Vec4, BroadcastFillsAllLanes) {
+  float out[4] = {};
+  vec4::broadcast(7.5f).store(out);
+  for (float v : out) EXPECT_EQ(v, 7.5f);
+}
+
+TEST(Vec4, ZeroIsZero) {
+  float out[4] = {1, 2, 3, 4};
+  vec4::zero().store(out);
+  for (float v : out) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Vec4, FmaAccumulates) {
+  const float a[4] = {1, 2, 3, 4};
+  const float b[4] = {10, 20, 30, 40};
+  float out[4] = {};
+  vec4 acc = vec4::broadcast(5.0f);
+  acc.fma(vec4::load(a), vec4::load(b));
+  acc.store(out);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[i], 5.0f + a[i] * b[i]);
+}
+
+TEST(Vec4, UnalignedAccess) {
+  // The kernels load from arbitrary lda offsets; unaligned must work.
+  alignas(16) float buf[8] = {0, 1, 2, 3, 4, 5, 6, 7};
+  float out[4] = {};
+  vec4::load(buf + 1).store(out);
+  EXPECT_EQ(out[0], 1.0f);
+  EXPECT_EQ(out[3], 4.0f);
+}
+
+TEST(Vec4, ChainedFmaMatchesScalar) {
+  float acc_s[4] = {};
+  vec4 acc = vec4::zero();
+  for (int k = 0; k < 17; ++k) {
+    float a[4], b[4];
+    for (int i = 0; i < 4; ++i) {
+      a[i] = static_cast<float>((k * 7 + i) % 5 - 2);
+      b[i] = static_cast<float>((k * 3 + i) % 4 - 1);
+      acc_s[i] += a[i] * b[i];
+    }
+    acc.fma(vec4::load(a), vec4::load(b));
+  }
+  float out[4];
+  acc.store(out);
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(out[i], acc_s[i]);
+}
+
+}  // namespace
+}  // namespace autogemm::simd

@@ -1,0 +1,13 @@
+// Shared test helpers.
+#pragma once
+
+namespace autogemm::testutil {
+
+/// Acceptance threshold when comparing an fp32 GEMM against the double-
+/// precision reference: rounding error of a length-k fp32 dot product grows
+/// ~ k * eps, so the bound scales with the reduction depth. (The paper's
+/// flat 1e-6 bar compares fp32 libraries against each other, where the
+/// error statistics cancel.)
+inline double gemm_tolerance(int k) { return 1e-6 + 1e-7 * k; }
+
+}  // namespace autogemm::testutil

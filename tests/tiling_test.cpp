@@ -1,0 +1,147 @@
+// Micro-tiling validation, including the Fig 5 worked example (26x36).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/chip_database.hpp"
+#include "tiling/micro_tiling.hpp"
+
+namespace autogemm::tiling {
+namespace {
+
+// Checks the fundamental tiling invariant: every cell of the mc x nc
+// sub-matrix is covered by exactly one tile's used region, and used regions
+// never exceed tile bounds.
+void check_exact_cover(const TilingResult& result, int mc, int nc) {
+  std::vector<int> cover(static_cast<std::size_t>(mc) * nc, 0);
+  for (const auto& t : result.tiles) {
+    ASSERT_GE(t.rows_used, 1);
+    ASSERT_GE(t.cols_used, 1);
+    ASSERT_LE(t.rows_used, t.mr);
+    ASSERT_LE(t.cols_used, t.nr);
+    for (int r = t.row; r < t.row + t.rows_used; ++r) {
+      for (int c = t.col; c < t.col + t.cols_used; ++c) {
+        ASSERT_GE(r, 0);
+        ASSERT_LT(r, mc);
+        ASSERT_GE(c, 0);
+        ASSERT_LT(c, nc);
+        ++cover[static_cast<std::size_t>(r) * nc + c];
+      }
+    }
+  }
+  for (int r = 0; r < mc; ++r)
+    for (int c = 0; c < nc; ++c)
+      EXPECT_EQ(cover[static_cast<std::size_t>(r) * nc + c], 1)
+          << "cell (" << r << "," << c << ")";
+}
+
+TEST(StaticTiling, OpenBlasFigFiveCounts) {
+  // Fig 5-(a): 26x36 with fixed 5x16 tiles -> 18 tiles, 8 of them padded.
+  const auto hw = hw::chip_model(hw::Chip::kKP920);
+  const auto result = tile_openblas(26, 36, 16, hw);
+  EXPECT_EQ(result.tiles.size(), 18u);
+  EXPECT_EQ(result.padded_tiles, 8);
+  check_exact_cover(result, 26, 36);
+}
+
+TEST(StaticTiling, LibxsmmFigFiveCounts) {
+  // Fig 5-(b): 18 tiles, no padding, 8 low-AI edge tiles (on the
+  // high-sigma_AI KP920 profile).
+  const auto hw = hw::chip_model(hw::Chip::kKP920);
+  const auto result = tile_libxsmm(26, 36, 16, hw);
+  EXPECT_EQ(result.tiles.size(), 18u);
+  EXPECT_EQ(result.padded_tiles, 0);
+  EXPECT_EQ(result.low_ai_tiles, 8);
+  check_exact_cover(result, 26, 36);
+}
+
+TEST(DynamicTiling, FigFiveBeatsStaticStrategies) {
+  // Fig 5-(c): DMT produces 13 tiles vs 18, with at most 2 low-AI tiles.
+  const auto hw = hw::chip_model(hw::Chip::kKP920);
+  const auto dmt = tile_dmt(26, 36, 16, hw);
+  const auto openblas = tile_openblas(26, 36, 16, hw);
+  const auto libxsmm = tile_libxsmm(26, 36, 16, hw);
+  EXPECT_LT(dmt.tiles.size(), openblas.tiles.size());
+  EXPECT_LE(dmt.tiles.size(), 14u);  // paper reports 13
+  EXPECT_LE(dmt.low_ai_tiles, 2);
+  EXPECT_LT(dmt.projected_cycles, openblas.projected_cycles);
+  EXPECT_LT(dmt.projected_cycles, libxsmm.projected_cycles);
+  check_exact_cover(dmt, 26, 36);
+}
+
+TEST(DynamicTiling, SigmaAiChangesTheSplit) {
+  // Fig 5-(c) shows two DMT solutions depending on hardware sigma_AI; at
+  // minimum the low-AI tile count must not increase on the lenient chip.
+  const auto result_strict = tile_dmt(26, 36, 16, hw::chip_model(hw::Chip::kKP920));
+  const auto result_lenient =
+      tile_dmt(26, 36, 16, hw::chip_model(hw::Chip::kM2));
+  EXPECT_LE(result_strict.low_ai_tiles, 2);
+  check_exact_cover(result_lenient, 26, 36);
+}
+
+TEST(DynamicTiling, ExactShapesProduceNoPadding) {
+  const auto hw = hw::chip_model(hw::Chip::kGraviton2);
+  for (const auto& shape : {std::pair{25, 32}, {24, 36}, {16, 16}, {80, 32},
+                            {40, 80}}) {
+    const auto result = tile_dmt(shape.first, shape.second, 16, hw);
+    EXPECT_EQ(result.padded_tiles, 0)
+        << shape.first << "x" << shape.second;
+    check_exact_cover(result, shape.first, shape.second);
+  }
+}
+
+TEST(DynamicTiling, MatchesBruteForceOptimum) {
+  const auto hw = hw::chip_model(hw::Chip::kGraviton2);
+  for (const auto& shape :
+       {std::pair{12, 12}, {10, 20}, {7, 24}, {26, 36}, {13, 28}}) {
+    const auto fast = tile_dmt(shape.first, shape.second, 8, hw);
+    const auto brute = tile_dmt_bruteforce(shape.first, shape.second, 8, hw);
+    EXPECT_DOUBLE_EQ(fast.projected_cycles, brute.projected_cycles)
+        << shape.first << "x" << shape.second;
+  }
+}
+
+TEST(DynamicTiling, UniformShapeUsesSingleTileSize) {
+  // Fig 7: for 80x32 and 25x64 all three strategies use pure 5x16 grids,
+  // so DMT must find a zero-padding single-size solution there too.
+  const auto hw = hw::chip_model(hw::Chip::kKP920);
+  for (const auto& shape : {std::pair{80, 32}, {25, 64}}) {
+    const auto dmt = tile_dmt(shape.first, shape.second, 16, hw);
+    const auto openblas = tile_openblas(shape.first, shape.second, 16, hw);
+    EXPECT_EQ(dmt.padded_tiles, 0);
+    EXPECT_DOUBLE_EQ(dmt.projected_cycles, openblas.projected_cycles)
+        << shape.first << "x" << shape.second;
+  }
+}
+
+TEST(DynamicTiling, HandlesDegenerateShapes) {
+  const auto hw = hw::chip_model(hw::Chip::kGraviton2);
+  check_exact_cover(tile_dmt(1, 4, 4, hw), 1, 4);
+  check_exact_cover(tile_dmt(1, 1, 1, hw), 1, 1);
+  check_exact_cover(tile_dmt(64, 1, 16, hw), 64, 1);
+  EXPECT_THROW(tile_dmt(0, 8, 8, hw), std::invalid_argument);
+}
+
+TEST(PartCost, EmptyPartIsFree) {
+  const auto hw = hw::chip_model(hw::Chip::kGraviton2);
+  EXPECT_EQ(part_cost(0, 16, 8, hw, {}), 0.0);
+  EXPECT_EQ(part_cost(16, 0, 8, hw, {}), 0.0);
+}
+
+TEST(PartCost, PicksHighAiTileForBigParts) {
+  const auto hw = hw::chip_model(hw::Chip::kGraviton2);
+  codegen::TileSize best;
+  part_cost(40, 80, 64, hw, {}, &best);
+  // A large divisible part should pick one of the preferred (blue) tiles.
+  EXPECT_GE(codegen::ai_max(best.mr, best.nr), 6.0);
+}
+
+TEST(Tiling, ProjectedCyclesPositive) {
+  const auto hw = hw::chip_model(hw::Chip::kAltra);
+  EXPECT_GT(tile_dmt(26, 36, 16, hw).projected_cycles, 0.0);
+  EXPECT_GT(tile_openblas(26, 36, 16, hw).projected_cycles, 0.0);
+  EXPECT_GT(tile_libxsmm(26, 36, 16, hw).projected_cycles, 0.0);
+}
+
+}  // namespace
+}  // namespace autogemm::tiling

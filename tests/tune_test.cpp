@@ -1,0 +1,154 @@
+// Tuner validation: search space enumeration, GBT surrogate learning, and
+// the four search strategies converging on planted optima.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/chip_database.hpp"
+#include "tune/gbt.hpp"
+#include "tune/search_space.hpp"
+#include "tune/tuner.hpp"
+
+namespace autogemm::tune {
+namespace {
+
+TEST(SearchSpace, DivisorBlockingMatchesPaperRule) {
+  // "0 < mc <= M, M % mc == 0": divisors of 12 are {1,2,3,4,6,12}.
+  const auto choices = blocking_choices(12, true);
+  EXPECT_EQ(choices, (std::vector<int>{1, 2, 3, 4, 6, 12}));
+}
+
+TEST(SearchSpace, SizeMatchesEnumeration) {
+  EXPECT_EQ(space_size(12, 8, 4), enumerate_space(12, 8, 4).size());
+  // 6 divisors * 4 * 3 * 6 orders * 3 packings.
+  EXPECT_EQ(space_size(12, 8, 4), 6u * 4 * 3 * 6 * 3);
+}
+
+TEST(SearchSpace, PowerOfTwoLadderExtendsPrimes) {
+  // A prime dimension has only {1, p} divisors; the ladder adds usable
+  // block sizes.
+  EXPECT_EQ(blocking_choices(97, true).size(), 2u);
+  EXPECT_GT(blocking_choices(97, false).size(), 2u);
+}
+
+TEST(SearchSpace, FeaturesDistinguishCandidates) {
+  Candidate a{16, 32, 64, LoopOrder::kNKM, kernels::Packing::kNone};
+  Candidate b{32, 32, 64, LoopOrder::kNKM, kernels::Packing::kNone};
+  EXPECT_NE(features(a), features(b));
+}
+
+// ------------------------------------------------------------------- GBT
+
+TEST(Gbt, LearnsSeparableFunction) {
+  // y = (mc - 32)^2 + nc: a planted quadratic the trees must approximate.
+  std::vector<FeatureVec> xs;
+  std::vector<double> ys;
+  for (int mc = 8; mc <= 64; mc += 4) {
+    for (int nc = 8; nc <= 64; nc += 8) {
+      Candidate c{mc, nc, 32, LoopOrder::kNKM, kernels::Packing::kNone};
+      xs.push_back(features(c));
+      ys.push_back((mc - 32.0) * (mc - 32.0) + nc);
+    }
+  }
+  GbtModel model;
+  model.fit(xs, ys);
+  EXPECT_TRUE(model.trained());
+  // Training MSE far below the target variance.
+  double var = 0, mean = 0;
+  for (double y : ys) mean += y;
+  mean /= ys.size();
+  for (double y : ys) var += (y - mean) * (y - mean);
+  var /= ys.size();
+  EXPECT_LT(model.mse(xs, ys), var * 0.1);
+}
+
+TEST(Gbt, PredictsUnseenPointsReasonably) {
+  std::vector<FeatureVec> xs;
+  std::vector<double> ys;
+  for (int mc = 8; mc <= 64; mc += 4) {
+    Candidate c{mc, 32, 32, LoopOrder::kNKM, kernels::Packing::kNone};
+    xs.push_back(features(c));
+    ys.push_back(static_cast<double>(mc));  // identity in one feature
+  }
+  GbtModel model;
+  model.fit(xs, ys);
+  Candidate probe{30, 32, 32, LoopOrder::kNKM, kernels::Packing::kNone};
+  EXPECT_NEAR(model.predict(features(probe)), 30.0, 6.0);
+}
+
+TEST(Gbt, RejectsEmptyDataset) {
+  GbtModel model;
+  EXPECT_THROW(model.fit({}, {}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- tuners
+
+// Planted cost: unique optimum at (mc=16, nc=8, kc=4, NKM, online).
+double planted_cost(const Candidate& c) {
+  double cost = 100.0;
+  cost += std::abs(c.mc - 16) + std::abs(c.nc - 8) + std::abs(c.kc - 4);
+  cost += c.loop_order == LoopOrder::kNKM ? 0 : 5;
+  cost += c.packing == kernels::Packing::kOnline ? 0 : 3;
+  return cost;
+}
+
+TEST(Tuner, ExhaustiveFindsPlantedOptimum) {
+  const auto space = enumerate_space(32, 16, 8);
+  const auto result = tune_exhaustive(space, planted_cost);
+  EXPECT_EQ(result.best.mc, 16);
+  EXPECT_EQ(result.best.nc, 8);
+  EXPECT_EQ(result.best.kc, 4);
+  EXPECT_EQ(result.best.loop_order, LoopOrder::kNKM);
+  EXPECT_EQ(result.evaluations, static_cast<long>(space.size()));
+}
+
+TEST(Tuner, ModelPrunedMatchesExhaustiveWithFewerEvals) {
+  const auto space = enumerate_space(32, 16, 8);
+  // The "model" here is a noisy version of the true cost — good enough to
+  // rank, which is all pruning needs.
+  const auto noisy_model = [](const Candidate& c) {
+    return planted_cost(c) * 1.1 + (c.mc % 3);
+  };
+  const auto result = tune_model_pruned(space, noisy_model, planted_cost);
+  EXPECT_EQ(result.best_cost, 100.0);
+  EXPECT_LT(result.evaluations, static_cast<long>(space.size()) / 4);
+}
+
+TEST(Tuner, AnnealingApproachesOptimum) {
+  const auto space = enumerate_space(32, 16, 8);
+  AnnealParams params;
+  params.iterations = 400;
+  const auto result = tune_annealing(space, planted_cost, params);
+  EXPECT_LT(result.best_cost, 106.0);  // within a few steps of 100
+  EXPECT_LE(result.evaluations, 401);
+}
+
+TEST(Tuner, GbtSearchBeatsRandomBaseline) {
+  const auto space = enumerate_space(64, 32, 16);
+  GbtSearchParams params;
+  const auto result = tune_gbt(space, planted_cost, params);
+  // Budget is batches*batch_size evaluations; it must land near the optimum.
+  EXPECT_LT(result.best_cost, 115.0);
+  EXPECT_LE(result.evaluations, params.batches * params.batch_size + 1);
+}
+
+TEST(Tuner, EmptySpaceThrows) {
+  EXPECT_THROW(tune_exhaustive({}, planted_cost), std::invalid_argument);
+  EXPECT_THROW(tune_annealing({}, planted_cost), std::invalid_argument);
+  EXPECT_THROW(tune_gbt({}, planted_cost), std::invalid_argument);
+}
+
+TEST(Tuner, ModelCostPrefersCacheFittingBlocks) {
+  // Eqn 13's purpose: the model must penalize blockings whose footprint
+  // spills the cache.
+  const auto hw = hw::chip_model(hw::Chip::kKP920);
+  Candidate fits{64, 64, 64, LoopOrder::kNKM, kernels::Packing::kOnline};
+  Candidate spills{64, 4096, 512, LoopOrder::kNKM,
+                   kernels::Packing::kOnline};
+  EXPECT_LT(model_cost(fits, 64, 4096, 512, hw) /
+                model_cost(spills, 64, 4096, 512, hw),
+            1.0);
+}
+
+}  // namespace
+}  // namespace autogemm::tune

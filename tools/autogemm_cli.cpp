@@ -1,0 +1,215 @@
+// autogemm command-line tool.
+//
+//   autogemm chips                          list chip models
+//   autogemm asm MR NR KC [--rotate] [--lanes L]
+//                                           print a generated kernel
+//   autogemm tiles MC NC KC [--chip NAME]   show the DMT tiling
+//   autogemm price M N K [--chip NAME] [--threads T]
+//                                           price every library on a chip
+//   autogemm run M N K [--reps R]           execute on this host, verified
+//   autogemm tune M N K [--out FILE]        model-pruned parameter search
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/library_zoo.hpp"
+#include "baselines/pricer.hpp"
+#include "codegen/generator.hpp"
+#include "common/reference_gemm.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/gemm.hpp"
+#include "hw/chip_database.hpp"
+#include "isa/asm_printer.hpp"
+#include "tiling/micro_tiling.hpp"
+#include "tune/records.hpp"
+#include "tune/tuner.hpp"
+
+namespace {
+
+using namespace autogemm;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: autogemm <command> [args]\n"
+      "  chips                                   list chip models\n"
+      "  asm MR NR KC [--rotate] [--lanes L]     print generated kernel\n"
+      "  tiles MC NC KC [--chip NAME]            show DMT tiling\n"
+      "  price M N K [--chip NAME] [--threads T] price all libraries\n"
+      "  run M N K [--reps R]                    execute + verify on host\n"
+      "  tune M N K [--out FILE]                 model-pruned tuning\n");
+  return 2;
+}
+
+const char* flag_value(int argc, char** argv, const char* name,
+                       const char* fallback) {
+  for (int i = 0; i < argc - 1; ++i)
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  return fallback;
+}
+
+bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 0; i < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return true;
+  return false;
+}
+
+hw::Chip chip_by_name(const std::string& name) {
+  for (const auto chip :
+       {hw::Chip::kReference, hw::Chip::kKP920, hw::Chip::kGraviton2,
+        hw::Chip::kAltra, hw::Chip::kM2, hw::Chip::kA64FX,
+        hw::Chip::kGraviton3}) {
+    if (name == hw::chip_name(chip)) return chip;
+  }
+  throw std::invalid_argument("unknown chip: " + name +
+                              " (try `autogemm chips`)");
+}
+
+int cmd_chips() {
+  std::printf("%-11s %6s %6s %6s %9s %12s %10s\n", "name", "cores", "GHz",
+              "lanes", "sigma_AI", "peak GF/core", "DRAM GB/s");
+  for (const auto chip :
+       {hw::Chip::kReference, hw::Chip::kKP920, hw::Chip::kGraviton2,
+        hw::Chip::kAltra, hw::Chip::kM2, hw::Chip::kA64FX,
+        hw::Chip::kGraviton3}) {
+    const auto h = hw::chip_model(chip);
+    std::printf("%-11s %6d %6.2f %6d %9.1f %12.1f %10.0f\n", h.name.c_str(),
+                h.topology.cores, h.freq_ghz, h.lanes, h.sigma_ai,
+                h.peak_gflops_core(), h.dram_bw_gbs);
+  }
+  return 0;
+}
+
+int cmd_asm(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const int mr = std::atoi(argv[0]);
+  const int nr = std::atoi(argv[1]);
+  const int kc = std::atoi(argv[2]);
+  codegen::GeneratorOptions opts;
+  opts.rotate_registers = has_flag(argc, argv, "--rotate");
+  const int lanes = std::atoi(flag_value(argc, argv, "--lanes", "4"));
+  const auto mk = codegen::generate_microkernel(mr, nr, kc, lanes, opts);
+  std::printf("%s", isa::emit_cpp_wrapper(mk.program).c_str());
+  return 0;
+}
+
+int cmd_tiles(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const int mc = std::atoi(argv[0]);
+  const int nc = std::atoi(argv[1]);
+  const int kc = std::atoi(argv[2]);
+  const auto chip = chip_by_name(flag_value(argc, argv, "--chip", "KP920"));
+  const auto h = hw::chip_model(chip);
+  const auto r = tiling::tile_dmt(mc, nc, kc, h);
+  std::printf("DMT on %s for C(%d,%d), kc=%d: %zu tiles, %d padded, %d "
+              "low-AI, %.0f projected cycles\n",
+              h.name.c_str(), mc, nc, kc, r.tiles.size(), r.padded_tiles,
+              r.low_ai_tiles, r.projected_cycles);
+  std::printf("split: n_front=%d m_front_up=%d m_back_up=%d\n", r.n_front,
+              r.m_front_up, r.m_back_up);
+  for (const auto& t : r.tiles)
+    std::printf("  (%3d,%3d) %dx%d%s\n", t.row, t.col, t.mr, t.nr,
+                t.padded() ? " [clipped]" : "");
+  return 0;
+}
+
+int cmd_price(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const long m = std::atol(argv[0]);
+  const long n = std::atol(argv[1]);
+  const long k = std::atol(argv[2]);
+  const auto chip = chip_by_name(flag_value(argc, argv, "--chip", "KP920"));
+  const auto h = hw::chip_model(chip);
+  baselines::PriceOptions popts;
+  popts.threads = std::atoi(flag_value(argc, argv, "--threads", "1"));
+  std::printf("%ldx%ldx%ld on %s, %d thread(s):\n", m, n, k, h.name.c_str(),
+              popts.threads);
+  std::printf("%-11s %12s %10s %12s\n", "library", "cycles", "GFLOPS",
+              "efficiency");
+  for (const auto lib : baselines::table_one_libraries()) {
+    if (!baselines::supports_shape(lib, m, n, k)) {
+      std::printf("%-11s %12s\n", baselines::library_name(lib), "N/A");
+      continue;
+    }
+    const auto p = baselines::price_gemm(lib, m, n, k, h, popts);
+    std::printf("%-11s %12.0f %10.1f %11.1f%%\n", baselines::library_name(lib),
+                p.cycles, p.gflops, p.efficiency * 100);
+  }
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const int m = std::atoi(argv[0]);
+  const int n = std::atoi(argv[1]);
+  const int k = std::atoi(argv[2]);
+  const int reps = std::atoi(flag_value(argc, argv, "--reps", "10"));
+  common::Matrix a(m, k), b(k, n), c(m, n), c_ref(m, n);
+  common::fill_random(a.view(), 1);
+  common::fill_random(b.view(), 2);
+  common::reference_gemm(a.view(), b.view(), c_ref.view());
+  Plan plan(m, n, k, default_config(m, n, k));
+  gemm(a.view(), b.view(), c.view(), plan);
+  std::printf("max relative error: %.2e\n",
+              common::max_rel_error(c.view(), c_ref.view()));
+  common::Timer t;
+  for (int i = 0; i < reps; ++i) gemm(a.view(), b.view(), c.view(), plan);
+  const double seconds = t.seconds() / reps;
+  std::printf("%.3f ms/call, %.2f GFLOPS (plan mc=%d nc=%d kc=%d)\n",
+              seconds * 1e3, common::gemm_flops(m, n, k) / seconds / 1e9,
+              plan.config().mc, plan.config().nc, plan.config().kc);
+  return 0;
+}
+
+int cmd_tune(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const int m = std::atoi(argv[0]);
+  const int n = std::atoi(argv[1]);
+  const int k = std::atoi(argv[2]);
+  const char* out = flag_value(argc, argv, "--out", nullptr);
+  const auto h = hw::chip_model(hw::Chip::kGraviton2);
+  const auto space = tune::enumerate_space(m, n, k, /*divisors_only=*/false);
+  const auto model = [&](const tune::Candidate& c) {
+    return tune::model_cost(c, m, n, k, h);
+  };
+  const auto result = tune::tune_model_pruned(space, model, model, 0.02, 16);
+  std::printf("space %zu candidates, %ld evaluated, best %.0f model cycles\n",
+              space.size(), result.evaluations, result.best_cost);
+  std::printf("best: mc=%d nc=%d kc=%d order=%s packing=%d\n", result.best.mc,
+              result.best.nc, result.best.kc,
+              loop_order_name(result.best.loop_order),
+              static_cast<int>(result.best.packing));
+  if (out != nullptr) {
+    tune::TuningRecords records;
+    if (!records.load_file(out)) { /* start fresh */ }
+    records.add({m, n, k}, result.best, result.best_cost);
+    if (!records.save_file(out)) {
+      std::fprintf(stderr, "cannot write %s\n", out);
+      return 1;
+    }
+    std::printf("recorded into %s (%zu records)\n", out, records.size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "chips") return cmd_chips();
+    if (cmd == "asm") return cmd_asm(argc - 2, argv + 2);
+    if (cmd == "tiles") return cmd_tiles(argc - 2, argv + 2);
+    if (cmd == "price") return cmd_price(argc - 2, argv + 2);
+    if (cmd == "run") return cmd_run(argc - 2, argv + 2);
+    if (cmd == "tune") return cmd_tune(argc - 2, argv + 2);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
