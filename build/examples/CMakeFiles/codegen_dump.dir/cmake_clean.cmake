@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_dump.dir/codegen_dump.cpp.o"
+  "CMakeFiles/codegen_dump.dir/codegen_dump.cpp.o.d"
+  "codegen_dump"
+  "codegen_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

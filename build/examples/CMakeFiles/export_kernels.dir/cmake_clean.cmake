@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_kernels.dir/export_kernels.cpp.o"
+  "CMakeFiles/export_kernels.dir/export_kernels.cpp.o.d"
+  "export_kernels"
+  "export_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

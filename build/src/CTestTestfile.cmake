@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("isa")
+subdirs("hw")
+subdirs("codegen")
+subdirs("sim")
+subdirs("model")
+subdirs("tiling")
+subdirs("kernels")
+subdirs("core")
+subdirs("baselines")
+subdirs("tune")
+subdirs("dnn")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autogemm_baselines.dir/host_baselines.cpp.o"
+  "CMakeFiles/autogemm_baselines.dir/host_baselines.cpp.o.d"
+  "CMakeFiles/autogemm_baselines.dir/library_zoo.cpp.o"
+  "CMakeFiles/autogemm_baselines.dir/library_zoo.cpp.o.d"
+  "CMakeFiles/autogemm_baselines.dir/pricer.cpp.o"
+  "CMakeFiles/autogemm_baselines.dir/pricer.cpp.o.d"
+  "libautogemm_baselines.a"
+  "libautogemm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autogemm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/generator.cpp" "src/codegen/CMakeFiles/autogemm_codegen.dir/generator.cpp.o" "gcc" "src/codegen/CMakeFiles/autogemm_codegen.dir/generator.cpp.o.d"
+  "/root/repo/src/codegen/library_export.cpp" "src/codegen/CMakeFiles/autogemm_codegen.dir/library_export.cpp.o" "gcc" "src/codegen/CMakeFiles/autogemm_codegen.dir/library_export.cpp.o.d"
+  "/root/repo/src/codegen/sequence.cpp" "src/codegen/CMakeFiles/autogemm_codegen.dir/sequence.cpp.o" "gcc" "src/codegen/CMakeFiles/autogemm_codegen.dir/sequence.cpp.o.d"
+  "/root/repo/src/codegen/tile_sizes.cpp" "src/codegen/CMakeFiles/autogemm_codegen.dir/tile_sizes.cpp.o" "gcc" "src/codegen/CMakeFiles/autogemm_codegen.dir/tile_sizes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/autogemm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/autogemm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/autogemm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autogemm_codegen.dir/generator.cpp.o"
+  "CMakeFiles/autogemm_codegen.dir/generator.cpp.o.d"
+  "CMakeFiles/autogemm_codegen.dir/library_export.cpp.o"
+  "CMakeFiles/autogemm_codegen.dir/library_export.cpp.o.d"
+  "CMakeFiles/autogemm_codegen.dir/sequence.cpp.o"
+  "CMakeFiles/autogemm_codegen.dir/sequence.cpp.o.d"
+  "CMakeFiles/autogemm_codegen.dir/tile_sizes.cpp.o"
+  "CMakeFiles/autogemm_codegen.dir/tile_sizes.cpp.o.d"
+  "libautogemm_codegen.a"
+  "libautogemm_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autogemm_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/aligned_buffer.cpp" "src/common/CMakeFiles/autogemm_common.dir/aligned_buffer.cpp.o" "gcc" "src/common/CMakeFiles/autogemm_common.dir/aligned_buffer.cpp.o.d"
+  "/root/repo/src/common/matrix.cpp" "src/common/CMakeFiles/autogemm_common.dir/matrix.cpp.o" "gcc" "src/common/CMakeFiles/autogemm_common.dir/matrix.cpp.o.d"
+  "/root/repo/src/common/reference_gemm.cpp" "src/common/CMakeFiles/autogemm_common.dir/reference_gemm.cpp.o" "gcc" "src/common/CMakeFiles/autogemm_common.dir/reference_gemm.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/autogemm_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/autogemm_common.dir/rng.cpp.o.d"
+  "/root/repo/src/common/threadpool.cpp" "src/common/CMakeFiles/autogemm_common.dir/threadpool.cpp.o" "gcc" "src/common/CMakeFiles/autogemm_common.dir/threadpool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

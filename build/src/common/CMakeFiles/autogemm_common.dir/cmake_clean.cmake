@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autogemm_common.dir/aligned_buffer.cpp.o"
+  "CMakeFiles/autogemm_common.dir/aligned_buffer.cpp.o.d"
+  "CMakeFiles/autogemm_common.dir/matrix.cpp.o"
+  "CMakeFiles/autogemm_common.dir/matrix.cpp.o.d"
+  "CMakeFiles/autogemm_common.dir/reference_gemm.cpp.o"
+  "CMakeFiles/autogemm_common.dir/reference_gemm.cpp.o.d"
+  "CMakeFiles/autogemm_common.dir/rng.cpp.o"
+  "CMakeFiles/autogemm_common.dir/rng.cpp.o.d"
+  "CMakeFiles/autogemm_common.dir/threadpool.cpp.o"
+  "CMakeFiles/autogemm_common.dir/threadpool.cpp.o.d"
+  "libautogemm_common.a"
+  "libautogemm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autogemm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

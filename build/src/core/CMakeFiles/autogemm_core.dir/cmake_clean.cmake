@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autogemm_core.dir/batched.cpp.o"
+  "CMakeFiles/autogemm_core.dir/batched.cpp.o.d"
+  "CMakeFiles/autogemm_core.dir/gemm.cpp.o"
+  "CMakeFiles/autogemm_core.dir/gemm.cpp.o.d"
+  "CMakeFiles/autogemm_core.dir/gemm_ex.cpp.o"
+  "CMakeFiles/autogemm_core.dir/gemm_ex.cpp.o.d"
+  "CMakeFiles/autogemm_core.dir/plan.cpp.o"
+  "CMakeFiles/autogemm_core.dir/plan.cpp.o.d"
+  "libautogemm_core.a"
+  "libautogemm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autogemm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autogemm_dnn.dir/graph.cpp.o"
+  "CMakeFiles/autogemm_dnn.dir/graph.cpp.o.d"
+  "CMakeFiles/autogemm_dnn.dir/im2col.cpp.o"
+  "CMakeFiles/autogemm_dnn.dir/im2col.cpp.o.d"
+  "CMakeFiles/autogemm_dnn.dir/models.cpp.o"
+  "CMakeFiles/autogemm_dnn.dir/models.cpp.o.d"
+  "CMakeFiles/autogemm_dnn.dir/shapes.cpp.o"
+  "CMakeFiles/autogemm_dnn.dir/shapes.cpp.o.d"
+  "libautogemm_dnn.a"
+  "libautogemm_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autogemm_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

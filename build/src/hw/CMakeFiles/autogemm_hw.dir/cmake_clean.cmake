@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autogemm_hw.dir/chip_database.cpp.o"
+  "CMakeFiles/autogemm_hw.dir/chip_database.cpp.o.d"
+  "CMakeFiles/autogemm_hw.dir/hardware_model.cpp.o"
+  "CMakeFiles/autogemm_hw.dir/hardware_model.cpp.o.d"
+  "libautogemm_hw.a"
+  "libautogemm_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autogemm_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

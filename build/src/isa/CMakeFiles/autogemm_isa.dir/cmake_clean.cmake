@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autogemm_isa.dir/asm_printer.cpp.o"
+  "CMakeFiles/autogemm_isa.dir/asm_printer.cpp.o.d"
+  "CMakeFiles/autogemm_isa.dir/instruction.cpp.o"
+  "CMakeFiles/autogemm_isa.dir/instruction.cpp.o.d"
+  "CMakeFiles/autogemm_isa.dir/program.cpp.o"
+  "CMakeFiles/autogemm_isa.dir/program.cpp.o.d"
+  "libautogemm_isa.a"
+  "libautogemm_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autogemm_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/dispatch.cpp" "src/kernels/CMakeFiles/autogemm_kernels.dir/dispatch.cpp.o" "gcc" "src/kernels/CMakeFiles/autogemm_kernels.dir/dispatch.cpp.o.d"
+  "/root/repo/src/kernels/packing.cpp" "src/kernels/CMakeFiles/autogemm_kernels.dir/packing.cpp.o" "gcc" "src/kernels/CMakeFiles/autogemm_kernels.dir/packing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/autogemm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/autogemm_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/autogemm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/autogemm_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autogemm_kernels.dir/dispatch.cpp.o"
+  "CMakeFiles/autogemm_kernels.dir/dispatch.cpp.o.d"
+  "CMakeFiles/autogemm_kernels.dir/packing.cpp.o"
+  "CMakeFiles/autogemm_kernels.dir/packing.cpp.o.d"
+  "libautogemm_kernels.a"
+  "libautogemm_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autogemm_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libautogemm_kernels.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/kernel_model.cpp" "src/model/CMakeFiles/autogemm_model.dir/kernel_model.cpp.o" "gcc" "src/model/CMakeFiles/autogemm_model.dir/kernel_model.cpp.o.d"
+  "/root/repo/src/model/roofline.cpp" "src/model/CMakeFiles/autogemm_model.dir/roofline.cpp.o" "gcc" "src/model/CMakeFiles/autogemm_model.dir/roofline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codegen/CMakeFiles/autogemm_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/autogemm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/autogemm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/autogemm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autogemm_model.dir/kernel_model.cpp.o"
+  "CMakeFiles/autogemm_model.dir/kernel_model.cpp.o.d"
+  "CMakeFiles/autogemm_model.dir/roofline.cpp.o"
+  "CMakeFiles/autogemm_model.dir/roofline.cpp.o.d"
+  "libautogemm_model.a"
+  "libautogemm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autogemm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

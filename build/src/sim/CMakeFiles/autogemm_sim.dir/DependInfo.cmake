@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache_sim.cpp" "src/sim/CMakeFiles/autogemm_sim.dir/cache_sim.cpp.o" "gcc" "src/sim/CMakeFiles/autogemm_sim.dir/cache_sim.cpp.o.d"
+  "/root/repo/src/sim/interpreter.cpp" "src/sim/CMakeFiles/autogemm_sim.dir/interpreter.cpp.o" "gcc" "src/sim/CMakeFiles/autogemm_sim.dir/interpreter.cpp.o.d"
+  "/root/repo/src/sim/pipeline.cpp" "src/sim/CMakeFiles/autogemm_sim.dir/pipeline.cpp.o" "gcc" "src/sim/CMakeFiles/autogemm_sim.dir/pipeline.cpp.o.d"
+  "/root/repo/src/sim/sigma_ai.cpp" "src/sim/CMakeFiles/autogemm_sim.dir/sigma_ai.cpp.o" "gcc" "src/sim/CMakeFiles/autogemm_sim.dir/sigma_ai.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/autogemm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/autogemm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/autogemm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/autogemm_codegen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

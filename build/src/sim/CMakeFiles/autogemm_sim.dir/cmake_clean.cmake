@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autogemm_sim.dir/cache_sim.cpp.o"
+  "CMakeFiles/autogemm_sim.dir/cache_sim.cpp.o.d"
+  "CMakeFiles/autogemm_sim.dir/interpreter.cpp.o"
+  "CMakeFiles/autogemm_sim.dir/interpreter.cpp.o.d"
+  "CMakeFiles/autogemm_sim.dir/pipeline.cpp.o"
+  "CMakeFiles/autogemm_sim.dir/pipeline.cpp.o.d"
+  "CMakeFiles/autogemm_sim.dir/sigma_ai.cpp.o"
+  "CMakeFiles/autogemm_sim.dir/sigma_ai.cpp.o.d"
+  "libautogemm_sim.a"
+  "libautogemm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autogemm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

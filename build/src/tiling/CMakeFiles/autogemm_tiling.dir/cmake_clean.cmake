@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autogemm_tiling.dir/micro_tiling.cpp.o"
+  "CMakeFiles/autogemm_tiling.dir/micro_tiling.cpp.o.d"
+  "libautogemm_tiling.a"
+  "libautogemm_tiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autogemm_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autogemm_tune.dir/gbt.cpp.o"
+  "CMakeFiles/autogemm_tune.dir/gbt.cpp.o.d"
+  "CMakeFiles/autogemm_tune.dir/records.cpp.o"
+  "CMakeFiles/autogemm_tune.dir/records.cpp.o.d"
+  "CMakeFiles/autogemm_tune.dir/search_space.cpp.o"
+  "CMakeFiles/autogemm_tune.dir/search_space.cpp.o.d"
+  "CMakeFiles/autogemm_tune.dir/tuner.cpp.o"
+  "CMakeFiles/autogemm_tune.dir/tuner.cpp.o.d"
+  "libautogemm_tune.a"
+  "libautogemm_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autogemm_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

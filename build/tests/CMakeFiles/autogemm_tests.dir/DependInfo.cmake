@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/autogemm_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/autogemm_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/batched_test.cpp" "tests/CMakeFiles/autogemm_tests.dir/batched_test.cpp.o" "gcc" "tests/CMakeFiles/autogemm_tests.dir/batched_test.cpp.o.d"
+  "/root/repo/tests/codegen_test.cpp" "tests/CMakeFiles/autogemm_tests.dir/codegen_test.cpp.o" "gcc" "tests/CMakeFiles/autogemm_tests.dir/codegen_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/autogemm_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/autogemm_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/autogemm_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/autogemm_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/crosscheck_test.cpp" "tests/CMakeFiles/autogemm_tests.dir/crosscheck_test.cpp.o" "gcc" "tests/CMakeFiles/autogemm_tests.dir/crosscheck_test.cpp.o.d"
+  "/root/repo/tests/dnn_test.cpp" "tests/CMakeFiles/autogemm_tests.dir/dnn_test.cpp.o" "gcc" "tests/CMakeFiles/autogemm_tests.dir/dnn_test.cpp.o.d"
+  "/root/repo/tests/gemm_ex_test.cpp" "tests/CMakeFiles/autogemm_tests.dir/gemm_ex_test.cpp.o" "gcc" "tests/CMakeFiles/autogemm_tests.dir/gemm_ex_test.cpp.o.d"
+  "/root/repo/tests/hw_test.cpp" "tests/CMakeFiles/autogemm_tests.dir/hw_test.cpp.o" "gcc" "tests/CMakeFiles/autogemm_tests.dir/hw_test.cpp.o.d"
+  "/root/repo/tests/interpreter_test.cpp" "tests/CMakeFiles/autogemm_tests.dir/interpreter_test.cpp.o" "gcc" "tests/CMakeFiles/autogemm_tests.dir/interpreter_test.cpp.o.d"
+  "/root/repo/tests/isa_test.cpp" "tests/CMakeFiles/autogemm_tests.dir/isa_test.cpp.o" "gcc" "tests/CMakeFiles/autogemm_tests.dir/isa_test.cpp.o.d"
+  "/root/repo/tests/kernels_test.cpp" "tests/CMakeFiles/autogemm_tests.dir/kernels_test.cpp.o" "gcc" "tests/CMakeFiles/autogemm_tests.dir/kernels_test.cpp.o.d"
+  "/root/repo/tests/model_test.cpp" "tests/CMakeFiles/autogemm_tests.dir/model_test.cpp.o" "gcc" "tests/CMakeFiles/autogemm_tests.dir/model_test.cpp.o.d"
+  "/root/repo/tests/pipeline_test.cpp" "tests/CMakeFiles/autogemm_tests.dir/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/autogemm_tests.dir/pipeline_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/autogemm_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/autogemm_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/records_test.cpp" "tests/CMakeFiles/autogemm_tests.dir/records_test.cpp.o" "gcc" "tests/CMakeFiles/autogemm_tests.dir/records_test.cpp.o.d"
+  "/root/repo/tests/sigma_ai_test.cpp" "tests/CMakeFiles/autogemm_tests.dir/sigma_ai_test.cpp.o" "gcc" "tests/CMakeFiles/autogemm_tests.dir/sigma_ai_test.cpp.o.d"
+  "/root/repo/tests/simd_test.cpp" "tests/CMakeFiles/autogemm_tests.dir/simd_test.cpp.o" "gcc" "tests/CMakeFiles/autogemm_tests.dir/simd_test.cpp.o.d"
+  "/root/repo/tests/tiling_test.cpp" "tests/CMakeFiles/autogemm_tests.dir/tiling_test.cpp.o" "gcc" "tests/CMakeFiles/autogemm_tests.dir/tiling_test.cpp.o.d"
+  "/root/repo/tests/tune_test.cpp" "tests/CMakeFiles/autogemm_tests.dir/tune_test.cpp.o" "gcc" "tests/CMakeFiles/autogemm_tests.dir/tune_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/autogemm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tune/CMakeFiles/autogemm_tune.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/autogemm_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/autogemm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/autogemm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tiling/CMakeFiles/autogemm_tiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/autogemm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/autogemm_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/autogemm_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/autogemm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/autogemm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/autogemm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

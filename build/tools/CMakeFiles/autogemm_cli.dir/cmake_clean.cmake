@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autogemm_cli.dir/autogemm_cli.cpp.o"
+  "CMakeFiles/autogemm_cli.dir/autogemm_cli.cpp.o.d"
+  "autogemm"
+  "autogemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autogemm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
