@@ -14,13 +14,13 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/sim/CMakeFiles/autogemm_sim.dir/DependInfo.cmake"
-  "/root/repo/build/src/tune/CMakeFiles/autogemm_tune.dir/DependInfo.cmake"
   "/root/repo/build/src/dnn/CMakeFiles/autogemm_dnn.dir/DependInfo.cmake"
-  "/root/repo/build/src/baselines/CMakeFiles/autogemm_baselines.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/autogemm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/autogemm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/tune/CMakeFiles/autogemm_tune.dir/DependInfo.cmake"
   "/root/repo/build/src/tiling/CMakeFiles/autogemm_tiling.dir/DependInfo.cmake"
-  "/root/repo/build/src/model/CMakeFiles/autogemm_model.dir/DependInfo.cmake"
   "/root/repo/build/src/kernels/CMakeFiles/autogemm_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/autogemm_model.dir/DependInfo.cmake"
   "/root/repo/build/src/codegen/CMakeFiles/autogemm_codegen.dir/DependInfo.cmake"
   "/root/repo/build/src/isa/CMakeFiles/autogemm_isa.dir/DependInfo.cmake"
   "/root/repo/build/src/hw/CMakeFiles/autogemm_hw.dir/DependInfo.cmake"

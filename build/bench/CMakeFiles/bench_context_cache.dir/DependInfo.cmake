@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_context_cache.cpp" "bench/CMakeFiles/bench_context_cache.dir/bench_context_cache.cpp.o" "gcc" "bench/CMakeFiles/bench_context_cache.dir/bench_context_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/autogemm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/autogemm_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/autogemm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/autogemm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/tune/CMakeFiles/autogemm_tune.dir/DependInfo.cmake"
+  "/root/repo/build/src/tiling/CMakeFiles/autogemm_tiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/autogemm_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/autogemm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/autogemm_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/autogemm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/autogemm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/autogemm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

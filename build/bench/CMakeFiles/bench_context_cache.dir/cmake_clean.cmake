@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_context_cache.dir/bench_context_cache.cpp.o"
+  "CMakeFiles/bench_context_cache.dir/bench_context_cache.cpp.o.d"
+  "bench_context_cache"
+  "bench_context_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_context_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -227,10 +227,8 @@ bench/CMakeFiles/bench_host.dir/bench_host.cpp.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /usr/include/c++/12/mutex /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/thread /root/repo/src/common/../core/plan.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
+ /root/repo/src/common/../core/plan.hpp \
  /root/repo/src/common/../hw/hardware_model.hpp \
  /root/repo/src/common/../kernels/packing.hpp \
  /root/repo/src/common/../tiling/micro_tiling.hpp \

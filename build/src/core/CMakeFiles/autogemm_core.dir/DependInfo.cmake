@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/batched.cpp" "src/core/CMakeFiles/autogemm_core.dir/batched.cpp.o" "gcc" "src/core/CMakeFiles/autogemm_core.dir/batched.cpp.o.d"
+  "/root/repo/src/core/context.cpp" "src/core/CMakeFiles/autogemm_core.dir/context.cpp.o" "gcc" "src/core/CMakeFiles/autogemm_core.dir/context.cpp.o.d"
   "/root/repo/src/core/gemm.cpp" "src/core/CMakeFiles/autogemm_core.dir/gemm.cpp.o" "gcc" "src/core/CMakeFiles/autogemm_core.dir/gemm.cpp.o.d"
   "/root/repo/src/core/gemm_ex.cpp" "src/core/CMakeFiles/autogemm_core.dir/gemm_ex.cpp.o" "gcc" "src/core/CMakeFiles/autogemm_core.dir/gemm_ex.cpp.o.d"
   "/root/repo/src/core/plan.cpp" "src/core/CMakeFiles/autogemm_core.dir/plan.cpp.o" "gcc" "src/core/CMakeFiles/autogemm_core.dir/plan.cpp.o.d"
@@ -21,6 +22,8 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/tiling/CMakeFiles/autogemm_tiling.dir/DependInfo.cmake"
   "/root/repo/build/src/model/CMakeFiles/autogemm_model.dir/DependInfo.cmake"
   "/root/repo/build/src/hw/CMakeFiles/autogemm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/tune/CMakeFiles/autogemm_tune.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/autogemm_baselines.dir/DependInfo.cmake"
   "/root/repo/build/src/codegen/CMakeFiles/autogemm_codegen.dir/DependInfo.cmake"
   "/root/repo/build/src/isa/CMakeFiles/autogemm_isa.dir/DependInfo.cmake"
   )

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/autogemm_core.dir/batched.cpp.o"
   "CMakeFiles/autogemm_core.dir/batched.cpp.o.d"
+  "CMakeFiles/autogemm_core.dir/context.cpp.o"
+  "CMakeFiles/autogemm_core.dir/context.cpp.o.d"
   "CMakeFiles/autogemm_core.dir/gemm.cpp.o"
   "CMakeFiles/autogemm_core.dir/gemm.cpp.o.d"
   "CMakeFiles/autogemm_core.dir/gemm_ex.cpp.o"

@@ -250,24 +250,29 @@ src/dnn/CMakeFiles/autogemm_dnn.dir/graph.cpp.o: \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/dnn/../core/gemm.hpp \
- /root/repo/src/dnn/../common/threadpool.hpp \
- /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/dnn/../core/context.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/dnn/../common/threadpool.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
- /root/repo/src/dnn/../core/plan.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/thread /root/repo/src/dnn/../core/batched.hpp \
+ /root/repo/src/dnn/../core/plan.hpp \
  /root/repo/src/dnn/../hw/hardware_model.hpp \
  /root/repo/src/dnn/../kernels/packing.hpp \
  /root/repo/src/dnn/../tiling/micro_tiling.hpp \
  /root/repo/src/dnn/../codegen/tile_sizes.hpp \
- /root/repo/src/dnn/../model/kernel_model.hpp
+ /root/repo/src/dnn/../model/kernel_model.hpp \
+ /root/repo/src/dnn/../core/gemm.hpp \
+ /root/repo/src/dnn/../core/gemm_ex.hpp \
+ /root/repo/src/dnn/../tune/records.hpp /usr/include/c++/12/optional \
+ /root/repo/src/dnn/../tune/search_space.hpp

@@ -307,10 +307,7 @@ tests/CMakeFiles/autogemm_tests.dir/core_test.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
- /root/repo/src/common/../core/plan.hpp \
+ /usr/include/c++/12/thread /root/repo/src/common/../core/plan.hpp \
  /root/repo/src/common/../hw/hardware_model.hpp \
  /root/repo/src/common/../kernels/packing.hpp \
  /root/repo/src/common/../tiling/micro_tiling.hpp \

@@ -327,11 +327,11 @@ tests/CMakeFiles/autogemm_tests.dir/property_test.cpp.o: \
  /root/repo/src/common/../common/matrix.hpp \
  /root/repo/src/common/../common/aligned_buffer.hpp \
  /root/repo/src/common/../baselines/pricer.hpp \
- /root/repo/src/common/../codegen/sequence.hpp \
  /root/repo/src/common/../codegen/generator.hpp \
  /root/repo/src/common/../codegen/tile_sizes.hpp \
  /root/repo/src/common/../isa/program.hpp \
  /root/repo/src/common/../isa/instruction.hpp \
+ /root/repo/src/common/../codegen/sequence.hpp \
  /root/repo/src/common/../common/reference_gemm.hpp \
  /root/repo/src/common/../common/rng.hpp \
  /root/repo/src/common/../sim/interpreter.hpp \

@@ -10,6 +10,7 @@
 #include "common/reference_gemm.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "core/context.hpp"
 #include "core/gemm.hpp"
 
 int main() {
@@ -46,5 +47,19 @@ int main() {
   const double seconds = timer.seconds() / reps;
   std::printf("host: %.3f ms per call, %.2f GFLOPS\n", seconds * 1e3,
               common::gemm_flops(m, n, k) / seconds / 1e9);
+
+  // The serving-style API: a Context caches the plan per shape (and packed
+  // constant operands), owns the thread pool, and takes the BLAS-style
+  // extended parameters. This is the primary entry point; the free
+  // functions above are wrappers over a process-default context.
+  Context ctx;
+  GemmExParams overwrite;
+  overwrite.beta = 0.0f;  // C = A * B
+  ctx.gemm(a.view(), b.view(), c.view(), overwrite);
+  ctx.gemm(a.view(), b.view(), c.view(), overwrite);  // cached-plan hit
+  const auto stats = ctx.stats();
+  std::printf("context: %llu plan hit(s), %llu miss(es) over 2 calls\n",
+              static_cast<unsigned long long>(stats.plan_hits),
+              static_cast<unsigned long long>(stats.plan_misses));
   return 0;
 }

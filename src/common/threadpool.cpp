@@ -1,7 +1,6 @@
 #include "common/threadpool.hpp"
 
-#include <atomic>
-#include <exception>
+#include <algorithm>
 
 namespace autogemm::common {
 
@@ -17,66 +16,78 @@ ThreadPool::~ThreadPool() {
     std::lock_guard lock(mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  start_cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::run_chunks() {
+  const std::function<void(int)>& fn = *body_;
   for (;;) {
-    std::function<void()> task;
+    const int begin = next_.fetch_add(grain_, std::memory_order_relaxed);
+    if (begin >= count_) return;
+    const int end = std::min(begin + grain_, count_);
+    try {
+      for (int i = begin; i < end; ++i) fn(i);
+    } catch (...) {
+      std::lock_guard lock(error_mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
     {
       std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (stopping_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      start_cv_.wait(lock, [&] { return stopping_ || region_ != seen; });
+      if (stopping_) return;
+      seen = region_;
     }
-    task();
+    run_chunks();
+    // The region's fields stay valid until every participant has left:
+    // parallel_for waits for in_flight_ to reach zero before returning.
+    if (in_flight_.fetch_sub(1) == 1) {
+      std::lock_guard lock(mu_);
+      done_cv_.notify_all();
+    }
   }
 }
 
 void ThreadPool::parallel_for(int count, const std::function<void(int)>& fn) {
   if (count <= 0) return;
-  const int nchunks = std::min<int>(count, static_cast<int>(size()));
-  if (nchunks <= 1) {
+  if (size() <= 1 || count == 1) {
     for (int i = 0; i < count; ++i) fn(i);
     return;
   }
 
-  std::atomic<int> remaining{nchunks};
-  std::exception_ptr first_error;
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-
-  const int base = count / nchunks;
-  const int extra = count % nchunks;
-  int begin = 0;
-  for (int chunk = 0; chunk < nchunks; ++chunk) {
-    const int len = base + (chunk < extra ? 1 : 0);
-    const int end = begin + len;
-    auto task = [&, begin, end] {
-      try {
-        for (int i = begin; i < end; ++i) fn(i);
-      } catch (...) {
-        std::lock_guard lock(done_mu);
-        if (!first_error) first_error = std::current_exception();
-      }
-      if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard lock(done_mu);
-        done_cv.notify_all();
-      }
-    };
-    {
-      std::lock_guard lock(mu_);
-      tasks_.push(std::move(task));
-    }
-    begin = end;
+  std::lock_guard submit(submit_mu_);
+  body_ = &fn;
+  count_ = count;
+  // ~4 chunks per participant bounds the atomic traffic while letting the
+  // dynamic schedule absorb uneven per-block costs (edge tiles are cheaper).
+  grain_ = std::max(1, count / (static_cast<int>(size() + 1) * 4));
+  next_.store(0, std::memory_order_relaxed);
+  error_ = nullptr;
+  in_flight_.store(size(), std::memory_order_relaxed);
+  {
+    std::lock_guard lock(mu_);
+    ++region_;
   }
-  cv_.notify_all();
+  start_cv_.notify_all();
 
-  std::unique_lock lock(done_mu);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
-  if (first_error) std::rethrow_exception(first_error);
+  run_chunks();  // the submitting thread claims chunks too
+
+  {
+    std::unique_lock lock(mu_);
+    done_cv_.wait(lock, [&] { return in_flight_.load() == 0; });
+  }
+  body_ = nullptr;
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
 }
 
 }  // namespace autogemm::common

@@ -1,15 +1,21 @@
-// Minimal fixed-size thread pool with a parallel_for front end.
+// Fixed-size thread pool with a reusable parallel region.
 //
 // The multi-core host execution path (Figs 9 and 11) schedules cache blocks
 // — the paper's "minimum scheduling unit executed by multiple threads" —
-// through this pool. Kept deliberately simple: one task queue, condition
-// variable wakeups, and a blocking parallel_for that chunks an index range.
+// through this pool. Earlier revisions pushed one heap-allocated task per
+// chunk through a queue; serving-style callers (autogemm::Context) issue
+// thousands of small parallel_for calls per second, so the pool now keeps
+// one persistent region the workers re-arm on a generation counter and
+// claims iterations through an atomic cursor: a parallel_for call performs
+// no allocation beyond what the caller's closure already did.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
@@ -26,19 +32,40 @@ class ThreadPool {
 
   unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
 
-  /// Runs fn(i) for i in [0, count), split into `size()` contiguous chunks.
-  /// Blocks until all iterations finish. Exceptions from fn propagate to the
-  /// caller (first one wins).
+  /// Runs fn(i) for i in [0, count). The calling thread participates in the
+  /// work alongside the workers; iterations are claimed in dynamically sized
+  /// contiguous chunks. Blocks until all iterations finish. Exceptions from
+  /// fn propagate to the caller (first one wins) and the pool stays usable.
+  /// Concurrent calls from different threads are serialized; calling from
+  /// inside a running region (nested parallelism) is not supported.
   void parallel_for(int count, const std::function<void(int)>& fn);
 
  private:
   void worker_loop();
+  void run_chunks();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+
+  // Serializes whole regions submitted from different caller threads.
+  std::mutex submit_mu_;
+
+  // Region state. parallel_for publishes body_/count_/grain_, bumps
+  // region_ under mu_, and workers claim [next_, next_ + grain_) slices
+  // until the range is exhausted; the last worker out signals done_cv_.
   std::mutex mu_;
-  std::condition_variable cv_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t region_ = 0;
   bool stopping_ = false;
+
+  const std::function<void(int)>* body_ = nullptr;
+  int count_ = 0;
+  int grain_ = 1;
+  std::atomic<int> next_{0};
+  std::atomic<unsigned> in_flight_{0};
+
+  std::mutex error_mu_;
+  std::exception_ptr error_;
 };
 
 }  // namespace autogemm::common

@@ -1,7 +1,9 @@
 #include "core/batched.hpp"
 
 #include <map>
+#include <memory>
 
+#include "core/context.hpp"
 #include "core/gemm.hpp"
 
 namespace autogemm {
@@ -22,19 +24,17 @@ void gemm_batched(const std::vector<BatchItem>& items, const Plan& plan,
 void gemm_batched(const std::vector<BatchItem>& items,
                   common::ThreadPool* pool) {
   if (items.empty()) return;
-  // Build one plan per distinct shape up front (plan construction runs
-  // DMT; workers must only read).
-  std::map<std::array<int, 3>, Plan> plans;
+  // Per-shape plans come from the process-default Context, so repeated
+  // batches reuse the same cached (possibly tuned) plans across calls.
+  std::map<std::array<int, 3>, std::shared_ptr<const Plan>> plans;
   for (const auto& item : items) {
     const std::array<int, 3> key{item.a.rows, item.b.cols, item.a.cols};
-    if (!plans.count(key)) {
-      plans.emplace(key, Plan(key[0], key[1], key[2],
-                              default_config(key[0], key[1], key[2])));
-    }
+    if (!plans.count(key))
+      plans.emplace(key, default_context().plan_for(key[0], key[1], key[2]));
   }
   const auto run_item = [&](const BatchItem& item) {
     const std::array<int, 3> key{item.a.rows, item.b.cols, item.a.cols};
-    gemm(item.a, item.b, item.c, plans.at(key), nullptr);
+    gemm(item.a, item.b, item.c, *plans.at(key), nullptr);
   };
   if (pool != nullptr && pool->size() > 1) {
     pool->parallel_for(static_cast<int>(items.size()),

@@ -1,0 +1,277 @@
+#include "core/context.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace autogemm {
+
+namespace {
+
+tune::TuningRecords load_records_or_throw(const std::string& path) {
+  tune::TuningRecords records;
+  if (!path.empty() && !records.load_file(path))
+    throw std::runtime_error("Context: cannot read records file: " + path);
+  return records;
+}
+
+ContextOptions sanitized(ContextOptions opts) {
+  if (opts.plan_capacity == 0) opts.plan_capacity = 1;
+  if (opts.packed_capacity == 0) opts.packed_capacity = 1;
+  return opts;
+}
+
+}  // namespace
+
+Context::Context() : Context(ContextOptions{}) {}
+
+Context::Context(const ContextOptions& opts)
+    : opts_(sanitized(opts)), records_(load_records_or_throw(opts.records_path)) {}
+
+Context::Context(const std::string& records_path)
+    : Context(ContextOptions{.records_path = records_path}) {}
+
+Context::Context(tune::TuningRecords records, const ContextOptions& opts)
+    : opts_(sanitized(opts)), records_(std::move(records)) {}
+
+Context::~Context() = default;
+
+common::ThreadPool* Context::pool() {
+  if (opts_.threads == 1) return nullptr;
+  std::call_once(pool_once_, [this] {
+    pool_ = std::make_unique<common::ThreadPool>(opts_.threads);
+  });
+  return pool_.get();
+}
+
+GemmConfig Context::resolve_config(int m, int n, int k) {
+  const tune::ShapeKey shape{m, n, k};
+  if (auto exact = records_.lookup(shape)) {
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.resolved_exact;
+    }
+    return tune::config_from_candidate(m, n, k, *exact);
+  }
+  if (auto nearest = records_.lookup_nearest(shape)) {
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.resolved_nearest;
+    }
+    // Plan construction clamps the transferred blocking to this problem.
+    return tune::config_from_candidate(m, n, k, *nearest);
+  }
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.resolved_heuristic;
+  }
+  return default_config(m, n, k);
+}
+
+std::shared_ptr<const Plan> Context::plan_for(int m, int n, int k) {
+  const ShapeKey key{m, n, k};
+  {
+    std::lock_guard lock(mu_);
+    auto it = plan_index_.find(key);
+    if (it != plan_index_.end()) {
+      ++stats_.plan_hits;
+      plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
+      return it->second->second;
+    }
+    ++stats_.plan_misses;
+  }
+  // Plan construction (DMT + model costing) runs outside the lock so
+  // concurrent misses on distinct shapes don't serialize; a racing build
+  // of the same shape is deterministic, so first-in wins and the loser's
+  // copy is dropped.
+  auto plan = std::make_shared<const Plan>(m, n, k, resolve_config(m, n, k));
+  std::lock_guard lock(mu_);
+  auto it = plan_index_.find(key);
+  if (it != plan_index_.end()) {
+    plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
+    return it->second->second;
+  }
+  plan_lru_.emplace_front(key, std::move(plan));
+  plan_index_[key] = plan_lru_.begin();
+  while (plan_lru_.size() > opts_.plan_capacity) {
+    plan_index_.erase(plan_lru_.back().first);
+    plan_lru_.pop_back();
+    ++stats_.plan_evictions;
+  }
+  return plan_lru_.front().second;
+}
+
+std::shared_ptr<const PackedA> Context::packed_a_for(
+    common::ConstMatrixView a, const std::shared_ptr<const Plan>& plan) {
+  const PackedKey key{a.data, a.rows, a.cols, a.ld, /*is_a=*/true};
+  {
+    std::lock_guard lock(mu_);
+    auto it = packed_index_.find(key);
+    if (it != packed_index_.end()) {
+      ++stats_.packed_hits;
+      packed_lru_.splice(packed_lru_.begin(), packed_lru_, it->second);
+      return it->second->second.a;
+    }
+    ++stats_.packed_misses;
+  }
+  auto packed = std::make_shared<const PackedA>(a, *plan);
+  std::lock_guard lock(mu_);
+  auto it = packed_index_.find(key);
+  if (it != packed_index_.end()) {
+    packed_lru_.splice(packed_lru_.begin(), packed_lru_, it->second);
+    return it->second->second.a;
+  }
+  packed_lru_.emplace_front(key, PackedEntry{std::move(packed), nullptr, plan});
+  packed_index_[key] = packed_lru_.begin();
+  while (packed_lru_.size() > opts_.packed_capacity) {
+    packed_index_.erase(packed_lru_.back().first);
+    packed_lru_.pop_back();
+    ++stats_.packed_evictions;
+  }
+  return packed_lru_.front().second.a;
+}
+
+std::shared_ptr<const PackedB> Context::packed_b_for(
+    common::ConstMatrixView b, const std::shared_ptr<const Plan>& plan) {
+  const PackedKey key{b.data, b.rows, b.cols, b.ld, /*is_a=*/false};
+  {
+    std::lock_guard lock(mu_);
+    auto it = packed_index_.find(key);
+    if (it != packed_index_.end()) {
+      ++stats_.packed_hits;
+      packed_lru_.splice(packed_lru_.begin(), packed_lru_, it->second);
+      return it->second->second.b;
+    }
+    ++stats_.packed_misses;
+  }
+  auto packed = std::make_shared<const PackedB>(b, *plan);
+  std::lock_guard lock(mu_);
+  auto it = packed_index_.find(key);
+  if (it != packed_index_.end()) {
+    packed_lru_.splice(packed_lru_.begin(), packed_lru_, it->second);
+    return it->second->second.b;
+  }
+  packed_lru_.emplace_front(key, PackedEntry{nullptr, std::move(packed), plan});
+  packed_index_[key] = packed_lru_.begin();
+  while (packed_lru_.size() > opts_.packed_capacity) {
+    packed_index_.erase(packed_lru_.back().first);
+    packed_lru_.pop_back();
+    ++stats_.packed_evictions;
+  }
+  return packed_lru_.front().second.b;
+}
+
+void Context::gemm(common::ConstMatrixView a, common::ConstMatrixView b,
+                   common::MatrixView c, const GemmExParams& params) {
+  const int m = params.trans_a == Trans::kNo ? a.rows : a.cols;
+  const int k = params.trans_a == Trans::kNo ? a.cols : a.rows;
+  const int n = params.trans_b == Trans::kNo ? b.cols : b.rows;
+  auto plan = plan_for(m, n, k);
+  if (params.trans_a == Trans::kNo && params.trans_b == Trans::kNo &&
+      params.alpha == 1.0f) {
+    // Canonical operands: beta applied up front, then the accumulate
+    // executor (avoids gemm_ex's forced re-packing of both operands).
+    if (params.beta != 1.0f) detail::scale_c(c, params.beta);
+    autogemm::gemm(a, b, c, *plan, pool());
+  } else {
+    gemm_ex(a, b, c, params, *plan, pool());
+  }
+}
+
+void Context::gemm_const_a(common::ConstMatrixView a, common::ConstMatrixView b,
+                           common::MatrixView c, const GemmExParams& params) {
+  if (params.trans_a != Trans::kNo || params.trans_b != Trans::kNo ||
+      params.alpha != 1.0f) {
+    gemm(a, b, c, params);  // cached packing needs canonical, unscaled A
+    return;
+  }
+  auto plan = plan_for(a.rows, b.cols, a.cols);
+  auto packed = packed_a_for(a, plan);
+  if (params.beta != 1.0f) detail::scale_c(c, params.beta);
+  autogemm::gemm(*packed, a, b, c, *plan, pool());
+}
+
+void Context::gemm_const_b(common::ConstMatrixView a, common::ConstMatrixView b,
+                           common::MatrixView c, const GemmExParams& params) {
+  if (params.trans_a != Trans::kNo || params.trans_b != Trans::kNo ||
+      params.alpha != 1.0f) {
+    gemm(a, b, c, params);
+    return;
+  }
+  auto plan = plan_for(a.rows, b.cols, a.cols);
+  auto packed = packed_b_for(b, plan);
+  if (params.beta != 1.0f) detail::scale_c(c, params.beta);
+  autogemm::gemm(a, *packed, b, c, *plan, pool());
+}
+
+void Context::gemm_batched(const std::vector<BatchItem>& items) {
+  if (items.empty()) return;
+  // Resolve every distinct shape's plan up front (workers must only read).
+  std::map<ShapeKey, std::shared_ptr<const Plan>> plans;
+  for (const auto& item : items) {
+    const ShapeKey key{item.a.rows, item.b.cols, item.a.cols};
+    if (!plans.count(key)) plans.emplace(key, plan_for(key.m, key.n, key.k));
+  }
+  const auto run_item = [&](const BatchItem& item) {
+    const ShapeKey key{item.a.rows, item.b.cols, item.a.cols};
+    autogemm::gemm(item.a, item.b, item.c, *plans.at(key), nullptr);
+  };
+  common::ThreadPool* p = pool();
+  if (p != nullptr && p->size() > 1) {
+    p->parallel_for(static_cast<int>(items.size()),
+                    [&](int i) { run_item(items[i]); });
+  } else {
+    for (const auto& item : items) run_item(item);
+  }
+}
+
+std::size_t Context::invalidate(const void* data) {
+  std::lock_guard lock(mu_);
+  std::size_t dropped = 0;
+  for (auto it = packed_lru_.begin(); it != packed_lru_.end();) {
+    if (it->first.data == data) {
+      packed_index_.erase(it->first);
+      it = packed_lru_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  stats_.packed_invalidations += dropped;
+  return dropped;
+}
+
+void Context::clear() {
+  std::lock_guard lock(mu_);
+  plan_index_.clear();
+  plan_lru_.clear();
+  packed_index_.clear();
+  packed_lru_.clear();
+}
+
+ContextStats Context::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+std::size_t Context::plan_cache_size() const {
+  std::lock_guard lock(mu_);
+  return plan_lru_.size();
+}
+
+std::size_t Context::packed_cache_size() const {
+  std::lock_guard lock(mu_);
+  return packed_lru_.size();
+}
+
+Context& default_context() {
+  // Serial so the free-function wrappers behave exactly like the
+  // pre-Context API (plan caching aside, which they already had).
+  static Context ctx([] {
+    ContextOptions opts;
+    opts.threads = 1;
+    return opts;
+  }());
+  return ctx;
+}
+
+}  // namespace autogemm

@@ -1,0 +1,178 @@
+// autogemm::Context — the runtime layer of the public API.
+//
+// The paper's deployment model ("optimal parameters are tuned ahead of
+// time per shape, then baked into the library", §IV-C) assumes per-shape
+// work is amortized across calls. Context is where that amortization
+// lives for a process serving repeated GEMM traffic:
+//
+//   * a thread-safe, shape-keyed LRU cache of Plan objects, so DMT tiling
+//     and hardware-model costing run once per distinct (M, N, K);
+//   * an LRU cache of offline-packed constant operands (PackedA/PackedB),
+//     keyed by the operand's data pointer and shape, so a DNN's weight
+//     matrices are packed once and reused every inference;
+//   * optional tune::TuningRecords backing: a context constructed with a
+//     records file resolves each incoming shape to its tuned GemmConfig
+//     (exact match first, then nearest-shape fallback) before falling back
+//     to the default_config heuristic;
+//   * an owned persistent ThreadPool, so callers stop threading pool
+//     pointers through every call.
+//
+// Context::gemm is the primary entry point; the free functions in
+// core/gemm.hpp and core/gemm_ex.hpp are thin wrappers over the
+// process-wide default_context().
+//
+// Packed-operand caching is keyed by pointer identity: the cache cannot
+// see through the pointer, so callers that mutate or free a cached
+// operand must call invalidate(ptr) (or clear()) before the next gemm on
+// that buffer. This is the standard contract for prepacked-weight APIs.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/matrix.hpp"
+#include "common/threadpool.hpp"
+#include "core/batched.hpp"
+#include "core/gemm.hpp"
+#include "core/gemm_ex.hpp"
+#include "tune/records.hpp"
+
+namespace autogemm {
+
+struct ContextOptions {
+  /// Max distinct shapes whose Plans stay cached (LRU beyond that).
+  std::size_t plan_capacity = 256;
+  /// Max packed constant operands kept (LRU beyond that).
+  std::size_t packed_capacity = 64;
+  /// Worker threads for the owned pool: 0 = hardware_concurrency,
+  /// 1 = serial (no pool is created).
+  unsigned threads = 0;
+  /// Optional tuned-parameter table (see tune/records.hpp); empty = none.
+  std::string records_path;
+};
+
+/// Monotonic cache counters (see Context::stats); the cache hit-rate bench
+/// reports these as JSON.
+struct ContextStats {
+  std::uint64_t plan_hits = 0;
+  std::uint64_t plan_misses = 0;
+  std::uint64_t plan_evictions = 0;
+  std::uint64_t packed_hits = 0;
+  std::uint64_t packed_misses = 0;
+  std::uint64_t packed_evictions = 0;
+  std::uint64_t packed_invalidations = 0;
+  /// How plan configs were resolved on miss: tuned record (exact shape),
+  /// tuned record (nearest shape), or the default_config heuristic.
+  std::uint64_t resolved_exact = 0;
+  std::uint64_t resolved_nearest = 0;
+  std::uint64_t resolved_heuristic = 0;
+};
+
+class Context {
+ public:
+  Context();
+  explicit Context(const ContextOptions& opts);
+  /// Convenience: default options + tuned records loaded from `records_path`
+  /// (throws std::runtime_error if the file cannot be read).
+  explicit Context(const std::string& records_path);
+  /// Tuned records handed over directly (e.g. straight from a tuning run).
+  explicit Context(tune::TuningRecords records, const ContextOptions& opts = {});
+  ~Context();
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  /// Primary entry point: C = alpha * op(A) * op(B) + beta * C with the
+  /// shape's cached (tuned or heuristic) Plan and the owned pool. The
+  /// defaults (no transposes, alpha = beta = 1) make this C += A * B; pass
+  /// beta = 0 for overwrite semantics (see core/gemm.hpp).
+  void gemm(common::ConstMatrixView a, common::ConstMatrixView b,
+            common::MatrixView c, const GemmExParams& params = {});
+
+  /// As gemm(), with A promised constant across calls: its offline-packed
+  /// form (PackedA) is cached under A's data pointer + shape. The cached
+  /// fast path requires canonical operands (no transposes, alpha = 1);
+  /// other params fall back to the plain gemm() path. Conv-as-GEMM weight
+  /// matrices are the motivating caller.
+  void gemm_const_a(common::ConstMatrixView a, common::ConstMatrixView b,
+                    common::MatrixView c, const GemmExParams& params = {});
+
+  /// As gemm(), with B promised constant across calls (cached PackedB).
+  void gemm_const_b(common::ConstMatrixView a, common::ConstMatrixView b,
+                    common::MatrixView c, const GemmExParams& params = {});
+
+  /// C_i += A_i * B_i for every item through the cached per-shape plans and
+  /// the owned pool (each item runs single-threaded inside the batch-level
+  /// parallel_for, as in gemm_batched).
+  void gemm_batched(const std::vector<BatchItem>& items);
+
+  /// Plan for a shape: tuned record (exact, then nearest) over the
+  /// heuristic default, LRU-cached. Shared so a caller can keep executing
+  /// a plan that gets evicted mid-flight.
+  std::shared_ptr<const Plan> plan_for(int m, int n, int k);
+
+  /// Drops every cached packed operand built from `data` (call after
+  /// mutating or freeing a buffer previously passed to gemm_const_*).
+  /// Returns the number of entries dropped.
+  std::size_t invalidate(const void* data);
+
+  /// Drops all cached plans and packed operands (stats are kept).
+  void clear();
+
+  /// Owned pool; nullptr when the context is serial (threads == 1).
+  /// Created lazily on first use.
+  common::ThreadPool* pool();
+
+  ContextStats stats() const;
+  std::size_t plan_cache_size() const;
+  std::size_t packed_cache_size() const;
+  const tune::TuningRecords& records() const { return records_; }
+
+ private:
+  struct ShapeKey {
+    int m = 0, n = 0, k = 0;
+    auto operator<=>(const ShapeKey&) const = default;
+  };
+  struct PackedKey {
+    const void* data = nullptr;
+    int rows = 0, cols = 0, ld = 0;
+    bool is_a = false;
+    auto operator<=>(const PackedKey&) const = default;
+  };
+  struct PackedEntry {
+    std::shared_ptr<const PackedA> a;
+    std::shared_ptr<const PackedB> b;
+    std::shared_ptr<const Plan> plan;  // layout the packing was built for
+  };
+
+  GemmConfig resolve_config(int m, int n, int k);
+  std::shared_ptr<const PackedA> packed_a_for(
+      common::ConstMatrixView a, const std::shared_ptr<const Plan>& plan);
+  std::shared_ptr<const PackedB> packed_b_for(
+      common::ConstMatrixView b, const std::shared_ptr<const Plan>& plan);
+
+  const ContextOptions opts_;
+  const tune::TuningRecords records_;
+
+  mutable std::mutex mu_;
+  // Plan LRU: list front = most recently used; index into the list.
+  std::list<std::pair<ShapeKey, std::shared_ptr<const Plan>>> plan_lru_;
+  std::map<ShapeKey, decltype(plan_lru_)::iterator> plan_index_;
+  std::list<std::pair<PackedKey, PackedEntry>> packed_lru_;
+  std::map<PackedKey, decltype(packed_lru_)::iterator> packed_index_;
+  ContextStats stats_;
+
+  std::once_flag pool_once_;
+  std::unique_ptr<common::ThreadPool> pool_;
+};
+
+/// Process-wide context backing the free-function API. Deliberately
+/// serial (threads = 1) so the historical behavior of the free functions
+/// is preserved exactly; construct your own Context to opt into the pool.
+Context& default_context();
+
+}  // namespace autogemm

@@ -2,12 +2,10 @@
 
 #include <algorithm>
 #include <array>
-#include <cstring>
-#include <map>
-#include <mutex>
 #include <stdexcept>
 
 #include "common/aligned_buffer.hpp"
+#include "core/context.hpp"
 #include "kernels/dispatch.hpp"
 #include "kernels/packing.hpp"
 
@@ -42,10 +40,12 @@ struct Scratch {
         b_buf(static_cast<std::size_t>(plan.config().kc) * plan.config().nc) {}
 };
 
-// One (i, j, p) cache-block step of the blocked loop nest.
-void block_step(ConstMatrixView a, ConstMatrixView b, const PackedB* packed_b,
-                MatrixView c, const Plan& plan, Scratch& scratch, int bi,
-                int bj, int bp) {
+// One (i, j, p) cache-block step of the blocked loop nest. Either operand
+// may come pre-packed (offline); the others fall back to the plan's
+// sigma_packing (online scratch or direct strided views).
+void block_step(ConstMatrixView a, ConstMatrixView b, const PackedA* packed_a,
+                const PackedB* packed_b, MatrixView c, const Plan& plan,
+                Scratch& scratch, int bi, int bj, int bp) {
   const GemmConfig& cfg = plan.config();
   const int i0 = bi * cfg.mc, j0 = bj * cfg.nc, p0 = bp * cfg.kc;
   const int bm = std::min(cfg.mc, a.rows - i0);
@@ -57,7 +57,10 @@ void block_step(ConstMatrixView a, ConstMatrixView b, const PackedB* packed_b,
   const float* b_ptr;
   long ldb;
   const bool pack = cfg.packing == kernels::Packing::kOnline;
-  if (pack) {
+  if (packed_a != nullptr) {
+    a_ptr = packed_a->block(bi, bp);
+    lda = packed_a->block_ld();
+  } else if (pack) {
     if (scratch.a_block_i != bi || scratch.a_block_p != bp) {
       kernels::pack_block(a.block(i0, p0, bm, bk), scratch.a_buf.data(), bk);
       scratch.a_block_i = bi;
@@ -105,7 +108,8 @@ std::array<int, 3> order_permutation(LoopOrder order) {
 }
 
 void execute_single(ConstMatrixView a, ConstMatrixView b,
-                    const PackedB* packed_b, MatrixView c, const Plan& plan) {
+                    const PackedA* packed_a, const PackedB* packed_b,
+                    MatrixView c, const Plan& plan) {
   const GemmConfig& cfg = plan.config();
   const int nblk[3] = {ceil_div(plan.m(), cfg.mc), ceil_div(plan.n(), cfg.nc),
                        ceil_div(plan.k(), cfg.kc)};
@@ -118,14 +122,16 @@ void execute_single(ConstMatrixView a, ConstMatrixView b,
         idx[perm[0]] = x;
         idx[perm[1]] = y;
         idx[perm[2]] = z;
-        block_step(a, b, packed_b, c, plan, scratch, idx[0], idx[1], idx[2]);
+        block_step(a, b, packed_a, packed_b, c, plan, scratch, idx[0], idx[1],
+                   idx[2]);
       }
     }
   }
 }
 
 void execute_parallel(ConstMatrixView a, ConstMatrixView b,
-                      const PackedB* packed_b, MatrixView c, const Plan& plan,
+                      const PackedA* packed_a, const PackedB* packed_b,
+                      MatrixView c, const Plan& plan,
                       common::ThreadPool& pool) {
   const GemmConfig& cfg = plan.config();
   const int mi = ceil_div(plan.m(), cfg.mc);
@@ -139,8 +145,18 @@ void execute_parallel(ConstMatrixView a, ConstMatrixView b,
     const int bj = block % nj;
     Scratch scratch(plan);
     for (int bp = 0; bp < kp; ++bp)
-      block_step(a, b, packed_b, c, plan, scratch, bi, bj, bp);
+      block_step(a, b, packed_a, packed_b, c, plan, scratch, bi, bj, bp);
   });
+}
+
+void execute(ConstMatrixView a, ConstMatrixView b, const PackedA* packed_a,
+             const PackedB* packed_b, MatrixView c, const Plan& plan,
+             common::ThreadPool* pool) {
+  if (pool != nullptr && pool->size() > 1) {
+    execute_parallel(a, b, packed_a, packed_b, c, plan, *pool);
+  } else {
+    execute_single(a, b, packed_a, packed_b, c, plan);
+  }
 }
 
 void check_shapes(ConstMatrixView a, ConstMatrixView b, MatrixView c,
@@ -178,54 +194,59 @@ const float* PackedB::block(int p_idx, int j_idx) const {
          offsets_[static_cast<std::size_t>(p_idx) * nblocks_ + j_idx];
 }
 
+PackedA::PackedA(ConstMatrixView a, const Plan& plan) {
+  const GemmConfig& cfg = plan.config();
+  mblocks_ = ceil_div(plan.m(), cfg.mc);
+  kblocks_ = ceil_div(plan.k(), cfg.kc);
+  ld_ = cfg.kc;
+  data_.assign(static_cast<std::size_t>(mblocks_) * kblocks_ * cfg.mc * cfg.kc,
+               0.0f);
+  offsets_.resize(static_cast<std::size_t>(mblocks_) * kblocks_);
+  std::size_t off = 0;
+  for (int bi = 0; bi < mblocks_; ++bi) {
+    for (int bp = 0; bp < kblocks_; ++bp) {
+      const int i0 = bi * cfg.mc, p0 = bp * cfg.kc;
+      const int bm = std::min(cfg.mc, a.rows - i0);
+      const int bk = std::min(cfg.kc, a.cols - p0);
+      offsets_[static_cast<std::size_t>(bi) * kblocks_ + bp] = off;
+      kernels::pack_block(a.block(i0, p0, bm, bk), data_.data() + off, ld_);
+      off += static_cast<std::size_t>(cfg.mc) * cfg.kc;
+    }
+  }
+}
+
+const float* PackedA::block(int i_idx, int p_idx) const {
+  return data_.data() +
+         offsets_[static_cast<std::size_t>(i_idx) * kblocks_ + p_idx];
+}
+
 void gemm(ConstMatrixView a, ConstMatrixView b, MatrixView c, const Plan& plan,
           common::ThreadPool* pool) {
   check_shapes(a, b, c, plan);
-  if (pool != nullptr && pool->size() > 1) {
-    execute_parallel(a, b, nullptr, c, plan, *pool);
-  } else {
-    execute_single(a, b, nullptr, c, plan);
-  }
+  execute(a, b, nullptr, nullptr, c, plan, pool);
 }
 
 void gemm(ConstMatrixView a, const PackedB& packed_b,
           ConstMatrixView b_shape, MatrixView c, const Plan& plan,
           common::ThreadPool* pool) {
   check_shapes(a, b_shape, c, plan);
-  if (pool != nullptr && pool->size() > 1) {
-    execute_parallel(a, b_shape, &packed_b, c, plan, *pool);
-  } else {
-    execute_single(a, b_shape, &packed_b, c, plan);
-  }
+  execute(a, b_shape, nullptr, &packed_b, c, plan, pool);
+}
+
+void gemm(const PackedA& packed_a, ConstMatrixView a_shape, ConstMatrixView b,
+          MatrixView c, const Plan& plan, common::ThreadPool* pool) {
+  check_shapes(a_shape, b, c, plan);
+  execute(a_shape, b, &packed_a, nullptr, c, plan, pool);
 }
 
 void gemm(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
-  // Per-shape plan cache: autoGEMM's deployment model is ahead-of-time
-  // parameter selection per shape, so repeated convenience calls (e.g. a
-  // DNN running the same layers every frame) must not re-run DMT.
-  static std::mutex mu;
-  static std::map<std::array<int, 3>, Plan> plans;
-  const std::array<int, 3> key{a.rows, b.cols, a.cols};
-  const Plan* plan;
-  {
-    std::lock_guard lock(mu);
-    auto it = plans.find(key);
-    if (it == plans.end()) {
-      it = plans
-               .emplace(key, Plan(a.rows, b.cols, a.cols,
-                                  default_config(a.rows, b.cols, a.cols)))
-               .first;
-    }
-    plan = &it->second;
-  }
-  gemm(a, b, c, *plan);
+  default_context().gemm(a, b, c);
 }
 
 void gemm_overwrite(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
-  for (int r = 0; r < c.rows; ++r)
-    std::memset(c.data + static_cast<long>(r) * c.ld, 0,
-                static_cast<std::size_t>(c.cols) * sizeof(float));
-  gemm(a, b, c);
+  GemmExParams params;
+  params.beta = 0.0f;  // overwrite == the BLAS beta = 0 case, defined once
+  default_context().gemm(a, b, c, params);
 }
 
 }  // namespace autogemm

@@ -1,8 +1,26 @@
-// autoGEMM public entry points.
+// autoGEMM free-function entry points.
 //
-// Semantics: C += A * B in fp32 (zero C first for the overwrite form, or
-// call gemm_overwrite). Shapes: A is M x K, B is K x N, C is M x N, all
-// row-major views with arbitrary leading dimensions.
+// ## Accumulate vs. overwrite — the one place these semantics are defined
+//
+// Every entry point in this library is a special case of the BLAS form
+//
+//     C = alpha * op(A) * op(B) + beta * C
+//
+// (see core/gemm_ex.hpp). The two common cases get names:
+//
+//   * `gemm(...)`            == alpha = 1, beta = 1:  C += A * B
+//   * `gemm_overwrite(...)`  == alpha = 1, beta = 0:  C  = A * B
+//
+// `gemm_overwrite` routes through the same beta handling as `gemm_ex`
+// (beta = 0 means C's prior contents are ignored, never read — NaNs and
+// uninitialized storage in C are fine). Shapes: op(A) is M x K, op(B) is
+// K x N, C is M x N, all row-major views with arbitrary leading dimensions.
+//
+// These free functions are thin wrappers over a process-wide
+// `autogemm::Context` (core/context.hpp), which is the primary API: it
+// caches one Plan per shape and packed constant operands across calls.
+// Construct your own Context to control cache sizes, threading, and tuned
+// parameter records.
 #pragma once
 
 #include <vector>
@@ -32,6 +50,25 @@ class PackedB {
   long ld_ = 0;
 };
 
+/// A packed offline the same way — the mirror of PackedB for workloads
+/// whose *left* operand is the constant one (conv-as-GEMM puts the weight
+/// matrix in A: output = weights x im2col). Built once per (A, plan) pair.
+class PackedA {
+ public:
+  PackedA() = default;
+  PackedA(common::ConstMatrixView a, const Plan& plan);
+
+  const float* block(int i_idx, int p_idx) const;
+  long block_ld() const { return ld_; }
+  bool empty() const { return data_.empty(); }
+
+ private:
+  std::vector<float> data_;
+  std::vector<std::size_t> offsets_;
+  int mblocks_ = 0, kblocks_ = 0;
+  long ld_ = 0;
+};
+
 /// C += A * B following the plan. `pool` enables the multithreaded path
 /// (cache blocks of C are the scheduling unit; the K dimension is never
 /// split, matching the paper's TVM-imposed limitation).
@@ -39,16 +76,24 @@ void gemm(common::ConstMatrixView a, common::ConstMatrixView b,
           common::MatrixView c, const Plan& plan,
           common::ThreadPool* pool = nullptr);
 
-/// C += A * B with offline-packed B.
+/// C += A * B with offline-packed B. `b_shape` is the original B view
+/// (only its shape is consulted).
 void gemm(common::ConstMatrixView a, const PackedB& packed_b,
           common::ConstMatrixView b_shape, common::MatrixView c,
           const Plan& plan, common::ThreadPool* pool = nullptr);
 
-/// Convenience: heuristic plan, C += A * B.
+/// C += A * B with offline-packed A. `a_shape` is the original A view
+/// (only its shape is consulted).
+void gemm(const PackedA& packed_a, common::ConstMatrixView a_shape,
+          common::ConstMatrixView b, common::MatrixView c, const Plan& plan,
+          common::ThreadPool* pool = nullptr);
+
+/// Convenience: C += A * B through the process-default Context (cached
+/// per-shape plan, serial execution).
 void gemm(common::ConstMatrixView a, common::ConstMatrixView b,
           common::MatrixView c);
 
-/// Convenience: zeroes C, then C = A * B.
+/// Convenience: C = A * B (beta = 0; see the semantics note above).
 void gemm_overwrite(common::ConstMatrixView a, common::ConstMatrixView b,
                     common::MatrixView c);
 

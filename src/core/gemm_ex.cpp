@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "common/aligned_buffer.hpp"
+#include "core/context.hpp"
 #include "kernels/dispatch.hpp"
 #include "kernels/packing.hpp"
 
@@ -14,17 +16,6 @@ using common::ConstMatrixView;
 using common::MatrixView;
 
 int ceil_div(int a, int b) { return (a + b - 1) / b; }
-
-void scale_rows(MatrixView c, float beta, int row0, int rows) {
-  for (int r = row0; r < row0 + rows; ++r) {
-    float* row = c.data + static_cast<long>(r) * c.ld;
-    if (beta == 0.0f) {
-      for (int j = 0; j < c.cols; ++j) row[j] = 0.0f;
-    } else {
-      for (int j = 0; j < c.cols; ++j) row[j] *= beta;
-    }
-  }
-}
 
 // Packs the logical op(A) block rows [i0, i0+bm) x depth [p0, p0+bk).
 void pack_a(ConstMatrixView a, Trans trans, float alpha, int i0, int p0,
@@ -95,7 +86,7 @@ void gemm_ex(ConstMatrixView a, ConstMatrixView b, MatrixView c,
 
   // beta is applied to all of C before any accumulation (doing it inside
   // the workers would race: several column-block workers share C rows).
-  if (params.beta != 1.0f) scale_rows(c, params.beta, 0, c.rows);
+  if (params.beta != 1.0f) detail::scale_c(c, params.beta);
 
   if (pool != nullptr && pool->size() > 1) {
     pool->parallel_for(mi * nj, [&](int block) {
@@ -115,11 +106,57 @@ void gemm_ex(ConstMatrixView a, ConstMatrixView b, MatrixView c,
 
 void gemm_ex(ConstMatrixView a, ConstMatrixView b, MatrixView c,
              const GemmExParams& params) {
-  const int m = params.trans_a == Trans::kNo ? a.rows : a.cols;
-  const int k = params.trans_a == Trans::kNo ? a.cols : a.rows;
-  const int n = params.trans_b == Trans::kNo ? b.cols : b.rows;
-  Plan plan(m, n, k, default_config(m, n, k));
-  gemm_ex(a, b, c, params, plan);
+  default_context().gemm(a, b, c, params);
 }
 
+namespace {
+
+Trans parse_trans(char t) {
+  switch (t) {
+    case 'n': case 'N': return Trans::kNo;
+    case 't': case 'T': return Trans::kYes;
+    default:
+      throw std::invalid_argument(std::string("sgemm: bad trans flag '") + t +
+                                  "' (expected n/N/t/T)");
+  }
+}
+
+}  // namespace
+
+void sgemm(char transa, char transb, int m, int n, int k, float alpha,
+           const float* a, int lda, const float* b, int ldb, float beta,
+           float* c, int ldc) {
+  GemmExParams params;
+  params.trans_a = parse_trans(transa);
+  params.trans_b = parse_trans(transb);
+  params.alpha = alpha;
+  params.beta = beta;
+  const int a_rows = params.trans_a == Trans::kNo ? m : k;
+  const int a_cols = params.trans_a == Trans::kNo ? k : m;
+  const int b_rows = params.trans_b == Trans::kNo ? k : n;
+  const int b_cols = params.trans_b == Trans::kNo ? n : k;
+  if (lda < a_cols || ldb < b_cols || ldc < n)
+    throw std::invalid_argument("sgemm: leading dimension below row width");
+  const ConstMatrixView av{a, a_rows, a_cols, lda};
+  const ConstMatrixView bv{b, b_rows, b_cols, ldb};
+  const MatrixView cv{c, m, n, ldc};
+  default_context().gemm(av, bv, cv, params);
+}
+
+namespace detail {
+
+void scale_c(MatrixView c, float beta) {
+  for (int r = 0; r < c.rows; ++r) {
+    float* row = c.data + static_cast<long>(r) * c.ld;
+    if (beta == 0.0f) {
+      for (int j = 0; j < c.cols; ++j) row[j] = 0.0f;
+    } else {
+      for (int j = 0; j < c.cols; ++j) row[j] *= beta;
+    }
+  }
+}
+
+}  // namespace detail
+
 }  // namespace autogemm
+

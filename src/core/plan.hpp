@@ -68,6 +68,10 @@ class Plan {
 
   /// Micro-tile decomposition for a cache block of shape (bm x bn) at depth
   /// bk (memoized across the at-most-eight distinct edge combinations).
+  /// The constructor visits every block of the problem, so all shapes the
+  /// executors will request are precomputed and concurrent gemm calls
+  /// sharing one Plan (e.g. through a Context's cache) only read the memo;
+  /// requesting a *novel* block shape from multiple threads is not safe.
   const tiling::TilingResult& block_tiling(int bm, int bn, int bk) const;
 
   /// Model-projected cycles for the whole problem on the plan's hardware

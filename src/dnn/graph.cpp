@@ -10,6 +10,7 @@
 #include "baselines/host_baselines.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "core/context.hpp"
 #include "core/gemm.hpp"
 
 namespace autogemm::dnn {
@@ -28,6 +29,17 @@ GemmBackend openblas_backend() {
       std::memset(c.data + static_cast<long>(r) * c.ld, 0,
                   static_cast<std::size_t>(c.cols) * sizeof(float));
     baselines::openblas_like_gemm(a, b, c);
+  };
+}
+
+GemmBackend context_backend(Context& ctx) {
+  return [&ctx](common::ConstMatrixView a, common::ConstMatrixView b,
+                common::MatrixView c) {
+    // The executor's contract is overwrite (beta = 0). A is the layer's
+    // weight matrix — constant across runs — so its packed form is cached.
+    GemmExParams params;
+    params.beta = 0.0f;
+    ctx.gemm_const_a(a, b, c, params);
   };
 }
 

@@ -16,6 +16,10 @@
 #include "common/matrix.hpp"
 #include "dnn/im2col.hpp"
 
+namespace autogemm {
+class Context;
+}
+
 namespace autogemm::dnn {
 
 /// CHW tensor (batch size 1 throughout, as in the paper's latency runs).
@@ -46,6 +50,13 @@ using GemmBackend =
 GemmBackend autogemm_backend();
 GemmBackend openblas_backend();
 GemmBackend naive_backend();
+
+/// Backend over an autogemm::Context: every layer's constant weight matrix
+/// (the GEMM's left operand in conv-as-GEMM) keeps its offline-packed form
+/// cached in the context, so repeated inferences stop re-packing weights —
+/// the paper's ResNet-50 deployment mode. The context must outlive the
+/// backend, and its packed cache must be invalidated if weights mutate.
+GemmBackend context_backend(Context& ctx);
 
 class Op {
  public:

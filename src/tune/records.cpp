@@ -1,6 +1,8 @@
 #include "tune/records.hpp"
 
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -36,8 +38,29 @@ std::optional<double> TuningRecords::cost(const ShapeKey& shape) const {
   return it->second.cost;
 }
 
+std::optional<Candidate> TuningRecords::lookup_nearest(
+    const ShapeKey& shape, double max_log2_distance) const {
+  const auto dim_distance = [](int want, int have) {
+    return std::abs(std::log2(static_cast<double>(want) / have));
+  };
+  double best = std::numeric_limits<double>::infinity();
+  const Record* best_rec = nullptr;
+  for (const auto& [key, rec] : records_) {
+    const double d = dim_distance(shape.m, key.m) +
+                     dim_distance(shape.n, key.n) +
+                     dim_distance(shape.k, key.k);
+    if (d < best) {
+      best = d;
+      best_rec = &rec;
+    }
+  }
+  if (best_rec == nullptr || best > max_log2_distance) return std::nullopt;
+  return best_rec->candidate;
+}
+
 void TuningRecords::save(std::ostream& os) const {
-  os << "# autogemm tuning records v1: m n k mc nc kc order packing cost\n";
+  os << "autogemm-records v1\n";
+  os << "# m n k mc nc kc order packing cost\n";
   for (const auto& [shape, rec] : records_) {
     os << shape.m << ' ' << shape.n << ' ' << shape.k << ' '
        << rec.candidate.mc << ' ' << rec.candidate.nc << ' '
@@ -50,8 +73,23 @@ void TuningRecords::save(std::ostream& os) const {
 void TuningRecords::load(std::istream& is) {
   records_.clear();
   std::string line;
+  bool saw_content = false;
   while (std::getline(is, line)) {
     if (line.empty() || line[0] == '#') continue;
+    if (!saw_content) {
+      saw_content = true;
+      // Versioned header, introduced after the seed format; headerless
+      // streams are the legacy v1 layout and load unchanged.
+      if (line.rfind("autogemm-records", 0) == 0) {
+        std::istringstream hs(line);
+        std::string magic, version;
+        hs >> magic >> version;
+        if (version != "v1")
+          throw std::runtime_error(
+              "TuningRecords::load: unsupported format version: " + line);
+        continue;
+      }
+    }
     std::istringstream ls(line);
     ShapeKey shape;
     Record rec;

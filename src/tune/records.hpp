@@ -36,11 +36,23 @@ class TuningRecords {
   std::optional<double> cost(const ShapeKey& shape) const;
   std::size_t size() const { return records_.size(); }
 
-  /// Text format, one record per line:
+  /// Nearest-shape fallback for untuned shapes: returns the record whose
+  /// shape minimizes sum_d |log2(want_d / have_d)| over (m, n, k) — tuned
+  /// parameters transfer between shapes of similar aspect, so a serving
+  /// context prefers a close record over the cold heuristic. Returns
+  /// nullopt when empty or when the best distance exceeds
+  /// `max_log2_distance` (default: within ~2x total across the three
+  /// dimensions).
+  std::optional<Candidate> lookup_nearest(const ShapeKey& shape,
+                                          double max_log2_distance = 1.0) const;
+
+  /// Text format: a `autogemm-records v1` header line, then one record per
+  /// line:
   ///   m n k mc nc kc loop_order packing cost
   void save(std::ostream& os) const;
-  /// Replaces the current contents. Throws std::runtime_error on a
-  /// malformed line.
+  /// Replaces the current contents. Headerless streams (seed-era files)
+  /// load as v1; an `autogemm-records` header with an unknown version
+  /// throws. Throws std::runtime_error on a malformed line.
   void load(std::istream& is);
 
   bool save_file(const std::string& path) const;

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdint>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "common/aligned_buffer.hpp"
 #include "common/matrix.hpp"
@@ -140,6 +142,53 @@ TEST(ThreadPool, SingleThreadFallback) {
   std::atomic<int> sum{0};
   pool.parallel_for(10, [&](int i) { sum += i; });
   EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, UsableAfterException) {
+  // The reusable-region pool must come back clean after a throwing region:
+  // workers stay parked, the stored exception is cleared, and the next
+  // region runs normally.
+  ThreadPool pool(3);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(pool.parallel_for(
+                     20,
+                     [](int i) {
+                       if (i % 7 == 3) throw std::runtime_error("boom");
+                     }),
+                 std::runtime_error);
+    std::vector<std::atomic<int>> hits(50);
+    pool.parallel_for(50, [&](int i) { hits[i].fetch_add(1); });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ManySequentialRegions) {
+  // Regression guard for the region/generation handshake: a missed wakeup
+  // or a stale generation would hang or drop indices under rapid reuse.
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallel_for(round % 13 + 1, [&](int i) { sum += i + 1; });
+    const int n = round % 13 + 1;
+    EXPECT_EQ(sum.load(), n * (n + 1) / 2) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, ConcurrentSubmittersSerialize) {
+  // parallel_for from multiple threads at once: regions must serialize
+  // (one at a time) without interleaving indices or losing any.
+  ThreadPool pool(2);
+  constexpr int kSubmitters = 4, kRegions = 25, kCount = 30;
+  std::atomic<int> total{0};
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&] {
+      for (int r = 0; r < kRegions; ++r)
+        pool.parallel_for(kCount, [&](int) { total.fetch_add(1); });
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(total.load(), kSubmitters * kRegions * kCount);
 }
 
 }  // namespace

@@ -198,31 +198,38 @@ void check_sequence(int mc, int nc, int kc, bool fuse, bool rra) {
   spec.lanes = hw.lanes;
   spec.fuse = fuse;
   spec.options.rotate_registers = rra;
-  Matrix a(mc, kc), b(kc, nc), c(mc, nc), c_ref(mc, nc);
-  spec.lda = a.ld();
-  spec.ldb = b.ld();
+  // The generated kernels read A and B with the padding slack documented in
+  // codegen/generator.hpp; the backing stores provide it (zero-filled by
+  // AlignedBuffer) while the logical views stay mc x kc / kc x nc.
+  Matrix a_store(mc, codegen::padded_k_a(kc, hw.lanes));
+  Matrix b_store(codegen::padded_k_b(kc, hw.lanes), nc);
+  Matrix c(mc, nc), c_ref(mc, nc);
+  const common::MatrixView a = a_store.view().block(0, 0, mc, kc);
+  const common::MatrixView b = b_store.view().block(0, 0, kc, nc);
+  spec.lda = a.ld;
+  spec.ldb = b.ld;
   spec.ldc = c.ld();
   for (const auto& t : tiling.tiles) {
     codegen::TileInstance ti;
     ti.mr = t.mr;
     ti.nr = t.nr;
     ti.kc = kc;
-    ti.a_offset = static_cast<long>(t.row) * a.ld();
+    ti.a_offset = static_cast<long>(t.row) * a.ld;
     ti.b_offset = t.col;
     ti.c_offset = static_cast<long>(t.row) * c.ld() + t.col;
     spec.tiles.push_back(ti);
   }
 
-  common::fill_random(a.view(), 7);
-  common::fill_random(b.view(), 8);
+  common::fill_random(a, 7);
+  common::fill_random(b, 8);
   common::fill_random(c.view(), 9);
   for (int r = 0; r < mc; ++r)
     for (int j = 0; j < nc; ++j) c_ref.at(r, j) = c.at(r, j);
-  common::reference_gemm(a.view(), b.view(), c_ref.view());
+  common::reference_gemm(a, b, c_ref.view());
 
   const auto seq = codegen::generate_sequence(spec);
   sim::Interpreter interp;
-  sim::KernelArgs args{a.data(), b.data(), c.data(), a.ld(), b.ld(), c.ld()};
+  sim::KernelArgs args{a.data, b.data, c.data(), a.ld, b.ld, c.ld()};
   interp.run(seq.program, args);
   EXPECT_LT(common::max_rel_error(c.view(), c_ref.view()),
             testutil::gemm_tolerance(kc));

@@ -9,6 +9,7 @@
 
 #include "baselines/library_zoo.hpp"
 #include "baselines/pricer.hpp"
+#include "codegen/generator.hpp"
 #include "codegen/sequence.hpp"
 #include "common/matrix.hpp"
 #include "common/reference_gemm.hpp"
@@ -67,27 +68,33 @@ TEST_P(SequenceFuzz, RandomExactCoverComputesCorrectly) {
   const int n = vnd(rng) * 4;
   const int kc = kd(rng);
 
-  Matrix a(m, kc), b(kc, n), c(m, n), c_ref(m, n);
-  common::fill_random(a.view(), GetParam() * 3 + 1);
-  common::fill_random(b.view(), GetParam() * 3 + 2);
+  // Backing stores carry the A/B padding slack the generated kernels are
+  // entitled to read (codegen/generator.hpp); the logical views don't.
+  Matrix a_store(m, codegen::padded_k_a(kc, 4));
+  Matrix b_store(codegen::padded_k_b(kc, 4), n);
+  Matrix c(m, n), c_ref(m, n);
+  const common::MatrixView a = a_store.view().block(0, 0, m, kc);
+  const common::MatrixView b = b_store.view().block(0, 0, kc, n);
+  common::fill_random(a, GetParam() * 3 + 1);
+  common::fill_random(b, GetParam() * 3 + 2);
   common::fill_random(c.view(), GetParam() * 3 + 3);
   for (int r = 0; r < m; ++r)
     for (int j = 0; j < n; ++j) c_ref.at(r, j) = c.at(r, j);
-  common::reference_gemm(a.view(), b.view(), c_ref.view());
+  common::reference_gemm(a, b, c_ref.view());
 
   codegen::SequenceSpec spec;
   spec.lanes = 4;
-  spec.lda = a.ld();
-  spec.ldb = b.ld();
+  spec.lda = a.ld;
+  spec.ldb = b.ld;
   spec.ldc = c.ld();
   spec.fuse = (GetParam() % 2) == 0;
   spec.options.rotate_registers = (GetParam() % 3) == 0;
-  random_cover(rng, 0, 0, m, n, spec.tiles, kc, a.ld(), b.ld(), c.ld());
+  random_cover(rng, 0, 0, m, n, spec.tiles, kc, a.ld, b.ld, c.ld());
   ASSERT_FALSE(spec.tiles.empty());
 
   const auto seq = codegen::generate_sequence(spec);
   sim::Interpreter interp;
-  sim::KernelArgs args{a.data(), b.data(), c.data(), a.ld(), b.ld(), c.ld()};
+  sim::KernelArgs args{a.data, b.data, c.data(), a.ld, b.ld, c.ld()};
   interp.run(seq.program, args);
   EXPECT_LT(common::max_rel_error(c.view(), c_ref.view()),
             testutil::gemm_tolerance(kc))

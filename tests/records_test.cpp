@@ -81,6 +81,57 @@ TEST(Records, FileRoundTrip) {
   EXPECT_FALSE(loaded.load_file("/nonexistent/dir/records.txt"));
 }
 
+TEST(Records, SaveWritesVersionHeader) {
+  TuningRecords records;
+  records.add({64, 64, 64}, make_candidate(16), 10.0);
+  std::stringstream ss;
+  records.save(ss);
+  std::string first_line;
+  std::getline(ss, first_line);
+  EXPECT_EQ(first_line, "autogemm-records v1");
+}
+
+TEST(Records, LoadsHeaderlessLegacyStream) {
+  // Seed-era files had no header line; they must keep loading as v1.
+  TuningRecords records;
+  std::stringstream ss("64 64 64 16 32 16 2 1 10.0\n");
+  records.load(ss);
+  EXPECT_EQ(records.size(), 1u);
+}
+
+TEST(Records, LoadRejectsUnknownVersion) {
+  TuningRecords records;
+  std::stringstream ss("autogemm-records v2\n64 64 64 16 32 16 2 1 10.0\n");
+  EXPECT_THROW(records.load(ss), std::runtime_error);
+}
+
+TEST(Records, HeaderedRoundTripAfterComments) {
+  TuningRecords records;
+  std::stringstream ss(
+      "# produced by the tuner\nautogemm-records v1\n"
+      "64 64 64 16 32 16 2 1 10.0\n");
+  records.load(ss);
+  EXPECT_EQ(records.size(), 1u);
+  EXPECT_EQ(records.lookup({64, 64, 64})->loop_order, LoopOrder::kKNM);
+}
+
+TEST(Records, LookupNearestTransfersAndBounds) {
+  TuningRecords records;
+  records.add({64, 64, 64}, make_candidate(16), 10.0);
+  records.add({512, 512, 512}, make_candidate(128), 20.0);
+  // 60^3 is closest to 64^3 (total log2 distance ~0.28).
+  const auto near = records.lookup_nearest({60, 60, 60});
+  ASSERT_TRUE(near.has_value());
+  EXPECT_EQ(near->mc, 16);
+  // 450^3 is closest to 512^3 (and within the bound; 400^3 would total
+  // ~1.07 in log2 distance and be rejected).
+  EXPECT_EQ(records.lookup_nearest({450, 450, 450})->mc, 128);
+  // A wildly different aspect exceeds the distance bound.
+  EXPECT_FALSE(records.lookup_nearest({1, 4096, 2}).has_value());
+  // Empty table: nothing to return.
+  EXPECT_FALSE(TuningRecords{}.lookup_nearest({64, 64, 64}).has_value());
+}
+
 TEST(Records, ConfigFromCandidateBridgesToCore) {
   const Candidate c{24, 48, 12, LoopOrder::kKMN, kernels::Packing::kNone};
   const GemmConfig cfg = config_from_candidate(96, 96, 48, c);

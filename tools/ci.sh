@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# CI driver: build and test the two supported configurations.
+#
+#   tools/ci.sh            # release + asan, full ctest in each
+#   tools/ci.sh release    # just one configuration
+#
+# The asan configuration builds with -fsanitize=address,undefined (the
+# AUTOGEMM_SANITIZE CMake option / the "asan" preset); the concurrent
+# Context tests in particular are expected to pass under it. Also runs the
+# context cache-hit bench once in release so the JSON artifact lands in
+# build/bench_context_cache.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+configs=("$@")
+[[ ${#configs[@]} -eq 0 ]] && configs=(release asan)
+
+run_config() {
+  local name=$1 dir=$2
+  shift 2
+  echo "==== [$name] configure ===="
+  cmake -B "$dir" -S . "$@"
+  echo "==== [$name] build ===="
+  cmake --build "$dir" -j "$jobs"
+  echo "==== [$name] ctest ===="
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+for config in "${configs[@]}"; do
+  case "$config" in
+    release)
+      run_config release build -DCMAKE_BUILD_TYPE=Release
+      echo "==== [release] context cache bench ===="
+      ./build/bench/bench_context_cache build/bench_context_cache.json
+      ;;
+    asan)
+      run_config asan build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DAUTOGEMM_SANITIZE=ON
+      ;;
+    *)
+      echo "unknown config: $config (expected release or asan)" >&2
+      exit 2
+      ;;
+  esac
+done
+echo "==== ci: all configurations passed ===="
