@@ -5,6 +5,8 @@
 #include <new>
 #include <utility>
 
+#include "common/failpoint.hpp"
+
 namespace autogemm::common {
 
 AlignedBuffer::AlignedBuffer(std::size_t count, std::size_t alignment)
@@ -13,6 +15,7 @@ AlignedBuffer::AlignedBuffer(std::size_t count, std::size_t alignment)
   // std::aligned_alloc requires the size to be a multiple of the alignment.
   const std::size_t bytes = count * sizeof(float);
   const std::size_t rounded = (bytes + alignment - 1) / alignment * alignment;
+  if (failpoint::should_fail("alloc.aligned_buffer")) throw std::bad_alloc{};
   data_ = static_cast<float*>(std::aligned_alloc(alignment, rounded));
   if (data_ == nullptr) throw std::bad_alloc{};
   std::memset(data_, 0, rounded);

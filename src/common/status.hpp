@@ -1,0 +1,168 @@
+// autogemm::Status / StatusOr — the library's error model.
+//
+// The runtime serves repeated GEMM traffic; a service-shaped caller needs
+// failures to be values it can branch on, not undefined behaviour or a
+// process abort. Every hardened entry point (Context::run, Plan::create,
+// PackedA/PackedB::create, sim::Interpreter::try_run, the tuning-record
+// I/O) reports through this type; the legacy void/throwing API survives as
+// thin wrappers (see core/context.hpp's last_error()).
+//
+// ## NaN/Inf policy
+//
+// Matrix *contents* are never scanned: non-finite elements propagate
+// through the arithmetic exactly as IEEE-754 dictates, the same contract
+// every BLAS offers (a scan would cost O(MN + MK + KN) per call on the hot
+// path). Scalar *parameters* (alpha, beta) are validated: a non-finite
+// alpha or beta poisons all of C in a way no caller ever intends, so it is
+// rejected as kInvalidArgument before any memory is written.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace autogemm {
+
+enum class StatusCode : int {
+  kOk = 0,
+  /// Caller passed something structurally wrong: negative dimension,
+  /// ld < row width, null data with nonzero extent, aliased C, shape
+  /// mismatch, non-finite alpha/beta.
+  kInvalidArgument = 1,
+  /// Allocation failure (scratch, packing buffers, worker spawn).
+  kResourceExhausted = 2,
+  /// Persistent data failed validation (corrupt tuning-record line or
+  /// checksum); the operation salvaged what it could.
+  kDataLoss = 3,
+  /// A watchdog budget expired (interpreter step limit, simulator cycle
+  /// budget) — the runaway computation was stopped instead of hanging.
+  kDeadlineExceeded = 4,
+  /// The library itself misbehaved (worker exception, probe mismatch,
+  /// illegal generated instruction). Degraded modes hinge on this code.
+  kInternal = 5,
+  /// The requested path exists but is quarantined/disabled; a fallback
+  /// served the request or the caller must use another path.
+  kUnavailable = 6,
+};
+
+inline const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+class [[nodiscard]] Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Contextual conversion so `if (!records.load_file(path))` keeps
+  /// compiling at call sites that predate the Status migration.
+  explicit operator bool() const { return ok(); }
+
+  std::string to_string() const {
+    if (ok()) return "OK";
+    return std::string(status_code_name(code_)) + ": " + message_;
+  }
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Shorthand constructors mirroring the code set above.
+inline Status InvalidArgumentError(std::string msg) {
+  return {StatusCode::kInvalidArgument, std::move(msg)};
+}
+inline Status ResourceExhaustedError(std::string msg) {
+  return {StatusCode::kResourceExhausted, std::move(msg)};
+}
+inline Status DataLossError(std::string msg) {
+  return {StatusCode::kDataLoss, std::move(msg)};
+}
+inline Status DeadlineExceededError(std::string msg) {
+  return {StatusCode::kDeadlineExceeded, std::move(msg)};
+}
+inline Status InternalError(std::string msg) {
+  return {StatusCode::kInternal, std::move(msg)};
+}
+inline Status UnavailableError(std::string msg) {
+  return {StatusCode::kUnavailable, std::move(msg)};
+}
+
+/// Propagate a non-OK status to the caller (expression must be a Status).
+#define AUTOGEMM_RETURN_IF_ERROR(expr)                   \
+  do {                                                   \
+    ::autogemm::Status autogemm_status_tmp_ = (expr);    \
+    if (!autogemm_status_tmp_.ok()) return autogemm_status_tmp_; \
+  } while (false)
+
+/// A Status or a value. Accessing value() on an error state throws
+/// std::runtime_error carrying the status text — the bridge between the
+/// Status world and the legacy throwing API.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT: implicit
+  StatusOr(T value)                                        // NOLINT: implicit
+      : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  explicit operator bool() const { return ok(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    throw_if_error();
+    return *value_;
+  }
+  T& value() & {
+    throw_if_error();
+    return *value_;
+  }
+  T&& value() && {
+    throw_if_error();
+    return std::move(*value_);
+  }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+ private:
+  void throw_if_error() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace autogemm
+
+#include <stdexcept>
+
+template <typename T>
+void autogemm::StatusOr<T>::throw_if_error() const {
+  if (!status_.ok())
+    throw std::runtime_error("StatusOr::value on error: " +
+                             status_.to_string());
+}

@@ -1,14 +1,32 @@
 #include "common/threadpool.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <system_error>
+
+#include "common/failpoint.hpp"
 
 namespace autogemm::common {
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   workers_.reserve(threads);
-  for (unsigned i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+  // Worker spawn can fail under resource pressure (std::system_error).
+  // Letting that propagate from the constructor would terminate: the
+  // already-spawned joinable threads get destroyed. Instead the pool keeps
+  // whatever workers it got — zero workers degrades parallel_for to the
+  // caller's thread, which is slower but always correct.
+  for (unsigned i = 0; i < threads; ++i) {
+    try {
+      if (failpoint::should_fail("threadpool.spawn"))
+        throw std::system_error(std::make_error_code(
+            std::errc::resource_unavailable_try_again));
+      workers_.emplace_back([this] { worker_loop(); });
+    } catch (const std::system_error&) {
+      spawn_failures_ = threads - i;
+      break;
+    }
+  }
 }
 
 ThreadPool::~ThreadPool() {
@@ -27,6 +45,8 @@ void ThreadPool::run_chunks() {
     if (begin >= count_) return;
     const int end = std::min(begin + grain_, count_);
     try {
+      if (failpoint::should_fail("threadpool.worker"))
+        throw std::runtime_error("failpoint: threadpool.worker");
       for (int i = begin; i < end; ++i) fn(i);
     } catch (...) {
       std::lock_guard lock(error_mu_);

@@ -24,6 +24,10 @@ namespace autogemm::common {
 class ThreadPool {
  public:
   /// Spawns `threads` workers (defaults to hardware_concurrency, min 1).
+  /// Worker-spawn failure (std::system_error under resource pressure) is
+  /// absorbed, never thrown: the pool keeps the workers it got — possibly
+  /// zero, in which case parallel_for degrades to serial execution on the
+  /// calling thread. spawn_failures() reports how many spawns failed.
   explicit ThreadPool(unsigned threads = 0);
   ~ThreadPool();
 
@@ -31,6 +35,9 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Workers requested at construction that could not be spawned.
+  unsigned spawn_failures() const noexcept { return spawn_failures_; }
 
   /// Runs fn(i) for i in [0, count). The calling thread participates in the
   /// work alongside the workers; iterations are claimed in dynamically sized
@@ -45,6 +52,7 @@ class ThreadPool {
   void run_chunks();
 
   std::vector<std::thread> workers_;
+  unsigned spawn_failures_ = 0;
 
   // Serializes whole regions submitted from different caller threads.
   std::mutex submit_mu_;

@@ -1,23 +1,211 @@
 #include "core/context.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 #include <utility>
+#include <vector>
+
+#include "codegen/generator.hpp"
+#include "common/failpoint.hpp"
+#include "common/reference_gemm.hpp"
+#include "kernels/dispatch.hpp"
+#include "sim/interpreter.hpp"
 
 namespace autogemm {
 
 namespace {
 
-tune::TuningRecords load_records_or_throw(const std::string& path) {
+using common::ConstMatrixView;
+using common::MatrixView;
+
+constexpr std::size_t kMaxHealthEvents = 64;
+
+tune::TuningRecords load_records_or_throw(const std::string& path,
+                                          std::uint64_t* skipped) {
   tune::TuningRecords records;
-  if (!path.empty() && !records.load_file(path))
-    throw std::runtime_error("Context: cannot read records file: " + path);
+  if (path.empty()) return records;
+  tune::TuningRecords::LoadReport report;
+  const Status s = records.load_file(path, &report);
+  // kDataLoss means valid records were salvaged around corrupt lines —
+  // that is a degraded load (reported through health()), not a dead
+  // context. Anything else (unreadable file, unknown format version)
+  // leaves nothing usable, so the constructor contract stays throwing.
+  if (!s.ok() && s.code() != StatusCode::kDataLoss)
+    throw std::runtime_error("Context: cannot read records file: " + path +
+                             " (" + s.to_string() + ")");
+  *skipped = report.skipped;
   return records;
 }
 
 ContextOptions sanitized(ContextOptions opts) {
   if (opts.plan_capacity == 0) opts.plan_capacity = 1;
   if (opts.packed_capacity == 0) opts.packed_capacity = 1;
+  if (opts.probe_kc < 1) opts.probe_kc = 1;
   return opts;
+}
+
+Status check_view(ConstMatrixView v, const char* who) {
+  if (v.rows < 0 || v.cols < 0)
+    return InvalidArgumentError(std::string(who) + ": negative dimension");
+  if (v.data == nullptr && v.rows > 0 && v.cols > 0)
+    return InvalidArgumentError(std::string(who) +
+                                ": null data pointer with nonzero extent");
+  if (v.rows > 1 && v.ld < v.cols)
+    return InvalidArgumentError(std::string(who) +
+                                ": leading dimension below row width");
+  return Status::OK();
+}
+
+/// Full operand validation for one C = alpha*op(A)*op(B) + beta*C call.
+/// Nothing is written to C before this passes.
+Status validate_call(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+                     const GemmExParams& params) {
+  if (!std::isfinite(params.alpha) || !std::isfinite(params.beta))
+    return InvalidArgumentError(
+        "gemm: non-finite alpha/beta would poison all of C (matrix contents "
+        "are never scanned; scalar parameters are — see common/status.hpp)");
+  AUTOGEMM_RETURN_IF_ERROR(check_view(a, "A"));
+  AUTOGEMM_RETURN_IF_ERROR(check_view(b, "B"));
+  AUTOGEMM_RETURN_IF_ERROR(check_view(ConstMatrixView(c), "C"));
+  const int m = params.trans_a == Trans::kNo ? a.rows : a.cols;
+  const int ka = params.trans_a == Trans::kNo ? a.cols : a.rows;
+  const int kb = params.trans_b == Trans::kNo ? b.rows : b.cols;
+  const int n = params.trans_b == Trans::kNo ? b.cols : b.rows;
+  if (ka != kb)
+    return InvalidArgumentError("gemm: inner dimensions disagree (op(A) is " +
+                                std::to_string(m) + "x" + std::to_string(ka) +
+                                ", op(B) is " + std::to_string(kb) + "x" +
+                                std::to_string(n) + ")");
+  if (c.rows != m || c.cols != n)
+    return InvalidArgumentError(
+        "gemm: C is " + std::to_string(c.rows) + "x" + std::to_string(c.cols) +
+        " but op(A)*op(B) is " + std::to_string(m) + "x" + std::to_string(n));
+  if (c.data != nullptr && (c.data == a.data || c.data == b.data))
+    return InvalidArgumentError(
+        "gemm: C aliases an input operand (in-place GEMM is not supported; "
+        "only exact pointer identity is checked)");
+  return Status::OK();
+}
+
+/// C += alpha * op(A) * op(B), double accumulation — the bottom tier of the
+/// degradation ladder. beta must already be applied to C. Allocates
+/// nothing and touches only the caller's buffers, so it cannot itself
+/// fault.
+void accumulate_reference(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+                          const GemmExParams& params) {
+  const bool ta = params.trans_a == Trans::kYes;
+  const bool tb = params.trans_b == Trans::kYes;
+  const int k = ta ? a.rows : a.cols;
+  for (int i = 0; i < c.rows; ++i) {
+    for (int j = 0; j < c.cols; ++j) {
+      double acc = 0;
+      for (int p = 0; p < k; ++p) {
+        const float av = ta ? a.at(p, i) : a.at(i, p);
+        const float bv = tb ? b.at(j, p) : b.at(p, j);
+        acc += static_cast<double>(av) * bv;
+      }
+      c.at(i, j) = static_cast<float>(c.at(i, j) + params.alpha * acc);
+    }
+  }
+}
+
+/// Deterministic small-magnitude fill for probe operands.
+void fill_probe(std::vector<float>& buf, unsigned seed) {
+  unsigned s = seed * 2654435761u + 1u;
+  for (auto& x : buf) {
+    s = s * 1664525u + 1013904223u;
+    x = static_cast<float>((s >> 8) & 0xFFFF) / 65536.0f - 0.5f;
+  }
+}
+
+/// Probes the *generated-kernel* path: emit the (mr x nr, kc) micro-kernel
+/// as isa::Program and execute it on the watchdogged interpreter against
+/// real buffers, comparing with the reference GEMM. This is the check the
+/// paper performs against other BLAS libraries at generation time, moved
+/// to first use so a config transferred from another machine is vetted on
+/// the machine that will trust it.
+Status probe_generated(int mr, int nr, int kc, int lanes) {
+  codegen::MicroKernel mk;
+  try {
+    codegen::GeneratorOptions gopts;
+    gopts.rotate_registers = true;  // the shipped kernels always rotate
+    mk = codegen::generate_microkernel(mr, nr, kc, lanes, gopts);
+  } catch (const std::exception& e) {
+    return InternalError(std::string("probe: codegen failed for ") +
+                         std::to_string(mr) + "x" + std::to_string(nr) + ": " +
+                         e.what());
+  }
+  // The generated stream over-reads like real packed kernels; honor its
+  // padding contract.
+  const int ka = codegen::padded_k_a(kc, lanes);
+  const int kb = codegen::padded_k_b(kc, lanes);
+  std::vector<float> a(static_cast<std::size_t>(mr) * ka);
+  std::vector<float> b(static_cast<std::size_t>(kb) * nr);
+  std::vector<float> c(static_cast<std::size_t>(mr) * nr, 0.0f);
+  std::vector<float> c_ref(c.size(), 0.0f);
+  fill_probe(a, 11);
+  fill_probe(b, 23);
+
+  sim::Interpreter interp(/*max_steps=*/2'000'000);
+  sim::KernelArgs args;
+  args.a = a.data();
+  args.b = b.data();
+  args.c = c.data();
+  args.lda = ka;
+  args.ldb = nr;
+  args.ldc = nr;
+  AUTOGEMM_RETURN_IF_ERROR(interp.try_run(mk.program, args));
+
+  common::reference_gemm(ConstMatrixView{a.data(), mr, kc, ka},
+                         ConstMatrixView{b.data(), kc, nr, nr},
+                         MatrixView{c_ref.data(), mr, nr, nr});
+  const float tol = 1e-4f * static_cast<float>(kc);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const float diff = std::fabs(c[i] - c_ref[i]);
+    if (!(diff <= tol))  // negated comparison so NaN fails too
+      return InternalError("probe: generated " + std::to_string(mr) + "x" +
+                           std::to_string(nr) +
+                           " kernel diverges from reference (|diff| = " +
+                           std::to_string(diff) + ")");
+  }
+  return Status::OK();
+}
+
+/// Probes the portable kernels:: path (the one Context actually executes
+/// through) for the same tile shape.
+Status probe_portable(int mr, int nr, int kc) {
+  std::vector<float> a(static_cast<std::size_t>(mr) * kc);
+  std::vector<float> b(static_cast<std::size_t>(kc) * nr);
+  std::vector<float> c(static_cast<std::size_t>(mr) * nr, 0.0f);
+  std::vector<float> c_ref(c.size(), 0.0f);
+  fill_probe(a, 31);
+  fill_probe(b, 47);
+  kernels::run_tile(mr, nr, a.data(), kc, b.data(), nr, c.data(), nr, kc);
+  common::reference_gemm(ConstMatrixView{a.data(), mr, kc, kc},
+                         ConstMatrixView{b.data(), kc, nr, nr},
+                         MatrixView{c_ref.data(), mr, nr, nr});
+  const float tol = 1e-4f * static_cast<float>(kc);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const float diff = std::fabs(c[i] - c_ref[i]);
+    if (!(diff <= tol))
+      return InternalError("probe: portable " + std::to_string(mr) + "x" +
+                           std::to_string(nr) +
+                           " kernel diverges from reference (|diff| = " +
+                           std::to_string(diff) + ")");
+  }
+  return Status::OK();
+}
+
+std::string shape_string(int m, int n, int k) {
+  return std::to_string(m) + "x" + std::to_string(n) + "x" + std::to_string(k);
+}
+
+std::string config_string(const GemmConfig& cfg) {
+  return "{mc=" + std::to_string(cfg.mc) + " nc=" + std::to_string(cfg.nc) +
+         " kc=" + std::to_string(cfg.kc) + " order=" +
+         loop_order_name(cfg.loop_order) + "}";
 }
 
 }  // namespace
@@ -25,7 +213,15 @@ ContextOptions sanitized(ContextOptions opts) {
 Context::Context() : Context(ContextOptions{}) {}
 
 Context::Context(const ContextOptions& opts)
-    : opts_(sanitized(opts)), records_(load_records_or_throw(opts.records_path)) {}
+    : opts_(sanitized(opts)),
+      records_(load_records_or_throw(opts.records_path, &records_skipped_)) {
+  if (records_skipped_ > 0) {
+    health_.records_skipped = records_skipped_;
+    record_event(HealthEvent::Kind::kRecordsDamaged,
+                 "records file '" + opts_.records_path + "': skipped " +
+                     std::to_string(records_skipped_) + " corrupt line(s)");
+  }
+}
 
 Context::Context(const std::string& records_path)
     : Context(ContextOptions{.records_path = records_path}) {}
@@ -35,39 +231,79 @@ Context::Context(tune::TuningRecords records, const ContextOptions& opts)
 
 Context::~Context() = default;
 
-common::ThreadPool* Context::pool() {
+common::ThreadPool* Context::effective_pool() {
   if (opts_.threads == 1) return nullptr;
+  if (pool_degraded_.load(std::memory_order_relaxed)) return nullptr;
   std::call_once(pool_once_, [this] {
-    pool_ = std::make_unique<common::ThreadPool>(opts_.threads);
+    auto p = std::make_unique<common::ThreadPool>(opts_.threads);
+    if (p->spawn_failures() > 0) {
+      record_event(HealthEvent::Kind::kPoolDegraded,
+                   "thread pool spawned " + std::to_string(p->size()) + " of " +
+                       std::to_string(p->size() + p->spawn_failures()) +
+                       " workers");
+      // Zero workers: parallel_for would run inline anyway, but mark the
+      // pool retired so health() tells the truth.
+      if (p->size() == 0) pool_degraded_.store(true);
+    }
+    pool_ = std::move(p);
   });
+  if (pool_degraded_.load(std::memory_order_relaxed)) return nullptr;
   return pool_.get();
 }
 
-GemmConfig Context::resolve_config(int m, int n, int k) {
-  const tune::ShapeKey shape{m, n, k};
-  if (auto exact = records_.lookup(shape)) {
-    {
-      std::lock_guard lock(mu_);
-      ++stats_.resolved_exact;
-    }
-    return tune::config_from_candidate(m, n, k, *exact);
-  }
-  if (auto nearest = records_.lookup_nearest(shape)) {
-    {
-      std::lock_guard lock(mu_);
-      ++stats_.resolved_nearest;
-    }
-    // Plan construction clamps the transferred blocking to this problem.
-    return tune::config_from_candidate(m, n, k, *nearest);
-  }
-  {
-    std::lock_guard lock(mu_);
-    ++stats_.resolved_heuristic;
-  }
-  return default_config(m, n, k);
+common::ThreadPool* Context::pool() { return effective_pool(); }
+
+void Context::record_event(HealthEvent::Kind kind, std::string detail) {
+  std::lock_guard lock(mu_);
+  health_.degraded = true;
+  if (health_.events.size() >= kMaxHealthEvents)
+    health_.events.erase(health_.events.begin());
+  health_.events.push_back(HealthEvent{kind, std::move(detail)});
 }
 
-std::shared_ptr<const Plan> Context::plan_for(int m, int n, int k) {
+Status Context::record_error(Status s) {
+  if (!s.ok()) {
+    std::lock_guard lock(mu_);
+    health_.last_error = s;
+  }
+  return s;
+}
+
+Status Context::verify_config(const Plan& plan) {
+  {
+    std::lock_guard lock(mu_);
+    ++health_.probes;
+  }
+  const GemmConfig& cfg = plan.config();
+  const int lanes = std::max(1, cfg.hw.lanes);
+  const int bm = std::min(cfg.mc, plan.m());
+  const int bn = std::min(cfg.nc, plan.n());
+  const int bk = std::min(cfg.kc, plan.k());
+  const int kc = std::max(1, std::min(bk, opts_.probe_kc));
+  const tiling::TilingResult& tiles = plan.block_tiling(bm, bn, bk);
+  if (tiles.tiles.empty())
+    return InternalError("probe: tiling produced no tiles for block " +
+                         shape_string(bm, bn, bk));
+
+  // Representative vector tile for the generated-kernel probe (the scalar
+  // edge kernels have no padding contract; the vector main tiles are what
+  // the generated library actually ships).
+  if (failpoint::should_fail("verify.generated"))
+    return InternalError("failpoint: verify.generated");
+  for (const auto& t : tiles.tiles) {
+    if (t.nr % lanes == 0 && codegen::tile_feasible(t.mr, t.nr, lanes)) {
+      AUTOGEMM_RETURN_IF_ERROR(probe_generated(t.mr, t.nr, kc, lanes));
+      break;
+    }
+  }
+
+  if (failpoint::should_fail("verify.portable"))
+    return InternalError("failpoint: verify.portable");
+  const auto& t0 = tiles.tiles.front();
+  return probe_portable(t0.mr, t0.nr, kc);
+}
+
+Context::PlanEntry Context::entry_for(int m, int n, int k) {
   const ShapeKey key{m, n, k};
   {
     std::lock_guard lock(mu_);
@@ -79,29 +315,205 @@ std::shared_ptr<const Plan> Context::plan_for(int m, int n, int k) {
     }
     ++stats_.plan_misses;
   }
-  // Plan construction (DMT + model costing) runs outside the lock so
+
+  // Candidate ladder: tuned record (exact, else nearest), then the
+  // heuristic. Each candidate must build a Plan and pass first-use
+  // verification; a failure quarantines it and the next candidate serves.
+  // Plan construction, DMT and the probes all run outside the lock so
   // concurrent misses on distinct shapes don't serialize; a racing build
-  // of the same shape is deterministic, so first-in wins and the loser's
-  // copy is dropped.
-  auto plan = std::make_shared<const Plan>(m, n, k, resolve_config(m, n, k));
+  // of the same shape is deterministic, so first-in wins below.
+  struct Candidate {
+    GemmConfig cfg;
+    int kind;  // 0 = exact record, 1 = nearest record, 2 = heuristic
+  };
+  std::vector<Candidate> candidates;
+  const tune::ShapeKey shape{m, n, k};
+  if (auto exact = records_.lookup(shape)) {
+    candidates.push_back({tune::config_from_candidate(m, n, k, *exact), 0});
+  } else if (auto nearest = records_.lookup_nearest(shape)) {
+    // Plan construction clamps the transferred blocking to this problem.
+    candidates.push_back({tune::config_from_candidate(m, n, k, *nearest), 1});
+  }
+  candidates.push_back({default_config(m, n, k), 2});
+
+  PlanEntry entry;  // plan == nullptr -> reference pin
+  for (const auto& cand : candidates) {
+    StatusOr<Plan> plan_or = Plan::create(m, n, k, cand.cfg);
+    if (!plan_or.ok()) {
+      record_event(HealthEvent::Kind::kQuarantine,
+                   "shape " + shape_string(m, n, k) + " config " +
+                       config_string(cand.cfg) + ": " +
+                       plan_or.status().to_string());
+      continue;
+    }
+    auto plan = std::make_shared<const Plan>(std::move(plan_or).value());
+    const GemmConfig& cfg = plan->config();  // post-clamp values
+    const ConfigKey ck{cfg.mc,
+                       cfg.nc,
+                       cfg.kc,
+                       static_cast<int>(cfg.loop_order),
+                       static_cast<int>(cfg.packing),
+                       static_cast<int>(cfg.tiling),
+                       cfg.hw.lanes};
+    bool quarantined = false, verified = false;
+    {
+      std::lock_guard lock(mu_);
+      quarantined = quarantined_.count(ck) > 0;
+      verified = verified_.count(ck) > 0;
+    }
+    if (quarantined) continue;
+    if (opts_.verify_kernels && !verified) {
+      const Status v = verify_config(*plan);
+      if (!v.ok()) {
+        {
+          std::lock_guard lock(mu_);
+          ++health_.probe_failures;
+          quarantined_[ck] = v.to_string();
+        }
+        record_event(HealthEvent::Kind::kQuarantine,
+                     "config " + config_string(cfg) + " for shape " +
+                         shape_string(m, n, k) + ": " + v.to_string());
+        continue;
+      }
+      std::lock_guard lock(mu_);
+      verified_[ck] = true;
+    }
+    {
+      std::lock_guard lock(mu_);
+      if (cand.kind == 0) ++stats_.resolved_exact;
+      else if (cand.kind == 1) ++stats_.resolved_nearest;
+      else ++stats_.resolved_heuristic;
+    }
+    entry.plan = std::move(plan);
+    break;
+  }
+  if (entry.plan == nullptr) {
+    {
+      std::lock_guard lock(mu_);
+      ++health_.reference_shapes;
+    }
+    record_event(HealthEvent::Kind::kReferenceFallback,
+                 "shape " + shape_string(m, n, k) +
+                     ": every candidate config quarantined; pinned to the "
+                     "reference path");
+  }
+
   std::lock_guard lock(mu_);
   auto it = plan_index_.find(key);
   if (it != plan_index_.end()) {
     plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
     return it->second->second;
   }
-  plan_lru_.emplace_front(key, std::move(plan));
+  plan_lru_.emplace_front(key, entry);
   plan_index_[key] = plan_lru_.begin();
   while (plan_lru_.size() > opts_.plan_capacity) {
     plan_index_.erase(plan_lru_.back().first);
     plan_lru_.pop_back();
     ++stats_.plan_evictions;
   }
-  return plan_lru_.front().second;
+  return entry;
 }
 
-std::shared_ptr<const PackedA> Context::packed_a_for(
-    common::ConstMatrixView a, const std::shared_ptr<const Plan>& plan) {
+std::shared_ptr<const Plan> Context::plan_for(int m, int n, int k) {
+  PlanEntry entry = entry_for(m, n, k);
+  if (entry.plan != nullptr) return entry.plan;
+  // Reference-pinned shape: legacy callers still need a Plan object to
+  // hand to the free gemm() overloads; run() is where the pin is honored.
+  return std::make_shared<const Plan>(m, n, k, default_config(m, n, k));
+}
+
+Status Context::execute_entry(const PlanEntry& entry, ConstMatrixView a,
+                              ConstMatrixView b, MatrixView c,
+                              const GemmExParams& beta1_params,
+                              const PackedA* packed_a,
+                              const PackedB* packed_b) {
+  if (entry.plan == nullptr) {
+    accumulate_reference(a, b, c, beta1_params);
+    return Status::OK();
+  }
+  const Plan& plan = *entry.plan;
+  common::ThreadPool* pool = effective_pool();
+  const bool pooled = pool != nullptr && pool->size() > 1;
+  const bool canonical = beta1_params.trans_a == Trans::kNo &&
+                         beta1_params.trans_b == Trans::kNo &&
+                         beta1_params.alpha == 1.0f;
+  try {
+    if (canonical) {
+      if (packed_a != nullptr) {
+        autogemm::gemm(*packed_a, a, b, c, plan, pool);
+      } else if (packed_b != nullptr) {
+        autogemm::gemm(a, *packed_b, b, c, plan, pool);
+      } else {
+        autogemm::gemm(a, b, c, plan, pool);
+      }
+    } else {
+      gemm_ex(a, b, c, beta1_params, plan, pool);
+    }
+    return Status::OK();
+  } catch (const std::bad_alloc&) {
+    if (!pooled) {
+      // Serial paths allocate all scratch before touching C, so C still
+      // holds exactly beta*C here and the reference tier can finish the
+      // call with a correct answer.
+      {
+        std::lock_guard lock(mu_);
+        ++health_.alloc_fallbacks;
+      }
+      record_event(
+          HealthEvent::Kind::kAllocFallback,
+          "scratch allocation failed for shape " +
+              shape_string(c.rows, c.cols,
+                           beta1_params.trans_a == Trans::kNo ? a.cols
+                                                              : a.rows) +
+              "; call served by the reference path");
+      accumulate_reference(a, b, c, beta1_params);
+      return Status::OK();
+    }
+    // Workers may have written part of C already; the result cannot be
+    // repaired in place. Retire the pool so subsequent calls run serial.
+    pool_degraded_.store(true);
+    record_event(HealthEvent::Kind::kPoolDegraded,
+                 "allocation failure inside the parallel region; pool "
+                 "retired, subsequent calls run serial");
+    return ResourceExhaustedError(
+        "gemm: allocation failed mid-parallel-execution; C contents are "
+        "unspecified for this call (subsequent calls degrade to serial)");
+  } catch (const std::exception& e) {
+    if (pooled) {
+      pool_degraded_.store(true);
+      record_event(HealthEvent::Kind::kPoolDegraded,
+                   std::string("worker fault: ") + e.what() +
+                       "; pool retired, subsequent calls run serial");
+      return InternalError(std::string("gemm: worker fault: ") + e.what() +
+                           "; C contents are unspecified for this call");
+    }
+    return InternalError(std::string("gemm: execution fault: ") + e.what());
+  }
+}
+
+Status Context::run(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+                    const GemmExParams& params) {
+  const Status v = validate_call(a, b, c, params);
+  if (!v.ok()) return record_error(v);
+  const int m = c.rows, n = c.cols;
+  const int k = params.trans_a == Trans::kNo ? a.cols : a.rows;
+  // Degenerate shapes are well-defined no-ops: an empty C has nothing to
+  // write; K == 0 makes op(A)*op(B) the zero matrix, so C = beta*C.
+  if (m == 0 || n == 0) return Status::OK();
+  if (k == 0) {
+    detail::scale_c(c, params.beta);
+    return Status::OK();
+  }
+  // beta is applied exactly once, up front; every tier below accumulates.
+  if (params.beta != 1.0f) detail::scale_c(c, params.beta);
+  GemmExParams beta1 = params;
+  beta1.beta = 1.0f;
+  const PlanEntry entry = entry_for(m, n, k);
+  return record_error(execute_entry(entry, a, b, c, beta1, nullptr, nullptr));
+}
+
+StatusOr<std::shared_ptr<const PackedA>> Context::packed_a_for(
+    ConstMatrixView a, const std::shared_ptr<const Plan>& plan) {
   const PackedKey key{a.data, a.rows, a.cols, a.ld, /*is_a=*/true};
   {
     std::lock_guard lock(mu_);
@@ -113,7 +525,9 @@ std::shared_ptr<const PackedA> Context::packed_a_for(
     }
     ++stats_.packed_misses;
   }
-  auto packed = std::make_shared<const PackedA>(a, *plan);
+  StatusOr<PackedA> packed_or = PackedA::create(a, *plan);
+  if (!packed_or.ok()) return packed_or.status();
+  auto packed = std::make_shared<const PackedA>(std::move(packed_or).value());
   std::lock_guard lock(mu_);
   auto it = packed_index_.find(key);
   if (it != packed_index_.end()) {
@@ -130,8 +544,8 @@ std::shared_ptr<const PackedA> Context::packed_a_for(
   return packed_lru_.front().second.a;
 }
 
-std::shared_ptr<const PackedB> Context::packed_b_for(
-    common::ConstMatrixView b, const std::shared_ptr<const Plan>& plan) {
+StatusOr<std::shared_ptr<const PackedB>> Context::packed_b_for(
+    ConstMatrixView b, const std::shared_ptr<const Plan>& plan) {
   const PackedKey key{b.data, b.rows, b.cols, b.ld, /*is_a=*/false};
   {
     std::lock_guard lock(mu_);
@@ -143,7 +557,9 @@ std::shared_ptr<const PackedB> Context::packed_b_for(
     }
     ++stats_.packed_misses;
   }
-  auto packed = std::make_shared<const PackedB>(b, *plan);
+  StatusOr<PackedB> packed_or = PackedB::create(b, *plan);
+  if (!packed_or.ok()) return packed_or.status();
+  auto packed = std::make_shared<const PackedB>(std::move(packed_or).value());
   std::lock_guard lock(mu_);
   auto it = packed_index_.find(key);
   if (it != packed_index_.end()) {
@@ -160,47 +576,95 @@ std::shared_ptr<const PackedB> Context::packed_b_for(
   return packed_lru_.front().second.b;
 }
 
-void Context::gemm(common::ConstMatrixView a, common::ConstMatrixView b,
-                   common::MatrixView c, const GemmExParams& params) {
-  const int m = params.trans_a == Trans::kNo ? a.rows : a.cols;
-  const int k = params.trans_a == Trans::kNo ? a.cols : a.rows;
-  const int n = params.trans_b == Trans::kNo ? b.cols : b.rows;
-  auto plan = plan_for(m, n, k);
-  if (params.trans_a == Trans::kNo && params.trans_b == Trans::kNo &&
-      params.alpha == 1.0f) {
-    // Canonical operands: beta applied up front, then the accumulate
-    // executor (avoids gemm_ex's forced re-packing of both operands).
+Status Context::run_const_a(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+                            const GemmExParams& params) {
+  if (params.trans_a != Trans::kNo || params.trans_b != Trans::kNo ||
+      params.alpha != 1.0f) {
+    return run(a, b, c, params);  // cached packing needs canonical operands
+  }
+  const Status v = validate_call(a, b, c, params);
+  if (!v.ok()) return record_error(v);
+  const int m = c.rows, n = c.cols, k = a.cols;
+  if (m == 0 || n == 0) return Status::OK();
+  if (k == 0) {
+    detail::scale_c(c, params.beta);
+    return Status::OK();
+  }
+  GemmExParams beta1 = params;
+  beta1.beta = 1.0f;
+  const PlanEntry entry = entry_for(m, n, k);
+  if (entry.plan == nullptr) {
     if (params.beta != 1.0f) detail::scale_c(c, params.beta);
-    autogemm::gemm(a, b, c, *plan, pool());
-  } else {
-    gemm_ex(a, b, c, params, *plan, pool());
+    return record_error(execute_entry(entry, a, b, c, beta1, nullptr, nullptr));
   }
+  auto packed_or = packed_a_for(a, entry.plan);
+  if (!packed_or.ok() &&
+      packed_or.status().code() != StatusCode::kResourceExhausted) {
+    return record_error(packed_or.status());  // C untouched
+  }
+  if (params.beta != 1.0f) detail::scale_c(c, params.beta);
+  if (!packed_or.ok()) {
+    // Packing scratch did not fit; the unpacked path (which may itself
+    // degrade further) serves the call.
+    record_event(HealthEvent::Kind::kAllocFallback,
+                 "PackedA allocation failed; serving unpacked");
+    return record_error(execute_entry(entry, a, b, c, beta1, nullptr, nullptr));
+  }
+  const std::shared_ptr<const PackedA> packed = packed_or.value();
+  return record_error(
+      execute_entry(entry, a, b, c, beta1, packed.get(), nullptr));
 }
 
-void Context::gemm_const_a(common::ConstMatrixView a, common::ConstMatrixView b,
-                           common::MatrixView c, const GemmExParams& params) {
+Status Context::run_const_b(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+                            const GemmExParams& params) {
   if (params.trans_a != Trans::kNo || params.trans_b != Trans::kNo ||
       params.alpha != 1.0f) {
-    gemm(a, b, c, params);  // cached packing needs canonical, unscaled A
-    return;
+    return run(a, b, c, params);
   }
-  auto plan = plan_for(a.rows, b.cols, a.cols);
-  auto packed = packed_a_for(a, plan);
+  const Status v = validate_call(a, b, c, params);
+  if (!v.ok()) return record_error(v);
+  const int m = c.rows, n = c.cols, k = a.cols;
+  if (m == 0 || n == 0) return Status::OK();
+  if (k == 0) {
+    detail::scale_c(c, params.beta);
+    return Status::OK();
+  }
+  GemmExParams beta1 = params;
+  beta1.beta = 1.0f;
+  const PlanEntry entry = entry_for(m, n, k);
+  if (entry.plan == nullptr) {
+    if (params.beta != 1.0f) detail::scale_c(c, params.beta);
+    return record_error(execute_entry(entry, a, b, c, beta1, nullptr, nullptr));
+  }
+  auto packed_or = packed_b_for(b, entry.plan);
+  if (!packed_or.ok() &&
+      packed_or.status().code() != StatusCode::kResourceExhausted) {
+    return record_error(packed_or.status());
+  }
   if (params.beta != 1.0f) detail::scale_c(c, params.beta);
-  autogemm::gemm(*packed, a, b, c, *plan, pool());
+  if (!packed_or.ok()) {
+    record_event(HealthEvent::Kind::kAllocFallback,
+                 "PackedB allocation failed; serving unpacked");
+    return record_error(execute_entry(entry, a, b, c, beta1, nullptr, nullptr));
+  }
+  const std::shared_ptr<const PackedB> packed = packed_or.value();
+  return record_error(
+      execute_entry(entry, a, b, c, beta1, nullptr, packed.get()));
 }
 
-void Context::gemm_const_b(common::ConstMatrixView a, common::ConstMatrixView b,
-                           common::MatrixView c, const GemmExParams& params) {
-  if (params.trans_a != Trans::kNo || params.trans_b != Trans::kNo ||
-      params.alpha != 1.0f) {
-    gemm(a, b, c, params);
-    return;
-  }
-  auto plan = plan_for(a.rows, b.cols, a.cols);
-  auto packed = packed_b_for(b, plan);
-  if (params.beta != 1.0f) detail::scale_c(c, params.beta);
-  autogemm::gemm(a, *packed, b, c, *plan, pool());
+void Context::gemm(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+                   const GemmExParams& params) {
+  (void)run(a, b, c, params);  // failures are queryable via last_error()
+}
+
+void Context::gemm_const_a(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+                           const GemmExParams& params) {
+  (void)run_const_a(a, b, c, params);
+}
+
+void Context::gemm_const_b(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+                           const GemmExParams& params) {
+  (void)run_const_b(a, b, c, params);
 }
 
 void Context::gemm_batched(const std::vector<BatchItem>& items) {
@@ -215,10 +679,19 @@ void Context::gemm_batched(const std::vector<BatchItem>& items) {
     const ShapeKey key{item.a.rows, item.b.cols, item.a.cols};
     autogemm::gemm(item.a, item.b, item.c, *plans.at(key), nullptr);
   };
-  common::ThreadPool* p = pool();
+  common::ThreadPool* p = effective_pool();
   if (p != nullptr && p->size() > 1) {
-    p->parallel_for(static_cast<int>(items.size()),
-                    [&](int i) { run_item(items[i]); });
+    try {
+      p->parallel_for(static_cast<int>(items.size()),
+                      [&](int i) { run_item(items[i]); });
+    } catch (const std::exception& e) {
+      pool_degraded_.store(true);
+      record_event(HealthEvent::Kind::kPoolDegraded,
+                   std::string("worker fault in gemm_batched: ") + e.what() +
+                       "; pool retired");
+      (void)record_error(InternalError(
+          std::string("gemm_batched: worker fault: ") + e.what()));
+    }
   } else {
     for (const auto& item : items) run_item(item);
   }
@@ -246,11 +719,28 @@ void Context::clear() {
   plan_lru_.clear();
   packed_index_.clear();
   packed_lru_.clear();
+  // quarantined_/verified_/health_ survive on purpose: a poisoned config
+  // stays poisoned across cache resets.
 }
 
 ContextStats Context::stats() const {
   std::lock_guard lock(mu_);
   return stats_;
+}
+
+HealthReport Context::health() const {
+  std::lock_guard lock(mu_);
+  HealthReport r = health_;
+  r.quarantined_configs = quarantined_.size();
+  r.pool_degraded = pool_degraded_.load(std::memory_order_relaxed);
+  r.records_skipped = records_skipped_;
+  r.degraded = r.degraded || r.pool_degraded;
+  return r;
+}
+
+Status Context::last_error() const {
+  std::lock_guard lock(mu_);
+  return health_.last_error;
 }
 
 std::size_t Context::plan_cache_size() const {

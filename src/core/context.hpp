@@ -17,9 +17,32 @@
 //   * an owned persistent ThreadPool, so callers stop threading pool
 //     pointers through every call.
 //
-// Context::gemm is the primary entry point; the free functions in
-// core/gemm.hpp and core/gemm_ex.hpp are thin wrappers over the
-// process-wide default_context().
+// ## Hardened runtime: Status, verification, quarantine
+//
+// Context::run is the primary entry point and reports through
+// autogemm::Status: operand validation (dimensions, leading dims, null and
+// aliased pointers, non-finite alpha/beta — see common/status.hpp for the
+// NaN/Inf policy), well-defined degenerate shapes (M/N/K of zero), and a
+// degradation ladder that keeps answers correct when parts of the stack
+// misbehave:
+//
+//   1. On the first use of each distinct GemmConfig, a probe GEMM runs the
+//      generated-kernel path (codegen + sim::Interpreter, watchdogged) and
+//      the portable kernels:: micro-kernel against common::reference_gemm.
+//   2. A probe fault or miscompare quarantines that config; resolution
+//      retries with the next candidate (tuned -> heuristic). Tuned records
+//      transferred across shapes/machines can be stale or invalid — this
+//      is where that is caught instead of assumed away.
+//   3. If every candidate is quarantined, the shape is pinned to the
+//      reference path: slow, but never wrong.
+//   4. Runtime faults degrade too: a scratch allocation failure on the
+//      serial path falls back to the reference kernel mid-call; a worker
+//      exception quarantines the pool (subsequent calls run serial) and
+//      reports kInternal for the affected call.
+//
+// Everything the ladder does is observable through health(); the legacy
+// void API (Context::gemm and the free functions) wraps run() and records
+// failures in a queryable last_error() instead of throwing.
 //
 // Packed-operand caching is keyed by pointer identity: the cache cannot
 // see through the pointer, so callers that mutate or free a cached
@@ -27,14 +50,17 @@
 // that buffer. This is the standard contract for prepacked-weight APIs.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/matrix.hpp"
+#include "common/status.hpp"
 #include "common/threadpool.hpp"
 #include "core/batched.hpp"
 #include "core/gemm.hpp"
@@ -53,6 +79,13 @@ struct ContextOptions {
   unsigned threads = 0;
   /// Optional tuned-parameter table (see tune/records.hpp); empty = none.
   std::string records_path;
+  /// First-use verification of each distinct GemmConfig against the
+  /// reference GEMM (the quarantine ladder above). Costs one tile-sized
+  /// probe per distinct config; disable only for benchmarking the
+  /// unhardened path.
+  bool verify_kernels = true;
+  /// Probe depth (K) for first-use verification.
+  int probe_kc = 8;
 };
 
 /// Monotonic cache counters (see Context::stats); the cache hit-rate bench
@@ -72,12 +105,52 @@ struct ContextStats {
   std::uint64_t resolved_heuristic = 0;
 };
 
+/// One degradation event (see Context::health). Kept as a bounded log of
+/// human-readable entries; counters summarize the totals.
+struct HealthEvent {
+  enum class Kind {
+    kQuarantine,         ///< a config failed verification and was retired
+    kReferenceFallback,  ///< a shape was pinned to the reference path
+    kAllocFallback,      ///< one call served by reference after bad_alloc
+    kPoolDegraded,       ///< worker fault; pool retired, now serial
+    kRecordsDamaged,     ///< corrupt lines skipped while loading records
+  };
+  Kind kind;
+  std::string detail;
+};
+
+/// Snapshot of the context's degradation state: "is this process serving
+/// full-speed, degraded, or limping" — the query a service health endpoint
+/// forwards to.
+struct HealthReport {
+  /// True when any degradation event has been recorded.
+  bool degraded = false;
+  /// First-use verification probes executed / failed.
+  std::uint64_t probes = 0;
+  std::uint64_t probe_failures = 0;
+  /// Distinct GemmConfigs currently quarantined.
+  std::uint64_t quarantined_configs = 0;
+  /// Shapes pinned to the reference path (every candidate quarantined).
+  std::uint64_t reference_shapes = 0;
+  /// Calls served by the reference path after a scratch-allocation failure.
+  std::uint64_t alloc_fallbacks = 0;
+  /// True when a worker fault retired the pool (calls now run serial).
+  bool pool_degraded = false;
+  /// Corrupt lines skipped while loading the records file.
+  std::uint64_t records_skipped = 0;
+  /// Most recent non-OK status any entry point reported.
+  Status last_error;
+  /// Bounded event log, oldest first (capped; counters stay exact).
+  std::vector<HealthEvent> events;
+};
+
 class Context {
  public:
   Context();
   explicit Context(const ContextOptions& opts);
   /// Convenience: default options + tuned records loaded from `records_path`
-  /// (throws std::runtime_error if the file cannot be read).
+  /// (throws std::runtime_error if the file cannot be read; a *damaged* but
+  /// readable file loads its valid records and shows up in health()).
   explicit Context(const std::string& records_path);
   /// Tuned records handed over directly (e.g. straight from a tuning run).
   explicit Context(tune::TuningRecords records, const ContextOptions& opts = {});
@@ -87,21 +160,33 @@ class Context {
   Context& operator=(const Context&) = delete;
 
   /// Primary entry point: C = alpha * op(A) * op(B) + beta * C with the
-  /// shape's cached (tuned or heuristic) Plan and the owned pool. The
-  /// defaults (no transposes, alpha = beta = 1) make this C += A * B; pass
-  /// beta = 0 for overwrite semantics (see core/gemm.hpp).
-  void gemm(common::ConstMatrixView a, common::ConstMatrixView b,
-            common::MatrixView c, const GemmExParams& params = {});
+  /// shape's cached (tuned or heuristic) Plan and the owned pool, behind
+  /// full operand validation and the degradation ladder documented above.
+  /// On a non-OK return C is either untouched (validation errors) or
+  /// explicitly unspecified (kResourceExhausted/kInternal from a fault
+  /// mid-parallel-execution; the message says so).
+  Status run(common::ConstMatrixView a, common::ConstMatrixView b,
+             common::MatrixView c, const GemmExParams& params = {});
 
-  /// As gemm(), with A promised constant across calls: its offline-packed
+  /// As run(), with A promised constant across calls: its offline-packed
   /// form (PackedA) is cached under A's data pointer + shape. The cached
   /// fast path requires canonical operands (no transposes, alpha = 1);
-  /// other params fall back to the plain gemm() path. Conv-as-GEMM weight
+  /// other params fall back to the plain run() path. Conv-as-GEMM weight
   /// matrices are the motivating caller.
+  Status run_const_a(common::ConstMatrixView a, common::ConstMatrixView b,
+                     common::MatrixView c, const GemmExParams& params = {});
+
+  /// As run(), with B promised constant across calls (cached PackedB).
+  Status run_const_b(common::ConstMatrixView a, common::ConstMatrixView b,
+                     common::MatrixView c, const GemmExParams& params = {});
+
+  /// Legacy void wrappers over the run* entry points: failures are
+  /// recorded in last_error() instead of thrown (C stays untouched on
+  /// validation failures).
+  void gemm(common::ConstMatrixView a, common::ConstMatrixView b,
+            common::MatrixView c, const GemmExParams& params = {});
   void gemm_const_a(common::ConstMatrixView a, common::ConstMatrixView b,
                     common::MatrixView c, const GemmExParams& params = {});
-
-  /// As gemm(), with B promised constant across calls (cached PackedB).
   void gemm_const_b(common::ConstMatrixView a, common::ConstMatrixView b,
                     common::MatrixView c, const GemmExParams& params = {});
 
@@ -111,8 +196,11 @@ class Context {
   void gemm_batched(const std::vector<BatchItem>& items);
 
   /// Plan for a shape: tuned record (exact, then nearest) over the
-  /// heuristic default, LRU-cached. Shared so a caller can keep executing
-  /// a plan that gets evicted mid-flight.
+  /// heuristic default, LRU-cached, quarantined configs skipped. Shared so
+  /// a caller can keep executing a plan that gets evicted mid-flight. For
+  /// a shape pinned to the reference path this still returns the heuristic
+  /// plan (legacy callers need one); run() is where the reference pin is
+  /// honored.
   std::shared_ptr<const Plan> plan_for(int m, int n, int k);
 
   /// Drops every cached packed operand built from `data` (call after
@@ -120,14 +208,22 @@ class Context {
   /// Returns the number of entries dropped.
   std::size_t invalidate(const void* data);
 
-  /// Drops all cached plans and packed operands (stats are kept).
+  /// Drops all cached plans and packed operands (stats, quarantine and
+  /// health are kept — a poisoned config stays poisoned).
   void clear();
 
-  /// Owned pool; nullptr when the context is serial (threads == 1).
-  /// Created lazily on first use.
+  /// Owned pool; nullptr when the context is serial (threads == 1) or the
+  /// pool has been quarantined after a worker fault. Created lazily on
+  /// first use.
   common::ThreadPool* pool();
 
   ContextStats stats() const;
+  /// Degradation snapshot (see HealthReport).
+  HealthReport health() const;
+  /// Most recent non-OK status reported by any entry point (OK if none) —
+  /// the query channel for the legacy void API.
+  Status last_error() const;
+
   std::size_t plan_cache_size() const;
   std::size_t packed_cache_size() const;
   const tune::TuningRecords& records() const { return records_; }
@@ -136,6 +232,12 @@ class Context {
   struct ShapeKey {
     int m = 0, n = 0, k = 0;
     auto operator<=>(const ShapeKey&) const = default;
+  };
+  /// Identity of a GemmConfig for verification/quarantine bookkeeping.
+  struct ConfigKey {
+    int mc = 0, nc = 0, kc = 0;
+    int loop_order = 0, packing = 0, tiling = 0, lanes = 0;
+    auto operator<=>(const ConfigKey&) const = default;
   };
   struct PackedKey {
     const void* data = nullptr;
@@ -148,24 +250,44 @@ class Context {
     std::shared_ptr<const PackedB> b;
     std::shared_ptr<const Plan> plan;  // layout the packing was built for
   };
+  /// A cached, verified resolution for one shape. `plan == nullptr` means
+  /// the shape is pinned to the reference path.
+  struct PlanEntry {
+    std::shared_ptr<const Plan> plan;
+  };
 
-  GemmConfig resolve_config(int m, int n, int k);
-  std::shared_ptr<const PackedA> packed_a_for(
+  PlanEntry entry_for(int m, int n, int k);
+  Status verify_config(const Plan& plan);
+  Status execute_entry(const PlanEntry& entry, common::ConstMatrixView a,
+                       common::ConstMatrixView b, common::MatrixView c,
+                       const GemmExParams& beta1_params,
+                       const PackedA* packed_a, const PackedB* packed_b);
+  StatusOr<std::shared_ptr<const PackedA>> packed_a_for(
       common::ConstMatrixView a, const std::shared_ptr<const Plan>& plan);
-  std::shared_ptr<const PackedB> packed_b_for(
+  StatusOr<std::shared_ptr<const PackedB>> packed_b_for(
       common::ConstMatrixView b, const std::shared_ptr<const Plan>& plan);
+  common::ThreadPool* effective_pool();
+  void record_event(HealthEvent::Kind kind, std::string detail);
+  Status record_error(Status s);  // stores non-OK into last_error, passes through
 
   const ContextOptions opts_;
+  std::uint64_t records_skipped_ = 0;  // set before records_ loads
   const tune::TuningRecords records_;
 
   mutable std::mutex mu_;
   // Plan LRU: list front = most recently used; index into the list.
-  std::list<std::pair<ShapeKey, std::shared_ptr<const Plan>>> plan_lru_;
+  std::list<std::pair<ShapeKey, PlanEntry>> plan_lru_;
   std::map<ShapeKey, decltype(plan_lru_)::iterator> plan_index_;
   std::list<std::pair<PackedKey, PackedEntry>> packed_lru_;
   std::map<PackedKey, decltype(packed_lru_)::iterator> packed_index_;
   ContextStats stats_;
 
+  // Verification/quarantine state (guarded by mu_).
+  std::map<ConfigKey, std::string> quarantined_;  // key -> reason
+  std::map<ConfigKey, bool> verified_;            // probes already passed
+  HealthReport health_;                           // counters + event log
+
+  std::atomic<bool> pool_degraded_{false};
   std::once_flag pool_once_;
   std::unique_ptr<common::ThreadPool> pool_;
 };

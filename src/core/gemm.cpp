@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <stdexcept>
+#include <string>
 
 #include "common/aligned_buffer.hpp"
 #include "core/context.hpp"
@@ -218,6 +219,41 @@ PackedA::PackedA(ConstMatrixView a, const Plan& plan) {
 const float* PackedA::block(int i_idx, int p_idx) const {
   return data_.data() +
          offsets_[static_cast<std::size_t>(i_idx) * kblocks_ + p_idx];
+}
+
+namespace {
+
+Status check_packable(common::ConstMatrixView v, int want_rows, int want_cols,
+                      const char* who) {
+  if (v.rows != want_rows || v.cols != want_cols)
+    return InvalidArgumentError(std::string(who) +
+                                ": view shape does not match the plan");
+  if (v.ld < v.cols)
+    return InvalidArgumentError(std::string(who) +
+                                ": leading dimension below row width");
+  if (v.data == nullptr && v.rows > 0 && v.cols > 0)
+    return InvalidArgumentError(std::string(who) + ": null data pointer");
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<PackedB> PackedB::create(ConstMatrixView b, const Plan& plan) {
+  AUTOGEMM_RETURN_IF_ERROR(check_packable(b, plan.k(), plan.n(), "PackedB"));
+  try {
+    return PackedB(b, plan);
+  } catch (const std::bad_alloc&) {
+    return ResourceExhaustedError("PackedB: allocation failed");
+  }
+}
+
+StatusOr<PackedA> PackedA::create(ConstMatrixView a, const Plan& plan) {
+  AUTOGEMM_RETURN_IF_ERROR(check_packable(a, plan.m(), plan.k(), "PackedA"));
+  try {
+    return PackedA(a, plan);
+  } catch (const std::bad_alloc&) {
+    return ResourceExhaustedError("PackedA: allocation failed");
+  }
 }
 
 void gemm(ConstMatrixView a, ConstMatrixView b, MatrixView c, const Plan& plan,

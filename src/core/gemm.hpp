@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/matrix.hpp"
+#include "common/status.hpp"
 #include "common/threadpool.hpp"
 #include "core/plan.hpp"
 
@@ -38,6 +39,12 @@ class PackedB {
  public:
   PackedB() = default;
   PackedB(common::ConstMatrixView b, const Plan& plan);
+
+  /// Validated construction: rejects a view that does not match the plan's
+  /// (K, N) or has a bad leading dimension / null data (kInvalidArgument),
+  /// and reports allocation failure as kResourceExhausted instead of
+  /// throwing.
+  static StatusOr<PackedB> create(common::ConstMatrixView b, const Plan& plan);
 
   const float* block(int p_idx, int j_idx) const;
   long block_ld() const { return ld_; }
@@ -57,6 +64,10 @@ class PackedA {
  public:
   PackedA() = default;
   PackedA(common::ConstMatrixView a, const Plan& plan);
+
+  /// Validated construction mirroring PackedB::create (view must be the
+  /// plan's (M, K)).
+  static StatusOr<PackedA> create(common::ConstMatrixView a, const Plan& plan);
 
   const float* block(int i_idx, int p_idx) const;
   long block_ld() const { return ld_; }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "hw/chip_database.hpp"
 
@@ -47,6 +49,26 @@ GemmConfig default_config(int m, int n, int k) {
                     ? kernels::Packing::kNone
                     : kernels::Packing::kOnline;
   return cfg;
+}
+
+StatusOr<Plan> Plan::create(int m, int n, int k, GemmConfig config) {
+  if (m <= 0 || n <= 0 || k <= 0)
+    return InvalidArgumentError("Plan: dimensions must be positive (" +
+                                std::to_string(m) + "x" + std::to_string(n) +
+                                "x" + std::to_string(k) + ")");
+  if (config.mc <= 0 || config.nc <= 0 || config.kc <= 0)
+    return InvalidArgumentError("Plan: blocking parameters must be positive");
+  if (config.hw.lanes < 1 || config.hw.vector_registers < 4)
+    return InvalidArgumentError("Plan: implausible hardware model");
+  try {
+    return Plan(m, n, k, std::move(config));
+  } catch (const std::exception& e) {
+    // DMT / the kernel model choked on this configuration; a tuned record
+    // transferred from another machine can do that, and it must degrade,
+    // not abort.
+    return InternalError(std::string("Plan: construction failed: ") +
+                         e.what());
+  }
 }
 
 Plan::Plan(int m, int n, int k, GemmConfig config)

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/matrix.hpp"
+#include "common/status.hpp"
 #include "hw/hardware_model.hpp"
 #include "kernels/packing.hpp"
 #include "tiling/micro_tiling.hpp"
@@ -59,7 +60,16 @@ GemmConfig default_config(int m, int n, int k);
 
 class Plan {
  public:
+  /// Throwing constructor (std::invalid_argument on a bad shape/config);
+  /// the Status-reporting path is create() below.
   Plan(int m, int n, int k, GemmConfig config);
+
+  /// Validated construction: rejects non-positive dimensions and
+  /// non-positive blocking parameters as kInvalidArgument, and converts
+  /// any internal tiling/model failure into kInternal instead of
+  /// propagating an exception. This is what Context uses, so a corrupted
+  /// tuned record can never abort the process.
+  static StatusOr<Plan> create(int m, int n, int k, GemmConfig config);
 
   int m() const { return m_; }
   int n() const { return n_; }

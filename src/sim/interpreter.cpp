@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "common/failpoint.hpp"
+
 namespace autogemm::sim {
 namespace {
 
@@ -35,10 +37,10 @@ void post_index(State& s, const isa::Instruction& inst) {
 
 }  // namespace
 
-void Interpreter::run(const isa::Program& prog, const KernelArgs& args) {
+Status Interpreter::try_run(const isa::Program& prog, const KernelArgs& args) {
   const int lanes = prog.lanes();
   if (lanes < 1 || lanes > kMaxLanes)
-    throw std::runtime_error("interpreter: unsupported lane count");
+    return InvalidArgumentError("interpreter: unsupported lane count");
 
   State s;
   s.x[isa::Abi::kA] = reinterpret_cast<std::uintptr_t>(args.a);
@@ -59,8 +61,11 @@ void Interpreter::run(const isa::Program& prog, const KernelArgs& args) {
   const int n = static_cast<int>(code.size());
   while (pc < n) {
     if (++steps_ > max_steps_)
-      throw std::runtime_error("interpreter: step limit exceeded (runaway loop?)");
+      return DeadlineExceededError(
+          "interpreter: step limit exceeded (runaway loop?)");
     const isa::Instruction& inst = code[pc];
+    if (failpoint::should_fail("sim.illegal_instruction"))
+      return InternalError("interpreter: illegal instruction (injected)");
     switch (inst.op) {
       case isa::Op::kLdrQ: {
         const auto* src = reinterpret_cast<const float*>(address(s, inst));
@@ -130,14 +135,24 @@ void Interpreter::run(const isa::Program& prog, const KernelArgs& args) {
         if (!s.zero_flag) {
           auto it = labels.find(inst.label);
           if (it == labels.end())
-            throw std::runtime_error("interpreter: branch to unbound label");
+            return InternalError("interpreter: branch to unbound label");
           pc = it->second;
         }
         break;
       }
+      default:
+        // A corrupted program can carry an out-of-range opcode; refuse it
+        // instead of silently skipping (the quarantine probes key on this).
+        return InternalError("interpreter: illegal instruction");
     }
     ++pc;
   }
+  return Status::OK();
+}
+
+void Interpreter::run(const isa::Program& prog, const KernelArgs& args) {
+  const Status s = try_run(prog, args);
+  if (!s.ok()) throw std::runtime_error(s.to_string());
 }
 
 }  // namespace autogemm::sim

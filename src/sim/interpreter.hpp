@@ -6,10 +6,17 @@
 // other BLAS libraries; we verify against common::reference_gemm). The
 // interpreter is strictly sequential — one instruction at a time — so it is
 // also the ground truth that the fusion/rotation passes preserve meaning.
+//
+// It is additionally the execution vehicle for Context's first-use kernel
+// probes (core/context.hpp), so it must never take the process down: the
+// hardened entry point try_run() turns every fault — unbound label, bad
+// lane count, undecodable instruction, step-budget overrun from a runaway
+// generated loop — into an autogemm::Status the caller can quarantine on.
 #pragma once
 
 #include <cstdint>
 
+#include "common/status.hpp"
 #include "isa/program.hpp"
 
 namespace autogemm::sim {
@@ -26,16 +33,22 @@ struct KernelArgs {
 
 class Interpreter {
  public:
-  /// `max_steps` bounds dynamic instructions (guards against a buggy
-  /// generated loop that never terminates).
+  /// `max_steps` bounds dynamic instructions (the watchdog that turns a
+  /// buggy generated loop that never terminates into a Status).
   explicit Interpreter(long max_steps = 100'000'000)
       : max_steps_(max_steps) {}
 
-  /// Runs the program to completion. Throws std::runtime_error on an
-  /// unbound label, a misaligned register index, or step overrun.
+  /// Runs the program to completion. Never throws on program faults:
+  /// returns kInvalidArgument for an unsupported lane count, kInternal for
+  /// an unbound label or an undecodable instruction, kDeadlineExceeded
+  /// when the step watchdog fires.
+  Status try_run(const isa::Program& prog, const KernelArgs& args);
+
+  /// Legacy wrapper: as try_run(), but throws std::runtime_error on any
+  /// non-OK status.
   void run(const isa::Program& prog, const KernelArgs& args);
 
-  /// Dynamic instructions retired by the last run().
+  /// Dynamic instructions retired by the last run.
   long steps() const { return steps_; }
 
  private:

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "common/failpoint.hpp"
 #include "sim/cache_sim.hpp"
 
 namespace autogemm::sim {
@@ -33,8 +34,8 @@ struct DynInst {
 };
 
 // Phase 1: functional X-register execution unrolling control flow.
-std::vector<DynInst> build_trace(const isa::Program& prog,
-                                 const SimOptions& opts) {
+Status build_trace(const isa::Program& prog, const SimOptions& opts,
+                   std::vector<DynInst>& trace) {
   std::array<std::uint64_t, 32> x{};
   bool zero_flag = false;
   x[isa::Abi::kA] = opts.a_base;
@@ -49,12 +50,13 @@ std::vector<DynInst> build_trace(const isa::Program& prog,
   for (std::size_t i = 0; i < code.size(); ++i)
     if (code[i].op == isa::Op::kLabel) labels[code[i].label] = static_cast<int>(i);
 
-  std::vector<DynInst> trace;
+  trace.clear();
   int pc = 0;
   const int n = static_cast<int>(code.size());
   while (pc < n) {
     if (static_cast<long>(trace.size()) > opts.max_dynamic_instructions)
-      throw std::runtime_error("pipeline: dynamic instruction limit exceeded");
+      return DeadlineExceededError(
+          "pipeline: dynamic instruction limit exceeded (runaway loop?)");
     const isa::Instruction& inst = code[pc];
     DynInst d;
     d.static_idx = pc;
@@ -168,7 +170,7 @@ std::vector<DynInst> build_trace(const isa::Program& prog,
         if (!zero_flag) {
           auto it = labels.find(inst.label);
           if (it == labels.end())
-            throw std::runtime_error("pipeline: branch to unbound label");
+            return InternalError("pipeline: branch to unbound label");
           pc = it->second;
         }
         break;
@@ -176,7 +178,7 @@ std::vector<DynInst> build_trace(const isa::Program& prog,
     }
     ++pc;
   }
-  return trace;
+  return Status::OK();
 }
 
 struct Scheduler {
@@ -202,9 +204,12 @@ struct Scheduler {
     return 1.0;
   }
 
-  // Schedules the trace starting at cycle t0; updates stats; returns the
-  // cycle when the last instruction's result is available.
-  double run(const std::vector<DynInst>& trace, double t0, SimStats& stats) {
+  // Schedules the trace starting at cycle t0; updates stats; writes the
+  // cycle when the last instruction's result is available to `end`.
+  Status run(const std::vector<DynInst>& trace, double t0, SimStats& stats,
+             double& end) {
+    if (failpoint::should_fail("sim.cycle_budget"))
+      return DeadlineExceededError("pipeline: cycle budget exceeded (injected)");
     const int n = static_cast<int>(trace.size());
     std::vector<char> issued(n, 0);
     int head = 0;
@@ -237,6 +242,8 @@ struct Scheduler {
       }
       if (pick < 0) {
         t += 1.0;
+        if (opts.max_cycles > 0 && t > opts.max_cycles)
+          return DeadlineExceededError("pipeline: cycle budget exceeded");
         width_used = 0;
         continue;
       }
@@ -298,19 +305,47 @@ struct Scheduler {
       }
       while (head < n && issued[head]) ++head;
     }
-    return last_completion;
+    end = last_completion;
+    return Status::OK();
   }
 };
 
 }  // namespace
 
+Status simulate_checked(const isa::Program& prog, const hw::HardwareModel& hw,
+                        const SimOptions& opts, SimStats& out) {
+  out = SimStats{};
+  std::vector<DynInst> trace;
+  AUTOGEMM_RETURN_IF_ERROR(build_trace(prog, opts, trace));
+  Scheduler sched(hw, opts);
+  double end = 0.0;
+  AUTOGEMM_RETURN_IF_ERROR(sched.run(trace, opts.launch_overhead, out, end));
+  out.cycles = end;
+  return Status::OK();
+}
+
+Status simulate_repeated_checked(const isa::Program& prog,
+                                 const hw::HardwareModel& hw,
+                                 const SimOptions& opts, int launches,
+                                 SimStats& out) {
+  out = SimStats{};
+  std::vector<DynInst> trace;
+  AUTOGEMM_RETURN_IF_ERROR(build_trace(prog, opts, trace));
+  Scheduler sched(hw, opts);
+  double t = 0.0;
+  for (int i = 0; i < launches; ++i) {
+    t += opts.launch_overhead;
+    AUTOGEMM_RETURN_IF_ERROR(sched.run(trace, t, out, t));
+  }
+  out.cycles = t;
+  return Status::OK();
+}
+
 SimStats simulate(const isa::Program& prog, const hw::HardwareModel& hw,
                   const SimOptions& opts) {
   SimStats stats;
-  const auto trace = build_trace(prog, opts);
-  Scheduler sched(hw, opts);
-  const double end = sched.run(trace, opts.launch_overhead, stats);
-  stats.cycles = end;
+  const Status s = simulate_checked(prog, hw, opts, stats);
+  if (!s.ok()) throw std::runtime_error(s.to_string());
   return stats;
 }
 
@@ -318,14 +353,8 @@ SimStats simulate_repeated(const isa::Program& prog,
                            const hw::HardwareModel& hw, const SimOptions& opts,
                            int launches) {
   SimStats stats;
-  const auto trace = build_trace(prog, opts);
-  Scheduler sched(hw, opts);
-  double t = 0.0;
-  for (int i = 0; i < launches; ++i) {
-    t += opts.launch_overhead;
-    t = sched.run(trace, t, stats);
-  }
-  stats.cycles = t;
+  const Status s = simulate_repeated_checked(prog, hw, opts, launches, stats);
+  if (!s.ok()) throw std::runtime_error(s.to_string());
   return stats;
 }
 

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.hpp"
 #include "hw/hardware_model.hpp"
 #include "isa/program.hpp"
 
@@ -51,6 +52,12 @@ struct SimOptions {
   bool use_caches = true;
 
   long max_dynamic_instructions = 20'000'000;
+
+  /// Scheduler watchdog: simulated-cycle budget (0 = unlimited). A
+  /// pathological trace that stops retiring — or an injected
+  /// "sim.cycle_budget" fault — surfaces as kDeadlineExceeded from the
+  /// checked entry points instead of an unbounded simulation.
+  double max_cycles = 0;
 
   // Optional stage boundaries (static instruction indices) for per-stage
   // cycle accounting (Fig 3): prologue = [0, mainloop_begin).
@@ -85,13 +92,25 @@ struct SimStats {
   }
 };
 
-/// Simulates one program execution.
+/// Simulates one program execution, reporting faults — dynamic-instruction
+/// overrun, cycle-budget overrun, unbound labels — as a Status. `out` is
+/// valid only when the returned status is OK.
+Status simulate_checked(const isa::Program& prog, const hw::HardwareModel& hw,
+                        const SimOptions& opts, SimStats& out);
+
+/// As simulate_checked() for `launches` identical back-to-back runs
+/// (launch overhead charged each time, cache kept warm across runs).
+Status simulate_repeated_checked(const isa::Program& prog,
+                                 const hw::HardwareModel& hw,
+                                 const SimOptions& opts, int launches,
+                                 SimStats& out);
+
+/// Legacy wrapper over simulate_checked(); throws std::runtime_error on a
+/// non-OK status.
 SimStats simulate(const isa::Program& prog, const hw::HardwareModel& hw,
                   const SimOptions& opts);
 
-/// Convenience: simulates a sequence of `launches` identical runs of the
-/// program, charging launch overhead each time but keeping the cache warm
-/// across runs. Returns aggregate stats.
+/// Legacy wrapper over simulate_repeated_checked(); throws on non-OK.
 SimStats simulate_repeated(const isa::Program& prog,
                            const hw::HardwareModel& hw, const SimOptions& opts,
                            int launches);

@@ -1,12 +1,33 @@
 #include "tune/records.hpp"
 
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
 
+#include "common/failpoint.hpp"
+
 namespace autogemm::tune {
+namespace {
+
+// FNV-1a 32-bit over the record payload; cheap, dependency-free, and
+// plenty to catch the torn writes and bit rot the tolerant loader guards
+// against (this is an integrity check, not a cryptographic one).
+std::uint32_t fnv1a(const std::string& payload) {
+  std::uint32_t h = 2166136261u;
+  for (const unsigned char ch : payload) {
+    h ^= ch;
+    h *= 16777619u;
+  }
+  return h;
+}
+
+constexpr const char* kChecksumTag = " c=";
+
+}  // namespace
 
 GemmConfig config_from_candidate(int m, int n, int k, const Candidate& c) {
   GemmConfig cfg = default_config(m, n, k);
@@ -58,22 +79,39 @@ std::optional<Candidate> TuningRecords::lookup_nearest(
   return best_rec->candidate;
 }
 
-void TuningRecords::save(std::ostream& os) const {
+Status TuningRecords::save(std::ostream& os) const {
   os << "autogemm-records v1\n";
-  os << "# m n k mc nc kc order packing cost\n";
+  os << "# m n k mc nc kc order packing cost c=fnv1a(line)\n";
+  bool corrupt_one = failpoint::should_fail("records.corrupt_save");
   for (const auto& [shape, rec] : records_) {
-    os << shape.m << ' ' << shape.n << ' ' << shape.k << ' '
-       << rec.candidate.mc << ' ' << rec.candidate.nc << ' '
-       << rec.candidate.kc << ' ' << static_cast<int>(rec.candidate.loop_order)
-       << ' ' << static_cast<int>(rec.candidate.packing) << ' ' << rec.cost
-       << '\n';
+    std::ostringstream line;
+    line << shape.m << ' ' << shape.n << ' ' << shape.k << ' '
+         << rec.candidate.mc << ' ' << rec.candidate.nc << ' '
+         << rec.candidate.kc << ' '
+         << static_cast<int>(rec.candidate.loop_order) << ' '
+         << static_cast<int>(rec.candidate.packing) << ' ' << rec.cost;
+    std::string payload = line.str();
+    const std::uint32_t crc = fnv1a(payload);
+    if (corrupt_one) {
+      // Simulated bit rot *after* the checksum was computed — the loader
+      // must detect the mismatch and skip exactly this record.
+      payload[0] = payload[0] == '9' ? '8' : '9';
+      corrupt_one = false;
+    }
+    char crc_hex[16];
+    std::snprintf(crc_hex, sizeof(crc_hex), "%08x", crc);
+    os << payload << kChecksumTag << crc_hex << '\n';
   }
+  if (!os) return DataLossError("TuningRecords::save: stream write failed");
+  return Status::OK();
 }
 
-void TuningRecords::load(std::istream& is) {
+Status TuningRecords::load(std::istream& is, LoadReport* report) {
   records_.clear();
+  LoadReport local;
   std::string line;
   bool saw_content = false;
+  std::string first_bad;
   while (std::getline(is, line)) {
     if (line.empty() || line[0] == '#') continue;
     if (!saw_content) {
@@ -84,41 +122,91 @@ void TuningRecords::load(std::istream& is) {
         std::istringstream hs(line);
         std::string magic, version;
         hs >> magic >> version;
-        if (version != "v1")
-          throw std::runtime_error(
+        if (version != "v1") {
+          if (report != nullptr) *report = local;
+          return InvalidArgumentError(
               "TuningRecords::load: unsupported format version: " + line);
+        }
         continue;
       }
     }
-    std::istringstream ls(line);
+    // Per-line integrity: when the writer's checksum field is present, the
+    // payload must hash to it; legacy lines without one load unverified.
+    std::string payload = line;
+    bool checksum_ok = true;
+    const auto tag = line.rfind(kChecksumTag);
+    if (tag != std::string::npos) {
+      payload = line.substr(0, tag);
+      const std::string hex = line.substr(tag + 3);
+      char parsed_hex[16];
+      std::snprintf(parsed_hex, sizeof(parsed_hex), "%08x", fnv1a(payload));
+      checksum_ok = hex == parsed_hex;
+    }
+    std::istringstream ls(payload);
     ShapeKey shape;
     Record rec;
     int order = 0, packing = 0;
-    if (!(ls >> shape.m >> shape.n >> shape.k >> rec.candidate.mc >>
-          rec.candidate.nc >> rec.candidate.kc >> order >> packing >>
-          rec.cost))
-      throw std::runtime_error("TuningRecords::load: malformed line: " + line);
-    if (order < 0 || order > 5 || packing < 0 || packing > 2)
-      throw std::runtime_error("TuningRecords::load: out-of-range enum: " +
-                               line);
+    const bool parsed =
+        static_cast<bool>(ls >> shape.m >> shape.n >> shape.k >>
+                          rec.candidate.mc >> rec.candidate.nc >>
+                          rec.candidate.kc >> order >> packing >> rec.cost);
+    const bool sane = parsed && shape.m > 0 && shape.n > 0 && shape.k > 0 &&
+                      rec.candidate.mc > 0 && rec.candidate.nc > 0 &&
+                      rec.candidate.kc > 0 && order >= 0 && order <= 5 &&
+                      packing >= 0 && packing <= 2 && std::isfinite(rec.cost);
+    if (!checksum_ok || !sane) {
+      // Tolerant skip-and-report: one damaged line must not cost the
+      // caller every healthy tuned configuration around it.
+      ++local.skipped;
+      if (first_bad.empty()) first_bad = line;
+      continue;
+    }
     rec.candidate.loop_order = static_cast<LoopOrder>(order);
     rec.candidate.packing = static_cast<kernels::Packing>(packing);
     records_[shape] = rec;
+    ++local.loaded;
   }
+  if (report != nullptr) *report = local;
+  if (local.skipped > 0)
+    return DataLossError("TuningRecords::load: skipped " +
+                         std::to_string(local.skipped) +
+                         " corrupt line(s), first: " + first_bad);
+  return Status::OK();
 }
 
-bool TuningRecords::save_file(const std::string& path) const {
-  std::ofstream os(path);
-  if (!os) return false;
-  save(os);
-  return static_cast<bool>(os);
+Status TuningRecords::save_file(const std::string& path) const {
+  // Temp-then-rename in the destination directory: rename(2) is atomic on
+  // POSIX within a filesystem, so readers see either the old complete file
+  // or the new complete file — never a truncated half-write.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os)
+      return DataLossError("TuningRecords::save_file: cannot open " + tmp);
+    const Status s = save(os);
+    if (s.ok() && failpoint::should_fail("records.save_fail")) {
+      os.setstate(std::ios::failbit);  // simulated disk-full mid-flush
+    }
+    if (!s.ok() || !os) {
+      os.close();
+      std::remove(tmp.c_str());
+      return DataLossError("TuningRecords::save_file: write failed for " +
+                           tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return DataLossError("TuningRecords::save_file: rename to " + path +
+                         " failed");
+  }
+  return Status::OK();
 }
 
-bool TuningRecords::load_file(const std::string& path) {
+Status TuningRecords::load_file(const std::string& path, LoadReport* report) {
   std::ifstream is(path);
-  if (!is) return false;
-  load(is);
-  return true;
+  if (!is)
+    return UnavailableError("TuningRecords::load_file: cannot read " + path);
+  return load(is, report);
 }
 
 }  // namespace autogemm::tune

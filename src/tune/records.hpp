@@ -8,11 +8,13 @@
 // the process.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <map>
 #include <optional>
 #include <string>
 
+#include "common/status.hpp"
 #include "tune/search_space.hpp"
 
 namespace autogemm::tune {
@@ -46,17 +48,34 @@ class TuningRecords {
   std::optional<Candidate> lookup_nearest(const ShapeKey& shape,
                                           double max_log2_distance = 1.0) const;
 
-  /// Text format: a `autogemm-records v1` header line, then one record per
-  /// line:
-  ///   m n k mc nc kc loop_order packing cost
-  void save(std::ostream& os) const;
-  /// Replaces the current contents. Headerless streams (seed-era files)
-  /// load as v1; an `autogemm-records` header with an unknown version
-  /// throws. Throws std::runtime_error on a malformed line.
-  void load(std::istream& is);
+  /// Outcome of a tolerant load: how many records survived and how many
+  /// lines were skipped as corrupt (malformed fields, out-of-range enums,
+  /// checksum mismatches, truncated tails).
+  struct LoadReport {
+    std::size_t loaded = 0;
+    std::size_t skipped = 0;
+  };
 
-  bool save_file(const std::string& path) const;
-  bool load_file(const std::string& path);
+  /// Text format: a `autogemm-records v1` header line, then one record per
+  /// line with a trailing FNV-1a line checksum:
+  ///   m n k mc nc kc loop_order packing cost c=<hex>
+  /// Returns non-OK if the stream enters a failed state.
+  Status save(std::ostream& os) const;
+  /// Replaces the current contents. Headerless streams (seed-era files)
+  /// load as v1, and lines without the `c=` checksum field are accepted
+  /// unverified (legacy/hand-edited files). Corrupt lines — malformed
+  /// fields, out-of-range enums, checksum mismatches — are skipped and
+  /// counted in `report`, never fatal: a partially damaged file yields its
+  /// valid records plus kDataLoss. An `autogemm-records` header with an
+  /// unknown version is the one hard error (kInvalidArgument, nothing
+  /// loaded): the format itself is unintelligible, not merely damaged.
+  Status load(std::istream& is, LoadReport* report = nullptr);
+
+  /// Atomic save: writes to a temp file in the destination directory, then
+  /// renames over `path`, so a crash or write failure mid-save can never
+  /// leave a truncated records file behind (the old contents survive).
+  Status save_file(const std::string& path) const;
+  Status load_file(const std::string& path, LoadReport* report = nullptr);
 
  private:
   struct Record {

@@ -1,8 +1,9 @@
 // Tuning-record persistence: round trips, improvement semantics, and
-// malformed input handling.
+// malformed input handling (the tolerant skip-and-report loader).
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "core/plan.hpp"
@@ -40,10 +41,13 @@ TEST(Records, StreamRoundTrip) {
               {128, 240, 64, LoopOrder::kNKM, kernels::Packing::kNone},
               9.75e6);
   std::stringstream ss;
-  records.save(ss);
+  EXPECT_TRUE(records.save(ss).ok());
 
   TuningRecords loaded;
-  loaded.load(ss);
+  TuningRecords::LoadReport report;
+  EXPECT_TRUE(loaded.load(ss, &report).ok());
+  EXPECT_EQ(report.loaded, 2u);
+  EXPECT_EQ(report.skipped, 0u);
   EXPECT_EQ(loaded.size(), 2u);
   const auto c = loaded.lookup({256, 3136, 64});
   ASSERT_TRUE(c.has_value());
@@ -53,18 +57,90 @@ TEST(Records, StreamRoundTrip) {
   EXPECT_NEAR(loaded.cost({64, 64, 64}).value(), 1234.5, 1e-9);
 }
 
-TEST(Records, LoadRejectsMalformedLine) {
+TEST(Records, MalformedLinesSkippedAndReported) {
+  // The loader is tolerant: a damaged line is skipped and counted, never
+  // thrown on — one flipped bit must not cost every healthy record.
   TuningRecords records;
   std::stringstream ss("64 64 64 16 not-a-number 16 0 1 10.0\n");
-  EXPECT_THROW(records.load(ss), std::runtime_error);
+  TuningRecords::LoadReport report;
+  const Status s = records.load(ss, &report);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(report.skipped, 1u);
+  EXPECT_EQ(records.size(), 0u);
+
   std::stringstream bad_enum("64 64 64 16 32 16 9 1 10.0\n");
-  EXPECT_THROW(records.load(bad_enum), std::runtime_error);
+  EXPECT_EQ(records.load(bad_enum, &report).code(), StatusCode::kDataLoss);
+  EXPECT_EQ(report.skipped, 1u);
+
+  std::stringstream bad_dims("-3 64 64 16 32 16 0 1 10.0\n");
+  EXPECT_EQ(records.load(bad_dims, &report).code(), StatusCode::kDataLoss);
+  EXPECT_EQ(report.skipped, 1u);
+}
+
+TEST(Records, PartiallyCorruptStreamLoadsValidRecords) {
+  TuningRecords records;
+  std::stringstream ss(
+      "autogemm-records v1\n"
+      "64 64 64 16 32 16 2 1 10.0\n"
+      "this line is garbage\n"
+      "128 128 128 32 64 32 0 1 20.0\n"
+      "8 8 8 4 4 garbage 0 0 5.0\n");
+  TuningRecords::LoadReport report;
+  const Status s = records.load(ss, &report);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(report.loaded, 2u);
+  EXPECT_EQ(report.skipped, 2u);
+  EXPECT_EQ(records.size(), 2u);
+  EXPECT_TRUE(records.lookup({64, 64, 64}).has_value());
+  EXPECT_TRUE(records.lookup({128, 128, 128}).has_value());
+}
+
+TEST(Records, TruncatedLastLineSkipped) {
+  // A torn write leaves a final line cut mid-field; the records before it
+  // must survive the load.
+  TuningRecords full;
+  full.add({64, 64, 64}, make_candidate(16), 10.0);
+  full.add({128, 128, 128}, make_candidate(32), 20.0);
+  std::stringstream ss;
+  ASSERT_TRUE(full.save(ss).ok());
+  std::string text = ss.str();
+  text.resize(text.size() - 20);  // chop into the last record's tail
+
+  TuningRecords loaded;
+  TuningRecords::LoadReport report;
+  std::stringstream truncated(text);
+  const Status s = loaded.load(truncated, &report);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(report.loaded, 1u);
+  EXPECT_EQ(report.skipped, 1u);
+  EXPECT_EQ(loaded.size(), 1u);
+}
+
+TEST(Records, ChecksumMismatchDetected) {
+  // Flip one payload character of a checksummed line: the FNV-1a check
+  // must reject it even though the line still parses cleanly.
+  TuningRecords records;
+  records.add({64, 64, 64}, make_candidate(16), 10.0);
+  std::stringstream ss;
+  ASSERT_TRUE(records.save(ss).ok());
+  std::string text = ss.str();
+  const auto pos = text.find("64 64 64");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos] = '6';
+  text[pos + 1] = '5';  // "64 ..." -> "65 ..." — still a valid record shape
+
+  TuningRecords loaded;
+  TuningRecords::LoadReport report;
+  std::stringstream tampered(text);
+  EXPECT_EQ(loaded.load(tampered, &report).code(), StatusCode::kDataLoss);
+  EXPECT_EQ(report.skipped, 1u);
+  EXPECT_EQ(loaded.size(), 0u);
 }
 
 TEST(Records, CommentsAndBlankLinesIgnored) {
   TuningRecords records;
   std::stringstream ss("# header\n\n64 64 64 16 32 16 2 1 10.0\n");
-  records.load(ss);
+  EXPECT_TRUE(records.load(ss).ok());
   EXPECT_EQ(records.size(), 1u);
   EXPECT_EQ(records.lookup({64, 64, 64})->loop_order, LoopOrder::kKNM);
 }
@@ -73,36 +149,65 @@ TEST(Records, FileRoundTrip) {
   TuningRecords records;
   records.add({4, 5, 6}, make_candidate(2), 42.0);
   const std::string path = "/tmp/autogemm_records_test.txt";
-  ASSERT_TRUE(records.save_file(path));
+  ASSERT_TRUE(records.save_file(path).ok());
   TuningRecords loaded;
-  ASSERT_TRUE(loaded.load_file(path));
+  ASSERT_TRUE(loaded.load_file(path).ok());
   EXPECT_EQ(loaded.size(), 1u);
   std::remove(path.c_str());
-  EXPECT_FALSE(loaded.load_file("/nonexistent/dir/records.txt"));
+  EXPECT_EQ(loaded.load_file("/nonexistent/dir/records.txt").code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(Records, SaveFileLeavesNoTempBehind) {
+  TuningRecords records;
+  records.add({4, 5, 6}, make_candidate(2), 42.0);
+  const std::string path = "/tmp/autogemm_records_atomic_test.txt";
+  ASSERT_TRUE(records.save_file(path).ok());
+  // The atomic temp-then-rename protocol must not leave its scratch file.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
 }
 
 TEST(Records, SaveWritesVersionHeader) {
   TuningRecords records;
   records.add({64, 64, 64}, make_candidate(16), 10.0);
   std::stringstream ss;
-  records.save(ss);
+  ASSERT_TRUE(records.save(ss).ok());
   std::string first_line;
   std::getline(ss, first_line);
   EXPECT_EQ(first_line, "autogemm-records v1");
 }
 
+TEST(Records, SaveAppendsPerLineChecksum) {
+  TuningRecords records;
+  records.add({64, 64, 64}, make_candidate(16), 10.0);
+  std::stringstream ss;
+  ASSERT_TRUE(records.save(ss).ok());
+  std::string line;
+  std::getline(ss, line);  // header
+  std::getline(ss, line);  // field comment
+  std::getline(ss, line);  // the record
+  EXPECT_NE(line.find(" c="), std::string::npos);
+}
+
 TEST(Records, LoadsHeaderlessLegacyStream) {
-  // Seed-era files had no header line; they must keep loading as v1.
+  // Seed-era files had no header line and no checksums; they must keep
+  // loading as v1 (unverified).
   TuningRecords records;
   std::stringstream ss("64 64 64 16 32 16 2 1 10.0\n");
-  records.load(ss);
+  EXPECT_TRUE(records.load(ss).ok());
   EXPECT_EQ(records.size(), 1u);
 }
 
 TEST(Records, LoadRejectsUnknownVersion) {
+  // Unlike a corrupt line, an unknown format version means *nothing* in
+  // the file can be trusted: hard error, nothing loaded.
   TuningRecords records;
   std::stringstream ss("autogemm-records v2\n64 64 64 16 32 16 2 1 10.0\n");
-  EXPECT_THROW(records.load(ss), std::runtime_error);
+  const Status s = records.load(ss);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(records.size(), 0u);
 }
 
 TEST(Records, HeaderedRoundTripAfterComments) {
@@ -110,7 +215,7 @@ TEST(Records, HeaderedRoundTripAfterComments) {
   std::stringstream ss(
       "# produced by the tuner\nautogemm-records v1\n"
       "64 64 64 16 32 16 2 1 10.0\n");
-  records.load(ss);
+  EXPECT_TRUE(records.load(ss).ok());
   EXPECT_EQ(records.size(), 1u);
   EXPECT_EQ(records.lookup({64, 64, 64})->loop_order, LoopOrder::kKNM);
 }

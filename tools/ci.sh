@@ -9,10 +9,18 @@
 # Context tests in particular are expected to pass under it. Also runs the
 # context cache-hit bench once in release so the JSON artifact lands in
 # build/bench_context_cache.json.
+#
+# Every ctest invocation carries a per-test timeout: a test that hangs (the
+# exact failure mode the sim watchdogs and thread-pool hardening exist to
+# prevent) fails CI instead of wedging it. The release configuration
+# additionally runs a fault-injection pass that re-executes the hardening
+# suites with AUTOGEMM_FAILPOINTS set, proving the env-var arming path
+# works in the shipped binary, not just the in-process API.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
+test_timeout=${AUTOGEMM_CI_TEST_TIMEOUT:-120}  # seconds per test
 configs=("$@")
 [[ ${#configs[@]} -eq 0 ]] && configs=(release asan)
 
@@ -23,14 +31,28 @@ run_config() {
   cmake -B "$dir" -S . "$@"
   echo "==== [$name] build ===="
   cmake --build "$dir" -j "$jobs"
-  echo "==== [$name] ctest ===="
-  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+  echo "==== [$name] ctest (timeout ${test_timeout}s/test) ===="
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs" \
+    --timeout "$test_timeout"
+}
+
+fault_injection_pass() {
+  local dir=$1
+  echo "==== [fault-injection] env-armed failpoints ===="
+  # Arm a benign failpoint through the environment: the FailpointEnv suite
+  # proves static init picked it up in the shipped binary. Run alone —
+  # the other hardening suites reset the failpoint registry in teardown.
+  AUTOGEMM_FAILPOINTS=ci.smoke \
+    "$dir/tests/autogemm_tests" --gtest_filter='FailpointEnv.*'
+  echo "==== [fault-injection] injected-fault suites ===="
+  "$dir/tests/autogemm_tests" --gtest_filter='Failpoints.*:Robustness.*'
 }
 
 for config in "${configs[@]}"; do
   case "$config" in
     release)
       run_config release build -DCMAKE_BUILD_TYPE=Release
+      fault_injection_pass build
       echo "==== [release] context cache bench ===="
       ./build/bench/bench_context_cache build/bench_context_cache.json
       ;;
