@@ -1,0 +1,117 @@
+// Large-K scaling bench: the regime the k-split strategy exists for.
+//
+// Fixes a small C surface (M = N = 64, a single cache block for most
+// configurations) and sweeps K upward. Blocks-only parallelism has at most
+// mi*nj schedulable units here, so its pooled throughput flatlines as K
+// grows — the paper's L7/L12/L17/L20 scaling cliff. The k-split path
+// partitions the K block range across workers instead; `auto` should pick
+// it for every point in this sweep.
+//
+// Output: a human-readable table plus one JSON object (written to a file,
+// default BENCH_kscale.json) with per-K seconds/gflops for blocks-only,
+// k-split and auto plans, and the auto-vs-blocks / ksplit-vs-blocks
+// speedups.
+//
+//   build/bench/bench_kscale [out.json] [threads]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "common/threadpool.hpp"
+#include "common/timer.hpp"
+#include "core/gemm.hpp"
+#include "core/plan.hpp"
+
+namespace {
+
+using namespace autogemm;
+
+double time_plan(const Plan& plan, common::ConstMatrixView a,
+                 common::ConstMatrixView b, common::MatrixView c,
+                 common::ThreadPool& pool, int reps) {
+  gemm(a, b, c, plan, &pool);  // warmup (DMT memo, pool region, pages)
+  common::Timer t;
+  for (int r = 0; r < reps; ++r) gemm(a, b, c, plan, &pool);
+  return t.seconds() / reps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_kscale.json";
+  const unsigned threads =
+      argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 4u;
+
+  const int m = 64, n = 64;
+  const int ks[] = {1024, 2048, 4096, 8192, 16384};
+  common::ThreadPool pool(threads);
+
+  bench::header("Large-K scaling, M=N=" + std::to_string(m) + ", pool=" +
+                std::to_string(pool.size()) + " workers");
+  std::printf("%8s %14s %14s %14s %12s %12s\n", "K", "blocks (ms)",
+              "k-split (ms)", "auto (ms)", "auto/blocks", "ksplit/blocks");
+
+  std::string entries;
+  for (int k : ks) {
+    common::Matrix a(m, k), b(k, n), c(m, n);
+    common::fill_random(a.view(), k + 1);
+    common::fill_random(b.view(), k + 2);
+
+    const double flops = 2.0 * m * n * k;
+    const int reps = std::max(3, static_cast<int>(2e8 / flops));
+
+    GemmConfig base = default_config(m, n, k);
+    base.parallel_strategy = ParallelStrategy::kBlocksOnly;
+    const Plan plan_blocks(m, n, k, base);
+    base.parallel_strategy = ParallelStrategy::kKSplit;
+    const Plan plan_ksplit(m, n, k, base);
+    base.parallel_strategy = ParallelStrategy::kAuto;
+    const Plan plan_auto(m, n, k, base);
+
+    const double s_blocks =
+        time_plan(plan_blocks, a.view(), b.view(), c.view(), pool, reps);
+    const double s_ksplit =
+        time_plan(plan_ksplit, a.view(), b.view(), c.view(), pool, reps);
+    const double s_auto =
+        time_plan(plan_auto, a.view(), b.view(), c.view(), pool, reps);
+
+    const double speedup_auto = s_blocks / s_auto;
+    const double speedup_ksplit = s_blocks / s_ksplit;
+    std::printf("%8d %14.3f %14.3f %14.3f %11.2fx %11.2fx\n", k,
+                s_blocks * 1e3, s_ksplit * 1e3, s_auto * 1e3, speedup_auto,
+                speedup_ksplit);
+
+    char entry[512];
+    std::snprintf(
+        entry, sizeof(entry),
+        "%s{\"k\": %d, \"reps\": %d, \"blocks_seconds\": %.6f, "
+        "\"ksplit_seconds\": %.6f, \"auto_seconds\": %.6f, "
+        "\"blocks_gflops\": %.3f, \"ksplit_gflops\": %.3f, "
+        "\"auto_gflops\": %.3f, \"speedup_auto_vs_blocks\": %.3f, "
+        "\"speedup_ksplit_vs_blocks\": %.3f}",
+        entries.empty() ? "" : ", ", k, reps, s_blocks, s_ksplit, s_auto,
+        flops / s_blocks / 1e9, flops / s_ksplit / 1e9, flops / s_auto / 1e9,
+        speedup_auto, speedup_ksplit);
+    entries += entry;
+  }
+
+  const std::string json = "{\"bench\": \"kscale\", \"m\": " +
+                           std::to_string(m) + ", \"n\": " + std::to_string(n) +
+                           ", \"threads\": " + std::to_string(pool.size()) +
+                           ", \"points\": [" + entries + "]}";
+  std::printf("\n%s\n", json.c_str());
+
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+    std::printf("json written to %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: cannot write %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -9,7 +9,8 @@
 
 namespace autogemm::common {
 
-AlignedBuffer::AlignedBuffer(std::size_t count, std::size_t alignment)
+AlignedBuffer::AlignedBuffer(uninitialized_t, std::size_t count,
+                             std::size_t alignment)
     : size_(count) {
   if (count == 0) return;
   // std::aligned_alloc requires the size to be a multiple of the alignment.
@@ -18,7 +19,13 @@ AlignedBuffer::AlignedBuffer(std::size_t count, std::size_t alignment)
   if (failpoint::should_fail("alloc.aligned_buffer")) throw std::bad_alloc{};
   data_ = static_cast<float*>(std::aligned_alloc(alignment, rounded));
   if (data_ == nullptr) throw std::bad_alloc{};
-  std::memset(data_, 0, rounded);
+}
+
+AlignedBuffer::AlignedBuffer(std::size_t count, std::size_t alignment)
+    : AlignedBuffer(kUninitialized, count, alignment) {
+  if (data_ == nullptr) return;
+  const std::size_t bytes = count * sizeof(float);
+  std::memset(data_, 0, (bytes + alignment - 1) / alignment * alignment);
 }
 
 AlignedBuffer::~AlignedBuffer() { std::free(data_); }

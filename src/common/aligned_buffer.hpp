@@ -13,6 +13,14 @@ namespace autogemm::common {
 /// the widest SIMD vector we model (SVE-512 = 64 bytes).
 inline constexpr std::size_t kDefaultAlignment = 64;
 
+/// Tag selecting uninitialized contents: callers that overwrite every
+/// element (packing) skip the zero-fill instead of writing the buffer
+/// twice. PackedA/PackedB use this and zero only their padding edges.
+struct uninitialized_t {
+  explicit uninitialized_t() = default;
+};
+inline constexpr uninitialized_t kUninitialized{};
+
 /// Owning, aligned, zero-initialized float buffer.
 ///
 /// Move-only. The buffer never shrinks or grows; callers size it up front.
@@ -22,6 +30,9 @@ class AlignedBuffer {
   /// Allocates `count` floats aligned to `alignment` bytes, zero-filled.
   explicit AlignedBuffer(std::size_t count,
                          std::size_t alignment = kDefaultAlignment);
+  /// As above but with indeterminate contents (no zero-fill).
+  AlignedBuffer(uninitialized_t, std::size_t count,
+                std::size_t alignment = kDefaultAlignment);
   ~AlignedBuffer();
 
   AlignedBuffer(AlignedBuffer&& other) noexcept;

@@ -8,6 +8,26 @@
 
 namespace autogemm::common {
 
+namespace {
+
+// Region-scoped slot of the current thread (see ThreadPool::worker_index).
+// Workers pin theirs for life at spawn; the submitting caller holds slot
+// size() only while inside parallel_for, restoring the previous value on
+// exit so pools don't leak indices into each other.
+thread_local int tls_worker_index = -1;
+
+struct ScopedWorkerIndex {
+  int prev;
+  explicit ScopedWorkerIndex(int index) : prev(tls_worker_index) {
+    tls_worker_index = index;
+  }
+  ~ScopedWorkerIndex() { tls_worker_index = prev; }
+};
+
+}  // namespace
+
+int ThreadPool::worker_index() noexcept { return tls_worker_index; }
+
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   workers_.reserve(threads);
@@ -21,7 +41,7 @@ ThreadPool::ThreadPool(unsigned threads) {
       if (failpoint::should_fail("threadpool.spawn"))
         throw std::system_error(std::make_error_code(
             std::errc::resource_unavailable_try_again));
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, i] { worker_loop(i); });
     } catch (const std::system_error&) {
       spawn_failures_ = threads - i;
       break;
@@ -55,7 +75,8 @@ void ThreadPool::run_chunks() {
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned index) {
+  tls_worker_index = static_cast<int>(index);
   std::uint64_t seen = 0;
   for (;;) {
     {
@@ -77,6 +98,7 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(int count, const std::function<void(int)>& fn) {
   if (count <= 0) return;
   if (size() <= 1 || count == 1) {
+    ScopedWorkerIndex scoped(static_cast<int>(size()));
     for (int i = 0; i < count; ++i) fn(i);
     return;
   }
@@ -96,7 +118,11 @@ void ThreadPool::parallel_for(int count, const std::function<void(int)>& fn) {
   }
   start_cv_.notify_all();
 
-  run_chunks();  // the submitting thread claims chunks too
+  {
+    // The submitting thread claims chunks too, under slot size().
+    ScopedWorkerIndex scoped(static_cast<int>(size()));
+    run_chunks();
+  }
 
   {
     std::unique_lock lock(mu_);

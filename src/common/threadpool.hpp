@@ -39,6 +39,17 @@ class ThreadPool {
   /// Workers requested at construction that could not be spawned.
   unsigned spawn_failures() const noexcept { return spawn_failures_; }
 
+  /// Threads that can execute iterations of one parallel_for region: the
+  /// workers plus the submitting caller. Callers sizing per-worker state
+  /// (e.g. packing scratch reused across blocks) allocate this many slots
+  /// and index them with worker_index().
+  unsigned participants() const noexcept { return size() + 1; }
+
+  /// Slot of the current thread within the executing pool's region:
+  /// workers are [0, size()), the submitting caller is size(). Returns -1
+  /// on a thread that is not currently executing a parallel_for body.
+  static int worker_index() noexcept;
+
   /// Runs fn(i) for i in [0, count). The calling thread participates in the
   /// work alongside the workers; iterations are claimed in dynamically sized
   /// contiguous chunks. Blocks until all iterations finish. Exceptions from
@@ -48,7 +59,7 @@ class ThreadPool {
   void parallel_for(int count, const std::function<void(int)>& fn);
 
  private:
-  void worker_loop();
+  void worker_loop(unsigned index);
   void run_chunks();
 
   std::vector<std::thread> workers_;

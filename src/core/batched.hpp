@@ -2,9 +2,9 @@
 //
 // DL inference issues many small GEMMs per step (the paper's motivating
 // workload); batching lets the thread pool parallelize *across* problems
-// — often the only available parallelism when each problem is too small
-// to split (the same K-dimension constraint that limits Fig 9's
-// multicore numbers).
+// — parallelism that is available even when each problem is too small to
+// split on its own (single problems large enough in K go through the
+// k-split path instead; see core/gemm.hpp).
 #pragma once
 
 #include <vector>
@@ -14,6 +14,8 @@
 #include "core/plan.hpp"
 
 namespace autogemm {
+
+class Context;
 
 struct BatchItem {
   common::ConstMatrixView a;
@@ -27,8 +29,20 @@ struct BatchItem {
 void gemm_batched(const std::vector<BatchItem>& items, const Plan& plan,
                   common::ThreadPool* pool = nullptr);
 
-/// Mixed-shape batch: each item gets a heuristic per-shape plan (memoized
-/// across equal shapes within the call).
+/// Mixed-shape batch resolved through `ctx`: each item's plan comes from
+/// the context's cache (tuned records, quarantine and stats all apply).
+/// `pool` defaults to the context's own pool; pass one explicitly to
+/// schedule on a different pool.
+void gemm_batched(const std::vector<BatchItem>& items, Context& ctx,
+                  common::ThreadPool* pool = nullptr);
+
+/// Mixed-shape batch through the process-global default_context() — a
+/// hidden dependency that ignores any Context the caller actually uses
+/// (its tuned records, caches and health reporting). Route through the
+/// Context overload above instead.
+[[deprecated(
+    "resolves plans through the process-global default_context(); use "
+    "gemm_batched(items, ctx, pool)")]]
 void gemm_batched(const std::vector<BatchItem>& items,
                   common::ThreadPool* pool = nullptr);
 

@@ -335,6 +335,11 @@ Context::PlanEntry Context::entry_for(int m, int n, int k) {
     candidates.push_back({tune::config_from_candidate(m, n, k, *nearest), 1});
   }
   candidates.push_back({default_config(m, n, k), 2});
+  // A context-level strategy override beats whatever the candidates carry
+  // (tuned records may pin a strategy per shape; kAuto leaves them alone).
+  if (opts_.parallel_strategy != ParallelStrategy::kAuto)
+    for (auto& cand : candidates)
+      cand.cfg.parallel_strategy = opts_.parallel_strategy;
 
   PlanEntry entry;  // plan == nullptr -> reference pin
   for (const auto& cand : candidates) {
@@ -422,12 +427,27 @@ std::shared_ptr<const Plan> Context::plan_for(int m, int n, int k) {
   return std::make_shared<const Plan>(m, n, k, default_config(m, n, k));
 }
 
+void Context::note_strategy(bool serial, ParallelStrategy chosen) {
+  std::lock_guard lock(mu_);
+  if (serial) {
+    ++stats_.strategy_serial;
+    health_.last_parallel_strategy = "serial";
+  } else if (chosen == ParallelStrategy::kKSplit) {
+    ++stats_.strategy_ksplit;
+    health_.last_parallel_strategy = "k-split";
+  } else {
+    ++stats_.strategy_blocks;
+    health_.last_parallel_strategy = "blocks-only";
+  }
+}
+
 Status Context::execute_entry(const PlanEntry& entry, ConstMatrixView a,
                               ConstMatrixView b, MatrixView c,
                               const GemmExParams& beta1_params,
                               const PackedA* packed_a,
                               const PackedB* packed_b) {
   if (entry.plan == nullptr) {
+    note_strategy(/*serial=*/true, ParallelStrategy::kBlocksOnly);
     accumulate_reference(a, b, c, beta1_params);
     return Status::OK();
   }
@@ -437,6 +457,13 @@ Status Context::execute_entry(const PlanEntry& entry, ConstMatrixView a,
   const bool canonical = beta1_params.trans_a == Trans::kNo &&
                          beta1_params.trans_b == Trans::kNo &&
                          beta1_params.alpha == 1.0f;
+  // Mirror the executor's choice for observability: gemm_ex's pooled path
+  // only schedules C blocks; the canonical path resolves the plan's
+  // strategy the same way core/gemm.cpp will.
+  note_strategy(/*serial=*/!pooled,
+                pooled && canonical
+                    ? choose_parallel_strategy(plan, pool->size())
+                    : ParallelStrategy::kBlocksOnly);
   try {
     if (canonical) {
       if (packed_a != nullptr) {

@@ -79,6 +79,11 @@ struct ContextOptions {
   unsigned threads = 0;
   /// Optional tuned-parameter table (see tune/records.hpp); empty = none.
   std::string records_path;
+  /// Parallel scheduling policy for pooled execution. kAuto defers to the
+  /// per-plan choice (tuned records may carry a strategy; otherwise
+  /// choose_parallel_strategy picks per shape and pool size); any other
+  /// value overrides every plan this context resolves.
+  ParallelStrategy parallel_strategy = ParallelStrategy::kAuto;
   /// First-use verification of each distinct GemmConfig against the
   /// reference GEMM (the quarantine ladder above). Costs one tile-sized
   /// probe per distinct config; disable only for benchmarking the
@@ -103,6 +108,13 @@ struct ContextStats {
   std::uint64_t resolved_exact = 0;
   std::uint64_t resolved_nearest = 0;
   std::uint64_t resolved_heuristic = 0;
+  /// How plan-driven calls were scheduled: serial (no pool, pool retired,
+  /// or reference-pinned), blocks-only C-block parallelism, or the
+  /// k-split partial-C path. One increment per execute, so the split of
+  /// traffic between strategies is directly readable.
+  std::uint64_t strategy_serial = 0;
+  std::uint64_t strategy_blocks = 0;
+  std::uint64_t strategy_ksplit = 0;
 };
 
 /// One degradation event (see Context::health). Kept as a bounded log of
@@ -138,6 +150,10 @@ struct HealthReport {
   bool pool_degraded = false;
   /// Corrupt lines skipped while loading the records file.
   std::uint64_t records_skipped = 0;
+  /// Scheduling of the most recent plan-driven call: "serial",
+  /// "blocks-only", "k-split", or "none" before any call ran (see the
+  /// strategy_* counters in ContextStats for totals).
+  std::string last_parallel_strategy = "none";
   /// Most recent non-OK status any entry point reported.
   Status last_error;
   /// Bounded event log, oldest first (capped; counters stay exact).
@@ -267,6 +283,7 @@ class Context {
   StatusOr<std::shared_ptr<const PackedB>> packed_b_for(
       common::ConstMatrixView b, const std::shared_ptr<const Plan>& plan);
   common::ThreadPool* effective_pool();
+  void note_strategy(bool serial, ParallelStrategy chosen);
   void record_event(HealthEvent::Kind kind, std::string detail);
   Status record_error(Status s);  // stores non-OK into last_error, passes through
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/aligned_buffer.hpp"
 #include "core/context.hpp"
@@ -130,34 +132,122 @@ void execute_single(ConstMatrixView a, ConstMatrixView b,
   }
 }
 
-void execute_parallel(ConstMatrixView a, ConstMatrixView b,
-                      const PackedA* packed_a, const PackedB* packed_b,
-                      MatrixView c, const Plan& plan,
-                      common::ThreadPool& pool) {
+// Scratch slot for the current thread: workers map to [0, size()), the
+// caller (which also runs chunks inside parallel_for) to size().
+int worker_slot(const common::ThreadPool& pool) {
+  const int idx = common::ThreadPool::worker_index();
+  if (idx < 0 || idx > static_cast<int>(pool.size()))
+    return static_cast<int>(pool.size());
+  return idx;
+}
+
+// One packing scratch per participant, built up front so the parallel
+// region itself never allocates (a per-block Scratch used to be created
+// inside the loop body, costing two aligned allocations per C block).
+std::vector<Scratch> make_scratch(const Plan& plan,
+                                  const common::ThreadPool& pool) {
+  std::vector<Scratch> scratch;
+  scratch.reserve(pool.participants());
+  for (unsigned s = 0; s < pool.participants(); ++s) scratch.emplace_back(plan);
+  return scratch;
+}
+
+void execute_parallel_blocks(ConstMatrixView a, ConstMatrixView b,
+                             const PackedA* packed_a, const PackedB* packed_b,
+                             MatrixView c, const Plan& plan,
+                             common::ThreadPool& pool) {
   const GemmConfig& cfg = plan.config();
   const int mi = ceil_div(plan.m(), cfg.mc);
   const int nj = ceil_div(plan.n(), cfg.nc);
   const int kp = ceil_div(plan.k(), cfg.kc);
   // C blocks are the scheduling unit; each worker runs the full K loop for
-  // its blocks (K is never split across threads — the paper's limitation,
-  // which is why large-K layers like ResNet L7/L12/L17/L20 scale poorly).
+  // its blocks. When mi*nj is too small to feed the pool (the large-K,
+  // small-M·N regime), execute() routes to the k-split path instead.
+  std::vector<Scratch> scratch = make_scratch(plan, pool);
   pool.parallel_for(mi * nj, [&](int block) {
     const int bi = block / nj;
     const int bj = block % nj;
-    Scratch scratch(plan);
+    Scratch& sc = scratch[worker_slot(pool)];
     for (int bp = 0; bp < kp; ++bp)
-      block_step(a, b, packed_a, packed_b, c, plan, scratch, bi, bj, bp);
+      block_step(a, b, packed_a, packed_b, c, plan, sc, bi, bj, bp);
+  });
+}
+
+// K-split path: the K block range [0, kp) is partitioned into `slices`
+// contiguous ranges, each accumulating into its own zero-initialized
+// partial-C buffer, and every (slice, C block) pair is a schedulable
+// task. A fixed-order pairwise tree reduction then folds the partials
+// into C. The task -> output mapping and the reduction order depend only
+// on the plan and the slice count — never on which thread ran what — so
+// the result is bitwise-stable for a fixed pool size.
+void execute_parallel_ksplit(ConstMatrixView a, ConstMatrixView b,
+                             const PackedA* packed_a, const PackedB* packed_b,
+                             MatrixView c, const Plan& plan,
+                             common::ThreadPool& pool) {
+  const GemmConfig& cfg = plan.config();
+  const int mi = ceil_div(plan.m(), cfg.mc);
+  const int nj = ceil_div(plan.n(), cfg.nc);
+  const int kp = ceil_div(plan.k(), cfg.kc);
+  const int slices = std::min(static_cast<int>(pool.participants()), kp);
+  const int m = plan.m(), n = plan.n();
+  const std::size_t csize = static_cast<std::size_t>(m) * n;
+  common::AlignedBuffer partials(csize * static_cast<std::size_t>(slices));
+  std::vector<Scratch> scratch = make_scratch(plan, pool);
+
+  // Slice s owns K blocks [s*kp/slices, (s+1)*kp/slices).
+  const auto slice_begin = [kp, slices](int s) {
+    return static_cast<int>(static_cast<long>(s) * kp / slices);
+  };
+
+  const int blocks = mi * nj;
+  pool.parallel_for(slices * blocks, [&](int task) {
+    const int s = task / blocks;
+    const int bi = (task % blocks) / nj;
+    const int bj = (task % blocks) % nj;
+    MatrixView partial{partials.data() + csize * s, m, n, n};
+    Scratch& sc = scratch[worker_slot(pool)];
+    for (int bp = slice_begin(s); bp < slice_begin(s + 1); ++bp)
+      block_step(a, b, packed_a, packed_b, partial, plan, sc, bi, bj, bp);
+  });
+
+  // Reduction, parallel over C rows: partials fold pairwise with stride
+  // doubling (0 += 1, 2 += 3, ..., then 0 += 2, ...), then C += partial 0.
+  // The fold order is fixed by `slices` alone.
+  pool.parallel_for(m, [&](int r) {
+    const std::size_t row = static_cast<std::size_t>(r) * n;
+    for (int stride = 1; stride < slices; stride *= 2) {
+      for (int s = 0; s + stride < slices; s += 2 * stride) {
+        float* dst = partials.data() + csize * s + row;
+        const float* src = partials.data() + csize * (s + stride) + row;
+        for (int j = 0; j < n; ++j) dst[j] += src[j];
+      }
+    }
+    float* crow = c.data + static_cast<long>(r) * c.ld;
+    const float* prow = partials.data() + row;
+    for (int j = 0; j < n; ++j) crow[j] += prow[j];
   });
 }
 
 void execute(ConstMatrixView a, ConstMatrixView b, const PackedA* packed_a,
              const PackedB* packed_b, MatrixView c, const Plan& plan,
              common::ThreadPool* pool) {
-  if (pool != nullptr && pool->size() > 1) {
-    execute_parallel(a, b, packed_a, packed_b, c, plan, *pool);
-  } else {
+  if (pool == nullptr || pool->size() <= 1) {
     execute_single(a, b, packed_a, packed_b, c, plan);
+    return;
   }
+  if (choose_parallel_strategy(plan, pool->size()) ==
+      ParallelStrategy::kKSplit) {
+    try {
+      execute_parallel_ksplit(a, b, packed_a, packed_b, c, plan, *pool);
+      return;
+    } catch (const std::bad_alloc&) {
+      // The per-slice partial-C accumulators did not fit in memory; the
+      // blocks-only schedule needs no extra C storage. Falling back is
+      // safe because k-split touches C only in its reduction phase, which
+      // runs strictly after the (allocating) setup succeeded.
+    }
+  }
+  execute_parallel_blocks(a, b, packed_a, packed_b, c, plan, *pool);
 }
 
 void check_shapes(ConstMatrixView a, ConstMatrixView b, MatrixView c,
@@ -169,13 +259,45 @@ void check_shapes(ConstMatrixView a, ConstMatrixView b, MatrixView c,
 
 }  // namespace
 
+ParallelStrategy choose_parallel_strategy(const Plan& plan, unsigned workers) {
+  const GemmConfig& cfg = plan.config();
+  const int mi = ceil_div(plan.m(), cfg.mc);
+  const int nj = ceil_div(plan.n(), cfg.nc);
+  const int kp = ceil_div(plan.k(), cfg.kc);
+  // With a single K block there is nothing to slice — even a forced
+  // k-split degrades to the blocks schedule rather than spending a
+  // partial-C buffer on a no-op reduction.
+  if (kp < 2) return ParallelStrategy::kBlocksOnly;
+  if (cfg.parallel_strategy != ParallelStrategy::kAuto)
+    return cfg.parallel_strategy;
+  const int participants = static_cast<int>(workers) + 1;  // pool + caller
+  // Enough C blocks to keep every lane busy with slack for load imbalance:
+  // the paper's scheme is strictly cheaper (no partial buffers, no
+  // reduction pass), so prefer it whenever it can saturate the pool.
+  if (mi * nj >= 2 * participants) return ParallelStrategy::kBlocksOnly;
+  const int slices = std::min(participants, kp);
+  // The partial-C accumulators are the price of k-split; if they overflow
+  // the last-level cache the reduction traffic eats the win.
+  const std::size_t footprint =
+      static_cast<std::size_t>(plan.m()) * plan.n() * sizeof(float) * slices;
+  const long budget =
+      cfg.hw.caches.empty() ? (32l << 20) : cfg.hw.caches.back().size_bytes;
+  if (footprint > static_cast<std::size_t>(budget))
+    return ParallelStrategy::kBlocksOnly;
+  return ParallelStrategy::kKSplit;
+}
+
 PackedB::PackedB(ConstMatrixView b, const Plan& plan) {
   const GemmConfig& cfg = plan.config();
   kblocks_ = ceil_div(plan.k(), cfg.kc);
   nblocks_ = ceil_div(plan.n(), cfg.nc);
   ld_ = cfg.nc;
-  data_.assign(static_cast<std::size_t>(kblocks_) * nblocks_ * cfg.kc * cfg.nc,
-               0.0f);
+  // Uninitialized storage: pack_block overwrites every interior element,
+  // so only the padding edges of partial blocks need explicit zeroing
+  // (a whole-buffer zero-fill wrote the packed size twice).
+  data_ = common::AlignedBuffer(
+      common::kUninitialized,
+      static_cast<std::size_t>(kblocks_) * nblocks_ * cfg.kc * cfg.nc);
   offsets_.resize(static_cast<std::size_t>(kblocks_) * nblocks_);
   std::size_t off = 0;
   for (int bp = 0; bp < kblocks_; ++bp) {
@@ -184,7 +306,16 @@ PackedB::PackedB(ConstMatrixView b, const Plan& plan) {
       const int bk = std::min(cfg.kc, b.rows - p0);
       const int bn = std::min(cfg.nc, b.cols - j0);
       offsets_[static_cast<std::size_t>(bp) * nblocks_ + bj] = off;
-      kernels::pack_block(b.block(p0, j0, bk, bn), data_.data() + off, ld_);
+      float* dst = data_.data() + off;
+      kernels::pack_block(b.block(p0, j0, bk, bn), dst, ld_);
+      if (bn < cfg.nc)
+        for (int r = 0; r < bk; ++r)
+          std::memset(dst + static_cast<long>(r) * ld_ + bn, 0,
+                      static_cast<std::size_t>(cfg.nc - bn) * sizeof(float));
+      if (bk < cfg.kc)
+        std::memset(dst + static_cast<long>(bk) * ld_, 0,
+                    static_cast<std::size_t>(cfg.kc - bk) * cfg.nc *
+                        sizeof(float));
       off += static_cast<std::size_t>(cfg.kc) * cfg.nc;
     }
   }
@@ -200,8 +331,10 @@ PackedA::PackedA(ConstMatrixView a, const Plan& plan) {
   mblocks_ = ceil_div(plan.m(), cfg.mc);
   kblocks_ = ceil_div(plan.k(), cfg.kc);
   ld_ = cfg.kc;
-  data_.assign(static_cast<std::size_t>(mblocks_) * kblocks_ * cfg.mc * cfg.kc,
-               0.0f);
+  // Same padding-only zeroing as PackedB (see the note there).
+  data_ = common::AlignedBuffer(
+      common::kUninitialized,
+      static_cast<std::size_t>(mblocks_) * kblocks_ * cfg.mc * cfg.kc);
   offsets_.resize(static_cast<std::size_t>(mblocks_) * kblocks_);
   std::size_t off = 0;
   for (int bi = 0; bi < mblocks_; ++bi) {
@@ -210,7 +343,16 @@ PackedA::PackedA(ConstMatrixView a, const Plan& plan) {
       const int bm = std::min(cfg.mc, a.rows - i0);
       const int bk = std::min(cfg.kc, a.cols - p0);
       offsets_[static_cast<std::size_t>(bi) * kblocks_ + bp] = off;
-      kernels::pack_block(a.block(i0, p0, bm, bk), data_.data() + off, ld_);
+      float* dst = data_.data() + off;
+      kernels::pack_block(a.block(i0, p0, bm, bk), dst, ld_);
+      if (bk < cfg.kc)
+        for (int r = 0; r < bm; ++r)
+          std::memset(dst + static_cast<long>(r) * ld_ + bk, 0,
+                      static_cast<std::size_t>(cfg.kc - bk) * sizeof(float));
+      if (bm < cfg.mc)
+        std::memset(dst + static_cast<long>(bm) * ld_, 0,
+                    static_cast<std::size_t>(cfg.mc - bm) * cfg.kc *
+                        sizeof(float));
       off += static_cast<std::size_t>(cfg.mc) * cfg.kc;
     }
   }

@@ -25,6 +25,7 @@
 
 #include <vector>
 
+#include "common/aligned_buffer.hpp"
 #include "common/matrix.hpp"
 #include "common/status.hpp"
 #include "common/threadpool.hpp"
@@ -51,7 +52,7 @@ class PackedB {
   bool empty() const { return data_.empty(); }
 
  private:
-  std::vector<float> data_;
+  common::AlignedBuffer data_;  // uninitialized; padding edges zeroed by ctor
   std::vector<std::size_t> offsets_;
   int kblocks_ = 0, nblocks_ = 0;
   long ld_ = 0;
@@ -74,15 +75,27 @@ class PackedA {
   bool empty() const { return data_.empty(); }
 
  private:
-  std::vector<float> data_;
+  common::AlignedBuffer data_;  // uninitialized; padding edges zeroed by ctor
   std::vector<std::size_t> offsets_;
   int mblocks_ = 0, kblocks_ = 0;
   long ld_ = 0;
 };
 
-/// C += A * B following the plan. `pool` enables the multithreaded path
-/// (cache blocks of C are the scheduling unit; the K dimension is never
-/// split, matching the paper's TVM-imposed limitation).
+/// Resolves the plan's parallel strategy against a pool of `workers`
+/// threads (the caller participates too, so `workers + 1` lanes run).
+/// A forced strategy in the plan's config wins, except that k-split
+/// degrades to blocks-only when there are fewer than two K blocks.
+/// kAuto picks k-split only when C blocks alone would starve the pool
+/// (mi*nj < 2x the participant count), K is deep enough to slice, and
+/// the partial-C footprint fits the last-level cache budget.
+ParallelStrategy choose_parallel_strategy(const Plan& plan, unsigned workers);
+
+/// C += A * B following the plan. `pool` enables the multithreaded path.
+/// Scheduling follows the plan's ParallelStrategy: blocks-only treats
+/// cache blocks of C as the work unit (the paper's scheme); k-split also
+/// partitions the K block range across workers with per-slice partial-C
+/// accumulation and a deterministic tree reduction, rescuing large-K
+/// shapes whose mi*nj cannot feed the pool.
 void gemm(common::ConstMatrixView a, common::ConstMatrixView b,
           common::MatrixView c, const Plan& plan,
           common::ThreadPool* pool = nullptr);

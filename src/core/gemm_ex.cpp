@@ -47,7 +47,9 @@ void run_block(const tiling::TilingResult& tiles, const float* a, long lda,
   }
 }
 
-// One C block's full K loop (the per-worker unit; K is never split).
+// One C block's full K loop (the per-worker unit; this non-canonical path
+// always schedules C blocks — the canonical path in core/gemm.cpp is the
+// one that can split K).
 void c_block_pass(ConstMatrixView a, ConstMatrixView b, MatrixView c,
                   const GemmExParams& params, const Plan& plan, int bi,
                   int bj, float* a_scratch, float* b_scratch) {

@@ -21,6 +21,15 @@ const char* loop_order_name(LoopOrder order) {
   return "?";
 }
 
+const char* parallel_strategy_name(ParallelStrategy s) {
+  switch (s) {
+    case ParallelStrategy::kAuto: return "auto";
+    case ParallelStrategy::kBlocksOnly: return "blocks-only";
+    case ParallelStrategy::kKSplit: return "k-split";
+  }
+  return "?";
+}
+
 GemmConfig default_config(int m, int n, int k) {
   GemmConfig cfg;
   cfg.hw = hw::host_model();  // tiles sized for the machine we run on

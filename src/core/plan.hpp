@@ -40,6 +40,17 @@ const char* loop_order_name(LoopOrder order);
 /// exist so the baselines and the ablation benches share one executor).
 enum class TilingMode { kDynamic, kStaticOpenBLAS, kStaticLIBXSMM };
 
+/// How the multithreaded driver partitions the problem (see core/gemm.hpp).
+/// kBlocksOnly schedules C cache blocks, each worker running the full K
+/// loop — the paper's scheme, which starves the pool when mi*nj is small.
+/// kKSplit additionally partitions the K block range into slices with
+/// per-slice partial-C accumulation and a deterministic tree reduction —
+/// the large-K, small-M·N rescue. kAuto picks per shape and pool size
+/// (the heuristic lives in choose_parallel_strategy).
+enum class ParallelStrategy : int { kAuto = 0, kBlocksOnly, kKSplit };
+
+const char* parallel_strategy_name(ParallelStrategy s);
+
 struct GemmConfig {
   int mc = 64;
   int nc = 256;
@@ -47,6 +58,7 @@ struct GemmConfig {
   LoopOrder loop_order = LoopOrder::kNKM;
   kernels::Packing packing = kernels::Packing::kOnline;
   TilingMode tiling = TilingMode::kDynamic;
+  ParallelStrategy parallel_strategy = ParallelStrategy::kAuto;
   int threads = 1;
   /// Hardware model that steers DMT's compute/memory-bound classification
   /// and the model costs; defaults to a host-neutral profile.

@@ -36,6 +36,7 @@ GemmConfig config_from_candidate(int m, int n, int k, const Candidate& c) {
   cfg.kc = c.kc;
   cfg.loop_order = c.loop_order;
   cfg.packing = c.packing;
+  cfg.parallel_strategy = c.strategy;
   return cfg;
 }
 
@@ -81,7 +82,7 @@ std::optional<Candidate> TuningRecords::lookup_nearest(
 
 Status TuningRecords::save(std::ostream& os) const {
   os << "autogemm-records v1\n";
-  os << "# m n k mc nc kc order packing cost c=fnv1a(line)\n";
+  os << "# m n k mc nc kc order packing cost strategy c=fnv1a(line)\n";
   bool corrupt_one = failpoint::should_fail("records.corrupt_save");
   for (const auto& [shape, rec] : records_) {
     std::ostringstream line;
@@ -89,7 +90,8 @@ Status TuningRecords::save(std::ostream& os) const {
          << rec.candidate.mc << ' ' << rec.candidate.nc << ' '
          << rec.candidate.kc << ' '
          << static_cast<int>(rec.candidate.loop_order) << ' '
-         << static_cast<int>(rec.candidate.packing) << ' ' << rec.cost;
+         << static_cast<int>(rec.candidate.packing) << ' ' << rec.cost << ' '
+         << static_cast<int>(rec.candidate.strategy);
     std::string payload = line.str();
     const std::uint32_t crc = fnv1a(payload);
     if (corrupt_one) {
@@ -150,10 +152,17 @@ Status TuningRecords::load(std::istream& is, LoadReport* report) {
         static_cast<bool>(ls >> shape.m >> shape.n >> shape.k >>
                           rec.candidate.mc >> rec.candidate.nc >>
                           rec.candidate.kc >> order >> packing >> rec.cost);
-    const bool sane = parsed && shape.m > 0 && shape.n > 0 && shape.k > 0 &&
-                      rec.candidate.mc > 0 && rec.candidate.nc > 0 &&
-                      rec.candidate.kc > 0 && order >= 0 && order <= 5 &&
-                      packing >= 0 && packing <= 2 && std::isfinite(rec.cost);
+    // Optional trailing parallel-strategy field (absent in legacy 9-field
+    // lines, which load as kAuto); if present it must be a valid value.
+    int strategy = 0;
+    bool strategy_ok = true;
+    if (parsed && (ls >> strategy))
+      strategy_ok = strategy >= 0 && strategy <= 2;
+    const bool sane = parsed && strategy_ok && shape.m > 0 && shape.n > 0 &&
+                      shape.k > 0 && rec.candidate.mc > 0 &&
+                      rec.candidate.nc > 0 && rec.candidate.kc > 0 &&
+                      order >= 0 && order <= 5 && packing >= 0 &&
+                      packing <= 2 && std::isfinite(rec.cost);
     if (!checksum_ok || !sane) {
       // Tolerant skip-and-report: one damaged line must not cost the
       // caller every healthy tuned configuration around it.
@@ -163,6 +172,7 @@ Status TuningRecords::load(std::istream& is, LoadReport* report) {
     }
     rec.candidate.loop_order = static_cast<LoopOrder>(order);
     rec.candidate.packing = static_cast<kernels::Packing>(packing);
+    rec.candidate.strategy = static_cast<ParallelStrategy>(strategy);
     records_[shape] = rec;
     ++local.loaded;
   }

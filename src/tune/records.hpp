@@ -58,8 +58,10 @@ class TuningRecords {
 
   /// Text format: a `autogemm-records v1` header line, then one record per
   /// line with a trailing FNV-1a line checksum:
-  ///   m n k mc nc kc loop_order packing cost c=<hex>
-  /// Returns non-OK if the stream enters a failed state.
+  ///   m n k mc nc kc loop_order packing cost [strategy] c=<hex>
+  /// `strategy` is the candidate's ParallelStrategy as an int; it is
+  /// optional on load (legacy 9-field lines read as kAuto) and always
+  /// written on save. Returns non-OK if the stream enters a failed state.
   Status save(std::ostream& os) const;
   /// Replaces the current contents. Headerless streams (seed-era files)
   /// load as v1, and lines without the `c=` checksum field are accepted

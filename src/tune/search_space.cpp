@@ -4,12 +4,13 @@
 
 namespace autogemm::tune {
 
-std::array<double, 6> features(const Candidate& c) {
+std::array<double, 7> features(const Candidate& c) {
   return {static_cast<double>(c.mc),
           static_cast<double>(c.nc),
           static_cast<double>(c.kc),
           static_cast<double>(c.loop_order),
           static_cast<double>(c.packing),
+          static_cast<double>(c.strategy),
           static_cast<double>(c.mc) * c.nc * c.kc};
 }
 
@@ -25,8 +26,8 @@ std::vector<int> blocking_choices(int dim, bool divisors_only) {
   return out;
 }
 
-std::vector<Candidate> enumerate_space(int m, int n, int k,
-                                       bool divisors_only) {
+std::vector<Candidate> enumerate_space(int m, int n, int k, bool divisors_only,
+                                       bool include_parallel_strategies) {
   std::vector<Candidate> out;
   const auto mcs = blocking_choices(m, divisors_only);
   const auto ncs = blocking_choices(n, divisors_only);
@@ -37,20 +38,28 @@ std::vector<Candidate> enumerate_space(int m, int n, int k,
   const kernels::Packing packings[] = {kernels::Packing::kNone,
                                        kernels::Packing::kOnline,
                                        kernels::Packing::kOffline};
-  out.reserve(mcs.size() * ncs.size() * kcs.size() * 18);
+  // kAuto alone when the strategy axis is off (the runtime picks); the
+  // explicit schedules only when a pooled tuning run can measure them.
+  std::vector<ParallelStrategy> strategies{ParallelStrategy::kAuto};
+  if (include_parallel_strategies)
+    strategies = {ParallelStrategy::kBlocksOnly, ParallelStrategy::kKSplit};
+  out.reserve(mcs.size() * ncs.size() * kcs.size() * 18 * strategies.size());
   for (int mc : mcs)
     for (int nc : ncs)
       for (int kc : kcs)
         for (LoopOrder order : orders)
           for (kernels::Packing packing : packings)
-            out.push_back({mc, nc, kc, order, packing});
+            for (ParallelStrategy strategy : strategies)
+              out.push_back({mc, nc, kc, order, packing, strategy});
   return out;
 }
 
-std::size_t space_size(int m, int n, int k, bool divisors_only) {
+std::size_t space_size(int m, int n, int k, bool divisors_only,
+                       bool include_parallel_strategies) {
   return blocking_choices(m, divisors_only).size() *
          blocking_choices(n, divisors_only).size() *
-         blocking_choices(k, divisors_only).size() * 6 * 3;
+         blocking_choices(k, divisors_only).size() * 6 * 3 *
+         (include_parallel_strategies ? 2 : 1);
 }
 
 }  // namespace autogemm::tune

@@ -19,12 +19,16 @@ struct Candidate {
   int mc = 0, nc = 0, kc = 0;
   LoopOrder loop_order = LoopOrder::kNKM;
   kernels::Packing packing = kernels::Packing::kOnline;
+  /// Parallel scheduling for pooled execution; kAuto (the default) leaves
+  /// the choice to the runtime heuristic, so serial tuning runs are
+  /// unaffected.
+  ParallelStrategy strategy = ParallelStrategy::kAuto;
 
   bool operator==(const Candidate&) const = default;
 };
 
 /// Numeric feature vector for the learning-based surrogate (GBT).
-std::array<double, 6> features(const Candidate& c);
+std::array<double, 7> features(const Candidate& c);
 
 /// The paper's blocking rule: all divisors of the dimension ("0 < mc <= M,
 /// M % mc == 0"). For prime or huge dimensions this is tiny/huge, so the
@@ -33,10 +37,15 @@ std::vector<int> blocking_choices(int dim, bool divisors_only);
 
 /// Materializes the full cross product. `divisors_only` follows the
 /// paper's constraint; false adds the power-of-two ladder.
-std::vector<Candidate> enumerate_space(int m, int n, int k,
-                                       bool divisors_only = true);
+/// `include_parallel_strategies` additionally crosses in the explicit
+/// blocks-only / k-split scheduling choice (x2); off by default because
+/// the serial tuner cannot measure the difference.
+std::vector<Candidate> enumerate_space(
+    int m, int n, int k, bool divisors_only = true,
+    bool include_parallel_strategies = false);
 
 /// Size of the space without materializing it.
-std::size_t space_size(int m, int n, int k, bool divisors_only = true);
+std::size_t space_size(int m, int n, int k, bool divisors_only = true,
+                       bool include_parallel_strategies = false);
 
 }  // namespace autogemm::tune

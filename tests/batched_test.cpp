@@ -9,6 +9,7 @@
 #include "common/reference_gemm.hpp"
 #include "common/rng.hpp"
 #include "core/batched.hpp"
+#include "core/context.hpp"
 #include "test_util.hpp"
 
 namespace autogemm {
@@ -64,7 +65,7 @@ TEST(Batched, SharedPlanPooled) {
               testutil::gemm_tolerance(k));
 }
 
-TEST(Batched, MixedShapes) {
+TEST(Batched, MixedShapesThroughContext) {
   std::vector<std::unique_ptr<Stored>> problems;
   problems.push_back(std::make_unique<Stored>(8, 8, 8, 1));
   problems.push_back(std::make_unique<Stored>(33, 17, 9, 2));
@@ -73,15 +74,55 @@ TEST(Batched, MixedShapes) {
   std::vector<BatchItem> items;
   for (auto& p : problems)
     items.push_back({p->a.view(), p->b.view(), p->c.view()});
+  ContextOptions opts;
+  opts.threads = 1;  // plans from this context; threading from the pool arg
+  Context ctx(opts);
   common::ThreadPool pool(3);
+  gemm_batched(items, ctx, &pool);
+  for (const auto& p : problems)
+    EXPECT_LT(common::max_rel_error(p->c.view(), p->c_ref.view()),
+              testutil::gemm_tolerance(p->a.cols()));
+  // The plans really came from this context, not the process-global one:
+  // three distinct shapes -> three misses in *its* cache.
+  EXPECT_EQ(ctx.stats().plan_misses, 3u);
+}
+
+TEST(Batched, ContextOverloadUsesOwnPool) {
+  std::vector<std::unique_ptr<Stored>> problems;
+  for (int i = 0; i < 6; ++i)
+    problems.push_back(std::make_unique<Stored>(16 + i, 12, 20, 5 * i));
+  std::vector<BatchItem> items;
+  for (auto& p : problems)
+    items.push_back({p->a.view(), p->b.view(), p->c.view()});
+  ContextOptions opts;
+  opts.threads = 3;  // no explicit pool arg: the context's pool serves
+  Context ctx(opts);
+  gemm_batched(items, ctx);
+  for (const auto& p : problems)
+    EXPECT_LT(common::max_rel_error(p->c.view(), p->c_ref.view()),
+              testutil::gemm_tolerance(p->a.cols()));
+}
+
+TEST(Batched, DeprecatedGlobalPathStillWorks) {
+  std::vector<std::unique_ptr<Stored>> problems;
+  problems.push_back(std::make_unique<Stored>(8, 8, 8, 21));
+  problems.push_back(std::make_unique<Stored>(33, 17, 9, 22));
+  std::vector<BatchItem> items;
+  for (auto& p : problems)
+    items.push_back({p->a.view(), p->b.view(), p->c.view()});
+  common::ThreadPool pool(3);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   gemm_batched(items, &pool);
+#pragma GCC diagnostic pop
   for (const auto& p : problems)
     EXPECT_LT(common::max_rel_error(p->c.view(), p->c_ref.view()),
               testutil::gemm_tolerance(p->a.cols()));
 }
 
 TEST(Batched, EmptyBatchIsNoop) {
-  gemm_batched({});
+  Context ctx;
+  gemm_batched({}, ctx);
   Plan plan(4, 4, 4, default_config(4, 4, 4));
   gemm_batched({}, plan);
 }

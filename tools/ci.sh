@@ -6,9 +6,11 @@
 #
 # The asan configuration builds with -fsanitize=address,undefined (the
 # AUTOGEMM_SANITIZE CMake option / the "asan" preset); the concurrent
-# Context tests in particular are expected to pass under it. Also runs the
-# context cache-hit bench once in release so the JSON artifact lands in
-# build/bench_context_cache.json.
+# Context tests in particular are expected to pass under it. The release
+# configuration also re-runs the parallel-path suites with a 4-worker pool
+# and runs the context cache-hit and large-K scaling benches once, so the
+# JSON artifacts land in build/bench_context_cache.json and
+# build/BENCH_kscale.json.
 #
 # Every ctest invocation carries a per-test timeout: a test that hangs (the
 # exact failure mode the sim watchdogs and thread-pool hardening exist to
@@ -53,8 +55,16 @@ for config in "${configs[@]}"; do
     release)
       run_config release build -DCMAKE_BUILD_TYPE=Release
       fault_injection_pass build
+      echo "==== [release] multi-thread pass (pooled, threads=4) ===="
+      # Re-run the parallel-path suites with an explicit 4-worker pool: the
+      # strategy heuristic, the k-split determinism contract and the pooled
+      # Context/batched paths must hold regardless of host core count.
+      AUTOGEMM_TEST_THREADS=4 ./build/tests/autogemm_tests \
+        --gtest_filter='Parallel*:KSplit*:PackedPadding*:ThreadPool*:Context*:Batched*'
       echo "==== [release] context cache bench ===="
       ./build/bench/bench_context_cache build/bench_context_cache.json
+      echo "==== [release] large-K scaling bench ===="
+      ./build/bench/bench_kscale build/BENCH_kscale.json 4
       ;;
     asan)
       run_config asan build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
