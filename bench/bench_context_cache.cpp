@@ -15,9 +15,11 @@
 //
 // Output: the usual human-readable rows plus a JSON object (also written
 // to a file, default bench_context_cache.json next to the other bench
-// outputs) reporting hit rates and the warm-vs-planless speedup.
+// outputs) reporting hit rates, the warm-vs-planless speedup, and the obs
+// metrics snapshot for the run.
 //
-//   build/bench/bench_context_cache [out.json]
+//   build/bench/bench_context_cache [out.json] [--repeats ROUNDS]
+//                                   [--json-out out.json]
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -45,8 +47,12 @@ struct Workload {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bench::BenchArgs args =
+      bench::parse_args(argc, argv, /*default_warmup=*/0,
+                        /*default_repeats=*/40);
   const std::string json_path =
-      argc > 1 ? argv[1] : "bench_context_cache.json";
+      !args.json_out.empty() ? args.json_out
+                             : args.pos(0, "bench_context_cache.json");
 
   // The irregular serving population. Weights (B) are constant per shape;
   // activations (A) are whatever arrived — reused here since refilling
@@ -62,7 +68,7 @@ int main(int argc, char** argv) {
   stream.emplace_back("square-100", 100, 100, 100);
   stream.emplace_back("resnet-L16ish", 512, 49, 256);
 
-  const int rounds = 40;
+  const int rounds = args.repeats;
   bench::header("Context cache: repeated irregular-shape stream (" +
                 std::to_string(rounds) + " rounds x " +
                 std::to_string(stream.size()) + " shapes)");
@@ -132,14 +138,8 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.plan_misses), plan_hit_rate,
       static_cast<unsigned long long>(stats.packed_hits),
       static_cast<unsigned long long>(stats.packed_misses), packed_hit_rate);
-  std::printf("\n%s\n", json);
-
-  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
-    std::fprintf(f, "%s\n", json);
-    std::fclose(f);
-    std::printf("json written to %s\n", json_path.c_str());
-  } else {
-    std::fprintf(stderr, "warning: cannot write %s\n", json_path.c_str());
-  }
+  const std::string payload = bench::with_metrics(json);
+  std::printf("\n%s\n", payload.c_str());
+  bench::write_json_file(json_path, payload);
   return 0;
 }

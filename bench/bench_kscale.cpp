@@ -9,10 +9,11 @@
 //
 // Output: a human-readable table plus one JSON object (written to a file,
 // default BENCH_kscale.json) with per-K seconds/gflops for blocks-only,
-// k-split and auto plans, and the auto-vs-blocks / ksplit-vs-blocks
-// speedups.
+// k-split and auto plans, the auto-vs-blocks / ksplit-vs-blocks speedups,
+// and the run's obs metrics snapshot.
 //
-//   build/bench/bench_kscale [out.json] [threads]
+//   build/bench/bench_kscale [out.json] [threads] [--warmup W]
+//                            [--repeats R] [--json-out out.json]
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -33,19 +34,23 @@ using namespace autogemm;
 
 double time_plan(const Plan& plan, common::ConstMatrixView a,
                  common::ConstMatrixView b, common::MatrixView c,
-                 common::ThreadPool& pool, int reps) {
-  gemm(a, b, c, plan, &pool);  // warmup (DMT memo, pool region, pages)
-  common::Timer t;
-  for (int r = 0; r < reps; ++r) gemm(a, b, c, plan, &pool);
-  return t.seconds() / reps;
+                 common::ThreadPool& pool, int warmup, int reps) {
+  // Warmup covers the DMT memo, the pool region and page faults.
+  const std::vector<double> samples = bench::time_reps(
+      [&] { gemm(a, b, c, plan, &pool); }, warmup, reps);
+  return bench::median(samples);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string json_path = argc > 1 ? argv[1] : "BENCH_kscale.json";
-  const unsigned threads =
-      argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 4u;
+  const bench::BenchArgs args =
+      bench::parse_args(argc, argv, /*default_warmup=*/1,
+                        /*default_repeats=*/0);
+  const std::string json_path = !args.json_out.empty()
+                                    ? args.json_out
+                                    : args.pos(0, "BENCH_kscale.json");
+  const unsigned threads = static_cast<unsigned>(args.pos_int(1, 4));
 
   const int m = 64, n = 64;
   const int ks[] = {1024, 2048, 4096, 8192, 16384};
@@ -63,7 +68,10 @@ int main(int argc, char** argv) {
     common::fill_random(b.view(), k + 2);
 
     const double flops = 2.0 * m * n * k;
-    const int reps = std::max(3, static_cast<int>(2e8 / flops));
+    // --repeats overrides the flop-budget heuristic when nonzero.
+    const int reps = args.repeats > 0
+                         ? args.repeats
+                         : std::max(3, static_cast<int>(2e8 / flops));
 
     GemmConfig base = default_config(m, n, k);
     base.parallel_strategy = ParallelStrategy::kBlocksOnly;
@@ -73,12 +81,12 @@ int main(int argc, char** argv) {
     base.parallel_strategy = ParallelStrategy::kAuto;
     const Plan plan_auto(m, n, k, base);
 
-    const double s_blocks =
-        time_plan(plan_blocks, a.view(), b.view(), c.view(), pool, reps);
-    const double s_ksplit =
-        time_plan(plan_ksplit, a.view(), b.view(), c.view(), pool, reps);
-    const double s_auto =
-        time_plan(plan_auto, a.view(), b.view(), c.view(), pool, reps);
+    const double s_blocks = time_plan(plan_blocks, a.view(), b.view(),
+                                      c.view(), pool, args.warmup, reps);
+    const double s_ksplit = time_plan(plan_ksplit, a.view(), b.view(),
+                                      c.view(), pool, args.warmup, reps);
+    const double s_auto = time_plan(plan_auto, a.view(), b.view(), c.view(),
+                                    pool, args.warmup, reps);
 
     const double speedup_auto = s_blocks / s_auto;
     const double speedup_ksplit = s_blocks / s_ksplit;
@@ -100,18 +108,12 @@ int main(int argc, char** argv) {
     entries += entry;
   }
 
-  const std::string json = "{\"bench\": \"kscale\", \"m\": " +
-                           std::to_string(m) + ", \"n\": " + std::to_string(n) +
-                           ", \"threads\": " + std::to_string(pool.size()) +
-                           ", \"points\": [" + entries + "]}";
+  const std::string json = bench::with_metrics(
+      "{\"bench\": \"kscale\", \"m\": " + std::to_string(m) +
+      ", \"n\": " + std::to_string(n) +
+      ", \"threads\": " + std::to_string(pool.size()) + ", \"points\": [" +
+      entries + "]}");
   std::printf("\n%s\n", json.c_str());
-
-  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
-    std::fprintf(f, "%s\n", json.c_str());
-    std::fclose(f);
-    std::printf("json written to %s\n", json_path.c_str());
-  } else {
-    std::fprintf(stderr, "warning: cannot write %s\n", json_path.c_str());
-  }
+  bench::write_json_file(json_path, json);
   return 0;
 }

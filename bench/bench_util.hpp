@@ -1,12 +1,24 @@
-// Shared formatting helpers for the experiment drivers.
+// Shared plumbing for the experiment drivers.
 //
 // Each bench binary regenerates one table or figure of the paper as plain
 // text rows (series in CSV-ish columns), so outputs can be diffed across
 // runs and compared against the paper's reported numbers (EXPERIMENTS.md).
+// Benches share one flag vocabulary (--warmup/--repeats/--json-out), one
+// timing source (common/timer.hpp — steady_clock), and append a snapshot
+// of the obs metrics registry to their JSON payloads so a bench run
+// carries its own counters (plan-cache traffic, strategy split, latency
+// histograms) alongside the measured numbers.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "obs/metrics.hpp"
 
 namespace autogemm::bench {
 
@@ -18,6 +30,91 @@ inline void header(const std::string& title) {
 
 inline void subheader(const std::string& title) {
   std::printf("\n--- %s ---\n", title.c_str());
+}
+
+/// The shared bench flag set. Flags may appear anywhere; anything that is
+/// not a recognized flag stays in `positional` (in order), so benches with
+/// historical positional arguments keep accepting them.
+struct BenchArgs {
+  int warmup = 1;
+  int repeats = 5;
+  std::string json_out;
+  std::vector<std::string> positional;
+
+  /// Positional argument i, or `fallback` when absent.
+  std::string pos(std::size_t i, const std::string& fallback) const {
+    return i < positional.size() ? positional[i] : fallback;
+  }
+  int pos_int(std::size_t i, int fallback) const {
+    return i < positional.size() ? std::atoi(positional[i].c_str()) : fallback;
+  }
+};
+
+inline BenchArgs parse_args(int argc, char** argv, int default_warmup = 1,
+                            int default_repeats = 5) {
+  BenchArgs args;
+  args.warmup = default_warmup;
+  args.repeats = default_repeats;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (std::strcmp(a, "--warmup") == 0) args.warmup = std::atoi(value());
+    else if (std::strcmp(a, "--repeats") == 0) args.repeats = std::atoi(value());
+    else if (std::strcmp(a, "--json-out") == 0) args.json_out = value();
+    else args.positional.push_back(a);
+  }
+  args.warmup = std::max(0, args.warmup);
+  args.repeats = std::max(1, args.repeats);
+  return args;
+}
+
+/// Median of a sample set (destructive order, by value).
+inline double median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const std::size_t mid = xs.size() / 2;
+  return xs.size() % 2 == 1 ? xs[mid] : 0.5 * (xs[mid - 1] + xs[mid]);
+}
+
+/// Runs `fn` warmup times untimed, then `repeats` times timed; returns the
+/// per-iteration seconds of every timed repetition (feed to median()).
+template <typename Fn>
+std::vector<double> time_reps(Fn&& fn, int warmup, int repeats) {
+  for (int i = 0; i < warmup; ++i) fn();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(std::max(1, repeats)));
+  for (int i = 0; i < repeats; ++i) {
+    const std::uint64_t t0 = common::now_ns();
+    fn();
+    samples.push_back(static_cast<double>(common::now_ns() - t0) * 1e-9);
+  }
+  return samples;
+}
+
+/// Grafts the current obs metrics snapshot into a bench's JSON object:
+/// {"bench": ...} becomes {"bench": ..., "metrics": {...}}. The input must
+/// be a JSON object (ends in '}').
+inline std::string with_metrics(std::string json) {
+  const std::size_t close = json.find_last_of('}');
+  if (close == std::string::npos) return json;
+  json.erase(close);
+  json += ", \"metrics\": " + obs::default_registry().json() + "}";
+  return json;
+}
+
+inline bool write_json_file(const std::string& path, const std::string& json) {
+  if (path.empty()) return false;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "%s\n", json.c_str());
+  std::fclose(f);
+  std::printf("json written to %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace autogemm::bench

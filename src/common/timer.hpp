@@ -1,22 +1,43 @@
-// Wall-clock timing helpers for the host benchmarks.
+// Wall-clock timing for the benches and the obs subsystem.
+//
+// Everything that timestamps in this repo goes through this header, and
+// this header pins std::chrono::steady_clock: it is the only standard
+// clock guaranteed monotonic. high_resolution_clock is an alias the
+// implementation may bind to system_clock, which NTP slew can step
+// backwards — a phase span or a bench rep timed across a step would
+// report negative or wildly skewed durations. Do not use any other clock
+// for durations.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace autogemm::common {
+
+/// The repo-wide monotonic clock (see the header comment).
+using MonotonicClock = std::chrono::steady_clock;
+
+/// Monotonic nanoseconds since an arbitrary (per-process) origin. This is
+/// the raw timestamp the obs tracer records spans in.
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          MonotonicClock::now().time_since_epoch())
+          .count());
+}
 
 /// Monotonic stopwatch; seconds() reads elapsed time without stopping.
 class Timer {
  public:
-  Timer() : start_(clock::now()) {}
-  void reset() { start_ = clock::now(); }
+  Timer() : start_(MonotonicClock::now()) {}
+  void reset() { start_ = MonotonicClock::now(); }
   double seconds() const {
-    return std::chrono::duration<double>(clock::now() - start_).count();
+    return std::chrono::duration<double>(MonotonicClock::now() - start_)
+        .count();
   }
 
  private:
-  using clock = std::chrono::steady_clock;
-  clock::time_point start_;
+  MonotonicClock::time_point start_;
 };
 
 }  // namespace autogemm::common

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <set>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -10,7 +11,10 @@
 #include "codegen/generator.hpp"
 #include "common/failpoint.hpp"
 #include "common/reference_gemm.hpp"
+#include "common/timer.hpp"
 #include "kernels/dispatch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/interpreter.hpp"
 
 namespace autogemm {
@@ -208,13 +212,119 @@ std::string config_string(const GemmConfig& cfg) {
          loop_order_name(cfg.loop_order) + "}";
 }
 
+/// Process-wide registry handles, resolved once. Per-context snapshots stay
+/// on stats_/health_ (tests depend on counts-from-zero per context); these
+/// aggregate the same events across every context in the process.
+struct ObsHandles {
+  obs::Counter* calls;
+  obs::Counter* failures;
+  obs::Counter* flops;
+  obs::Counter* plan_hits;
+  obs::Counter* plan_misses;
+  obs::Counter* plan_evictions;
+  obs::Counter* packed_hits;
+  obs::Counter* packed_misses;
+  obs::Counter* packed_evictions;
+  obs::Counter* packed_invalidations;
+  obs::Counter* resolved_exact;
+  obs::Counter* resolved_nearest;
+  obs::Counter* resolved_heuristic;
+  obs::Counter* strategy_serial;
+  obs::Counter* strategy_blocks;
+  obs::Counter* strategy_ksplit;
+  obs::Counter* probes;
+  obs::Counter* probe_failures;
+  obs::Histogram* gemm_seconds;
+};
+
+ObsHandles& obs_handles() {
+  static ObsHandles h = [] {
+    obs::Registry& r = obs::default_registry();
+    ObsHandles x;
+    x.calls = &r.counter("autogemm_gemm_calls_total");
+    x.failures = &r.counter("autogemm_gemm_failures_total");
+    x.flops = &r.counter("autogemm_gemm_flops_total");
+    x.plan_hits = &r.counter("autogemm_plan_cache_hits_total");
+    x.plan_misses = &r.counter("autogemm_plan_cache_misses_total");
+    x.plan_evictions = &r.counter("autogemm_plan_cache_evictions_total");
+    x.packed_hits = &r.counter("autogemm_packed_cache_hits_total");
+    x.packed_misses = &r.counter("autogemm_packed_cache_misses_total");
+    x.packed_evictions = &r.counter("autogemm_packed_cache_evictions_total");
+    x.packed_invalidations =
+        &r.counter("autogemm_packed_cache_invalidations_total");
+    x.resolved_exact =
+        &r.counter("autogemm_plan_resolved_total{source=\"exact\"}");
+    x.resolved_nearest =
+        &r.counter("autogemm_plan_resolved_total{source=\"nearest\"}");
+    x.resolved_heuristic =
+        &r.counter("autogemm_plan_resolved_total{source=\"heuristic\"}");
+    x.strategy_serial =
+        &r.counter("autogemm_strategy_total{strategy=\"serial\"}");
+    x.strategy_blocks =
+        &r.counter("autogemm_strategy_total{strategy=\"blocks\"}");
+    x.strategy_ksplit =
+        &r.counter("autogemm_strategy_total{strategy=\"ksplit\"}");
+    x.probes = &r.counter("autogemm_verify_probes_total");
+    x.probe_failures = &r.counter("autogemm_verify_probe_failures_total");
+    x.gemm_seconds = &r.histogram("autogemm_gemm_seconds");
+    return x;
+  }();
+  return h;
+}
+
+const char* health_kind_name(HealthEvent::Kind kind) {
+  switch (kind) {
+    case HealthEvent::Kind::kQuarantine: return "quarantine";
+    case HealthEvent::Kind::kReferenceFallback: return "reference_fallback";
+    case HealthEvent::Kind::kAllocFallback: return "alloc_fallback";
+    case HealthEvent::Kind::kPoolDegraded: return "pool_degraded";
+    case HealthEvent::Kind::kRecordsDamaged: return "records_damaged";
+  }
+  return "unknown";
+}
+
+/// Per-shape latency histogram, with a hard cardinality cap: shapes past
+/// the first kMaxShapeLabels distinct ones share the "other" series so an
+/// adversarial shape stream cannot grow the registry without bound. The
+/// unlabeled autogemm_gemm_seconds histogram always sees every call.
+constexpr std::size_t kMaxShapeLabels = 128;
+
+obs::Histogram& shape_latency_histogram(int m, int n, int k) {
+  static std::mutex mu;
+  static std::set<std::string>& seen = *new std::set<std::string>;
+  std::string label = shape_string(m, n, k);
+  {
+    std::lock_guard lock(mu);
+    if (seen.count(label) == 0) {
+      if (seen.size() >= kMaxShapeLabels) label = "other";
+      else seen.insert(label);
+    }
+  }
+  return obs::default_registry().histogram(
+      "autogemm_gemm_seconds{shape=\"" + label + "\"}");
+}
+
+/// Per-thread last_error slots, keyed by context id. Thread-local (not
+/// guarded by mu_) so concurrent run* calls on different threads cannot
+/// clobber each other's error between a failing call and the query.
+std::map<std::uint64_t, Status>& thread_errors() {
+  static thread_local std::map<std::uint64_t, Status> errors;
+  return errors;
+}
+
 }  // namespace
+
+std::uint64_t Context::next_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 Context::Context() : Context(ContextOptions{}) {}
 
 Context::Context(const ContextOptions& opts)
     : opts_(sanitized(opts)),
       records_(load_records_or_throw(opts.records_path, &records_skipped_)) {
+  if (opts_.trace) obs::set_trace_enabled(true);
   if (records_skipped_ > 0) {
     health_.records_skipped = records_skipped_;
     record_event(HealthEvent::Kind::kRecordsDamaged,
@@ -227,7 +337,9 @@ Context::Context(const std::string& records_path)
     : Context(ContextOptions{.records_path = records_path}) {}
 
 Context::Context(tune::TuningRecords records, const ContextOptions& opts)
-    : opts_(sanitized(opts)), records_(std::move(records)) {}
+    : opts_(sanitized(opts)), records_(std::move(records)) {
+  if (opts_.trace) obs::set_trace_enabled(true);
+}
 
 Context::~Context() = default;
 
@@ -254,6 +366,11 @@ common::ThreadPool* Context::effective_pool() {
 common::ThreadPool* Context::pool() { return effective_pool(); }
 
 void Context::record_event(HealthEvent::Kind kind, std::string detail) {
+  // Degradation events are rare; the registry lookup's lock is fine here.
+  obs::default_registry()
+      .counter(std::string("autogemm_health_events_total{kind=\"") +
+               health_kind_name(kind) + "\"}")
+      .add(1);
   std::lock_guard lock(mu_);
   health_.degraded = true;
   if (health_.events.size() >= kMaxHealthEvents)
@@ -263,6 +380,8 @@ void Context::record_event(HealthEvent::Kind kind, std::string detail) {
 
 Status Context::record_error(Status s) {
   if (!s.ok()) {
+    obs_handles().failures->add(1);
+    thread_errors()[id_] = s;
     std::lock_guard lock(mu_);
     health_.last_error = s;
   }
@@ -270,6 +389,10 @@ Status Context::record_error(Status s) {
 }
 
 Status Context::verify_config(const Plan& plan) {
+  obs::SpanScope span("verify.probe",
+                      static_cast<std::uint64_t>(plan.m()),
+                      static_cast<std::uint64_t>(plan.n()));
+  obs_handles().probes->add(1);
   {
     std::lock_guard lock(mu_);
     ++health_.probes;
@@ -310,11 +433,17 @@ Context::PlanEntry Context::entry_for(int m, int n, int k) {
     auto it = plan_index_.find(key);
     if (it != plan_index_.end()) {
       ++stats_.plan_hits;
+      obs_handles().plan_hits->add(1);
       plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
       return it->second->second;
     }
     ++stats_.plan_misses;
+    obs_handles().plan_misses->add(1);
   }
+  // The resolve span covers candidate construction, DMT tiling and the
+  // first-use probes — the cold-path cost a cache hit amortizes away.
+  obs::SpanScope resolve_span("plan.resolve", static_cast<std::uint64_t>(m),
+                              static_cast<std::uint64_t>(n));
 
   // Candidate ladder: tuned record (exact, else nearest), then the
   // heuristic. Each candidate must build a Plan and pass first-use
@@ -342,6 +471,7 @@ Context::PlanEntry Context::entry_for(int m, int n, int k) {
       cand.cfg.parallel_strategy = opts_.parallel_strategy;
 
   PlanEntry entry;  // plan == nullptr -> reference pin
+  entry.latency = &shape_latency_histogram(m, n, k);
   for (const auto& cand : candidates) {
     StatusOr<Plan> plan_or = Plan::create(m, n, k, cand.cfg);
     if (!plan_or.ok()) {
@@ -370,6 +500,7 @@ Context::PlanEntry Context::entry_for(int m, int n, int k) {
     if (opts_.verify_kernels && !verified) {
       const Status v = verify_config(*plan);
       if (!v.ok()) {
+        obs_handles().probe_failures->add(1);
         {
           std::lock_guard lock(mu_);
           ++health_.probe_failures;
@@ -389,6 +520,9 @@ Context::PlanEntry Context::entry_for(int m, int n, int k) {
       else if (cand.kind == 1) ++stats_.resolved_nearest;
       else ++stats_.resolved_heuristic;
     }
+    if (cand.kind == 0) obs_handles().resolved_exact->add(1);
+    else if (cand.kind == 1) obs_handles().resolved_nearest->add(1);
+    else obs_handles().resolved_heuristic->add(1);
     entry.plan = std::move(plan);
     break;
   }
@@ -415,6 +549,7 @@ Context::PlanEntry Context::entry_for(int m, int n, int k) {
     plan_index_.erase(plan_lru_.back().first);
     plan_lru_.pop_back();
     ++stats_.plan_evictions;
+    obs_handles().plan_evictions->add(1);
   }
   return entry;
 }
@@ -428,6 +563,10 @@ std::shared_ptr<const Plan> Context::plan_for(int m, int n, int k) {
 }
 
 void Context::note_strategy(bool serial, ParallelStrategy chosen) {
+  if (serial) obs_handles().strategy_serial->add(1);
+  else if (chosen == ParallelStrategy::kKSplit)
+    obs_handles().strategy_ksplit->add(1);
+  else obs_handles().strategy_blocks->add(1);
   std::lock_guard lock(mu_);
   if (serial) {
     ++stats_.strategy_serial;
@@ -446,6 +585,28 @@ Status Context::execute_entry(const PlanEntry& entry, ConstMatrixView a,
                               const GemmExParams& beta1_params,
                               const PackedA* packed_a,
                               const PackedB* packed_b) {
+  const std::uint64_t m = static_cast<std::uint64_t>(std::max(0, c.rows));
+  const std::uint64_t n = static_cast<std::uint64_t>(std::max(0, c.cols));
+  const std::uint64_t k = static_cast<std::uint64_t>(
+      std::max(0, beta1_params.trans_a == Trans::kNo ? a.cols : a.rows));
+  obs::SpanScope span("context.execute", m * n, k);
+  ObsHandles& h = obs_handles();
+  const std::uint64_t t0 = common::now_ns();
+  const Status s =
+      execute_entry_impl(entry, a, b, c, beta1_params, packed_a, packed_b);
+  const double seconds = static_cast<double>(common::now_ns() - t0) * 1e-9;
+  h.calls->add(1);
+  h.flops->add(2 * m * n * k);
+  h.gemm_seconds->observe(seconds);
+  if (entry.latency != nullptr) entry.latency->observe(seconds);
+  return s;
+}
+
+Status Context::execute_entry_impl(const PlanEntry& entry, ConstMatrixView a,
+                                   ConstMatrixView b, MatrixView c,
+                                   const GemmExParams& beta1_params,
+                                   const PackedA* packed_a,
+                                   const PackedB* packed_b) {
   if (entry.plan == nullptr) {
     note_strategy(/*serial=*/true, ParallelStrategy::kBlocksOnly);
     accumulate_reference(a, b, c, beta1_params);
@@ -520,6 +681,9 @@ Status Context::execute_entry(const PlanEntry& entry, ConstMatrixView a,
 
 Status Context::run(ConstMatrixView a, ConstMatrixView b, MatrixView c,
                     const GemmExParams& params) {
+  obs::SpanScope span("context.run",
+                      static_cast<std::uint64_t>(std::max(0, c.rows)),
+                      static_cast<std::uint64_t>(std::max(0, c.cols)));
   const Status v = validate_call(a, b, c, params);
   if (!v.ok()) return record_error(v);
   const int m = c.rows, n = c.cols;
@@ -547,10 +711,12 @@ StatusOr<std::shared_ptr<const PackedA>> Context::packed_a_for(
     auto it = packed_index_.find(key);
     if (it != packed_index_.end()) {
       ++stats_.packed_hits;
+      obs_handles().packed_hits->add(1);
       packed_lru_.splice(packed_lru_.begin(), packed_lru_, it->second);
       return it->second->second.a;
     }
     ++stats_.packed_misses;
+    obs_handles().packed_misses->add(1);
   }
   StatusOr<PackedA> packed_or = PackedA::create(a, *plan);
   if (!packed_or.ok()) return packed_or.status();
@@ -567,6 +733,7 @@ StatusOr<std::shared_ptr<const PackedA>> Context::packed_a_for(
     packed_index_.erase(packed_lru_.back().first);
     packed_lru_.pop_back();
     ++stats_.packed_evictions;
+    obs_handles().packed_evictions->add(1);
   }
   return packed_lru_.front().second.a;
 }
@@ -579,10 +746,12 @@ StatusOr<std::shared_ptr<const PackedB>> Context::packed_b_for(
     auto it = packed_index_.find(key);
     if (it != packed_index_.end()) {
       ++stats_.packed_hits;
+      obs_handles().packed_hits->add(1);
       packed_lru_.splice(packed_lru_.begin(), packed_lru_, it->second);
       return it->second->second.b;
     }
     ++stats_.packed_misses;
+    obs_handles().packed_misses->add(1);
   }
   StatusOr<PackedB> packed_or = PackedB::create(b, *plan);
   if (!packed_or.ok()) return packed_or.status();
@@ -599,6 +768,7 @@ StatusOr<std::shared_ptr<const PackedB>> Context::packed_b_for(
     packed_index_.erase(packed_lru_.back().first);
     packed_lru_.pop_back();
     ++stats_.packed_evictions;
+    obs_handles().packed_evictions->add(1);
   }
   return packed_lru_.front().second.b;
 }
@@ -609,6 +779,9 @@ Status Context::run_const_a(ConstMatrixView a, ConstMatrixView b, MatrixView c,
       params.alpha != 1.0f) {
     return run(a, b, c, params);  // cached packing needs canonical operands
   }
+  obs::SpanScope span("context.run_const_a",
+                      static_cast<std::uint64_t>(std::max(0, c.rows)),
+                      static_cast<std::uint64_t>(std::max(0, c.cols)));
   const Status v = validate_call(a, b, c, params);
   if (!v.ok()) return record_error(v);
   const int m = c.rows, n = c.cols, k = a.cols;
@@ -648,6 +821,9 @@ Status Context::run_const_b(ConstMatrixView a, ConstMatrixView b, MatrixView c,
       params.alpha != 1.0f) {
     return run(a, b, c, params);
   }
+  obs::SpanScope span("context.run_const_b",
+                      static_cast<std::uint64_t>(std::max(0, c.rows)),
+                      static_cast<std::uint64_t>(std::max(0, c.cols)));
   const Status v = validate_call(a, b, c, params);
   if (!v.ok()) return record_error(v);
   const int m = c.rows, n = c.cols, k = a.cols;
@@ -737,6 +913,7 @@ std::size_t Context::invalidate(const void* data) {
     }
   }
   stats_.packed_invalidations += dropped;
+  obs_handles().packed_invalidations->add(dropped);
   return dropped;
 }
 
@@ -766,8 +943,9 @@ HealthReport Context::health() const {
 }
 
 Status Context::last_error() const {
-  std::lock_guard lock(mu_);
-  return health_.last_error;
+  const auto& errors = thread_errors();
+  const auto it = errors.find(id_);
+  return it != errors.end() ? it->second : Status::OK();
 }
 
 std::size_t Context::plan_cache_size() const {

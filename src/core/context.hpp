@@ -67,6 +67,10 @@
 #include "core/gemm_ex.hpp"
 #include "tune/records.hpp"
 
+namespace autogemm::obs {
+class Histogram;
+}  // namespace autogemm::obs
+
 namespace autogemm {
 
 struct ContextOptions {
@@ -91,6 +95,12 @@ struct ContextOptions {
   bool verify_kernels = true;
   /// Probe depth (K) for first-use verification.
   int probe_kc = 8;
+  /// Turns on the process-wide obs tracer (obs/trace.hpp) at construction
+  /// — equivalent to exporting AUTOGEMM_TRACE=1. Spans from every run*
+  /// land in per-thread ring buffers for Chrome-trace export. The flag is
+  /// global by design (traces interleave all contexts); a context never
+  /// turns tracing *off* for others.
+  bool trace = false;
 };
 
 /// Monotonic cache counters (see Context::stats); the cache hit-rate bench
@@ -154,7 +164,8 @@ struct HealthReport {
   /// "blocks-only", "k-split", or "none" before any call ran (see the
   /// strategy_* counters in ContextStats for totals).
   std::string last_parallel_strategy = "none";
-  /// Most recent non-OK status any entry point reported.
+  /// Most recent non-OK status any entry point reported (by any thread;
+  /// Context::last_error() is the per-thread view).
   Status last_error;
   /// Bounded event log, oldest first (capped; counters stay exact).
   std::vector<HealthEvent> events;
@@ -236,8 +247,12 @@ class Context {
   ContextStats stats() const;
   /// Degradation snapshot (see HealthReport).
   HealthReport health() const;
-  /// Most recent non-OK status reported by any entry point (OK if none) —
-  /// the query channel for the legacy void API.
+  /// Most recent non-OK status reported by an entry point *on the calling
+  /// thread* (OK if this thread has not had a failure) — the query channel
+  /// for the legacy void API. Per-thread on purpose: concurrent run* calls
+  /// from different threads cannot clobber each other's error between the
+  /// failing call and the query. The process-wide most-recent error is
+  /// health().last_error.
   Status last_error() const;
 
   std::size_t plan_cache_size() const;
@@ -267,17 +282,26 @@ class Context {
     std::shared_ptr<const Plan> plan;  // layout the packing was built for
   };
   /// A cached, verified resolution for one shape. `plan == nullptr` means
-  /// the shape is pinned to the reference path.
+  /// the shape is pinned to the reference path. `latency` is the shape's
+  /// per-shape latency histogram in the process-wide obs registry (stable
+  /// for the registry's lifetime, so caching the pointer is safe).
   struct PlanEntry {
     std::shared_ptr<const Plan> plan;
+    obs::Histogram* latency = nullptr;
   };
 
   PlanEntry entry_for(int m, int n, int k);
   Status verify_config(const Plan& plan);
+  /// execute_entry wraps the impl with the obs timing/accounting (span,
+  /// latency histograms, call/flop/failure counters).
   Status execute_entry(const PlanEntry& entry, common::ConstMatrixView a,
                        common::ConstMatrixView b, common::MatrixView c,
                        const GemmExParams& beta1_params,
                        const PackedA* packed_a, const PackedB* packed_b);
+  Status execute_entry_impl(const PlanEntry& entry, common::ConstMatrixView a,
+                            common::ConstMatrixView b, common::MatrixView c,
+                            const GemmExParams& beta1_params,
+                            const PackedA* packed_a, const PackedB* packed_b);
   StatusOr<std::shared_ptr<const PackedA>> packed_a_for(
       common::ConstMatrixView a, const std::shared_ptr<const Plan>& plan);
   StatusOr<std::shared_ptr<const PackedB>> packed_b_for(
@@ -287,7 +311,11 @@ class Context {
   void record_event(HealthEvent::Kind kind, std::string detail);
   Status record_error(Status s);  // stores non-OK into last_error, passes through
 
+  /// Process-unique id keying this context's per-thread last_error slots.
+  static std::uint64_t next_id();
+
   const ContextOptions opts_;
+  const std::uint64_t id_ = next_id();
   std::uint64_t records_skipped_ = 0;  // set before records_ loads
   const tune::TuningRecords records_;
 

@@ -11,6 +11,7 @@
 #include "core/context.hpp"
 #include "kernels/dispatch.hpp"
 #include "kernels/packing.hpp"
+#include "obs/trace.hpp"
 
 namespace autogemm {
 namespace {
@@ -24,6 +25,10 @@ int ceil_div(int a, int b) { return (a + b - 1) / b; }
 // origin (packed scratch or a window into the source matrices).
 void run_block(const tiling::TilingResult& tiles, const float* a, long lda,
                const float* b, long ldb, float* c, long ldc, int bk) {
+  // Phase span at cache-block granularity: one per run_block call, not per
+  // micro-tile — coarse enough that a disabled-tracing check costs one
+  // branch per block (see bench_obs_overhead).
+  obs::SpanScope span("kernel", tiles.tiles.size(), static_cast<unsigned>(bk));
   for (const auto& t : tiles.tiles) {
     kernels::run_tile(t.rows_used, t.cols_used,
                       a + static_cast<long>(t.row) * lda, lda, b + t.col, ldb,
@@ -65,6 +70,8 @@ void block_step(ConstMatrixView a, ConstMatrixView b, const PackedA* packed_a,
     lda = packed_a->block_ld();
   } else if (pack) {
     if (scratch.a_block_i != bi || scratch.a_block_p != bp) {
+      obs::SpanScope span("pack_a", static_cast<unsigned>(bi),
+                          static_cast<unsigned>(bp));
       kernels::pack_block(a.block(i0, p0, bm, bk), scratch.a_buf.data(), bk);
       scratch.a_block_i = bi;
       scratch.a_block_p = bp;
@@ -80,6 +87,8 @@ void block_step(ConstMatrixView a, ConstMatrixView b, const PackedA* packed_a,
     ldb = packed_b->block_ld();
   } else if (pack) {
     if (scratch.b_block_p != bp || scratch.b_block_j != bj) {
+      obs::SpanScope span("pack_b", static_cast<unsigned>(bp),
+                          static_cast<unsigned>(bj));
       kernels::pack_block(b.block(p0, j0, bk, bn), scratch.b_buf.data(), bn);
       scratch.b_block_p = bp;
       scratch.b_block_j = bj;
@@ -117,6 +126,8 @@ void execute_single(ConstMatrixView a, ConstMatrixView b,
   const int nblk[3] = {ceil_div(plan.m(), cfg.mc), ceil_div(plan.n(), cfg.nc),
                        ceil_div(plan.k(), cfg.kc)};
   const auto perm = order_permutation(cfg.loop_order);
+  obs::SpanScope span("gemm.serial", static_cast<unsigned>(plan.m()),
+                      static_cast<unsigned>(plan.n()));
   Scratch scratch(plan);
   int idx[3];  // block index per dimension code
   for (int x = 0; x < nblk[perm[0]]; ++x) {
@@ -163,11 +174,16 @@ void execute_parallel_blocks(ConstMatrixView a, ConstMatrixView b,
   // C blocks are the scheduling unit; each worker runs the full K loop for
   // its blocks. When mi*nj is too small to feed the pool (the large-K,
   // small-M·N regime), execute() routes to the k-split path instead.
+  obs::SpanScope span("gemm.blocks", static_cast<unsigned>(mi * nj),
+                      static_cast<unsigned>(kp));
   std::vector<Scratch> scratch = make_scratch(plan, pool);
+  const bool traced = obs::trace_enabled();
   pool.parallel_for(mi * nj, [&](int block) {
     const int bi = block / nj;
     const int bj = block % nj;
-    Scratch& sc = scratch[worker_slot(pool)];
+    const int slot = worker_slot(pool);
+    if (traced) obs::name_this_lane_worker(slot, pool.participants());
+    Scratch& sc = scratch[slot];
     for (int bp = 0; bp < kp; ++bp)
       block_step(a, b, packed_a, packed_b, c, plan, sc, bi, bj, bp);
   });
@@ -200,12 +216,19 @@ void execute_parallel_ksplit(ConstMatrixView a, ConstMatrixView b,
   };
 
   const int blocks = mi * nj;
+  obs::SpanScope span("gemm.ksplit", static_cast<unsigned>(slices),
+                      static_cast<unsigned>(kp));
+  const bool traced = obs::trace_enabled();
   pool.parallel_for(slices * blocks, [&](int task) {
     const int s = task / blocks;
     const int bi = (task % blocks) / nj;
     const int bj = (task % blocks) % nj;
     MatrixView partial{partials.data() + csize * s, m, n, n};
-    Scratch& sc = scratch[worker_slot(pool)];
+    const int slot = worker_slot(pool);
+    if (traced) obs::name_this_lane_worker(slot, pool.participants());
+    obs::SpanScope slice_span("ksplit.slice", static_cast<unsigned>(s),
+                              static_cast<unsigned>(task % blocks));
+    Scratch& sc = scratch[slot];
     for (int bp = slice_begin(s); bp < slice_begin(s + 1); ++bp)
       block_step(a, b, packed_a, packed_b, partial, plan, sc, bi, bj, bp);
   });
@@ -214,6 +237,10 @@ void execute_parallel_ksplit(ConstMatrixView a, ConstMatrixView b,
   // doubling (0 += 1, 2 += 3, ..., then 0 += 2, ...), then C += partial 0.
   // The fold order is fixed by `slices` alone.
   pool.parallel_for(m, [&](int r) {
+    if (traced) obs::name_this_lane_worker(worker_slot(pool),
+                                           pool.participants());
+    obs::SpanScope reduce_span("reduce", static_cast<unsigned>(r),
+                               static_cast<unsigned>(slices));
     const std::size_t row = static_cast<std::size_t>(r) * n;
     for (int stride = 1; stride < slices; stride *= 2) {
       for (int s = 0; s + stride < slices; s += 2 * stride) {

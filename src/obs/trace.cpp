@@ -1,0 +1,341 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace autogemm::obs {
+
+namespace {
+
+bool env_trace_on() {
+  const char* v = std::getenv("AUTOGEMM_TRACE");
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+std::atomic<bool>& enabled_flag() noexcept {
+  static std::atomic<bool> flag{env_trace_on()};
+  return flag;
+}
+
+constexpr std::size_t kDefaultLaneCapacity = 8192;
+constexpr std::size_t kLaneNameBytes = 32;
+
+/// One thread's span ring. Owned by the tracer state (never freed) so an
+/// export after the writing thread exited still reads live memory; a
+/// free-list recycles lanes of exited threads for new ones.
+struct Lane {
+  std::vector<Span> ring;
+  /// Spans recorded this epoch; release-published so an exporter that
+  /// acquires it sees the span data of every slot it covers.
+  std::atomic<std::uint64_t> count{0};
+  std::uint64_t epoch = 0;
+  int tid = 0;
+  char name[kLaneNameBytes] = {0};
+};
+
+struct VirtualEvent {
+  std::string lane;
+  std::string name;
+  double ts_us = 0;
+  double dur_us = 0;
+};
+
+struct TracerState {
+  mutable std::mutex mu;
+  std::vector<std::unique_ptr<Lane>> lanes;  // all lanes ever created
+  std::vector<Lane*> free_lanes;             // lanes of exited threads
+  int next_tid = 1;
+  std::size_t capacity = kDefaultLaneCapacity;
+  std::atomic<std::uint64_t> epoch{1};
+  std::atomic<std::uint64_t> origin_ns{common::now_ns()};
+  std::vector<VirtualEvent> virtual_events;
+};
+
+TracerState& state() {
+  static TracerState* s = new TracerState;  // leaked: outlives every thread
+  return *s;
+}
+
+/// Returns the calling thread's lane, acquiring or recycling one on first
+/// use; releases it back to the free list at thread exit.
+struct LaneHolder {
+  Lane* lane = nullptr;
+  ~LaneHolder() {
+    if (lane == nullptr) return;
+    TracerState& s = state();
+    std::lock_guard lock(s.mu);
+    s.free_lanes.push_back(lane);
+  }
+};
+
+Lane& this_lane() {
+  static thread_local LaneHolder holder;
+  if (holder.lane == nullptr) {
+    TracerState& s = state();
+    std::lock_guard lock(s.mu);
+    if (!s.free_lanes.empty()) {
+      holder.lane = s.free_lanes.back();
+      s.free_lanes.pop_back();
+      holder.lane->count.store(0, std::memory_order_relaxed);
+      holder.lane->epoch = 0;  // forces a reset against the current epoch
+      holder.lane->name[0] = '\0';
+    } else {
+      s.lanes.push_back(std::make_unique<Lane>());
+      holder.lane = s.lanes.back().get();
+      holder.lane->tid = s.next_tid++;
+    }
+    holder.lane->ring.resize(std::max<std::size_t>(1, s.capacity));
+  }
+  return *holder.lane;
+}
+
+thread_local std::uint32_t tl_depth = 0;
+
+}  // namespace
+
+bool trace_enabled() noexcept {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool on) noexcept {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+std::uint32_t enter_span() noexcept { return tl_depth++; }
+
+void record_span(const char* name, std::uint64_t begin_ns,
+                 std::uint64_t end_ns, std::uint32_t depth, std::uint64_t arg0,
+                 std::uint64_t arg1) noexcept {
+  if (tl_depth > 0) --tl_depth;
+  Lane& lane = this_lane();
+  const std::uint64_t epoch = state().epoch.load(std::memory_order_acquire);
+  if (lane.epoch != epoch) {
+    lane.epoch = epoch;
+    lane.count.store(0, std::memory_order_relaxed);
+  }
+  const std::uint64_t c = lane.count.load(std::memory_order_relaxed);
+  lane.ring[c % lane.ring.size()] = Span{name, begin_ns, end_ns, depth, arg0,
+                                         arg1};
+  lane.count.store(c + 1, std::memory_order_release);
+}
+
+}  // namespace detail
+
+void name_this_lane(const char* name) noexcept {
+  Lane& lane = this_lane();
+  if (std::strncmp(lane.name, name, kLaneNameBytes) == 0) return;
+  std::snprintf(lane.name, kLaneNameBytes, "%s", name);
+}
+
+void name_this_lane_worker(int slot, unsigned participants) noexcept {
+  char buf[kLaneNameBytes];
+  if (slot < 0 || slot >= static_cast<int>(participants) - 1)
+    std::snprintf(buf, sizeof(buf), "caller");
+  else
+    std::snprintf(buf, sizeof(buf), "worker-%d", slot);
+  name_this_lane(buf);
+}
+
+double trace_now_us() noexcept {
+  return static_cast<double>(common::now_ns() -
+                             state().origin_ns.load(
+                                 std::memory_order_relaxed)) /
+         1000.0;
+}
+
+void emit_virtual_span(const std::string& lane, const std::string& name,
+                       double ts_us, double dur_us) {
+  TracerState& s = state();
+  std::lock_guard lock(s.mu);
+  s.virtual_events.push_back(VirtualEvent{lane, name, ts_us, dur_us});
+}
+
+Tracer& Tracer::instance() {
+  static Tracer t;
+  return t;
+}
+
+void Tracer::clear() {
+  TracerState& s = state();
+  std::lock_guard lock(s.mu);
+  s.epoch.fetch_add(1, std::memory_order_acq_rel);
+  s.origin_ns.store(common::now_ns(), std::memory_order_relaxed);
+  s.virtual_events.clear();
+}
+
+void Tracer::set_lane_capacity(std::size_t spans) {
+  TracerState& s = state();
+  std::lock_guard lock(s.mu);
+  s.capacity = std::max<std::size_t>(1, spans);
+  // Existing lanes resize on the spot; callers only do this between
+  // traces (documented), so no recording thread is mid-ring here.
+  for (auto& lane : s.lanes) {
+    lane->ring.assign(s.capacity, Span{});
+    lane->count.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::size_t Tracer::lane_capacity() const {
+  TracerState& s = state();
+  std::lock_guard lock(s.mu);
+  return s.capacity;
+}
+
+namespace {
+
+/// Copies out the retained spans of one lane (oldest first).
+std::vector<Span> lane_spans(const Lane& lane, std::uint64_t epoch) {
+  std::vector<Span> out;
+  if (lane.epoch != epoch) return out;
+  const std::uint64_t count = lane.count.load(std::memory_order_acquire);
+  if (count == 0) return out;
+  const std::size_t cap = lane.ring.size();
+  const std::uint64_t first = count > cap ? count - cap : 0;
+  out.reserve(static_cast<std::size_t>(count - first));
+  for (std::uint64_t i = first; i < count; ++i)
+    out.push_back(lane.ring[i % cap]);
+  return out;
+}
+
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out += '\\';
+    out += *s;
+  }
+}
+
+}  // namespace
+
+std::size_t Tracer::span_count() const {
+  TracerState& s = state();
+  std::lock_guard lock(s.mu);
+  const std::uint64_t epoch = s.epoch.load(std::memory_order_acquire);
+  std::size_t total = 0;
+  for (const auto& lane : s.lanes) {
+    if (lane->epoch != epoch) continue;
+    const std::uint64_t count = lane->count.load(std::memory_order_acquire);
+    total += static_cast<std::size_t>(
+        std::min<std::uint64_t>(count, lane->ring.size()));
+  }
+  return total;
+}
+
+std::size_t Tracer::active_lane_count() const {
+  TracerState& s = state();
+  std::lock_guard lock(s.mu);
+  const std::uint64_t epoch = s.epoch.load(std::memory_order_acquire);
+  std::size_t lanes = 0;
+  for (const auto& lane : s.lanes)
+    if (lane->epoch == epoch &&
+        lane->count.load(std::memory_order_acquire) > 0)
+      ++lanes;
+  return lanes;
+}
+
+std::string Tracer::chrome_json() const {
+  TracerState& s = state();
+  std::lock_guard lock(s.mu);
+  const std::uint64_t epoch = s.epoch.load(std::memory_order_acquire);
+  const std::uint64_t origin = s.origin_ns.load(std::memory_order_relaxed);
+
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  const auto emit = [&](const std::string& event) {
+    if (!first) out += ", ";
+    first = false;
+    out += event;
+  };
+
+  emit("{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": \"process_name\", "
+       "\"args\": {\"name\": \"autogemm-host\"}}");
+  if (!s.virtual_events.empty())
+    emit("{\"ph\": \"M\", \"pid\": 2, \"tid\": 0, \"name\": "
+         "\"process_name\", \"args\": {\"name\": \"autogemm-sim\"}}");
+
+  char buf[256];
+  for (const auto& lane : s.lanes) {
+    const std::vector<Span> spans = lane_spans(*lane, epoch);
+    if (spans.empty()) continue;
+    if (lane->name[0] != '\0') {
+      std::string meta =
+          "{\"ph\": \"M\", \"pid\": 1, \"tid\": " + std::to_string(lane->tid) +
+          ", \"name\": \"thread_name\", \"args\": {\"name\": \"";
+      append_json_escaped(meta, lane->name);
+      meta += "\"}}";
+      emit(meta);
+    }
+    for (const Span& span : spans) {
+      // Spans recorded before the last clear() carry pre-origin clocks;
+      // clamp instead of exporting negative timestamps.
+      const double ts =
+          span.begin_ns >= origin
+              ? static_cast<double>(span.begin_ns - origin) / 1000.0
+              : 0.0;
+      const double dur =
+          span.end_ns >= span.begin_ns
+              ? static_cast<double>(span.end_ns - span.begin_ns) / 1000.0
+              : 0.0;
+      std::string event = "{\"ph\": \"X\", \"pid\": 1, \"tid\": " +
+                          std::to_string(lane->tid) + ", \"name\": \"";
+      append_json_escaped(event, span.name);
+      std::snprintf(buf, sizeof(buf),
+                    "\", \"cat\": \"autogemm\", \"ts\": %.3f, \"dur\": %.3f, "
+                    "\"args\": {\"depth\": %u, \"arg0\": %llu, \"arg1\": "
+                    "%llu}}",
+                    ts, dur, span.depth,
+                    static_cast<unsigned long long>(span.arg0),
+                    static_cast<unsigned long long>(span.arg1));
+      event += buf;
+      emit(event);
+    }
+  }
+
+  // Virtual (simulated) lanes: tids assigned by first appearance.
+  std::vector<std::string> vlanes;
+  const auto vtid = [&](const std::string& lane) {
+    for (std::size_t i = 0; i < vlanes.size(); ++i)
+      if (vlanes[i] == lane) return static_cast<int>(i) + 1;
+    vlanes.push_back(lane);
+    std::string meta = "{\"ph\": \"M\", \"pid\": 2, \"tid\": " +
+                       std::to_string(vlanes.size()) +
+                       ", \"name\": \"thread_name\", \"args\": {\"name\": \"";
+    append_json_escaped(meta, lane.c_str());
+    meta += "\"}}";
+    emit(meta);
+    return static_cast<int>(vlanes.size());
+  };
+  for (const auto& ev : s.virtual_events) {
+    const int tid = vtid(ev.lane);
+    std::string event = "{\"ph\": \"X\", \"pid\": 2, \"tid\": " +
+                        std::to_string(tid) + ", \"name\": \"";
+    append_json_escaped(event, ev.name.c_str());
+    std::snprintf(buf, sizeof(buf),
+                  "\", \"cat\": \"sim\", \"ts\": %.3f, \"dur\": %.3f}",
+                  ev.ts_us, ev.dur_us);
+    event += buf;
+    emit(event);
+  }
+
+  out += "]}";
+  return out;
+}
+
+bool Tracer::write_chrome_json(const std::string& path) const {
+  const std::string json = chrome_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+}  // namespace autogemm::obs

@@ -1,10 +1,12 @@
 #include "sim/pipeline.hpp"
 
+#include <algorithm>
 #include <array>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "common/failpoint.hpp"
+#include "obs/trace.hpp"
 #include "sim/cache_sim.hpp"
 
 namespace autogemm::sim {
@@ -310,10 +312,40 @@ struct Scheduler {
   }
 };
 
+/// Places one simulated run on the trace timeline (pid 2): simulated
+/// cycles are converted to wall microseconds through the model's clock and
+/// anchored at the host time the simulation started, so a simulated kernel
+/// and the host code that invoked it read on one ruler. Per-stage spans
+/// when the Fig-3 stage boundaries were supplied, one kernel span
+/// otherwise.
+void emit_sim_timeline(const hw::HardwareModel& hw, const SimOptions& opts,
+                       const SimStats& stats, double anchor_us) {
+  const double ghz = hw.freq_ghz > 0 ? hw.freq_ghz : 1.0;
+  const auto us = [&](double cycles) {
+    return std::max(0.0, cycles) / (ghz * 1e3);
+  };
+  if (opts.mainloop_begin >= 0) {
+    obs::emit_virtual_span("sim-kernel", "prologue", anchor_us,
+                           us(stats.prologue_end));
+    obs::emit_virtual_span("sim-kernel", "mainloop",
+                           anchor_us + us(stats.prologue_end),
+                           us(stats.mainloop_end - stats.prologue_end));
+    obs::emit_virtual_span("sim-kernel", "epilogue",
+                           anchor_us + us(stats.mainloop_end),
+                           us(stats.epilogue_end - stats.mainloop_end));
+  } else {
+    obs::emit_virtual_span("sim-kernel", "kernel", anchor_us,
+                           us(stats.cycles));
+  }
+}
+
 }  // namespace
 
 Status simulate_checked(const isa::Program& prog, const hw::HardwareModel& hw,
                         const SimOptions& opts, SimStats& out) {
+  obs::SpanScope host_span("sim.simulate", prog.code().size(), 0);
+  const bool traced = obs::trace_enabled();
+  const double anchor_us = traced ? obs::trace_now_us() : 0.0;
   out = SimStats{};
   std::vector<DynInst> trace;
   AUTOGEMM_RETURN_IF_ERROR(build_trace(prog, opts, trace));
@@ -321,6 +353,7 @@ Status simulate_checked(const isa::Program& prog, const hw::HardwareModel& hw,
   double end = 0.0;
   AUTOGEMM_RETURN_IF_ERROR(sched.run(trace, opts.launch_overhead, out, end));
   out.cycles = end;
+  if (traced) emit_sim_timeline(hw, opts, out, anchor_us);
   return Status::OK();
 }
 

@@ -10,8 +10,35 @@
 
 #include "baselines/library_zoo.hpp"
 #include "baselines/pricer.hpp"
+#include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace autogemm::tune {
+
+namespace {
+
+/// Wraps the measured cost function so every trial shows up in obs: a
+/// "tune.trial" span (blocking params as args), the trial counter, and the
+/// trial-latency histogram. The searchers instrument only the *measured*
+/// cost, not the analytic model ranking (which is noise at trial scale).
+CostFn instrumented(CostFn cost) {
+  static obs::Counter& trials =
+      obs::default_registry().counter("autogemm_tune_trials_total");
+  static obs::Histogram& seconds =
+      obs::default_registry().histogram("autogemm_tune_trial_seconds");
+  return [cost = std::move(cost)](const Candidate& c) {
+    obs::SpanScope span("tune.trial", static_cast<std::uint64_t>(c.mc),
+                        static_cast<std::uint64_t>(c.nc));
+    const std::uint64_t t0 = common::now_ns();
+    const double v = cost(c);
+    seconds.observe(static_cast<double>(common::now_ns() - t0) * 1e-9);
+    trials.add(1);
+    return v;
+  };
+}
+
+}  // namespace
 
 double model_cost(const Candidate& c, long m, long n, long k,
                   const hw::HardwareModel& hw) {
@@ -35,6 +62,7 @@ double model_cost(const Candidate& c, long m, long n, long k,
 
 TuneResult tune_exhaustive(const std::vector<Candidate>& space, CostFn cost) {
   if (space.empty()) throw std::invalid_argument("tune: empty space");
+  cost = instrumented(std::move(cost));
   TuneResult result;
   result.best_cost = std::numeric_limits<double>::infinity();
   for (const auto& c : space) {
@@ -51,6 +79,7 @@ TuneResult tune_exhaustive(const std::vector<Candidate>& space, CostFn cost) {
 TuneResult tune_model_pruned(const std::vector<Candidate>& space, CostFn model,
                              CostFn cost, double keep_fraction, int min_keep) {
   if (space.empty()) throw std::invalid_argument("tune: empty space");
+  cost = instrumented(std::move(cost));
   std::vector<std::pair<double, int>> ranked(space.size());
   for (std::size_t i = 0; i < space.size(); ++i)
     ranked[i] = {model(space[i]), static_cast<int>(i)};
@@ -77,6 +106,7 @@ TuneResult tune_model_pruned(const std::vector<Candidate>& space, CostFn model,
 TuneResult tune_annealing(const std::vector<Candidate>& space, CostFn cost,
                           const AnnealParams& params) {
   if (space.empty()) throw std::invalid_argument("tune: empty space");
+  cost = instrumented(std::move(cost));
   std::mt19937 rng(params.seed);
   std::uniform_int_distribution<std::size_t> pick(0, space.size() - 1);
   std::uniform_real_distribution<double> unit(0.0, 1.0);
@@ -124,6 +154,7 @@ TuneResult tune_annealing(const std::vector<Candidate>& space, CostFn cost,
 TuneResult tune_gbt(const std::vector<Candidate>& space, CostFn cost,
                     const GbtSearchParams& params) {
   if (space.empty()) throw std::invalid_argument("tune: empty space");
+  cost = instrumented(std::move(cost));
   std::mt19937 rng(params.seed);
   std::uniform_int_distribution<std::size_t> pick(0, space.size() - 1);
 

@@ -295,6 +295,42 @@ TEST(Context, ConcurrentCallersDistinctShapes) {
   EXPECT_EQ(ctx.packed_cache_size(), kThreads);
 }
 
+TEST(Context, LastErrorIsPerThread) {
+  // last_error() is documented per-thread: a failing run() on one thread
+  // must never clobber the error another thread is about to read. Each
+  // thread alternates a thread-unique validation failure (inner dimension
+  // t+1 vs t+2 — the message embeds both) with a successful call on a
+  // shared shape, then checks it reads back its *own* message.
+  ContextOptions opts;
+  opts.threads = 1;
+  Context ctx(opts);
+  constexpr int kThreads = 8, kIters = 16;
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Problem good(32, 32, 24, static_cast<unsigned>(t + 1));
+      Matrix bad_a(4, t + 1), bad_b(t + 2, 4), bad_c(4, 4);
+      const std::string want = "op(A) is 4x" + std::to_string(t + 1);
+      for (int i = 0; i < kIters; ++i) {
+        ctx.gemm(bad_a.view(), bad_b.view(), bad_c.view());
+        // Interleave successful work from all threads through the same
+        // context so the error slots see maximum cross-thread traffic.
+        ctx.gemm(good.a.view(), good.b.view(), good.c.view(), overwrite());
+        const Status err = ctx.last_error();
+        if (err.ok() || err.message().find(want) == std::string::npos)
+          ++mismatches[t];
+        ctx.gemm(bad_a.view(), bad_b.view(), bad_c.view());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(mismatches[t], 0) << "thread " << t << " read a foreign error";
+  // The process-wide channel still reports *some* failure.
+  EXPECT_FALSE(ctx.health().last_error.ok());
+}
+
 TEST(Sgemm, RowMajorBlasShim) {
   const int m = 24, n = 32, k = 16;
   Matrix a(m, k), b(k, n), c(m, n), c_ref(m, n);

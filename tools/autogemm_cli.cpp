@@ -8,6 +8,9 @@
 //                                           price every library on a chip
 //   autogemm run M N K [--reps R]           execute on this host, verified
 //   autogemm tune M N K [--out FILE]        model-pruned parameter search
+//   autogemm trace M N K [--threads T] [--reps R] [--strategy S]
+//                        [--out FILE] [--metrics FILE]
+//                                           traced GEMM -> Chrome trace
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,9 +23,12 @@
 #include "common/reference_gemm.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "core/context.hpp"
 #include "core/gemm.hpp"
 #include "hw/chip_database.hpp"
 #include "isa/asm_printer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tiling/micro_tiling.hpp"
 #include "tune/records.hpp"
 #include "tune/tuner.hpp"
@@ -40,7 +46,13 @@ int usage() {
       "  tiles MC NC KC [--chip NAME]            show DMT tiling\n"
       "  price M N K [--chip NAME] [--threads T] price all libraries\n"
       "  run M N K [--reps R]                    execute + verify on host\n"
-      "  tune M N K [--out FILE]                 model-pruned tuning\n");
+      "  tune M N K [--out FILE]                 model-pruned tuning\n"
+      "  trace M N K [--threads T] [--reps R] [--strategy auto|blocks|ksplit]\n"
+      "              [--out FILE] [--metrics FILE]\n"
+      "                                          traced GEMM -> Chrome trace\n"
+      "                                          (open in chrome://tracing;\n"
+      "                                          tools/trace_report.py makes\n"
+      "                                          the phase table)\n");
   return 2;
 }
 
@@ -195,6 +207,66 @@ int cmd_tune(int argc, char** argv) {
   return 0;
 }
 
+int cmd_trace(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const int m = std::atoi(argv[0]);
+  const int n = std::atoi(argv[1]);
+  const int k = std::atoi(argv[2]);
+  const int reps = std::atoi(flag_value(argc, argv, "--reps", "3"));
+  const unsigned threads = static_cast<unsigned>(
+      std::atoi(flag_value(argc, argv, "--threads", "4")));
+  const std::string strategy = flag_value(argc, argv, "--strategy", "auto");
+  const std::string out =
+      flag_value(argc, argv, "--out", "autogemm_trace.json");
+  const char* metrics_out = flag_value(argc, argv, "--metrics", nullptr);
+
+  ContextOptions opts;
+  opts.threads = threads;
+  opts.trace = true;
+  if (strategy == "blocks") opts.parallel_strategy = ParallelStrategy::kBlocksOnly;
+  else if (strategy == "ksplit") opts.parallel_strategy = ParallelStrategy::kKSplit;
+  else if (strategy != "auto")
+    throw std::invalid_argument("unknown strategy: " + strategy);
+  Context ctx(opts);
+
+  common::Matrix a(m, k), b(k, n), c(m, n);
+  common::fill_random(a.view(), 1);
+  common::fill_random(b.view(), 2);
+
+  obs::Tracer::instance().clear();  // trace only the calls below
+  for (int i = 0; i < reps; ++i) {
+    const Status s = ctx.run(a.view(), b.view(), c.view());
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.to_string().c_str());
+      return 1;
+    }
+  }
+
+  obs::Tracer& tracer = obs::Tracer::instance();
+  if (!tracer.write_chrome_json(out)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("%dx%dx%d, %d rep(s), %u thread(s), strategy %s "
+              "(executed as %s)\n",
+              m, n, k, reps, threads, strategy.c_str(),
+              ctx.health().last_parallel_strategy.c_str());
+  std::printf("trace: %zu spans across %zu lanes -> %s\n",
+              tracer.span_count(), tracer.active_lane_count(), out.c_str());
+  if (metrics_out != nullptr) {
+    const std::string text = obs::default_registry().prometheus_text();
+    if (std::FILE* f = std::fopen(metrics_out, "w")) {
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+      std::printf("metrics: %s\n", metrics_out);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out);
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -207,6 +279,7 @@ int main(int argc, char** argv) {
     if (cmd == "price") return cmd_price(argc - 2, argv + 2);
     if (cmd == "run") return cmd_run(argc - 2, argv + 2);
     if (cmd == "tune") return cmd_tune(argc - 2, argv + 2);
+    if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -10,7 +10,9 @@
 # configuration also re-runs the parallel-path suites with a 4-worker pool
 # and runs the context cache-hit and large-K scaling benches once, so the
 # JSON artifacts land in build/bench_context_cache.json and
-# build/BENCH_kscale.json.
+# build/BENCH_kscale.json. An obs smoke pass then runs a traced parallel
+# GEMM through the CLI, validates the Chrome-trace export and Prometheus
+# text, and runs the (non-gating) obs overhead bench.
 #
 # Every ctest invocation carries a per-test timeout: a test that hangs (the
 # exact failure mode the sim watchdogs and thread-pool hardening exist to
@@ -65,6 +67,20 @@ for config in "${configs[@]}"; do
       ./build/bench/bench_context_cache build/bench_context_cache.json
       echo "==== [release] large-K scaling bench ===="
       ./build/bench/bench_kscale build/BENCH_kscale.json 4
+      echo "==== [release] obs smoke (trace + metrics + report) ===="
+      # Traced parallel k-split GEMM: the export must be valid JSON, carry
+      # the pack/kernel/reduce phase spans on distinct worker lanes, and
+      # the Prometheus text must expose the core counter families.
+      ./build/tools/autogemm trace 8 8 8192 --threads 4 --strategy ksplit \
+        --out build/obs_smoke_trace.json --metrics build/obs_smoke_metrics.prom
+      python3 -m json.tool build/obs_smoke_trace.json > /dev/null
+      python3 tools/trace_report.py build/obs_smoke_trace.json \
+        --require pack_a,kernel,reduce
+      grep -q 'autogemm_gemm_calls_total' build/obs_smoke_metrics.prom
+      grep -q 'autogemm_gemm_seconds_bucket' build/obs_smoke_metrics.prom
+      echo "==== [release] obs overhead bench (non-gating) ===="
+      ./build/bench/bench_obs_overhead --json-out build/bench_obs_overhead.json \
+        || true
       ;;
     asan)
       run_config asan build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \

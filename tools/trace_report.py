@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Phase-breakdown table from an autogemm Chrome trace.
+
+Reads the trace-event JSON written by `autogemm trace` (or
+obs::Tracer::write_chrome_json) and reproduces the paper's phase
+attribution (SS III: packing vs micro-kernel vs write-back/reduction) from
+measured spans instead of modeled cycles.
+
+Durations are *self* times: a span's duration minus the durations of the
+spans nested directly inside it on the same lane, so a container like
+gemm.ksplit contributes only its scheduling overhead, not its children's
+work. Phases aggregate span names:
+
+    pack_a, pack_b          -> packing
+    kernel                  -> micro-kernel
+    reduce                  -> reduce
+    everything else         -> other (dispatch, planning, probes, ...)
+
+Usage:
+    tools/trace_report.py trace.json
+    tools/trace_report.py trace.json --require pack_a,kernel,reduce
+    tools/trace_report.py trace.json --json
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+PHASE_OF = {
+    "pack_a": "packing",
+    "pack_b": "packing",
+    "kernel": "micro-kernel",
+    "reduce": "reduce",
+}
+
+
+def load_events(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if isinstance(doc, list):
+        return doc
+    return doc.get("traceEvents", [])
+
+
+def self_times(events):
+    """Per-(pid, tid) self-time attribution via an interval stack."""
+    lanes = {}
+    spans = defaultdict(list)
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "M" and ev.get("name") == "thread_name":
+            lanes[(ev["pid"], ev["tid"])] = ev["args"]["name"]
+        elif ph == "X":
+            spans[(ev["pid"], ev["tid"])].append(ev)
+
+    totals = defaultdict(lambda: {"self_us": 0.0, "total_us": 0.0, "count": 0})
+    lane_spans = {}
+    for key, evs in spans.items():
+        # Earliest first; at equal start the longer span is the container.
+        evs.sort(key=lambda e: (e["ts"], -e.get("dur", 0.0)))
+        child_us = defaultdict(float)
+        stack = []
+        for ev in evs:
+            dur = ev.get("dur", 0.0)
+            while stack and ev["ts"] >= stack[-1]["ts"] + stack[-1].get(
+                "dur", 0.0
+            ) - 1e-9:
+                stack.pop()
+            if stack:
+                child_us[id(stack[-1])] += dur
+            stack.append(ev)
+        for ev in evs:
+            dur = ev.get("dur", 0.0)
+            t = totals[ev["name"]]
+            t["self_us"] += max(0.0, dur - child_us[id(ev)])
+            t["total_us"] += dur
+            t["count"] += 1
+        lane_spans[key] = len(evs)
+    return totals, lanes, lane_spans
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="phase-breakdown table from an autogemm Chrome trace"
+    )
+    ap.add_argument("trace", help="trace-event JSON file")
+    ap.add_argument(
+        "--require",
+        default="",
+        help="comma-separated span names that must appear (exit 1 otherwise)",
+    )
+    ap.add_argument(
+        "--json", action="store_true", help="emit the tables as one JSON object"
+    )
+    args = ap.parse_args()
+
+    events = load_events(args.trace)
+    totals, lanes, lane_spans = self_times(events)
+
+    required = [name for name in args.require.split(",") if name]
+    missing = [name for name in required if name not in totals]
+    if missing:
+        print(
+            "trace_report: missing required span(s): " + ", ".join(missing),
+            file=sys.stderr,
+        )
+        return 1
+
+    grand_self = sum(t["self_us"] for t in totals.values()) or 1.0
+    phases = defaultdict(lambda: {"self_us": 0.0, "count": 0})
+    for name, t in totals.items():
+        phase = PHASE_OF.get(name, "other")
+        phases[phase]["self_us"] += t["self_us"]
+        phases[phase]["count"] += t["count"]
+
+    if args.json:
+        out = {
+            "spans": {
+                name: {
+                    "count": t["count"],
+                    "self_ms": t["self_us"] / 1e3,
+                    "total_ms": t["total_us"] / 1e3,
+                    "share": t["self_us"] / grand_self,
+                }
+                for name, t in totals.items()
+            },
+            "phases": {
+                phase: {
+                    "self_ms": p["self_us"] / 1e3,
+                    "share": p["self_us"] / grand_self,
+                    "count": p["count"],
+                }
+                for phase, p in phases.items()
+            },
+            "lanes": {
+                lanes.get(key, f"pid{key[0]}-tid{key[1]}"): count
+                for key, count in lane_spans.items()
+            },
+        }
+        print(json.dumps(out, indent=2, sort_keys=True))
+        return 0
+
+    print(f"{'span':<20} {'count':>8} {'self ms':>12} {'share':>8} "
+          f"{'total ms':>12}")
+    for name, t in sorted(
+        totals.items(), key=lambda kv: -kv[1]["self_us"]
+    ):
+        print(
+            f"{name:<20} {t['count']:>8} {t['self_us'] / 1e3:>12.3f} "
+            f"{t['self_us'] / grand_self:>7.1%} {t['total_us'] / 1e3:>12.3f}"
+        )
+
+    print()
+    print(f"{'phase':<20} {'self ms':>12} {'share':>8} {'spans':>8}")
+    for phase, p in sorted(phases.items(), key=lambda kv: -kv[1]["self_us"]):
+        print(
+            f"{phase:<20} {p['self_us'] / 1e3:>12.3f} "
+            f"{p['self_us'] / grand_self:>7.1%} {p['count']:>8}"
+        )
+
+    print()
+    print(f"{len(lane_spans)} lane(s):")
+    for key, count in sorted(lane_spans.items()):
+        name = lanes.get(key, f"pid{key[0]}-tid{key[1]}")
+        print(f"  {name:<16} {count} span(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
