@@ -1,14 +1,24 @@
 // Table II: arithmetic intensity of every register-feasible micro-kernel
 // tile size (Eqn 2), with the paper's preferred ("blue") shapes marked and
 // infeasible grid cells dashed.
+//
+//   build/bench/bench_table2 [--warmup W] [--repeats R] [--json-out F]
+//
+// Purely analytic (register-count arithmetic, no timing loop): --warmup
+// and --repeats are accepted for harness uniformity and recorded in the
+// JSON, but do not change the results.
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
 #include "codegen/tile_sizes.hpp"
 
 using namespace autogemm;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args =
+      bench::parse_args(argc, argv, /*default_warmup=*/0,
+                        /*default_repeats=*/1);
   bench::header("Table II: micro-kernel tile sizes and arithmetic intensity");
 
   const int lanes = 4;
@@ -42,5 +52,27 @@ int main() {
   std::printf("\nTotal feasible tile sizes (32 vector registers): %zu "
               "(paper: 58)\n",
               all.size());
+
+  std::string json = "{\"bench\": \"table2\", \"warmup\": " +
+                     std::to_string(args.warmup) +
+                     ", \"repeats\": " + std::to_string(args.repeats) +
+                     ", \"lanes\": " + std::to_string(lanes) +
+                     ", \"vector_registers\": " +
+                     std::to_string(codegen::kVectorRegisters) +
+                     ", \"total_feasible\": " + std::to_string(all.size()) +
+                     ", \"paper_total\": 58, \"tiles\": [";
+  char buf[128];
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"mr\": %d, \"nr\": %d, \"ai\": %.4f, "
+                  "\"preferred\": %s}",
+                  i ? ", " : "", all[i].mr, all[i].nr,
+                  codegen::ai_max(all[i].mr, all[i].nr),
+                  is_preferred(all[i].mr, all[i].nr) ? "true" : "false");
+    json += buf;
+  }
+  json += "]}";
+  bench::write_json_file(
+      !args.json_out.empty() ? args.json_out : "bench_table2.json", json);
   return 0;
 }

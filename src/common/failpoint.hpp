@@ -31,6 +31,8 @@
 //   sim.cycle_budget         PipelineSimulator exceeds its cycle budget
 //   verify.generated         Context's generated-kernel probe miscompares
 //   verify.portable          Context's portable-kernel probe miscompares
+//   serve.queue_full         serve::Engine admission sees a full queue
+//   serve.spawn              serve::Engine dispatcher thread creation fails
 #pragma once
 
 #include <atomic>

@@ -5,11 +5,18 @@
 // — parallelism that is available even when each problem is too small to
 // split on its own (single problems large enough in K go through the
 // k-split path instead; see core/gemm.hpp).
+//
+// Two callers share this path: dnn::graph batched model execution and the
+// serve engine's shape-bucketed dispatch (src/serve/). Both route through
+// Context::run_batched, which validates the whole batch (including
+// cross-member aliasing, via validate_batch below) before any C is
+// written and reports through Status instead of asserting.
 #pragma once
 
 #include <vector>
 
 #include "common/matrix.hpp"
+#include "common/status.hpp"
 #include "common/threadpool.hpp"
 #include "core/plan.hpp"
 
@@ -23,6 +30,41 @@ struct BatchItem {
   common::MatrixView c;
 };
 
+/// True when the two views' element ranges can overlap in memory. The
+/// check is conservative: a view's range is the contiguous span from its
+/// first to its last addressable element, so the ld gap between rows
+/// counts as part of the span (two interleaved column blocks of one
+/// parent matrix report overlap even though their elements are disjoint).
+/// Row blocks of a shared parent are correctly seen as disjoint. Views
+/// with a zero extent or a null pointer never overlap anything.
+bool views_overlap(common::ConstMatrixView x, common::ConstMatrixView y);
+
+/// Validates one batch member the way Context::run validates a single
+/// canonical call: non-negative dims, leading dims at least the row
+/// width, no null pointer with nonzero extent, inner dimensions agreeing,
+/// C matching op(A)*op(B), and C not overlapping this member's own A or B
+/// (range overlap, stricter than run()'s exact-pointer check — batch
+/// members are dispatched concurrently, so partial aliasing is never
+/// benign here).
+Status validate_batch_item(const BatchItem& item);
+
+/// Validates a whole batch: every member individually, then cross-member
+/// aliasing — no member's C may overlap another member's A, B or C
+/// (members run concurrently and in unspecified order). Shared *read*
+/// operands (the same A or B view appearing in many members) are legal
+/// and are what the serve engine's shape buckets exploit. Returns the
+/// first violation found, naming the item index; nothing is written by
+/// validation.
+Status validate_batch(const std::vector<BatchItem>& items);
+
+/// Indices of members whose C overlaps another member's A, B or C — the
+/// set validate_batch's cross-member pass would reject (both sides of
+/// each overlapping pair are reported). The serve engine uses this to
+/// demote conflicting members to single-shot dispatches instead of
+/// failing the whole batch. O(B log B) in the batch size.
+std::vector<std::size_t> find_cross_member_conflicts(
+    const std::vector<BatchItem>& items);
+
 /// C_i += A_i * B_i for every item, all sharing one shape and plan.
 /// With a pool, items run concurrently (each C_i is written by exactly one
 /// worker).
@@ -32,18 +74,15 @@ void gemm_batched(const std::vector<BatchItem>& items, const Plan& plan,
 /// Mixed-shape batch resolved through `ctx`: each item's plan comes from
 /// the context's cache (tuned records, quarantine and stats all apply).
 /// `pool` defaults to the context's own pool; pass one explicitly to
-/// schedule on a different pool.
+/// schedule on a different pool. Thin legacy wrapper — new code should
+/// call Context::run_batched, which adds whole-batch validation and
+/// Status reporting.
 void gemm_batched(const std::vector<BatchItem>& items, Context& ctx,
                   common::ThreadPool* pool = nullptr);
 
-/// Mixed-shape batch through the process-global default_context() — a
-/// hidden dependency that ignores any Context the caller actually uses
-/// (its tuned records, caches and health reporting). Route through the
-/// Context overload above instead.
-[[deprecated(
-    "resolves plans through the process-global default_context(); use "
-    "gemm_batched(items, ctx, pool)")]]
-void gemm_batched(const std::vector<BatchItem>& items,
-                  common::ThreadPool* pool = nullptr);
+// The PR-3-era overload that resolved plans through the process-global
+// default_context() has been removed: it ignored the Context the caller
+// actually configured (tuned records, caches, health reporting). Call
+// gemm_batched(items, ctx, pool) or Context::run_batched instead.
 
 }  // namespace autogemm

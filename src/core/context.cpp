@@ -870,34 +870,194 @@ void Context::gemm_const_b(ConstMatrixView a, ConstMatrixView b, MatrixView c,
   (void)run_const_b(a, b, c, params);
 }
 
-void Context::gemm_batched(const std::vector<BatchItem>& items) {
-  if (items.empty()) return;
-  // Resolve every distinct shape's plan up front (workers must only read).
-  std::map<ShapeKey, std::shared_ptr<const Plan>> plans;
-  for (const auto& item : items) {
-    const ShapeKey key{item.a.rows, item.b.cols, item.a.cols};
-    if (!plans.count(key)) plans.emplace(key, plan_for(key.m, key.n, key.k));
+Status Context::run_batched(const std::vector<BatchItem>& items) {
+  return run_batched_impl(items, /*validate=*/true);
+}
+
+Status Context::run_batched_prevalidated(const std::vector<BatchItem>& items) {
+  return run_batched_impl(items, /*validate=*/false);
+}
+
+Status Context::run_batched_impl(const std::vector<BatchItem>& items,
+                                 bool validate) {
+  obs::SpanScope span("context.run_batched",
+                      static_cast<std::uint64_t>(items.size()), 0);
+  // Whole-batch validation (per-member + cross-member aliasing) before
+  // any C is written: a bad member fails the batch with every output
+  // untouched, so callers can safely retry member-by-member. The
+  // prevalidated entry skips this: the serve engine has already run
+  // validate_batch_item per admission and demoted every member flagged
+  // by find_cross_member_conflicts, so the checks would be pure repeat
+  // work on the hot dispatch path.
+  if (validate) {
+    const Status v = validate_batch(items);
+    if (!v.ok()) return record_error(v);
   }
-  const auto run_item = [&](const BatchItem& item) {
-    const ShapeKey key{item.a.rows, item.b.cols, item.a.cols};
-    autogemm::gemm(item.a, item.b, item.c, *plans.at(key), nullptr);
+  if (items.empty()) return Status::OK();
+
+  // Bucket members by shape and resolve each distinct shape's entry up
+  // front (workers must only read). Degenerate members (M, N or K of
+  // zero) are accumulate no-ops — an empty product adds nothing to C —
+  // matching run() at beta == 1.
+  struct Group {
+    PlanEntry entry;
+    std::vector<std::size_t> members;
+    // Transient packing for a group-shared constant operand: packed once,
+    // reused by every member. Not entered into the packed LRU — batch
+    // operands carry no constancy promise beyond this call.
+    std::shared_ptr<const PackedA> packed_a;
+    std::shared_ptr<const PackedB> packed_b;
   };
+  std::map<ShapeKey, Group> groups;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const BatchItem& it = items[i];
+    if (it.c.rows == 0 || it.c.cols == 0 || it.a.cols == 0) continue;
+    groups[ShapeKey{it.c.rows, it.c.cols, it.a.cols}].members.push_back(i);
+  }
+
+  std::uint64_t members_total = 0;
+  std::uint64_t flops = 0;
+  for (auto& [key, g] : groups) {
+    g.entry = entry_for(key.m, key.n, key.k);
+    if (g.entry.plan != nullptr && g.members.size() >= 2) {
+      const ConstMatrixView a0 = items[g.members[0]].a;
+      const ConstMatrixView b0 = items[g.members[0]].b;
+      const auto same_view = [](ConstMatrixView x, ConstMatrixView y) {
+        return x.data == y.data && x.ld == y.ld;
+      };
+      bool shared_a = true, shared_b = true;
+      for (std::size_t i : g.members) {
+        shared_a = shared_a && same_view(items[i].a, a0);
+        shared_b = shared_b && same_view(items[i].b, b0);
+      }
+      // A packing failure is not an error: the unpacked path serves the
+      // group (and may degrade further on its own, as in run()).
+      if (shared_a) {
+        StatusOr<PackedA> p = PackedA::create(a0, *g.entry.plan);
+        if (p.ok())
+          g.packed_a = std::make_shared<const PackedA>(std::move(p).value());
+      } else if (shared_b) {
+        StatusOr<PackedB> p = PackedB::create(b0, *g.entry.plan);
+        if (p.ok())
+          g.packed_b = std::make_shared<const PackedB>(std::move(p).value());
+      }
+    }
+    members_total += g.members.size();
+    flops += 2ull * static_cast<std::uint64_t>(key.m) *
+             static_cast<std::uint64_t>(key.n) *
+             static_cast<std::uint64_t>(key.k) * g.members.size();
+  }
+  if (members_total == 0) return Status::OK();
+
+  // Calls/FLOPs mirror onto the registry per member; batch-level timing
+  // is the caller's concern (the serve engine keeps its own batch-size
+  // and queue-latency histograms), so no per-member latency samples are
+  // fabricated here.
+  ObsHandles& h = obs_handles();
+  h.calls->add(members_total);
+  h.flops->add(flops);
+
+  const GemmExParams canonical{};
+  Status result = Status::OK();
   common::ThreadPool* p = effective_pool();
   if (p != nullptr && p->size() > 1) {
+    // Pooled: one flat work list so parallel_for spreads members across
+    // workers regardless of group boundaries.
+    struct ItemExec {
+      const BatchItem* item;
+      const Plan* plan;  // nullptr == reference-pinned shape
+      const PackedA* packed_a;
+      const PackedB* packed_b;
+    };
+    std::vector<ItemExec> execs;
+    execs.reserve(members_total);
+    for (auto& [key, g] : groups)
+      for (std::size_t i : g.members)
+        execs.push_back(ItemExec{&items[i], g.entry.plan.get(),
+                                 g.packed_a.get(), g.packed_b.get()});
+    const auto run_one = [&](const ItemExec& e) {
+      // Each member runs single-threaded (no nested parallelism); a
+      // reference-pinned shape runs the reference tier, as in run().
+      if (e.plan == nullptr) {
+        accumulate_reference(e.item->a, e.item->b, e.item->c, canonical);
+      } else if (e.packed_a != nullptr) {
+        autogemm::gemm(*e.packed_a, e.item->a, e.item->b, e.item->c, *e.plan,
+                       nullptr);
+      } else if (e.packed_b != nullptr) {
+        autogemm::gemm(e.item->a, *e.packed_b, e.item->b, e.item->c, *e.plan,
+                       nullptr);
+      } else {
+        autogemm::gemm(e.item->a, e.item->b, e.item->c, *e.plan, nullptr);
+      }
+    };
     try {
-      p->parallel_for(static_cast<int>(items.size()),
-                      [&](int i) { run_item(items[i]); });
+      p->parallel_for(static_cast<int>(execs.size()),
+                      [&](int i) { run_one(execs[i]); });
     } catch (const std::exception& e) {
+      // Workers may have written parts of several C outputs already; the
+      // batch cannot be repaired in place. Retire the pool so subsequent
+      // calls run serial.
       pool_degraded_.store(true);
       record_event(HealthEvent::Kind::kPoolDegraded,
-                   std::string("worker fault in gemm_batched: ") + e.what() +
+                   std::string("worker fault in run_batched: ") + e.what() +
                        "; pool retired");
-      (void)record_error(InternalError(
-          std::string("gemm_batched: worker fault: ") + e.what()));
+      result = InternalError(
+          std::string("run_batched: worker fault: ") + e.what() +
+          "; C contents are unspecified for this batch (subsequent calls "
+          "degrade to serial)");
     }
   } else {
-    for (const auto& item : items) run_item(item);
+    // Serial: one shared-scratch pass per group (detail::gemm_group_serial)
+    // amortizes the per-call fixed costs — scratch allocation, span setup —
+    // across the group's members, which is where the batched path's win
+    // over per-request run() comes from on tiny shapes.
+    for (auto& [key, g] : groups) {
+      if (g.entry.plan == nullptr) {
+        for (std::size_t i : g.members)
+          accumulate_reference(items[i].a, items[i].b, items[i].c, canonical);
+        continue;
+      }
+      std::vector<detail::GroupMember> ms;
+      ms.reserve(g.members.size());
+      for (std::size_t i : g.members)
+        ms.push_back({items[i].a, items[i].b, items[i].c});
+      std::size_t began = 0;
+      try {
+        detail::gemm_group_serial(ms.data(), ms.size(), g.packed_a.get(),
+                                  g.packed_b.get(), *g.entry.plan, &began);
+      } catch (const std::bad_alloc&) {
+        if (began == 0) {
+          // The group's shared scratch failed before any C was touched;
+          // the reference tier serves the whole group correctly.
+          {
+            std::lock_guard lock(mu_);
+            ++health_.alloc_fallbacks;
+          }
+          record_event(HealthEvent::Kind::kAllocFallback,
+                       "scratch allocation failed for batch group shape " +
+                           shape_string(key.m, key.n, key.k) +
+                           "; group served by the reference path");
+          for (std::size_t i : g.members)
+            accumulate_reference(items[i].a, items[i].b, items[i].c,
+                                 canonical);
+        } else {
+          result = InternalError(
+              "run_batched: allocation failed mid-group for shape " +
+              shape_string(key.m, key.n, key.k) +
+              "; that group's C contents are unspecified, other groups ran");
+        }
+      } catch (const std::exception& ex) {
+        result = InternalError(
+            std::string("run_batched: execution fault: ") + ex.what() +
+            "; that group's C contents are unspecified, other groups ran");
+      }
+    }
   }
+  return record_error(result);
+}
+
+void Context::gemm_batched(const std::vector<BatchItem>& items) {
+  (void)run_batched(items);  // failures are queryable via last_error()
 }
 
 std::size_t Context::invalidate(const void* data) {

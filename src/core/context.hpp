@@ -217,9 +217,32 @@ class Context {
   void gemm_const_b(common::ConstMatrixView a, common::ConstMatrixView b,
                     common::MatrixView c, const GemmExParams& params = {});
 
-  /// C_i += A_i * B_i for every item through the cached per-shape plans and
-  /// the owned pool (each item runs single-threaded inside the batch-level
-  /// parallel_for, as in gemm_batched).
+  /// C_i += A_i * B_i for every item through the cached per-shape plans
+  /// and the owned pool. The whole batch is validated up front
+  /// (per-member operands plus cross-member aliasing — see
+  /// validate_batch in core/batched.hpp) before any C is written;
+  /// kInvalidArgument leaves every C untouched. Degenerate members
+  /// (M, N or K of zero) are well-defined accumulate no-ops. Same-shape
+  /// members that share an A (or B) operand amortize packing: the shared
+  /// operand is packed once for the group and reused by every member —
+  /// the serve engine's shape-bucketed streams are the motivating
+  /// traffic. Each member runs single-threaded inside the batch-level
+  /// parallel_for; quarantine/reference pins and the degradation ladder
+  /// apply per shape exactly as in run().
+  Status run_batched(const std::vector<BatchItem>& items);
+
+  /// run_batched minus the whole-batch validation pass, for callers that
+  /// have already established the batch invariants (per-member validity
+  /// via validate_batch_item and cross-member disjointness via
+  /// find_cross_member_conflicts). The serve engine validates each
+  /// request once at admission and sweeps conflicts at dispatch; paying
+  /// validate_batch again per dispatch is measurable at serving rates
+  /// (see bench_serve). Behavior on an *invalid* batch is undefined here
+  /// — external callers should use run_batched.
+  Status run_batched_prevalidated(const std::vector<BatchItem>& items);
+
+  /// Legacy void wrapper over run_batched (failures land in last_error(),
+  /// as with gemm()).
   void gemm_batched(const std::vector<BatchItem>& items);
 
   /// Plan for a shape: tuned record (exact, then nearest) over the
@@ -291,6 +314,7 @@ class Context {
   };
 
   PlanEntry entry_for(int m, int n, int k);
+  Status run_batched_impl(const std::vector<BatchItem>& items, bool validate);
   Status verify_config(const Plan& plan);
   /// execute_entry wraps the impl with the obs timing/accounting (span,
   /// latency histograms, call/flop/failure counters).

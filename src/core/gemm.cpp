@@ -119,16 +119,15 @@ std::array<int, 3> order_permutation(LoopOrder order) {
   return {1, 2, 0};
 }
 
-void execute_single(ConstMatrixView a, ConstMatrixView b,
-                    const PackedA* packed_a, const PackedB* packed_b,
-                    MatrixView c, const Plan& plan) {
+// Shared loop nest over one member, with a caller-owned scratch (the
+// group path reuses it across members; see detail::gemm_group_serial).
+void run_member(ConstMatrixView a, ConstMatrixView b, const PackedA* packed_a,
+                const PackedB* packed_b, MatrixView c, const Plan& plan,
+                Scratch& scratch) {
   const GemmConfig& cfg = plan.config();
   const int nblk[3] = {ceil_div(plan.m(), cfg.mc), ceil_div(plan.n(), cfg.nc),
                        ceil_div(plan.k(), cfg.kc)};
   const auto perm = order_permutation(cfg.loop_order);
-  obs::SpanScope span("gemm.serial", static_cast<unsigned>(plan.m()),
-                      static_cast<unsigned>(plan.n()));
-  Scratch scratch(plan);
   int idx[3];  // block index per dimension code
   for (int x = 0; x < nblk[perm[0]]; ++x) {
     for (int y = 0; y < nblk[perm[1]]; ++y) {
@@ -141,6 +140,15 @@ void execute_single(ConstMatrixView a, ConstMatrixView b,
       }
     }
   }
+}
+
+void execute_single(ConstMatrixView a, ConstMatrixView b,
+                    const PackedA* packed_a, const PackedB* packed_b,
+                    MatrixView c, const Plan& plan) {
+  obs::SpanScope span("gemm.serial", static_cast<unsigned>(plan.m()),
+                      static_cast<unsigned>(plan.n()));
+  Scratch scratch(plan);
+  run_member(a, b, packed_a, packed_b, c, plan, scratch);
 }
 
 // Scratch slot for the current thread: workers map to [0, size()), the
@@ -453,5 +461,30 @@ void gemm_overwrite(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
   params.beta = 0.0f;  // overwrite == the BLAS beta = 0 case, defined once
   default_context().gemm(a, b, c, params);
 }
+
+namespace detail {
+
+void gemm_group_serial(const GroupMember* members, std::size_t count,
+                       const PackedA* packed_a, const PackedB* packed_b,
+                       const Plan& plan, std::size_t* began) {
+  if (began != nullptr) *began = 0;
+  if (count == 0) return;
+  obs::SpanScope span("gemm.group", static_cast<unsigned>(count),
+                      static_cast<unsigned>(plan.m()));
+  Scratch scratch(plan);
+  for (std::size_t i = 0; i < count; ++i) {
+    const GroupMember& m = members[i];
+    check_shapes(m.a, m.b, m.c, plan);
+    if (began != nullptr) *began = i + 1;
+    // The scratch's packed-block ids describe the previous member's
+    // operand buffers; invalidate them so a block packed from member
+    // i-1's matrix is never reused for member i.
+    scratch.a_block_i = scratch.a_block_p = -1;
+    scratch.b_block_p = scratch.b_block_j = -1;
+    run_member(m.a, m.b, packed_a, packed_b, m.c, plan, scratch);
+  }
+}
+
+}  // namespace detail
 
 }  // namespace autogemm

@@ -121,4 +121,34 @@ void gemm(common::ConstMatrixView a, common::ConstMatrixView b,
 void gemm_overwrite(common::ConstMatrixView a, common::ConstMatrixView b,
                     common::MatrixView c);
 
+namespace detail {
+
+/// One member of a same-shape group; every member matches the group
+/// plan's (M, N, K).
+struct GroupMember {
+  common::ConstMatrixView a;
+  common::ConstMatrixView b;
+  common::MatrixView c;
+};
+
+/// C_i += A_i * B_i for a same-shape group, back-to-back on the calling
+/// thread, sharing one packing scratch and one trace span across the
+/// group. The per-call fixed costs of gemm() (two aligned scratch
+/// allocations, span setup) dominate tiny-GEMM dispatch; here they are
+/// paid once per group instead of once per member — the batched path's
+/// amortization (Context::run_batched, serve engine shape buckets).
+/// `packed_a`/`packed_b` optionally carry a group-shared offline-packed
+/// operand (either may be null). Callers must have validated the group
+/// (validate_batch); shape mismatches against the plan still throw as in
+/// the public gemm() entries. When `began` is non-null it is set to i+1
+/// just before member i starts executing, so on a throw the caller knows
+/// members [0, *began - 1) completed, member *began - 1 may be partial,
+/// and the rest are untouched (*began == 0 means no C was written — the
+/// shared scratch allocation itself failed).
+void gemm_group_serial(const GroupMember* members, std::size_t count,
+                       const PackedA* packed_a, const PackedB* packed_b,
+                       const Plan& plan, std::size_t* began = nullptr);
+
+}  // namespace detail
+
 }  // namespace autogemm

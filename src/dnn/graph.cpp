@@ -10,6 +10,7 @@
 #include "baselines/host_baselines.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "core/batched.hpp"
 #include "core/context.hpp"
 #include "core/gemm.hpp"
 
@@ -53,6 +54,11 @@ GemmBackend naive_backend() {
   };
 }
 
+void Op::forward_batch(std::vector<Tensor>& tensors, Context& ctx) {
+  const GemmBackend backend = context_backend(ctx);
+  for (Tensor& t : tensors) t = forward(t, backend);
+}
+
 Conv::Conv(std::string name, ConvGeometry geometry, unsigned seed)
     : name_(std::move(name)), geometry_(geometry),
       weights_(static_cast<int>(geometry.gemm_m()),
@@ -78,6 +84,36 @@ Tensor Conv::forward(const Tensor& in, const GemmBackend& gemm) {
   return out;
 }
 
+void Conv::forward_batch(std::vector<Tensor>& tensors, Context& ctx) {
+  std::vector<common::Matrix> cols;
+  std::vector<Tensor> outs;
+  std::vector<BatchItem> items;
+  cols.reserve(tensors.size());
+  outs.reserve(tensors.size());
+  items.reserve(tensors.size());
+  for (const Tensor& in : tensors) {
+    if (in.c != geometry_.cin || in.h != geometry_.h || in.w != geometry_.w)
+      throw std::invalid_argument("Conv " + name_ + ": input shape mismatch");
+    cols.emplace_back(static_cast<int>(geometry_.gemm_k()),
+                      static_cast<int>(geometry_.gemm_n()));
+    im2col(geometry_, in.data.data(), cols.back().view());
+    outs.emplace_back(geometry_.cout, geometry_.out_h(), geometry_.out_w());
+    common::MatrixView out_view{outs.back().data.data(),
+                                static_cast<int>(geometry_.gemm_m()),
+                                static_cast<int>(geometry_.gemm_n()),
+                                static_cast<int>(geometry_.gemm_n())};
+    // Fresh Tensor outputs are zero-filled, so run_batched's accumulate
+    // semantics (C += W * col) produce the overwrite result the
+    // single-input path computes. Every member shares A = weights_, so
+    // the batch packs the weight matrix once.
+    items.push_back(BatchItem{weights_.view(), cols.back().view(), out_view});
+  }
+  const Status s = ctx.run_batched(items);
+  if (!s.ok())
+    throw std::runtime_error("Conv " + name_ + ": " + s.to_string());
+  tensors = std::move(outs);
+}
+
 FullyConnected::FullyConnected(std::string name, int in_features,
                                int out_features, unsigned seed)
     : name_(std::move(name)), weights_(out_features, in_features) {
@@ -96,6 +132,28 @@ Tensor FullyConnected::forward(const Tensor& in, const GemmBackend& gemm) {
   common::MatrixView y{out.data.data(), weights_.rows(), 1, 1};
   gemm(weights_.view(), x, y);
   return out;
+}
+
+void FullyConnected::forward_batch(std::vector<Tensor>& tensors,
+                                   Context& ctx) {
+  std::vector<Tensor> outs;
+  std::vector<BatchItem> items;
+  outs.reserve(tensors.size());
+  items.reserve(tensors.size());
+  for (const Tensor& in : tensors) {
+    if (in.size() != weights_.cols())
+      throw std::invalid_argument("FullyConnected " + name_ +
+                                  ": input size mismatch");
+    outs.emplace_back(weights_.rows(), 1, 1);
+    items.push_back(BatchItem{
+        weights_.view(),
+        common::ConstMatrixView{in.data.data(), weights_.cols(), 1, 1},
+        common::MatrixView{outs.back().data.data(), weights_.rows(), 1, 1}});
+  }
+  const Status s = ctx.run_batched(items);
+  if (!s.ok())
+    throw std::runtime_error("FullyConnected " + name_ + ": " + s.to_string());
+  tensors = std::move(outs);
 }
 
 Tensor Relu::forward(const Tensor& in, const GemmBackend&) {
@@ -242,6 +300,19 @@ Net::RunResult Net::run(const Tensor& input, const GemmBackend& gemm) const {
   result.gemm_seconds = gemm_seconds;
   result.other_seconds = total.seconds() - gemm_seconds;
   result.output = std::move(current);
+  return result;
+}
+
+Net::BatchRunResult Net::run_many(const std::vector<Tensor>& inputs,
+                                  Context& ctx) const {
+  BatchRunResult result;
+  result.outputs = inputs;
+  for (const auto& op : ops_) {
+    common::Timer t;
+    op->forward_batch(result.outputs, ctx);
+    (op->is_gemm() ? result.gemm_seconds : result.other_seconds) +=
+        t.seconds();
+  }
   return result;
 }
 

@@ -64,6 +64,13 @@ class Op {
   virtual std::string name() const = 0;
   virtual bool is_gemm() const { return false; }
   virtual Tensor forward(const Tensor& in, const GemmBackend& gemm) = 0;
+  /// Advances every member of `tensors` through this op in place. The
+  /// default runs members one at a time over context_backend(ctx);
+  /// GEMM-lowering ops (Conv, FullyConnected) override it to coalesce
+  /// the members' GEMMs into one Context::run_batched group, so the
+  /// shared weight matrix is packed once per batch — the same batched
+  /// path the serve engine dispatches through.
+  virtual void forward_batch(std::vector<Tensor>& tensors, Context& ctx);
 };
 
 /// Convolution via im2col + GEMM. Weights are (cout x cin*kh*kw).
@@ -73,6 +80,7 @@ class Conv : public Op {
   std::string name() const override { return name_; }
   bool is_gemm() const override { return true; }
   Tensor forward(const Tensor& in, const GemmBackend& gemm) override;
+  void forward_batch(std::vector<Tensor>& tensors, Context& ctx) override;
   const ConvGeometry& geometry() const { return geometry_; }
 
  private:
@@ -89,6 +97,7 @@ class FullyConnected : public Op {
   std::string name() const override { return name_; }
   bool is_gemm() const override { return true; }
   Tensor forward(const Tensor& in, const GemmBackend& gemm) override;
+  void forward_batch(std::vector<Tensor>& tensors, Context& ctx) override;
 
  private:
   std::string name_;
@@ -175,6 +184,22 @@ class Net {
     double total_seconds() const { return gemm_seconds + other_seconds; }
   };
   RunResult run(const Tensor& input, const GemmBackend& gemm) const;
+
+  struct BatchRunResult {
+    std::vector<Tensor> outputs;
+    double gemm_seconds = 0;
+    double other_seconds = 0;
+    double total_seconds() const { return gemm_seconds + other_seconds; }
+  };
+  /// Runs every input through the net, advancing all members one op at a
+  /// time so each GEMM layer dispatches its members as a single
+  /// Context::run_batched group (Op::forward_batch) — the serve engine's
+  /// same-shape coalescing applied to model execution. Timing buckets
+  /// are per-op here, coarser than run()'s backend-boundary split:
+  /// is_gemm() ops land in gemm_seconds; composite ops (Residual,
+  /// Concat) land in other_seconds even though they contain GEMMs.
+  BatchRunResult run_many(const std::vector<Tensor>& inputs,
+                          Context& ctx) const;
 
  private:
   std::vector<std::unique_ptr<Op>> ops_;

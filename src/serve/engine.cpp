@@ -1,0 +1,505 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <system_error>
+#include <utility>
+
+#include "common/failpoint.hpp"
+#include "common/timer.hpp"
+#include "core/batched.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace autogemm::serve {
+
+namespace {
+
+/// Process-wide registry handles, resolved once (handles are stable for
+/// the registry's lifetime — same pattern as core/context.cpp).
+struct ServeObs {
+  obs::Counter* submitted_interactive;
+  obs::Counter* submitted_bulk;
+  obs::Counter* admitted;
+  obs::Counter* rejected_full;
+  obs::Counter* rejected_stopped;
+  obs::Counter* invalid;
+  obs::Counter* shed;
+  obs::Counter* expired;
+  obs::Counter* completed_ok;
+  obs::Counter* completed_error;
+  obs::Counter* batches;
+  obs::Counter* dispatched_batched;
+  obs::Counter* dispatched_single;
+  obs::Gauge* queue_depth;
+  obs::Histogram* queue_seconds_interactive;
+  obs::Histogram* queue_seconds_bulk;
+  obs::Histogram* batch_size;
+};
+
+ServeObs& serve_obs() {
+  static ServeObs h = [] {
+    obs::Registry& r = obs::default_registry();
+    ServeObs x;
+    x.submitted_interactive =
+        &r.counter("autogemm_serve_submitted_total{lane=\"interactive\"}");
+    x.submitted_bulk =
+        &r.counter("autogemm_serve_submitted_total{lane=\"bulk\"}");
+    x.admitted = &r.counter("autogemm_serve_admitted_total");
+    x.rejected_full =
+        &r.counter("autogemm_serve_rejected_total{reason=\"queue_full\"}");
+    x.rejected_stopped =
+        &r.counter("autogemm_serve_rejected_total{reason=\"stopped\"}");
+    x.invalid = &r.counter("autogemm_serve_rejected_total{reason=\"invalid\"}");
+    x.shed = &r.counter("autogemm_serve_shed_total");
+    x.expired = &r.counter("autogemm_serve_expired_total");
+    x.completed_ok =
+        &r.counter("autogemm_serve_completed_total{result=\"ok\"}");
+    x.completed_error =
+        &r.counter("autogemm_serve_completed_total{result=\"error\"}");
+    x.batches = &r.counter("autogemm_serve_batches_total");
+    x.dispatched_batched =
+        &r.counter("autogemm_serve_dispatched_total{mode=\"batched\"}");
+    x.dispatched_single =
+        &r.counter("autogemm_serve_dispatched_total{mode=\"single\"}");
+    x.queue_depth = &r.gauge("autogemm_serve_queue_depth");
+    x.queue_seconds_interactive =
+        &r.histogram("autogemm_serve_queue_seconds{lane=\"interactive\"}");
+    x.queue_seconds_bulk =
+        &r.histogram("autogemm_serve_queue_seconds{lane=\"bulk\"}");
+    // Batch sizes are small integers; scale 1 keeps the log2 buckets
+    // aligned on request counts instead of microseconds.
+    x.batch_size = &r.histogram("autogemm_serve_batch_size", /*scale=*/1.0);
+    return x;
+  }();
+  return h;
+}
+
+std::chrono::steady_clock::time_point to_time_point(std::uint64_t ns) {
+  // common::now_ns() is steady_clock time-since-epoch in nanoseconds, so
+  // an absolute ns value converts losslessly to a steady time_point.
+  return std::chrono::steady_clock::time_point(std::chrono::nanoseconds(ns));
+}
+
+bool past_deadline(const GemmRequest& req, std::uint64_t now) {
+  return req.deadline_ns != 0 && now >= req.deadline_ns;
+}
+
+Status deadline_status(const GemmRequest& req, std::uint64_t now) {
+  return DeadlineExceededError(
+      "serve: request deadline passed " +
+      std::to_string((now - req.deadline_ns) / 1000) +
+      "us before execution; C untouched");
+}
+
+Status shed_status() {
+  return UnavailableError(
+      "serve: shed under overload (bulk lane, oldest first); C untouched — "
+      "resubmit when load drops");
+}
+
+}  // namespace
+
+Engine::Engine(Context& ctx, const EngineOptions& opts)
+    : ctx_(ctx),
+      opts_([&] {
+        EngineOptions o = opts;
+        if (o.queue_capacity == 0) o.queue_capacity = 1;
+        if (o.max_batch == 0) o.max_batch = 1;
+        return o;
+      }()),
+      shed_watermark_(opts_.shed_watermark != 0
+                          ? opts_.shed_watermark
+                          : std::max<std::size_t>(
+                                1, opts_.queue_capacity * 3 / 4)),
+      paused_(opts_.start_paused) {
+  try {
+    if (failpoint::should_fail("serve.spawn"))
+      throw std::system_error(std::make_error_code(
+          std::errc::resource_unavailable_try_again));
+    dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  } catch (const std::system_error&) {
+    // No dispatcher thread: serve synchronously on the caller's thread
+    // rather than refusing to serve at all. No coalescing, no lanes —
+    // but every submission still completes with an honest Status.
+    inline_ = true;
+  }
+}
+
+Engine::~Engine() { shutdown(); }
+
+std::future<Status> Engine::submit(const GemmRequest& req) {
+  return submit_internal(req, nullptr);
+}
+
+void Engine::submit(const GemmRequest& req, std::function<void(Status)> done) {
+  (void)submit_internal(req, std::move(done));
+}
+
+void Engine::finish(Pending& p, const Status& s) {
+  if (p.done) return;
+  p.done = true;
+  if (p.promise.has_value()) p.promise->set_value(s);
+  if (p.callback) {
+    try {
+      p.callback(s);
+    } catch (...) {
+      // A throwing completion callback must not take down the dispatcher;
+      // the status already reached the future.
+    }
+  }
+}
+
+std::future<Status> Engine::submit_internal(const GemmRequest& req,
+                                            std::function<void(Status)> done) {
+  ServeObs& o = serve_obs();
+  obs::SpanScope span("serve.submit",
+                      static_cast<std::uint64_t>(std::max(0, req.c.rows)),
+                      static_cast<std::uint64_t>(std::max(0, req.c.cols)));
+  (req.lane == Lane::kInteractive ? o.submitted_interactive : o.submitted_bulk)
+      ->add(1);
+
+  Pending p;
+  p.req = req;
+  std::future<Status> fut;
+  if (done == nullptr) {
+    p.promise.emplace();
+    fut = p.promise->get_future();
+  } else {
+    p.callback = std::move(done);
+  }
+
+  // Validation happens at admission so a malformed request never occupies
+  // a queue slot (and its error surfaces immediately, not a batch window
+  // later).
+  const Status valid =
+      validate_batch_item(BatchItem{req.a, req.b, req.c});
+
+  Status reject;
+  obs::Counter* reject_counter = nullptr;
+  bool run_inline = false;
+  bool have_victim = false;
+  Pending victim;
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.submitted;
+    if (!valid.ok()) {
+      ++stats_.invalid;
+      reject = valid;
+      reject_counter = o.invalid;
+    } else if (stopping_) {
+      ++stats_.rejected;
+      reject = UnavailableError("serve: engine stopped; request not admitted");
+      reject_counter = o.rejected_stopped;
+    } else if (inline_) {
+      ++stats_.admitted;
+      o.admitted->add(1);
+      run_inline = true;
+    } else {
+      bool full = depth_locked() >= opts_.queue_capacity;
+      if (!full && failpoint::should_fail("serve.queue_full")) full = true;
+      if (full && req.lane == Lane::kInteractive && !bulk_.empty()) {
+        // Backpressure with priority: an interactive arrival displaces
+        // the oldest bulk request instead of being turned away.
+        victim = std::move(bulk_.front());
+        bulk_.pop_front();
+        have_victim = true;
+        ++stats_.shed;
+        full = false;
+      }
+      if (full) {
+        ++stats_.rejected;
+        reject = ResourceExhaustedError(
+            "serve: submission queue full (capacity " +
+            std::to_string(opts_.queue_capacity) +
+            "); backpressure — retry after completions drain");
+        reject_counter = o.rejected_full;
+      } else {
+        ++stats_.admitted;
+        o.admitted->add(1);
+        p.enqueue_ns = common::now_ns();
+        (req.lane == Lane::kInteractive ? interactive_ : bulk_)
+            .push_back(std::move(p));
+        stats_.max_queue_depth =
+            std::max<std::uint64_t>(stats_.max_queue_depth, depth_locked());
+        publish_depth_locked();
+      }
+    }
+  }
+  if (have_victim) {
+    o.shed->add(1);
+    finish(victim, shed_status());
+  }
+  if (reject_counter != nullptr) {
+    reject_counter->add(1);
+    finish(p, reject);
+    return fut;
+  }
+  if (run_inline) {
+    const std::uint64_t now = common::now_ns();
+    Status s;
+    if (past_deadline(req, now)) {
+      s = deadline_status(req, now);
+      o.expired->add(1);
+      std::lock_guard lock(mu_);
+      ++stats_.expired;
+    } else {
+      s = ctx_.run(req.a, req.b, req.c);
+      o.dispatched_single->add(1);
+      (s.ok() ? o.completed_ok : o.completed_error)->add(1);
+      std::lock_guard lock(mu_);
+      ++stats_.single_dispatches;
+      ++(s.ok() ? stats_.completed_ok : stats_.completed_error);
+    }
+    finish(p, s);
+    return fut;
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void Engine::take_same_shape_locked(int m, int n, int k,
+                                    std::vector<Pending>* batch) {
+  for (std::deque<Pending>* lane : {&interactive_, &bulk_}) {
+    for (auto it = lane->begin();
+         it != lane->end() && batch->size() < opts_.max_batch;) {
+      const GemmRequest& r = it->req;
+      if (r.c.rows == m && r.c.cols == n && r.a.cols == k) {
+        batch->push_back(std::move(*it));
+        it = lane->erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void Engine::publish_depth_locked() {
+  serve_obs().queue_depth->set(static_cast<double>(depth_locked()));
+}
+
+void Engine::dispatcher_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] {
+      return stopping_ ||
+             (!paused_ && (!interactive_.empty() || !bulk_.empty()));
+    });
+    if (interactive_.empty() && bulk_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    // While stopping we drain: no shedding, no batch-window waits —
+    // everything already admitted is executed or expired, never dropped.
+    const bool draining = stopping_;
+
+    if (!draining && depth_locked() > shed_watermark_) {
+      // Graceful degradation: bulk goes first, oldest first, until the
+      // queue is back under the watermark (or the bulk lane is empty —
+      // interactive traffic is never shed here, it is bounded by
+      // admission capacity instead).
+      std::vector<Pending> victims;
+      while (!bulk_.empty() && depth_locked() > shed_watermark_) {
+        victims.push_back(std::move(bulk_.front()));
+        bulk_.pop_front();
+        ++stats_.shed;
+      }
+      if (!victims.empty()) {
+        publish_depth_locked();
+        lock.unlock();
+        serve_obs().shed->add(victims.size());
+        for (auto& v : victims) finish(v, shed_status());
+        lock.lock();
+        continue;
+      }
+    }
+
+    // Lane pick: interactive first, unless the bulk head has aged past
+    // the starvation bound (bulk_aging_ns == 0 means bulk never waits
+    // behind interactive).
+    std::deque<Pending>* lane = &interactive_;
+    if (interactive_.empty()) {
+      lane = &bulk_;
+    } else if (!bulk_.empty()) {
+      const std::uint64_t age = common::now_ns() - bulk_.front().enqueue_ns;
+      if (age >= opts_.bulk_aging_ns) lane = &bulk_;
+    }
+    std::vector<Pending> batch;
+    batch.push_back(std::move(lane->front()));
+    lane->pop_front();
+
+    const GemmRequest& seed = batch.front().req;
+    const int m = seed.c.rows, n = seed.c.cols, k = seed.a.cols;
+    take_same_shape_locked(m, n, k, &batch);
+
+    if (!draining && opts_.max_batch_delay_ns > 0 &&
+        batch.size() < opts_.max_batch) {
+      // Hold the group open for late same-shape arrivals, but never past
+      // the earliest member deadline (a full window that expires its own
+      // members would be self-defeating).
+      obs::SpanScope window_span("serve.batch",
+                                 static_cast<std::uint64_t>(m) * n,
+                                 static_cast<std::uint64_t>(batch.size()));
+      std::uint64_t wait_end = common::now_ns() + opts_.max_batch_delay_ns;
+      for (const auto& p : batch)
+        if (p.req.deadline_ns != 0 && p.req.deadline_ns < wait_end)
+          wait_end = p.req.deadline_ns;
+      while (batch.size() < opts_.max_batch && !stopping_) {
+        if (cv_.wait_until(lock, to_time_point(wait_end)) ==
+            std::cv_status::timeout) {
+          take_same_shape_locked(m, n, k, &batch);
+          break;
+        }
+        take_same_shape_locked(m, n, k, &batch);
+      }
+    }
+    publish_depth_locked();
+    lock.unlock();
+    try {
+      dispatch(std::move(batch));
+    } catch (...) {
+      // dispatch() completes each member as it goes; nothing to repair
+      // here beyond not letting an exception kill the dispatcher. (The
+      // Context entry points return Status rather than throwing; this
+      // guards allocation failure in the dispatch bookkeeping itself.)
+    }
+    lock.lock();
+  }
+}
+
+void Engine::dispatch(std::vector<Pending> batch) {
+  ServeObs& o = serve_obs();
+  const std::uint64_t now = common::now_ns();
+  for (const auto& p : batch) {
+    obs::Histogram* h = p.req.lane == Lane::kInteractive
+                            ? o.queue_seconds_interactive
+                            : o.queue_seconds_bulk;
+    h->observe(static_cast<double>(now - p.enqueue_ns) * 1e-9);
+  }
+
+  // Deadline pass: expire before execution, C untouched. Stats land
+  // before any future resolves, so a caller that saw every future of a
+  // dispatch complete reads consistent accounting.
+  std::vector<Pending> live;
+  std::vector<Pending> expired;
+  live.reserve(batch.size());
+  for (auto& p : batch) {
+    (past_deadline(p.req, now) ? expired : live).push_back(std::move(p));
+  }
+  if (!expired.empty()) {
+    o.expired->add(expired.size());
+    {
+      std::lock_guard lock(mu_);
+      stats_.expired += expired.size();
+    }
+    for (auto& p : expired) finish(p, deadline_status(p.req, now));
+  }
+  if (live.empty()) return;
+
+  obs::SpanScope span("serve.dispatch",
+                      static_cast<std::uint64_t>(live.size()),
+                      static_cast<std::uint64_t>(live.front().req.c.rows));
+
+  // Members whose operands conflict (a C feeding another member, or two
+  // members sharing an output) cannot run concurrently in one batch;
+  // both sides of each conflicting pair demote to single-shot dispatches
+  // after the group (sweep-based, shared with validate_batch's check).
+  std::vector<BatchItem> items;
+  items.reserve(live.size());
+  for (const auto& p : live)
+    items.push_back(BatchItem{p.req.a, p.req.b, p.req.c});
+  const std::vector<std::size_t> conflicted =
+      find_cross_member_conflicts(items);
+  std::vector<std::size_t> grouped, singles;
+  for (std::size_t i = 0, c = 0; i < live.size(); ++i) {
+    if (c < conflicted.size() && conflicted[c] == i) {
+      singles.push_back(i);
+      ++c;
+    } else {
+      grouped.push_back(i);
+    }
+  }
+  if (grouped.size() < 2) {
+    singles.insert(singles.begin(), grouped.begin(), grouped.end());
+    std::sort(singles.begin(), singles.end());
+    grouped.clear();
+  }
+
+  // Execute everything, then publish stats, then resolve futures — same
+  // ordering rationale as the deadline pass above.
+  std::vector<Status> statuses(live.size());
+  std::uint64_t ok = 0, failed = 0;
+  if (!grouped.empty()) {
+    if (singles.empty()) {
+      // The common path: the whole dispatch is one group; `items` is
+      // already exactly it.
+    } else {
+      items.clear();
+      for (std::size_t i : grouped)
+        items.push_back(BatchItem{live[i].req.a, live[i].req.b, live[i].req.c});
+    }
+    // Prevalidated: every member passed validate_batch_item at admission
+    // and conflict-swept members were demoted to singles above.
+    const Status s = ctx_.run_batched_prevalidated(items);
+    o.batches->add(1);
+    o.dispatched_batched->add(grouped.size());
+    o.batch_size->observe(static_cast<double>(grouped.size()));
+    (s.ok() ? o.completed_ok : o.completed_error)->add(grouped.size());
+    (s.ok() ? ok : failed) += grouped.size();
+    for (std::size_t i : grouped) statuses[i] = s;
+  }
+  for (std::size_t i : singles) {
+    statuses[i] = ctx_.run(live[i].req.a, live[i].req.b, live[i].req.c);
+    o.dispatched_single->add(1);
+    (statuses[i].ok() ? o.completed_ok : o.completed_error)->add(1);
+    ++(statuses[i].ok() ? ok : failed);
+  }
+  {
+    std::lock_guard lock(mu_);
+    stats_.completed_ok += ok;
+    stats_.completed_error += failed;
+    if (!grouped.empty()) {
+      ++stats_.batches;
+      stats_.batched_requests += grouped.size();
+    }
+    stats_.single_dispatches += singles.size();
+  }
+  for (std::size_t i = 0; i < live.size(); ++i) finish(live[i], statuses[i]);
+}
+
+void Engine::pause() {
+  std::lock_guard lock(mu_);
+  paused_ = true;
+}
+
+void Engine::resume() {
+  {
+    std::lock_guard lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void Engine::shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+    paused_ = false;
+  }
+  cv_.notify_all();
+  std::lock_guard jl(join_mu_);
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+std::size_t Engine::queue_depth() const {
+  std::lock_guard lock(mu_);
+  return depth_locked();
+}
+
+ServerStats Engine::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace autogemm::serve

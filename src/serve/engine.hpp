@@ -1,0 +1,224 @@
+// autogemm::serve — asynchronous shape-bucketed GEMM serving engine.
+//
+// The ROADMAP's deployment target serves *streams* of GEMM requests whose
+// shapes repeat heavily (the paper's irregular-workload observation: cost
+// is dominated by dispatch and packing overhead, not flops). Every layer
+// below this one is synchronous: a caller drives Context::run on its own
+// thread and pays the full per-call overhead per request. The serve
+// engine is the missing layer between the tuned kernels and that traffic
+// pattern:
+//
+//   * clients submit GemmRequests (operands + optional absolute deadline
+//     + priority lane) and get a std::future<Status> or a completion
+//     callback — submission never blocks on GEMM execution;
+//   * a bounded MPSC queue applies explicit backpressure: a full queue
+//     rejects with kResourceExhausted (never a silent drop), except that
+//     an interactive arrival may displace the oldest bulk request (which
+//     then completes with kUnavailable — shed, not dropped);
+//   * the dispatcher thread coalesces same-shape requests within a
+//     configurable max-batch-delay window and dispatches the group
+//     through Context::run_batched, which amortizes plan resolution and
+//     packs a group-shared A/B operand once; distinct shapes fall
+//     through to single-shot Context::run;
+//   * a deadline scheduler completes past-deadline requests with
+//     kDeadlineExceeded *before* execution (their C is never written);
+//   * two priority lanes — interactive and bulk — with starvation-free
+//     aging: a bulk request whose queue age exceeds bulk_aging_ns is
+//     served ahead of younger interactive traffic;
+//   * graceful degradation under overload: above the shed watermark the
+//     bulk lane is shed oldest-first (kUnavailable), reported through
+//     Status, ServerStats and the obs registry.
+//
+// Every admission decision and dispatch mirrors onto
+// obs::default_registry() (queue-depth gauge, admission/shed/expiry
+// counters, per-lane queue-latency and batch-size histograms) with
+// serve.submit / serve.batch / serve.dispatch trace spans.
+//
+// Layering: serve depends on core (Context, batched) and obs/common
+// only; nothing below depends back on serve (see DESIGN.md).
+//
+// ## Lifecycle
+//
+// The engine owns its dispatcher thread: started in the constructor,
+// drained and joined by shutdown() (the destructor calls it). After
+// shutdown, submissions are rejected with kUnavailable; requests already
+// queued at shutdown are drained — executed or deadline-expired, never
+// abandoned. Every accepted future/callback completes exactly once, on
+// every path. If the dispatcher thread cannot be spawned at all, the
+// engine falls back to inline mode: submit() executes synchronously on
+// the caller's thread (no coalescing, but no lost requests either).
+//
+// Completion callbacks run on the dispatcher thread; they must be cheap
+// and must not block (a slow callback stalls every queued request).
+// Operand buffers must stay alive and unmodified from submit() until the
+// request completes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/status.hpp"
+#include "core/context.hpp"
+
+#include <condition_variable>
+
+namespace autogemm::serve {
+
+/// Priority lane. Interactive requests are served first; bulk requests
+/// age into priority (see EngineOptions::bulk_aging_ns) and are the
+/// first to be shed under overload.
+enum class Lane { kInteractive, kBulk };
+
+/// One C += A * B request. Views are not copied: the underlying buffers
+/// must outlive the request's completion.
+struct GemmRequest {
+  common::ConstMatrixView a;
+  common::ConstMatrixView b;
+  common::MatrixView c;
+  Lane lane = Lane::kBulk;
+  /// Absolute deadline in common::now_ns() time; 0 = no deadline. A
+  /// request past its deadline completes with kDeadlineExceeded before
+  /// execution — its C is never written.
+  std::uint64_t deadline_ns = 0;
+};
+
+struct EngineOptions {
+  /// Bound on queued (admitted, not yet dispatched) requests across both
+  /// lanes. A full queue rejects with kResourceExhausted.
+  std::size_t queue_capacity = 1024;
+  /// Largest same-shape group dispatched as one Context::run_batched call.
+  std::size_t max_batch = 64;
+  /// How long the dispatcher holds an under-filled same-shape group open
+  /// for more arrivals. 0 = dispatch immediately with whatever is already
+  /// queued (coalescing still happens across the backlog).
+  std::uint64_t max_batch_delay_ns = 200'000;
+  /// A bulk request older than this is served ahead of younger
+  /// interactive traffic (starvation freedom). 0 = bulk is never made to
+  /// wait behind interactive at all — a determinism hook for tests.
+  std::uint64_t bulk_aging_ns = 2'000'000;
+  /// Queue depth above which the dispatcher sheds the bulk lane,
+  /// oldest-first, with kUnavailable. 0 = three quarters of
+  /// queue_capacity.
+  std::size_t shed_watermark = 0;
+  /// Construct with the dispatcher paused (tests build deterministic
+  /// backlogs, then resume()).
+  bool start_paused = false;
+};
+
+/// Monotonic request accounting. Terminal outcomes partition admissions:
+/// after a drain (shutdown or an idle engine),
+///   submitted == admitted + rejected + invalid
+///   admitted  == completed_ok + completed_error + shed + expired
+/// accounting_clean() checks exactly that; serve-replay and CI assert it.
+struct ServerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;   ///< backpressure (queue full) or stopped
+  std::uint64_t invalid = 0;    ///< failed validation, never queued
+  std::uint64_t shed = 0;       ///< bulk shed under overload (kUnavailable)
+  std::uint64_t expired = 0;    ///< deadline exceeded before execution
+  std::uint64_t completed_ok = 0;
+  std::uint64_t completed_error = 0;
+  std::uint64_t batches = 0;            ///< run_batched dispatches
+  std::uint64_t batched_requests = 0;   ///< requests inside those batches
+  std::uint64_t single_dispatches = 0;  ///< requests served by run()
+  std::uint64_t max_queue_depth = 0;
+
+  bool accounting_clean() const {
+    return submitted == admitted + rejected + invalid &&
+           admitted == completed_ok + completed_error + shed + expired;
+  }
+};
+
+class Engine {
+ public:
+  explicit Engine(Context& ctx, const EngineOptions& opts = {});
+  ~Engine();  // shutdown(): drains and joins the dispatcher
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Submits a request; the future completes exactly once with the
+  /// request's terminal Status (kOk, an execution error, kUnavailable
+  /// when shed, kDeadlineExceeded when expired, kResourceExhausted when
+  /// rejected at admission, kInvalidArgument when malformed). Thread-safe
+  /// (the MPSC producer side).
+  std::future<Status> submit(const GemmRequest& req);
+
+  /// Callback flavor: `done` is invoked exactly once with the terminal
+  /// Status — on the dispatcher thread for queued requests, on the
+  /// calling thread for admission-time rejections. Must not block.
+  void submit(const GemmRequest& req, std::function<void(Status)> done);
+
+  /// Stops/resumes dispatching (admission stays open; the queue fills up
+  /// to capacity). Test hook for building deterministic backlogs.
+  void pause();
+  void resume();
+
+  /// Stops admitting, drains everything already queued (execute or
+  /// expire), joins the dispatcher. Idempotent.
+  void shutdown();
+
+  /// Admitted-but-undispatched requests across both lanes.
+  std::size_t queue_depth() const;
+
+  ServerStats stats() const;
+
+  /// True when the dispatcher thread could not be spawned and the engine
+  /// serves submissions synchronously on the caller's thread.
+  bool inline_mode() const { return inline_; }
+
+ private:
+  struct Pending {
+    GemmRequest req;
+    /// Engaged only for future-flavor submissions; the callback flavor
+    /// skips the promise's shared-state allocation entirely (it is a
+    /// measurable per-request cost at serving rates — see bench_serve).
+    std::optional<std::promise<Status>> promise;
+    std::function<void(Status)> callback;
+    std::uint64_t enqueue_ns = 0;
+    bool done = false;
+  };
+
+  std::future<Status> submit_internal(const GemmRequest& req,
+                                      std::function<void(Status)> done);
+  void dispatcher_loop();
+  /// Executes (or expires) a dequeued same-shape group. Runs unlocked.
+  void dispatch(std::vector<Pending> batch);
+  /// Completes the promise + callback exactly once (stats are counted at
+  /// the call sites, which know the outcome category).
+  static void finish(Pending& p, const Status& s);
+  /// Moves every queued request matching (m, n, k) into *batch, both
+  /// lanes, FIFO within each lane, up to max_batch.
+  void take_same_shape_locked(int m, int n, int k,
+                              std::vector<Pending>* batch);
+  std::size_t depth_locked() const {
+    return interactive_.size() + bulk_.size();
+  }
+  void publish_depth_locked();
+
+  Context& ctx_;
+  const EngineOptions opts_;
+  const std::size_t shed_watermark_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> interactive_;
+  std::deque<Pending> bulk_;
+  ServerStats stats_;
+  bool paused_ = false;
+  bool stopping_ = false;
+
+  bool inline_ = false;  // set once in the constructor, then read-only
+  std::mutex join_mu_;
+  std::thread dispatcher_;
+};
+
+}  // namespace autogemm::serve

@@ -103,28 +103,170 @@ TEST(Batched, ContextOverloadUsesOwnPool) {
               testutil::gemm_tolerance(p->a.cols()));
 }
 
-TEST(Batched, DeprecatedGlobalPathStillWorks) {
-  std::vector<std::unique_ptr<Stored>> problems;
-  problems.push_back(std::make_unique<Stored>(8, 8, 8, 21));
-  problems.push_back(std::make_unique<Stored>(33, 17, 9, 22));
-  std::vector<BatchItem> items;
-  for (auto& p : problems)
-    items.push_back({p->a.view(), p->b.view(), p->c.view()});
-  common::ThreadPool pool(3);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  gemm_batched(items, &pool);
-#pragma GCC diagnostic pop
-  for (const auto& p : problems)
-    EXPECT_LT(common::max_rel_error(p->c.view(), p->c_ref.view()),
-              testutil::gemm_tolerance(p->a.cols()));
-}
-
 TEST(Batched, EmptyBatchIsNoop) {
   Context ctx;
   gemm_batched({}, ctx);
   Plan plan(4, 4, 4, default_config(4, 4, 4));
   gemm_batched({}, plan);
+  EXPECT_TRUE(ctx.run_batched({}).ok());
+}
+
+// A batch whose every member is degenerate (M, N or K of zero) is a
+// well-defined accumulate no-op: OK status, no C element written.
+TEST(Batched, AllDegenerateBatchIsOk) {
+  Matrix a0(0, 8), b0(8, 0), c0(0, 0);
+  Matrix a1(4, 0), b1(0, 6), c1(4, 6);
+  common::fill_random(c1.view(), 3);
+  Matrix c1_before(4, 6);
+  for (int r = 0; r < 4; ++r)
+    for (int j = 0; j < 6; ++j) c1_before.at(r, j) = c1.at(r, j);
+  Context ctx;
+  const Status s = ctx.run_batched(
+      {{a0.view(), b0.view(), c0.view()}, {a1.view(), b1.view(), c1.view()}});
+  EXPECT_TRUE(s.ok()) << s.message();
+  for (int r = 0; r < 4; ++r)
+    for (int j = 0; j < 6; ++j)
+      EXPECT_EQ(c1.at(r, j), c1_before.at(r, j)) << "K==0 member wrote to C";
+}
+
+// Degenerate members mixed into a batch of real work: the no-ops are
+// skipped, every real member still computes correctly.
+TEST(Batched, MixedDegenerateMembersAreNoops) {
+  std::vector<std::unique_ptr<Stored>> problems;
+  problems.push_back(std::make_unique<Stored>(16, 12, 8, 31));
+  problems.push_back(std::make_unique<Stored>(16, 12, 8, 32));
+  Matrix ka(16, 0), kb(0, 12), kc(16, 12);  // K == 0
+  common::fill_random(kc.view(), 33);
+  Matrix kc_before(16, 12);
+  for (int r = 0; r < 16; ++r)
+    for (int j = 0; j < 12; ++j) kc_before.at(r, j) = kc.at(r, j);
+  Matrix ea(0, 8), eb(8, 12), ec(0, 12);  // M == 0
+
+  std::vector<BatchItem> items;
+  items.push_back({problems[0]->a.view(), problems[0]->b.view(),
+                   problems[0]->c.view()});
+  items.push_back({ka.view(), kb.view(), kc.view()});
+  items.push_back({ea.view(), eb.view(), ec.view()});
+  items.push_back({problems[1]->a.view(), problems[1]->b.view(),
+                   problems[1]->c.view()});
+
+  ContextOptions opts;
+  opts.threads = 1;
+  Context ctx(opts);
+  const Status s = ctx.run_batched(items);
+  EXPECT_TRUE(s.ok()) << s.message();
+  for (const auto& p : problems)
+    EXPECT_LT(common::max_rel_error(p->c.view(), p->c_ref.view()),
+              testutil::gemm_tolerance(p->a.cols()));
+  for (int r = 0; r < 16; ++r)
+    for (int j = 0; j < 12; ++j) EXPECT_EQ(kc.at(r, j), kc_before.at(r, j));
+}
+
+// Two members writing the same C fail whole-batch validation with
+// kInvalidArgument before anything executes: every C stays untouched.
+TEST(Batched, CrossMemberOutputAliasRejected) {
+  Stored p0(8, 8, 8, 41), p1(8, 8, 8, 42);
+  Matrix c0_before(8, 8);
+  for (int r = 0; r < 8; ++r)
+    for (int j = 0; j < 8; ++j) c0_before.at(r, j) = p0.c.at(r, j);
+  Context ctx;
+  const Status s = ctx.run_batched(
+      {{p0.a.view(), p0.b.view(), p0.c.view()},
+       {p1.a.view(), p1.b.view(), p0.c.view()}});  // same C as item 0
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("C outputs overlap"), std::string::npos)
+      << s.message();
+  for (int r = 0; r < 8; ++r)
+    for (int j = 0; j < 8; ++j) EXPECT_EQ(p0.c.at(r, j), c0_before.at(r, j));
+}
+
+// A member whose C is another member's *input* is rejected too (members
+// run concurrently; the read would race the write).
+TEST(Batched, CrossMemberInputAliasRejected) {
+  Stored p0(8, 8, 8, 51), p1(8, 8, 8, 52);
+  Context ctx;
+  const Status s = ctx.run_batched(
+      {{p0.a.view(), p0.b.view(), p0.c.view()},
+       {common::ConstMatrixView(p0.c.view()), p1.b.view(), p1.c.view()}});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("input operand"), std::string::npos)
+      << s.message();
+}
+
+// An invalid member (inner dimensions disagree) fails the whole batch and
+// no other member's C is written — callers can retry member-by-member.
+TEST(Batched, InvalidMemberFailsWholeBatchUntouched) {
+  Stored good(8, 8, 8, 61);
+  Matrix bad_a(8, 5), bad_b(7, 8), bad_c(8, 8);  // 5 != 7
+  Matrix good_before(8, 8);
+  for (int r = 0; r < 8; ++r)
+    for (int j = 0; j < 8; ++j) good_before.at(r, j) = good.c.at(r, j);
+  Context ctx;
+  const Status s = ctx.run_batched(
+      {{good.a.view(), good.b.view(), good.c.view()},
+       {bad_a.view(), bad_b.view(), bad_c.view()}});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  for (int r = 0; r < 8; ++r)
+    for (int j = 0; j < 8; ++j) EXPECT_EQ(good.c.at(r, j), good_before.at(r, j));
+}
+
+// find_cross_member_conflicts reports both sides of each overlapping pair
+// and nothing else — the serve engine demotes exactly this set.
+TEST(Batched, FindCrossMemberConflicts) {
+  Stored p0(8, 8, 8, 71), p1(8, 8, 8, 72), p2(8, 8, 8, 73), p3(8, 8, 8, 74);
+  std::vector<BatchItem> items = {
+      {p0.a.view(), p0.b.view(), p0.c.view()},
+      {p1.a.view(), p1.b.view(), p1.c.view()},
+      {p2.a.view(), p2.b.view(), p1.c.view()},  // C aliases item 1's C
+      {p3.a.view(), p3.b.view(), p3.c.view()},
+  };
+  const std::vector<std::size_t> conflicted =
+      find_cross_member_conflicts(items);
+  EXPECT_EQ(conflicted, (std::vector<std::size_t>{1, 2}));
+  EXPECT_TRUE(find_cross_member_conflicts(
+                  {{p0.a.view(), p0.b.view(), p0.c.view()},
+                   {p1.a.view(), p1.b.view(), p1.c.view()}})
+                  .empty());
+}
+
+// Same-shape groups run through the shared-scratch serial path
+// (detail::gemm_group_serial). Multi-block shapes with per-member operand
+// buffers catch stale packed-block caching across members: a block packed
+// for member i must not be reused for member i+1's different buffers.
+TEST(Batched, GroupSerialMultiBlockMembersIndependent) {
+  const int m = 96, n = 80, k = 72;  // several blocks per dimension
+  std::vector<std::unique_ptr<Stored>> problems;
+  std::vector<BatchItem> items;
+  for (int i = 0; i < 4; ++i) {
+    problems.push_back(std::make_unique<Stored>(m, n, k, 80 + 3 * i));
+    items.push_back({problems.back()->a.view(), problems.back()->b.view(),
+                     problems.back()->c.view()});
+  }
+  ContextOptions opts;
+  opts.threads = 1;  // serial branch -> one scratch shared by the group
+  Context ctx(opts);
+  const Status s = ctx.run_batched(items);
+  EXPECT_TRUE(s.ok()) << s.message();
+  for (const auto& p : problems)
+    EXPECT_LT(common::max_rel_error(p->c.view(), p->c_ref.view()),
+              testutil::gemm_tolerance(k));
+}
+
+// The prevalidated entry produces the same results as the validating one
+// on a valid batch (the serve engine's dispatch path).
+TEST(Batched, PrevalidatedEntryMatches) {
+  std::vector<std::unique_ptr<Stored>> problems;
+  std::vector<BatchItem> items;
+  for (int i = 0; i < 3; ++i) {
+    problems.push_back(std::make_unique<Stored>(24, 16, 12, 90 + i));
+    items.push_back({problems.back()->a.view(), problems.back()->b.view(),
+                     problems.back()->c.view()});
+  }
+  Context ctx;
+  EXPECT_TRUE(ctx.run_batched_prevalidated(items).ok());
+  for (const auto& p : problems)
+    EXPECT_LT(common::max_rel_error(p->c.view(), p->c_ref.view()),
+              testutil::gemm_tolerance(12));
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include "common/reference_gemm.hpp"
 #include "common/rng.hpp"
+#include "core/context.hpp"
 #include "dnn/graph.hpp"
 #include "dnn/im2col.hpp"
 #include "dnn/models.hpp"
@@ -239,6 +240,31 @@ TEST(Graph, SoftmaxIsStableForLargeInputs) {
   Softmax sm;
   const Tensor out = sm.forward(t, naive_backend());
   for (float v : out.data) EXPECT_NEAR(v, 1.0f / 3.0f, 1e-5);
+}
+
+TEST(Graph, RunManyMatchesPerInputRun) {
+  // The batched executor (one Context::run_batched group per GEMM layer)
+  // must produce the same outputs as running each input through run()
+  // individually — coalescing is a scheduling change, not a numeric one.
+  Net net = build_small_cnn();
+  std::vector<Tensor> inputs;
+  for (unsigned seed = 4; seed < 9; ++seed)
+    inputs.push_back(small_cnn_input(seed));
+
+  ContextOptions opts;
+  opts.threads = 1;
+  Context ctx(opts);
+  const auto batched = net.run_many(inputs, ctx);
+  ASSERT_EQ(batched.outputs.size(), inputs.size());
+
+  const GemmBackend backend = context_backend(ctx);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto single = net.run(inputs[i], backend);
+    ASSERT_EQ(batched.outputs[i].size(), single.output.size());
+    for (long j = 0; j < single.output.size(); ++j)
+      EXPECT_NEAR(batched.outputs[i].data[j], single.output.data[j], 1e-3)
+          << "input " << i << " element " << j;
+  }
 }
 
 }  // namespace

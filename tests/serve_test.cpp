@@ -1,0 +1,544 @@
+// serve::Engine: admission, coalescing, lanes, deadlines, shedding,
+// failpoints, shutdown semantics and the accounting invariant.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.hpp"
+#include "common/matrix.hpp"
+#include "common/reference_gemm.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/context.hpp"
+#include "obs/metrics.hpp"
+#include "serve/engine.hpp"
+#include "test_util.hpp"
+
+namespace autogemm::serve {
+namespace {
+
+using common::Matrix;
+
+/// One request's operands plus the reference result (C starts zero, so
+/// the expected accumulate result is plain A*B).
+struct Problem {
+  Matrix a, b, c, c_ref;
+  Problem(int m, int n, int k, int seed)
+      : a(m, k), b(k, n), c(m, n), c_ref(m, n) {
+    common::fill_random(a.view(), seed);
+    common::fill_random(b.view(), seed + 1);
+    common::reference_gemm(a.view(), b.view(), c_ref.view());
+  }
+  GemmRequest request(Lane lane = Lane::kBulk, std::uint64_t deadline = 0) {
+    GemmRequest r;
+    r.a = a.view();
+    r.b = b.view();
+    r.c = c.view();
+    r.lane = lane;
+    r.deadline_ns = deadline;
+    return r;
+  }
+  bool c_matches_ref() const {
+    return common::max_rel_error(c.view(), c_ref.view()) <
+           testutil::gemm_tolerance(a.cols());
+  }
+  bool c_untouched() const {
+    for (int r = 0; r < c.rows(); ++r)
+      for (int j = 0; j < c.cols(); ++j)
+        if (c.at(r, j) != 0.0f) return false;
+    return true;
+  }
+};
+
+Context& test_ctx() {
+  static ContextOptions opts = [] {
+    ContextOptions o;
+    o.threads = 1;
+    return o;
+  }();
+  static Context ctx(opts);
+  return ctx;
+}
+
+TEST(Serve, SingleRequestCompletesCorrectly) {
+  Problem p(16, 12, 8, 1);
+  Engine engine(test_ctx());
+  std::future<Status> f = engine.submit(p.request());
+  const Status s = f.get();
+  EXPECT_TRUE(s.ok()) << s.message();
+  EXPECT_TRUE(p.c_matches_ref());
+  engine.shutdown();
+  EXPECT_TRUE(engine.stats().accounting_clean());
+}
+
+TEST(Serve, SameShapeRequestsCoalesceIntoOneBatch) {
+  std::vector<std::unique_ptr<Problem>> ps;
+  for (int i = 0; i < 8; ++i) ps.push_back(std::make_unique<Problem>(8, 8, 8, 10 + i));
+  EngineOptions opts;
+  opts.start_paused = true;  // build the backlog, then release it at once
+  opts.max_batch_delay_ns = 0;
+  Engine engine(test_ctx(), opts);
+  std::vector<std::future<Status>> fs;
+  for (auto& p : ps) fs.push_back(engine.submit(p->request()));
+  EXPECT_EQ(engine.queue_depth(), 8u);
+  engine.resume();
+  for (auto& f : fs) EXPECT_TRUE(f.get().ok());
+  for (auto& p : ps) EXPECT_TRUE(p->c_matches_ref());
+  const ServerStats st = engine.stats();
+  EXPECT_EQ(st.batches, 1u);
+  EXPECT_EQ(st.batched_requests, 8u);
+  EXPECT_EQ(st.single_dispatches, 0u);
+  EXPECT_TRUE(st.accounting_clean());
+}
+
+TEST(Serve, MixedShapesAllComplete) {
+  std::vector<std::unique_ptr<Problem>> ps;
+  ps.push_back(std::make_unique<Problem>(8, 8, 8, 20));
+  ps.push_back(std::make_unique<Problem>(24, 16, 12, 21));
+  ps.push_back(std::make_unique<Problem>(8, 8, 8, 22));
+  ps.push_back(std::make_unique<Problem>(33, 17, 9, 23));
+  EngineOptions opts;
+  opts.start_paused = true;
+  opts.max_batch_delay_ns = 0;
+  Engine engine(test_ctx(), opts);
+  std::vector<std::future<Status>> fs;
+  for (auto& p : ps) fs.push_back(engine.submit(p->request()));
+  engine.resume();
+  for (auto& f : fs) EXPECT_TRUE(f.get().ok());
+  for (auto& p : ps) EXPECT_TRUE(p->c_matches_ref());
+  EXPECT_TRUE(engine.stats().accounting_clean());
+}
+
+TEST(Serve, BackpressureRejectsBulkWhenFull) {
+  EngineOptions opts;
+  opts.queue_capacity = 4;
+  opts.shed_watermark = 4;  // isolate admission backpressure from shedding
+  opts.start_paused = true;
+  Engine engine(test_ctx(), opts);
+  std::vector<std::unique_ptr<Problem>> ps;
+  std::vector<std::future<Status>> fs;
+  for (int i = 0; i < 4; ++i) {
+    ps.push_back(std::make_unique<Problem>(8, 8, 8, 30 + i));
+    fs.push_back(engine.submit(ps.back()->request()));
+  }
+  Problem extra(8, 8, 8, 39);
+  std::future<Status> rejected = engine.submit(extra.request());
+  // Rejection is immediate — the future is ready before any dispatch.
+  ASSERT_EQ(rejected.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(rejected.get().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(extra.c_untouched());
+  engine.resume();
+  for (auto& f : fs) EXPECT_TRUE(f.get().ok());
+  const ServerStats st = engine.stats();
+  EXPECT_EQ(st.rejected, 1u);
+  EXPECT_TRUE(st.accounting_clean());
+}
+
+TEST(Serve, InteractiveDisplacesOldestBulkWhenFull) {
+  EngineOptions opts;
+  opts.queue_capacity = 2;
+  opts.shed_watermark = 2;  // isolate displacement from watermark shedding
+  opts.start_paused = true;
+  Engine engine(test_ctx(), opts);
+  Problem b0(8, 8, 8, 40), b1(8, 8, 8, 41), inter(8, 8, 8, 42);
+  std::future<Status> f0 = engine.submit(b0.request(Lane::kBulk));
+  std::future<Status> f1 = engine.submit(b1.request(Lane::kBulk));
+  std::future<Status> fi = engine.submit(inter.request(Lane::kInteractive));
+  // The oldest bulk request was shed to make room — kUnavailable, not a
+  // silent drop, and its C was never written.
+  ASSERT_EQ(f0.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(f0.get().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(b0.c_untouched());
+  engine.resume();
+  EXPECT_TRUE(f1.get().ok());
+  EXPECT_TRUE(fi.get().ok());
+  EXPECT_TRUE(inter.c_matches_ref());
+  const ServerStats st = engine.stats();
+  EXPECT_EQ(st.shed, 1u);
+  EXPECT_TRUE(st.accounting_clean());
+}
+
+TEST(Serve, PastDeadlineExpiresBeforeExecution) {
+  EngineOptions opts;
+  opts.start_paused = true;
+  Engine engine(test_ctx(), opts);
+  Problem p(8, 8, 8, 50);
+  std::future<Status> f =
+      engine.submit(p.request(Lane::kBulk, common::now_ns() - 1));
+  engine.resume();
+  const Status s = f.get();
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(p.c_untouched());
+  const ServerStats st = engine.stats();
+  EXPECT_EQ(st.expired, 1u);
+  EXPECT_TRUE(st.accounting_clean());
+}
+
+TEST(Serve, FutureDeadlineDoesNotExpire) {
+  Engine engine(test_ctx());
+  Problem p(8, 8, 8, 55);
+  std::future<Status> f = engine.submit(
+      p.request(Lane::kBulk, common::now_ns() + 10'000'000'000ull));
+  EXPECT_TRUE(f.get().ok());
+  EXPECT_TRUE(p.c_matches_ref());
+}
+
+TEST(Serve, BulkAgingZeroServesBulkFirst) {
+  // bulk_aging_ns == 0: the bulk head always counts as aged, so it is
+  // dispatched ahead of interactive traffic (the determinism hook).
+  EngineOptions opts;
+  opts.start_paused = true;
+  opts.bulk_aging_ns = 0;
+  opts.max_batch_delay_ns = 0;
+  Engine engine(test_ctx(), opts);
+  Problem bulk(8, 8, 8, 60), inter(12, 12, 12, 61);
+  std::mutex mu;
+  std::vector<std::string> order;
+  engine.submit(bulk.request(Lane::kBulk), [&](Status s) {
+    std::lock_guard lock(mu);
+    order.push_back(s.ok() ? "bulk" : "bulk-err");
+  });
+  engine.submit(inter.request(Lane::kInteractive), [&](Status s) {
+    std::lock_guard lock(mu);
+    order.push_back(s.ok() ? "interactive" : "interactive-err");
+  });
+  engine.resume();
+  engine.shutdown();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "bulk");
+  EXPECT_EQ(order[1], "interactive");
+}
+
+TEST(Serve, FreshBulkWaitsBehindInteractive) {
+  // Default aging: a just-submitted bulk request has not aged, so the
+  // interactive lane goes first even though bulk was queued earlier.
+  EngineOptions opts;
+  opts.start_paused = true;
+  opts.max_batch_delay_ns = 0;
+  Engine engine(test_ctx(), opts);
+  Problem bulk(8, 8, 8, 65), inter(12, 12, 12, 66);
+  std::mutex mu;
+  std::vector<std::string> order;
+  engine.submit(bulk.request(Lane::kBulk), [&](Status) {
+    std::lock_guard lock(mu);
+    order.push_back("bulk");
+  });
+  engine.submit(inter.request(Lane::kInteractive), [&](Status) {
+    std::lock_guard lock(mu);
+    order.push_back("interactive");
+  });
+  engine.resume();
+  engine.shutdown();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "interactive");
+}
+
+TEST(Serve, WatermarkShedsBulkOldestFirst) {
+  EngineOptions opts;
+  opts.queue_capacity = 16;
+  opts.shed_watermark = 4;
+  opts.start_paused = true;
+  opts.max_batch_delay_ns = 0;
+  Engine engine(test_ctx(), opts);
+  std::vector<std::unique_ptr<Problem>> bulk;
+  std::vector<std::future<Status>> bulk_fs;
+  for (int i = 0; i < 6; ++i) {
+    bulk.push_back(std::make_unique<Problem>(8, 8, 8, 70 + i));
+    bulk_fs.push_back(engine.submit(bulk.back()->request(Lane::kBulk)));
+  }
+  std::vector<std::unique_ptr<Problem>> inter;
+  std::vector<std::future<Status>> inter_fs;
+  for (int i = 0; i < 2; ++i) {
+    inter.push_back(std::make_unique<Problem>(8, 8, 8, 76 + i));
+    inter_fs.push_back(
+        engine.submit(inter.back()->request(Lane::kInteractive)));
+  }
+  // resume() only — shutting down here could race the dispatcher into
+  // drain mode (draining never sheds). The futures block until every
+  // outcome is decided.
+  engine.resume();
+  // Depth 8 > watermark 4: the dispatcher sheds the four oldest bulk
+  // requests; interactive is never shed here.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(bulk_fs[i].get().code(), StatusCode::kUnavailable) << i;
+    EXPECT_TRUE(bulk[i]->c_untouched()) << i;
+  }
+  for (int i = 4; i < 6; ++i) EXPECT_TRUE(bulk_fs[i].get().ok()) << i;
+  for (auto& f : inter_fs) EXPECT_TRUE(f.get().ok());
+  engine.shutdown();
+  const ServerStats st = engine.stats();
+  EXPECT_EQ(st.shed, 4u);
+  EXPECT_TRUE(st.accounting_clean());
+}
+
+TEST(Serve, QueueFullFailpointForcesBackpressure) {
+  failpoint::disarm_all();
+  Engine engine(test_ctx());
+  failpoint::arm("serve.queue_full", 1);
+  Problem p(8, 8, 8, 80);
+  std::future<Status> f = engine.submit(p.request(Lane::kBulk));
+  EXPECT_EQ(f.get().code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(failpoint::hits("serve.queue_full"), 1);
+  failpoint::disarm_all();
+  // The engine keeps serving once the fault clears, with clean books.
+  Problem q(8, 8, 8, 81);
+  EXPECT_TRUE(engine.submit(q.request()).get().ok());
+  engine.shutdown();
+  const ServerStats st = engine.stats();
+  EXPECT_EQ(st.rejected, 1u);
+  EXPECT_TRUE(st.accounting_clean());
+}
+
+TEST(Serve, SpawnFailpointFallsBackToInlineMode) {
+  failpoint::disarm_all();
+  failpoint::arm("serve.spawn", 1);
+  Engine engine(test_ctx());
+  failpoint::disarm_all();
+  ASSERT_TRUE(engine.inline_mode());
+  // Inline mode serves synchronously: the future is ready on return.
+  Problem p(16, 12, 8, 85);
+  std::future<Status> f = engine.submit(p.request());
+  ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_TRUE(f.get().ok());
+  EXPECT_TRUE(p.c_matches_ref());
+  // Deadlines are still honored inline.
+  Problem late(8, 8, 8, 86);
+  EXPECT_EQ(engine.submit(late.request(Lane::kBulk, common::now_ns() - 1))
+                .get()
+                .code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(late.c_untouched());
+  engine.shutdown();
+  EXPECT_TRUE(engine.stats().accounting_clean());
+}
+
+TEST(Serve, InvalidRequestFailsFastWithoutQueueing) {
+  EngineOptions opts;
+  opts.start_paused = true;  // nothing dispatches; rejection must be local
+  Engine engine(test_ctx(), opts);
+  Matrix a(8, 5), b(7, 8), c(8, 8);  // inner dimensions disagree
+  GemmRequest r;
+  r.a = a.view();
+  r.b = b.view();
+  r.c = c.view();
+  std::future<Status> f = engine.submit(r);
+  ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(f.get().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.queue_depth(), 0u);
+  const ServerStats st = engine.stats();
+  EXPECT_EQ(st.invalid, 1u);
+  EXPECT_TRUE(st.accounting_clean());  // invalid is terminal at admission
+}
+
+TEST(Serve, AliasedMembersDemotedToSingleDispatches) {
+  // Two same-shape requests writing the same C cannot run in one batch;
+  // the engine demotes both to sequential single dispatches, and both
+  // accumulates land (C += A0*B0 += A1*B1).
+  const int m = 8, n = 8, k = 8;
+  Matrix a0(m, k), b0(k, n), a1(m, k), b1(k, n), c(m, n), c_ref(m, n);
+  common::fill_random(a0.view(), 90);
+  common::fill_random(b0.view(), 91);
+  common::fill_random(a1.view(), 92);
+  common::fill_random(b1.view(), 93);
+  common::reference_gemm(a0.view(), b0.view(), c_ref.view());
+  common::reference_gemm(a1.view(), b1.view(), c_ref.view());
+
+  EngineOptions opts;
+  opts.start_paused = true;
+  opts.max_batch_delay_ns = 0;
+  Engine engine(test_ctx(), opts);
+  GemmRequest r0, r1;
+  r0.a = a0.view();
+  r0.b = b0.view();
+  r0.c = c.view();
+  r1.a = a1.view();
+  r1.b = b1.view();
+  r1.c = c.view();
+  std::future<Status> f0 = engine.submit(r0);
+  std::future<Status> f1 = engine.submit(r1);
+  engine.resume();
+  EXPECT_TRUE(f0.get().ok());
+  EXPECT_TRUE(f1.get().ok());
+  EXPECT_LT(common::max_rel_error(c.view(), c_ref.view()),
+            testutil::gemm_tolerance(k));
+  const ServerStats st = engine.stats();
+  EXPECT_EQ(st.batches, 0u);
+  EXPECT_EQ(st.single_dispatches, 2u);
+  EXPECT_TRUE(st.accounting_clean());
+}
+
+TEST(Serve, ShutdownDrainsQueueThenRejects) {
+  EngineOptions opts;
+  opts.start_paused = true;
+  Engine engine(test_ctx(), opts);
+  std::vector<std::unique_ptr<Problem>> ps;
+  std::vector<std::future<Status>> fs;
+  for (int i = 0; i < 4; ++i) {
+    ps.push_back(std::make_unique<Problem>(8, 8, 8, 100 + i));
+    fs.push_back(engine.submit(ps.back()->request()));
+  }
+  engine.shutdown();  // also unpauses: queued work is drained, not dropped
+  for (auto& f : fs) EXPECT_TRUE(f.get().ok());
+  for (auto& p : ps) EXPECT_TRUE(p->c_matches_ref());
+  Problem late(8, 8, 8, 110);
+  EXPECT_EQ(engine.submit(late.request()).get().code(),
+            StatusCode::kUnavailable);
+  engine.shutdown();  // idempotent
+  const ServerStats st = engine.stats();
+  EXPECT_EQ(st.completed_ok, 4u);
+  EXPECT_EQ(st.rejected, 1u);
+  EXPECT_TRUE(st.accounting_clean());
+}
+
+TEST(Serve, CallbackFlavorCompletesExactlyOnce) {
+  Engine engine(test_ctx());
+  Problem p(16, 12, 8, 120);
+  std::atomic<int> calls(0);
+  std::promise<Status> got;
+  engine.submit(p.request(), [&](Status s) {
+    if (calls.fetch_add(1) == 0) got.set_value(s);
+  });
+  EXPECT_TRUE(got.get_future().get().ok());
+  engine.shutdown();
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_TRUE(p.c_matches_ref());
+  EXPECT_TRUE(engine.stats().accounting_clean());
+}
+
+TEST(Serve, MetricsMirrorEngineActivity) {
+  obs::Registry& reg = obs::default_registry();
+  obs::Counter& admitted = reg.counter("autogemm_serve_admitted_total");
+  obs::Counter& batches = reg.counter("autogemm_serve_batches_total");
+  obs::Histogram& qlat =
+      reg.histogram("autogemm_serve_queue_seconds{lane=\"bulk\"}");
+  obs::Gauge& depth = reg.gauge("autogemm_serve_queue_depth");
+  const std::uint64_t admitted0 = admitted.value();
+  const std::uint64_t batches0 = batches.value();
+  const std::uint64_t qlat0 = qlat.snapshot().count;
+
+  std::vector<std::unique_ptr<Problem>> ps;
+  EngineOptions opts;
+  opts.start_paused = true;
+  opts.max_batch_delay_ns = 0;
+  Engine engine(test_ctx(), opts);
+  std::vector<std::future<Status>> fs;
+  for (int i = 0; i < 4; ++i) {
+    ps.push_back(std::make_unique<Problem>(8, 8, 8, 130 + i));
+    fs.push_back(engine.submit(ps.back()->request(Lane::kBulk)));
+  }
+  engine.resume();
+  for (auto& f : fs) EXPECT_TRUE(f.get().ok());
+  engine.shutdown();
+
+  EXPECT_EQ(admitted.value(), admitted0 + 4);
+  EXPECT_GE(batches.value(), batches0 + 1);
+  EXPECT_EQ(qlat.snapshot().count, qlat0 + 4);
+  EXPECT_EQ(depth.value(), 0.0);  // drained
+}
+
+TEST(Serve, HammerMixedLoadAllFuturesResolve) {
+  // Concurrency hammer: two submitter threads, mixed lanes, a slice of
+  // already-expired deadlines, and a fault-injected full queue against a
+  // small capacity. Every future must resolve with a Status from the
+  // allowed set, OK results must be numerically right, non-OK requests
+  // must leave C untouched, and the books must balance afterwards.
+  failpoint::disarm_all();
+  constexpr int kPerThread = 150;
+  constexpr int kThreads = 2;
+  const int m = 8, n = 8, k = 8;
+  Matrix a(m, k), b(k, n), c_ref(m, n);
+  common::fill_random(a.view(), 140);
+  common::fill_random(b.view(), 141);
+  common::reference_gemm(a.view(), b.view(), c_ref.view());
+
+  std::vector<Matrix> cs;
+  cs.reserve(kThreads * kPerThread);
+  for (int i = 0; i < kThreads * kPerThread; ++i) cs.emplace_back(m, n);
+
+  EngineOptions opts;
+  opts.queue_capacity = 32;
+  opts.max_batch = 16;
+  opts.max_batch_delay_ns = 0;
+  Engine engine(test_ctx(), opts);
+  failpoint::arm("serve.queue_full", 20);
+
+  std::vector<std::future<Status>> futures(kThreads * kPerThread);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int idx = t * kPerThread + i;
+        GemmRequest r;
+        r.a = a.view();
+        r.b = b.view();
+        r.c = cs[idx].view();
+        r.lane = i % 3 == 0 ? Lane::kInteractive : Lane::kBulk;
+        if (i % 10 == 7) r.deadline_ns = common::now_ns() - 1;  // expired
+        futures[idx] = engine.submit(r);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  engine.shutdown();
+  failpoint::disarm_all();
+
+  int ok = 0, non_ok = 0;
+  for (int i = 0; i < kThreads * kPerThread; ++i) {
+    ASSERT_TRUE(futures[i].valid());
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "future " << i << " unresolved after shutdown";
+    const Status s = futures[i].get();
+    switch (s.code()) {
+      case StatusCode::kOk: {
+        ++ok;
+        EXPECT_LT(common::max_rel_error(cs[i].view(), c_ref.view()),
+                  testutil::gemm_tolerance(k))
+            << "request " << i;
+        break;
+      }
+      case StatusCode::kUnavailable:
+      case StatusCode::kResourceExhausted:
+      case StatusCode::kDeadlineExceeded: {
+        ++non_ok;
+        for (int r = 0; r < m; ++r)
+          for (int j = 0; j < n; ++j)
+            EXPECT_EQ(cs[i].at(r, j), 0.0f)
+                << "non-OK request " << i << " wrote to C";
+        break;
+      }
+      default:
+        FAIL() << "request " << i << ": unexpected status " << s.message();
+    }
+  }
+  EXPECT_GT(ok, 0);
+  const ServerStats st = engine.stats();
+  EXPECT_EQ(st.submitted,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_TRUE(st.accounting_clean())
+      << "ok=" << ok << " non_ok=" << non_ok << " submitted=" << st.submitted
+      << " admitted=" << st.admitted << " rejected=" << st.rejected
+      << " shed=" << st.shed << " expired=" << st.expired
+      << " completed_ok=" << st.completed_ok
+      << " completed_error=" << st.completed_error;
+}
+
+TEST(Serve, StatsStartCleanAndShutdownIsIdempotent) {
+  Engine engine(test_ctx());
+  const ServerStats st0 = engine.stats();
+  EXPECT_EQ(st0.submitted, 0u);
+  EXPECT_TRUE(st0.accounting_clean());
+  engine.shutdown();
+  engine.shutdown();
+  EXPECT_TRUE(engine.stats().accounting_clean());
+}
+
+}  // namespace
+}  // namespace autogemm::serve

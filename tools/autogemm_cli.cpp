@@ -11,9 +11,19 @@
 //   autogemm trace M N K [--threads T] [--reps R] [--strategy S]
 //                        [--out FILE] [--metrics FILE]
 //                                           traced GEMM -> Chrome trace
+//   autogemm serve-replay TRACE [--capacity N] [--max-batch N]
+//                        [--window-us U] [--deadline-us U] [--threads T]
+//                        [--repeat R] [--verify]
+//                                           replay a shape trace against
+//                                           the serve engine
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -29,6 +39,7 @@
 #include "isa/asm_printer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/engine.hpp"
 #include "tiling/micro_tiling.hpp"
 #include "tune/records.hpp"
 #include "tune/tuner.hpp"
@@ -52,7 +63,12 @@ int usage() {
       "                                          traced GEMM -> Chrome trace\n"
       "                                          (open in chrome://tracing;\n"
       "                                          tools/trace_report.py makes\n"
-      "                                          the phase table)\n");
+      "                                          the phase table)\n"
+      "  serve-replay TRACE [--capacity N] [--max-batch N] [--window-us U]\n"
+      "               [--deadline-us U] [--threads T] [--repeat R] [--verify]\n"
+      "                                          replay a shape trace (lines\n"
+      "                                          of `M N K [count] [lane]`)\n"
+      "                                          against the serve engine\n");
   return 2;
 }
 
@@ -267,6 +283,188 @@ int cmd_trace(int argc, char** argv) {
   return 0;
 }
 
+// Replays a shape trace against the serve engine and prints request
+// accounting in a grep-friendly form (tools/ci.sh asserts on the
+// `overload_events=` / `accounting=` line). Trace lines are
+// `M N K [count] [lane]`; `#` starts a comment; lane is `interactive`
+// or `bulk` (default). Requests of one shape share their A and B
+// operands, so same-shape groups exercise run_batched's shared-operand
+// packing exactly as a production stream of one model's layer would.
+int cmd_serve_replay(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string path = argv[0];
+  const std::size_t capacity = static_cast<std::size_t>(
+      std::atol(flag_value(argc, argv, "--capacity", "1024")));
+  const std::size_t max_batch = static_cast<std::size_t>(
+      std::atol(flag_value(argc, argv, "--max-batch", "32")));
+  const long window_us = std::atol(flag_value(argc, argv, "--window-us", "200"));
+  const long deadline_us =
+      std::atol(flag_value(argc, argv, "--deadline-us", "0"));
+  const unsigned threads = static_cast<unsigned>(
+      std::atoi(flag_value(argc, argv, "--threads", "1")));
+  const int repeat = std::atoi(flag_value(argc, argv, "--repeat", "1"));
+  const bool verify = has_flag(argc, argv, "--verify");
+
+  struct Line {
+    int m, n, k, count;
+    serve::Lane lane;
+  };
+  std::vector<Line> lines;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read trace: %s\n", path.c_str());
+    return 1;
+  }
+  std::string raw;
+  while (std::getline(in, raw)) {
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    std::istringstream ls(raw);
+    Line line{0, 0, 0, 1, serve::Lane::kBulk};
+    if (!(ls >> line.m >> line.n >> line.k)) continue;  // blank/comment
+    std::string tok;
+    while (ls >> tok) {
+      if (tok == "interactive") line.lane = serve::Lane::kInteractive;
+      else if (tok == "bulk") line.lane = serve::Lane::kBulk;
+      else line.count = std::atoi(tok.c_str());
+    }
+    if (line.m < 0 || line.n < 0 || line.k < 0 || line.count < 1) {
+      std::fprintf(stderr, "bad trace line: %s\n", raw.c_str());
+      return 1;
+    }
+    lines.push_back(line);
+  }
+  if (lines.empty()) {
+    std::fprintf(stderr, "empty trace: %s\n", path.c_str());
+    return 1;
+  }
+
+  // One shared A/B per distinct shape; every request gets its own C.
+  struct Operands {
+    common::Matrix a, b, c_ref;
+    Operands(int m, int n, int k) : a(m, k), b(k, n), c_ref(m, n) {}
+  };
+  std::vector<std::unique_ptr<Operands>> shapes;
+  const auto shape_for = [&](int m, int n, int k) -> Operands& {
+    for (auto& s : shapes)
+      if (s->a.rows() == m && s->b.cols() == n && s->a.cols() == k) return *s;
+    shapes.push_back(std::make_unique<Operands>(m, n, k));
+    Operands& s = *shapes.back();
+    common::fill_random(s.a.view(), static_cast<unsigned>(shapes.size()));
+    common::fill_random(s.b.view(), static_cast<unsigned>(shapes.size()) + 100);
+    if (verify) common::reference_gemm(s.a.view(), s.b.view(), s.c_ref.view());
+    return s;
+  };
+
+  ContextOptions copts;
+  copts.threads = threads;
+  Context ctx(copts);
+  serve::EngineOptions eopts;
+  eopts.queue_capacity = capacity;
+  eopts.max_batch = max_batch;
+  eopts.max_batch_delay_ns = static_cast<std::uint64_t>(window_us) * 1000;
+  serve::Engine engine(ctx, eopts);
+
+  struct Submitted {
+    std::future<Status> future;
+    common::Matrix c;
+    Operands* operands;
+    Submitted(std::future<Status> f, int m, int n, Operands* o)
+        : future(std::move(f)), c(m, n), operands(o) {}
+  };
+  std::vector<std::unique_ptr<Submitted>> requests;
+  std::size_t interactive = 0, bulk = 0;
+  for (int r = 0; r < repeat; ++r) {
+    for (const Line& line : lines) {
+      Operands& ops = shape_for(line.m, line.n, line.k);
+      for (int i = 0; i < line.count; ++i) {
+        requests.push_back(std::make_unique<Submitted>(
+            std::future<Status>(), line.m, line.n, &ops));
+        Submitted& req = *requests.back();
+        serve::GemmRequest g;
+        g.a = ops.a.view();
+        g.b = ops.b.view();
+        g.c = req.c.view();
+        g.lane = line.lane;
+        if (deadline_us > 0)
+          g.deadline_ns = common::now_ns() +
+                          static_cast<std::uint64_t>(deadline_us) * 1000;
+        (line.lane == serve::Lane::kInteractive ? interactive : bulk) += 1;
+        req.future = engine.submit(g);
+      }
+    }
+  }
+  engine.shutdown();
+
+  std::size_t unready = 0, ok = 0, failed = 0, rejected = 0, shed = 0,
+              expired = 0, invalid = 0, mismatches = 0;
+  for (auto& req : requests) {
+    if (req->future.wait_for(std::chrono::seconds(30)) !=
+        std::future_status::ready) {
+      ++unready;  // a drained engine must have completed every future
+      continue;
+    }
+    const Status s = req->future.get();
+    switch (s.code()) {
+      case StatusCode::kOk:
+        ++ok;
+        if (verify &&
+            common::max_rel_error(req->c.view(), req->operands->c_ref.view()) >
+                1e-3f)
+          ++mismatches;
+        break;
+      case StatusCode::kResourceExhausted: ++rejected; break;
+      case StatusCode::kUnavailable: ++shed; break;
+      case StatusCode::kDeadlineExceeded: ++expired; break;
+      case StatusCode::kInvalidArgument: ++invalid; break;
+      default: ++failed; break;
+    }
+  }
+
+  const serve::ServerStats st = engine.stats();
+  const auto q_us = [](const char* name) {
+    const auto snap = obs::default_registry().histogram(name).snapshot();
+    return std::make_pair(snap.quantile(0.5) * 1e6, snap.quantile(0.99) * 1e6);
+  };
+  const auto [p50_i, p99_i] =
+      q_us("autogemm_serve_queue_seconds{lane=\"interactive\"}");
+  const auto [p50_b, p99_b] = q_us("autogemm_serve_queue_seconds{lane=\"bulk\"}");
+
+  std::printf("serve-replay: trace=%s requests=%zu capacity=%zu max_batch=%zu "
+              "window_us=%ld repeat=%d\n",
+              path.c_str(), requests.size(), capacity, max_batch, window_us,
+              repeat);
+  std::printf("lanes: interactive=%zu bulk=%zu\n", interactive, bulk);
+  std::printf("results: ok=%zu failed=%zu rejected=%zu shed=%zu expired=%zu "
+              "invalid=%zu\n",
+              ok, failed, rejected, shed, expired, invalid);
+  std::printf("dispatch: batches=%llu batched_requests=%llu single=%llu "
+              "max_queue_depth=%llu\n",
+              static_cast<unsigned long long>(st.batches),
+              static_cast<unsigned long long>(st.batched_requests),
+              static_cast<unsigned long long>(st.single_dispatches),
+              static_cast<unsigned long long>(st.max_queue_depth));
+  std::printf("queue_latency_us: interactive_p50=%.1f interactive_p99=%.1f "
+              "bulk_p50=%.1f bulk_p99=%.1f\n",
+              p50_i, p99_i, p50_b, p99_b);
+  const bool clean = st.accounting_clean() && unready == 0 &&
+                     st.submitted == requests.size();
+  std::printf("overload_events=%llu accounting=%s\n",
+              static_cast<unsigned long long>(st.rejected + st.shed),
+              clean ? "clean" : "BROKEN");
+  if (unready > 0) {
+    std::fprintf(stderr, "error: %zu future(s) never completed\n", unready);
+    return 3;
+  }
+  if (!clean) return 4;
+  if (verify && mismatches > 0) {
+    std::fprintf(stderr, "error: %zu OK result(s) diverge from reference\n",
+                 mismatches);
+    return 5;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -280,6 +478,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(argc - 2, argv + 2);
     if (cmd == "tune") return cmd_tune(argc - 2, argv + 2);
     if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
+    if (cmd == "serve-replay") return cmd_serve_replay(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -12,7 +12,12 @@
 # JSON artifacts land in build/bench_context_cache.json and
 # build/BENCH_kscale.json. An obs smoke pass then runs a traced parallel
 # GEMM through the CLI, validates the Chrome-trace export and Prometheus
-# text, and runs the (non-gating) obs overhead bench.
+# text, and runs the (non-gating) obs overhead bench. A serve smoke pass
+# replays the canned request trace through the serving engine twice —
+# once at low load (zero sheds, clean accounting, results verified) and
+# once with a fault-injected full queue (explicit overload events, still
+# clean accounting) — then runs the serve coalescing bench. The serve
+# tests also run under the asan configuration via the regular ctest pass.
 #
 # Every ctest invocation carries a per-test timeout: a test that hangs (the
 # exact failure mode the sim watchdogs and thread-pool hardening exist to
@@ -81,6 +86,26 @@ for config in "${configs[@]}"; do
       echo "==== [release] obs overhead bench (non-gating) ===="
       ./build/bench/bench_obs_overhead --json-out build/bench_obs_overhead.json \
         || true
+      echo "==== [release] serve smoke: low load ===="
+      # The canned trace at low load must admit everything (no sheds, no
+      # rejects), verify results against the reference, and balance the
+      # books.
+      ./build/tools/autogemm serve-replay tools/traces/serve_smoke.trace \
+        --verify | tee build/serve_smoke_low.txt
+      grep -q 'overload_events=0 accounting=clean' build/serve_smoke_low.txt
+      echo "==== [release] serve smoke: forced overload ===="
+      # Fault-injected full queue against a small capacity: overload must
+      # surface as explicit sheds/rejects (nonzero overload events), never
+      # as broken accounting.
+      AUTOGEMM_FAILPOINTS='serve.queue_full=40' \
+        ./build/tools/autogemm serve-replay tools/traces/serve_smoke.trace \
+        --capacity 16 | tee build/serve_smoke_overload.txt
+      grep -q 'accounting=clean' build/serve_smoke_overload.txt
+      grep -Eq 'overload_events=[1-9]' build/serve_smoke_overload.txt
+      echo "==== [release] serve coalescing bench ===="
+      ./build/bench/bench_serve --json-out build/bench_serve.json \
+        | tee build/serve_bench.txt
+      grep -q 'speedup (batch=8 vs single-dispatch)' build/serve_bench.txt
       ;;
     asan)
       run_config asan build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
