@@ -1,0 +1,14 @@
+// Factories for the built-in backends (internal to autogemm::backend; the
+// registry registers them on first use).
+#pragma once
+
+#include <memory>
+
+#include "backend/backend.hpp"
+
+namespace autogemm::backend {
+
+std::unique_ptr<KernelBackend> make_neon_backend();
+std::unique_ptr<KernelBackend> make_sve_sim_backend();
+
+}  // namespace autogemm::backend

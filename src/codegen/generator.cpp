@@ -474,6 +474,169 @@ MicroKernel generate_scalar_microkernel(int mr, int nr, int kc) {
   return mk;
 }
 
+MicroKernel generate_sve_microkernel(int mr, int nr, int kc, int vl_min,
+                                     const GeneratorOptions& opts) {
+  if (vl_min < 1) throw std::invalid_argument("sve kernel: vl_min < 1");
+  if (kc <= 0) throw std::invalid_argument("sve kernel: kc must be positive");
+  if (!sve_tile_feasible(mr, nr, vl_min))
+    throw std::invalid_argument("sve tile " + std::to_string(mr) + "x" +
+                                std::to_string(nr) +
+                                " is not feasible at vl_min=" +
+                                std::to_string(vl_min));
+
+  const int vg = sve_groups(nr, vl_min);
+  const std::string name = "SveKernel_" + std::to_string(mr) + "x" +
+                           std::to_string(nr) + "x" + std::to_string(kc) +
+                           "_vl" + std::to_string(vl_min);
+  MicroKernel mk;
+  mk.program = isa::Program(name, mr, nr, kc, vl_min);
+  mk.program.set_vl_agnostic(true);
+  mk.tile = {mr, nr};
+  mk.kc = kc;
+  Program& prog = mk.program;
+
+  // Register map (z file): acc z[row*vg+g], A broadcasts z[mr*vg+row],
+  // B groups z[mr*vg+mr+g]. Predicates: p0 = ptrue (A broadcasts),
+  // p1..p(vg) govern column group g. GP temps: x26 = VL (cntw),
+  // x27 = nr bound, x28 = running lane index.
+  const auto c_reg = [&](int row, int g) { return V(row * vg + g); };
+  const auto a_reg = [&](int row) { return V(mr * vg + row); };
+  const auto b_reg = [&](int g) { return V(mr * vg + mr + g); };
+  const auto a_ptr = [&](int row) { return X(isa::Abi::kRowPtrBase + row); };
+  const auto c_ptr = [&](int row) {
+    return X(isa::Abi::kRowPtrBase + mr + row);
+  };
+  const auto group_pred = [&](int g) {
+    return static_cast<std::int8_t>(g + 1);
+  };
+  const Reg vl = X(26), bound = X(27), index = X(28);
+
+  const auto push = [&](Instruction i) { prog.push(std::move(i)); };
+  const auto make = [&](Op op, Reg dst, Reg s1, Reg s2, int imm,
+                        AddrMode mode) {
+    Instruction i;
+    i.op = op;
+    i.dst = dst;
+    i.src1 = s1;
+    i.src2 = s2;
+    i.imm = imm;
+    i.addr = mode;
+    return i;
+  };
+
+  // Prologue: strides to bytes, row pointer chains, predicate setup, C.
+  push(make(Op::kLslImm, X(isa::Abi::kLda), X(isa::Abi::kLda), {}, 2,
+            AddrMode::kNone));
+  push(make(Op::kLslImm, X(isa::Abi::kLdb), X(isa::Abi::kLdb), {}, 2,
+            AddrMode::kNone));
+  push(make(Op::kLslImm, X(isa::Abi::kLdc), X(isa::Abi::kLdc), {}, 2,
+            AddrMode::kNone));
+  push(make(Op::kMovReg, a_ptr(0), X(isa::Abi::kA), {}, 0, AddrMode::kNone));
+  push(make(Op::kMovReg, c_ptr(0), X(isa::Abi::kC), {}, 0, AddrMode::kNone));
+  for (int row = 1; row < mr; ++row) {
+    push(make(Op::kAddReg, a_ptr(row), a_ptr(row - 1), X(isa::Abi::kLda), 0,
+              AddrMode::kNone));
+    push(make(Op::kAddReg, c_ptr(row), c_ptr(row - 1), X(isa::Abi::kLdc), 0,
+              AddrMode::kNone));
+  }
+  {
+    Instruction i = make(Op::kPtrue, isa::P(0), {}, {}, 0, AddrMode::kNone);
+    i.comment = "all-lanes predicate for A broadcasts";
+    push(i);
+  }
+  {
+    Instruction i = make(Op::kCntW, vl, {}, {}, 0, AddrMode::kNone);
+    i.comment = "runtime VL (fp32 lanes)";
+    push(i);
+  }
+  push(make(Op::kMovImm, bound, {}, {}, nr, AddrMode::kNone));
+  push(make(Op::kMovImm, index, {}, {}, 0, AddrMode::kNone));
+  for (int g = 0; g < vg; ++g) {
+    if (g > 0) push(make(Op::kAddReg, index, index, vl, 0, AddrMode::kNone));
+    Instruction i =
+        make(Op::kWhilelt, {isa::RegKind::kP, group_pred(g)}, index, bound, 0,
+             AddrMode::kNone);
+    if (g == 0) i.comment = "column-group predicates";
+    push(i);
+  }
+  for (int row = 0; row < mr; ++row) {
+    for (int g = 0; g < vg; ++g) {
+      if (opts.load_c) {
+        Instruction i =
+            make(Op::kLd1W, c_reg(row, g), c_ptr(row), {}, g, AddrMode::kNone);
+        i.pred = group_pred(g);
+        if (row == 0 && g == 0) i.comment = "load C";
+        push(i);
+      } else {
+        Instruction i =
+            make(Op::kMovi0, c_reg(row, g), {}, {}, 0, AddrMode::kNone);
+        if (row == 0 && g == 0) i.comment = "zero C";
+        push(i);
+      }
+    }
+  }
+
+  mk.mainloop_begin = static_cast<int>(prog.size());
+  // Main loop: one k step per iteration (the unroll factor is the runtime
+  // VL's job on real silicon; the simulator prices the dependency chains).
+  const int loop = prog.new_label();
+  push(make(Op::kMovImm, X(isa::Abi::kLoopCounter), {}, {}, kc,
+            AddrMode::kNone));
+  {
+    Instruction i;
+    i.op = Op::kLabel;
+    i.label = loop;
+    push(i);
+  }
+  for (int row = 0; row < mr; ++row) {
+    Instruction i =
+        make(Op::kLd1RW, a_reg(row), a_ptr(row), {}, 0, AddrMode::kOffset);
+    i.pred = 0;  // ptrue
+    if (row == 0) i.comment = "broadcast A[row][k]";
+    push(i);
+  }
+  for (int g = 0; g < vg; ++g) {
+    Instruction i =
+        make(Op::kLd1W, b_reg(g), X(isa::Abi::kB), {}, g, AddrMode::kNone);
+    i.pred = group_pred(g);
+    if (g == 0) i.comment = "load B[k][:]";
+    push(i);
+  }
+  for (int g = 0; g < vg; ++g) {
+    for (int row = 0; row < mr; ++row) {
+      Instruction i = make(Op::kFmlaZ, c_reg(row, g), a_reg(row), b_reg(g), 0,
+                           AddrMode::kNone);
+      i.pred = group_pred(g);
+      if (row == 0 && g == 0) i.comment = "predicated FMA";
+      push(i);
+    }
+  }
+  for (int row = 0; row < mr; ++row)
+    push(make(Op::kAddImm, a_ptr(row), a_ptr(row), {}, 4, AddrMode::kNone));
+  push(make(Op::kAddReg, X(isa::Abi::kB), X(isa::Abi::kB), X(isa::Abi::kLdb),
+            0, AddrMode::kNone));
+  push(make(Op::kSubsImm, X(isa::Abi::kLoopCounter),
+            X(isa::Abi::kLoopCounter), {}, 1, AddrMode::kNone));
+  {
+    Instruction i;
+    i.op = Op::kBne;
+    i.label = loop;
+    push(i);
+  }
+
+  mk.epilogue_begin = static_cast<int>(prog.size());
+  for (int row = 0; row < mr; ++row) {
+    for (int g = 0; g < vg; ++g) {
+      Instruction i =
+          make(Op::kSt1W, c_reg(row, g), c_ptr(row), {}, g, AddrMode::kNone);
+      i.pred = group_pred(g);
+      if (row == 0 && g == 0) i.comment = "store C";
+      push(i);
+    }
+  }
+  return mk;
+}
+
 int padded_k_a(int kc, int lanes) { return (kc / lanes + 1) * lanes; }
 
 int padded_k_b(int kc, int lanes) {

@@ -69,6 +69,20 @@ MicroKernel generate_microkernel(int mr, int nr, int kc, int lanes,
 /// semantics as the vector kernels; no over-reads (no padding contract).
 MicroKernel generate_scalar_microkernel(int mr, int nr, int kc);
 
+/// SVE predicated, vector-length-agnostic micro-kernel: C(mr,nr) +=
+/// A(mr,kc)*B(kc,nr) using ld1rw A broadcasts, ld1w/st1w contiguous B/C
+/// accesses and predicated fmla. Generated at minimum width `vl_min`
+/// (fp32 lanes; the resulting Program has lanes() == vl_min and
+/// vl_agnostic() == true) with ceil(nr/vl_min) column groups, each governed
+/// by a whilelt predicate computed from the runtime cntw — so the same
+/// instruction stream is correct at any execution VL >= vl_min, and nr need
+/// NOT be a lane multiple (the trailing group is a predicated edge).
+/// Unlike the NEON kernels there is NO over-read contract: predication
+/// bounds every access, so A needs exactly kc columns and B exactly kc
+/// rows. Requires sve_tile_feasible(mr, nr, vl_min).
+MicroKernel generate_sve_microkernel(int mr, int nr, int kc, int vl_min,
+                                     const GeneratorOptions& opts = {});
+
 /// Columns every A row must have allocated (the final main-loop iteration
 /// preloads one vector block past kc, as real packed kernels do).
 int padded_k_a(int kc, int lanes);

@@ -35,6 +35,16 @@ std::vector<TileSize> preferred_tiles(int lanes) {
   return {{8, 2 * lanes}, {6, 3 * lanes}, {5, 4 * lanes}, {4, 5 * lanes}};
 }
 
+int sve_groups(int nr, int vl_min) { return (nr + vl_min - 1) / vl_min; }
+
+bool sve_tile_feasible(int mr, int nr, int vl_min, int max_registers) {
+  if (mr < 1 || nr < 1 || vl_min < 1) return false;
+  const int groups = sve_groups(nr, vl_min);
+  if (groups > 7) return false;  // governing predicates p1..p7
+  if (mr > 10) return false;     // row pointers + whilelt temps in GP file
+  return mr * groups + mr + groups <= max_registers;
+}
+
 double ai_max(int mr, int nr) {
   if (mr <= 0 || nr <= 0) throw std::invalid_argument("ai_max: bad tile");
   return 2.0 * mr * nr / (mr + nr);

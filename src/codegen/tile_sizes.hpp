@@ -37,6 +37,19 @@ std::vector<TileSize> enumerate_feasible_tiles(
 /// lane width: for lanes=4 these are 8x8, 6x12, 5x16 and 4x20.
 std::vector<TileSize> preferred_tiles(int lanes);
 
+/// Vector groups an SVE predicated tile spans at generation width `vl_min`:
+/// ceil(nr / vl_min). Unlike the NEON vnr, nr need NOT be a lane multiple —
+/// the trailing group is governed by a whilelt predicate.
+int sve_groups(int nr, int vl_min);
+
+/// Feasibility for the predicated SVE kernel shape: mr*groups accumulators
+/// + mr A-broadcast registers + groups B registers in the 32-register z
+/// file, groups <= 7 (governing predicates live in p1..p7; p0 stays ptrue
+/// for broadcasts), and mr <= 10 (two row pointers per row plus the
+/// whilelt temps x26..x28 and loop counter x29 in the GP file).
+bool sve_tile_feasible(int mr, int nr, int vl_min,
+                       int max_registers = kVectorRegisters);
+
 /// Eqn 2: AI_max = 2*mr*nr / (mr + nr) — the kc->inf limit.
 double ai_max(int mr, int nr);
 

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "backend/backend.hpp"
 #include "codegen/generator.hpp"
 #include "common/failpoint.hpp"
 #include "common/reference_gemm.hpp"
@@ -177,6 +178,58 @@ Status probe_generated(int mr, int nr, int kc, int lanes) {
   return Status::OK();
 }
 
+/// Probes a vector-length-agnostic backend (today: sve_sim): the backend
+/// emits its predicated micro-kernel for the tile and the interpreter
+/// executes it at the backend's default VL against exact-size buffers —
+/// predication means no over-read, so there is no padding contract to
+/// honor. This is the only way an SVE instruction stream is vetted on an
+/// x86 host: the silicon path (find_microkernel) does not exist for it.
+Status probe_generated_vla(const backend::KernelBackend& be, int mr, int nr,
+                           int kc) {
+  codegen::MicroKernel mk;
+  try {
+    codegen::GeneratorOptions gopts;
+    gopts.rotate_registers = true;
+    mk = be.generate(mr, nr, kc, gopts);
+  } catch (const std::exception& e) {
+    return InternalError(std::string("probe: codegen failed for ") +
+                         std::to_string(mr) + "x" + std::to_string(nr) + ": " +
+                         e.what());
+  }
+  std::vector<float> a(static_cast<std::size_t>(mr) * kc);
+  std::vector<float> b(static_cast<std::size_t>(kc) * nr);
+  std::vector<float> c(static_cast<std::size_t>(mr) * nr, 0.0f);
+  std::vector<float> c_ref(c.size(), 0.0f);
+  fill_probe(a, 11);
+  fill_probe(b, 23);
+
+  sim::Interpreter interp(/*max_steps=*/2'000'000);
+  interp.set_vector_length(be.caps().vl_default);
+  sim::KernelArgs args;
+  args.a = a.data();
+  args.b = b.data();
+  args.c = c.data();
+  args.lda = kc;
+  args.ldb = nr;
+  args.ldc = nr;
+  AUTOGEMM_RETURN_IF_ERROR(interp.try_run(mk.program, args));
+
+  common::reference_gemm(ConstMatrixView{a.data(), mr, kc, kc},
+                         ConstMatrixView{b.data(), kc, nr, nr},
+                         MatrixView{c_ref.data(), mr, nr, nr});
+  const float tol = 1e-4f * static_cast<float>(kc);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const float diff = std::fabs(c[i] - c_ref[i]);
+    if (!(diff <= tol))
+      return InternalError("probe: generated " + std::to_string(mr) + "x" +
+                           std::to_string(nr) + " " +
+                           std::string(backend_name(be.caps().id)) +
+                           " kernel diverges from reference (|diff| = " +
+                           std::to_string(diff) + ")");
+  }
+  return Status::OK();
+}
+
 /// Probes the portable kernels:: path (the one Context actually executes
 /// through) for the same tile shape.
 Status probe_portable(int mr, int nr, int kc) {
@@ -272,6 +325,44 @@ ObsHandles& obs_handles() {
   return h;
 }
 
+/// Backend-labeled series, alongside (never instead of) the unlabeled
+/// legacy counters above: autogemm_backend_dispatch_total{backend=...}
+/// counts every plan-driven execution a context dispatches under a
+/// backend, and the strategy/probe counters gain backend-labeled twins so
+/// NEON and simulated-SVE traffic is separable in one process.
+struct BackendObs {
+  obs::Counter* dispatch;
+  obs::Counter* probes;
+  obs::Counter* strategy_serial;
+  obs::Counter* strategy_blocks;
+  obs::Counter* strategy_ksplit;
+};
+
+const BackendObs& backend_obs(backend::BackendId id) {
+  static std::mutex mu;
+  static std::map<backend::BackendId, BackendObs>& cache =
+      *new std::map<backend::BackendId, BackendObs>;
+  std::lock_guard lock(mu);
+  auto it = cache.find(id);
+  if (it == cache.end()) {
+    obs::Registry& r = obs::default_registry();
+    const std::string bn(backend_name(id));
+    BackendObs x;
+    x.dispatch =
+        &r.counter("autogemm_backend_dispatch_total{backend=\"" + bn + "\"}");
+    x.probes =
+        &r.counter("autogemm_verify_probes_total{backend=\"" + bn + "\"}");
+    x.strategy_serial = &r.counter(
+        "autogemm_strategy_total{strategy=\"serial\",backend=\"" + bn + "\"}");
+    x.strategy_blocks = &r.counter(
+        "autogemm_strategy_total{strategy=\"blocks\",backend=\"" + bn + "\"}");
+    x.strategy_ksplit = &r.counter(
+        "autogemm_strategy_total{strategy=\"ksplit\",backend=\"" + bn + "\"}");
+    it = cache.emplace(id, x).first;
+  }
+  return it->second;
+}
+
 const char* health_kind_name(HealthEvent::Kind kind) {
   switch (kind) {
     case HealthEvent::Kind::kQuarantine: return "quarantine";
@@ -323,6 +414,7 @@ Context::Context() : Context(ContextOptions{}) {}
 
 Context::Context(const ContextOptions& opts)
     : opts_(sanitized(opts)),
+      backend_(backend::resolve_backend(opts.backend)),
       records_(load_records_or_throw(opts.records_path, &records_skipped_)) {
   if (opts_.trace) obs::set_trace_enabled(true);
   if (records_skipped_ > 0) {
@@ -337,7 +429,9 @@ Context::Context(const std::string& records_path)
     : Context(ContextOptions{.records_path = records_path}) {}
 
 Context::Context(tune::TuningRecords records, const ContextOptions& opts)
-    : opts_(sanitized(opts)), records_(std::move(records)) {
+    : opts_(sanitized(opts)),
+      backend_(backend::resolve_backend(opts.backend)),
+      records_(std::move(records)) {
   if (opts_.trace) obs::set_trace_enabled(true);
 }
 
@@ -393,11 +487,12 @@ Status Context::verify_config(const Plan& plan) {
                       static_cast<std::uint64_t>(plan.m()),
                       static_cast<std::uint64_t>(plan.n()));
   obs_handles().probes->add(1);
+  const GemmConfig& cfg = plan.config();
+  backend_obs(cfg.backend).probes->add(1);
   {
     std::lock_guard lock(mu_);
     ++health_.probes;
   }
-  const GemmConfig& cfg = plan.config();
   const int lanes = std::max(1, cfg.hw.lanes);
   const int bm = std::min(cfg.mc, plan.m());
   const int bn = std::min(cfg.nc, plan.n());
@@ -410,12 +505,22 @@ Status Context::verify_config(const Plan& plan) {
 
   // Representative vector tile for the generated-kernel probe (the scalar
   // edge kernels have no padding contract; the vector main tiles are what
-  // the generated library actually ships).
+  // the generated library actually ships). Fixed-width backends (NEON)
+  // need a lane-multiple tile, exactly as before the registry; a
+  // VL-agnostic backend predicates the column edge, so any tile it deems
+  // feasible — lane multiple or not — is probeable.
   if (failpoint::should_fail("verify.generated"))
     return InternalError("failpoint: verify.generated");
+  const backend::KernelBackend& be = backend::get_backend(cfg.backend);
+  const bool vla = be.caps().vl_agnostic;
   for (const auto& t : tiles.tiles) {
-    if (t.nr % lanes == 0 && codegen::tile_feasible(t.mr, t.nr, lanes)) {
-      AUTOGEMM_RETURN_IF_ERROR(probe_generated(t.mr, t.nr, kc, lanes));
+    const bool probeable =
+        vla ? be.tile_feasible(t.mr, t.nr)
+            : (t.nr % lanes == 0 && codegen::tile_feasible(t.mr, t.nr, lanes));
+    if (probeable) {
+      AUTOGEMM_RETURN_IF_ERROR(
+          vla ? probe_generated_vla(be, t.mr, t.nr, kc)
+              : probe_generated(t.mr, t.nr, kc, lanes));
       break;
     }
   }
@@ -457,18 +562,26 @@ Context::PlanEntry Context::entry_for(int m, int n, int k) {
   };
   std::vector<Candidate> candidates;
   const tune::ShapeKey shape{m, n, k};
-  if (auto exact = records_.lookup(shape)) {
+  // Record resolution is scoped to this context's backend: a mixed-backend
+  // records file never hands an SVE blocking to a NEON context (or vice
+  // versa), for both the exact and the nearest-shape rung.
+  if (auto exact = records_.lookup(shape, backend_)) {
     candidates.push_back({tune::config_from_candidate(m, n, k, *exact), 0});
-  } else if (auto nearest = records_.lookup_nearest(shape)) {
+  } else if (auto nearest = records_.lookup_nearest(
+                 shape, /*max_log2_distance=*/1.0, backend_)) {
     // Plan construction clamps the transferred blocking to this problem.
     candidates.push_back({tune::config_from_candidate(m, n, k, *nearest), 1});
   }
   candidates.push_back({default_config(m, n, k), 2});
   // A context-level strategy override beats whatever the candidates carry
   // (tuned records may pin a strategy per shape; kAuto leaves them alone).
-  if (opts_.parallel_strategy != ParallelStrategy::kAuto)
-    for (auto& cand : candidates)
+  // The backend is pinned unconditionally: it is a property of the
+  // context, not of any individual record.
+  for (auto& cand : candidates) {
+    cand.cfg.backend = backend_;
+    if (opts_.parallel_strategy != ParallelStrategy::kAuto)
       cand.cfg.parallel_strategy = opts_.parallel_strategy;
+  }
 
   PlanEntry entry;  // plan == nullptr -> reference pin
   entry.latency = &shape_latency_histogram(m, n, k);
@@ -489,7 +602,8 @@ Context::PlanEntry Context::entry_for(int m, int n, int k) {
                        static_cast<int>(cfg.loop_order),
                        static_cast<int>(cfg.packing),
                        static_cast<int>(cfg.tiling),
-                       cfg.hw.lanes};
+                       cfg.hw.lanes,
+                       static_cast<int>(cfg.backend)};
     bool quarantined = false, verified = false;
     {
       std::lock_guard lock(mu_);
@@ -563,10 +677,17 @@ std::shared_ptr<const Plan> Context::plan_for(int m, int n, int k) {
 }
 
 void Context::note_strategy(bool serial, ParallelStrategy chosen) {
-  if (serial) obs_handles().strategy_serial->add(1);
-  else if (chosen == ParallelStrategy::kKSplit)
+  const BackendObs& bo = backend_obs(backend_);
+  if (serial) {
+    obs_handles().strategy_serial->add(1);
+    bo.strategy_serial->add(1);
+  } else if (chosen == ParallelStrategy::kKSplit) {
     obs_handles().strategy_ksplit->add(1);
-  else obs_handles().strategy_blocks->add(1);
+    bo.strategy_ksplit->add(1);
+  } else {
+    obs_handles().strategy_blocks->add(1);
+    bo.strategy_blocks->add(1);
+  }
   std::lock_guard lock(mu_);
   if (serial) {
     ++stats_.strategy_serial;
@@ -595,6 +716,7 @@ Status Context::execute_entry(const PlanEntry& entry, ConstMatrixView a,
   const Status s =
       execute_entry_impl(entry, a, b, c, beta1_params, packed_a, packed_b);
   const double seconds = static_cast<double>(common::now_ns() - t0) * 1e-9;
+  backend_obs(backend_).dispatch->add(1);
   h.calls->add(1);
   h.flops->add(2 * m * n * k);
   h.gemm_seconds->observe(seconds);
@@ -956,6 +1078,7 @@ Status Context::run_batched_impl(const std::vector<BatchItem>& items,
   ObsHandles& h = obs_handles();
   h.calls->add(members_total);
   h.flops->add(flops);
+  backend_obs(backend_).dispatch->add(members_total);
 
   const GemmExParams canonical{};
   Status result = Status::OK();

@@ -59,6 +59,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/backend_id.hpp"
 #include "common/matrix.hpp"
 #include "common/status.hpp"
 #include "common/threadpool.hpp"
@@ -95,6 +96,13 @@ struct ContextOptions {
   bool verify_kernels = true;
   /// Probe depth (K) for first-use verification.
   int probe_kc = 8;
+  /// Kernel backend every plan this context resolves is generated,
+  /// verified and priced against. kAuto consults the AUTOGEMM_BACKEND
+  /// environment variable, then falls back to the highest-priority
+  /// host-executable backend (NEON today — bitwise-identical to the
+  /// pre-registry library). An explicit id must be registered; the
+  /// constructor throws std::out_of_range otherwise.
+  backend::BackendId backend = backend::BackendId::kAuto;
   /// Turns on the process-wide obs tracer (obs/trace.hpp) at construction
   /// — equivalent to exporting AUTOGEMM_TRACE=1. Spans from every run*
   /// land in per-thread ring buffers for Chrome-trace export. The flag is
@@ -281,6 +289,8 @@ class Context {
   std::size_t plan_cache_size() const;
   std::size_t packed_cache_size() const;
   const tune::TuningRecords& records() const { return records_; }
+  /// The backend this context resolved at construction (never kAuto).
+  backend::BackendId backend_id() const { return backend_; }
 
  private:
   struct ShapeKey {
@@ -288,9 +298,13 @@ class Context {
     auto operator<=>(const ShapeKey&) const = default;
   };
   /// Identity of a GemmConfig for verification/quarantine bookkeeping.
+  /// Includes the backend: the same blocking verified under NEON says
+  /// nothing about the SVE instruction stream for that tile, and vice
+  /// versa, so quarantine entries never cross backends.
   struct ConfigKey {
     int mc = 0, nc = 0, kc = 0;
     int loop_order = 0, packing = 0, tiling = 0, lanes = 0;
+    int backend = 0;
     auto operator<=>(const ConfigKey&) const = default;
   };
   struct PackedKey {
@@ -339,6 +353,8 @@ class Context {
   static std::uint64_t next_id();
 
   const ContextOptions opts_;
+  /// Resolved at construction from opts_.backend (kAuto -> env/registry).
+  backend::BackendId backend_ = backend::BackendId::kNeon;
   const std::uint64_t id_ = next_id();
   std::uint64_t records_skipped_ = 0;  // set before records_ loads
   const tune::TuningRecords records_;

@@ -13,6 +13,7 @@
 #include <map>
 #include <vector>
 
+#include "backend/backend_id.hpp"
 #include "common/matrix.hpp"
 #include "common/status.hpp"
 #include "hw/hardware_model.hpp"
@@ -63,6 +64,11 @@ struct GemmConfig {
   /// Hardware model that steers DMT's compute/memory-bound classification
   /// and the model costs; defaults to a host-neutral profile.
   hw::HardwareModel hw{};
+  /// Kernel backend the config is generated, verified and priced against
+  /// (see backend/backend.hpp). Host execution always runs the backend's
+  /// compiled kernels when it has them and the portable tile path
+  /// otherwise, so the NEON default keeps legacy behavior bit-for-bit.
+  backend::BackendId backend = backend::BackendId::kNeon;
 };
 
 /// Heuristic parameter choice for a problem shape (the fallback when no

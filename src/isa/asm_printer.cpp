@@ -10,6 +10,23 @@ std::string vreg_arranged(Reg r, int lanes) {
   return reg_name(r) + "." + std::to_string(lanes) + "s";
 }
 
+// Scalable-register view of a V register, e.g. "z3.s".
+std::string zreg(Reg r) {
+  return "z" + std::to_string(static_cast<int>(r.index)) + ".s";
+}
+
+// Predicate register with .s arrangement, e.g. "p1.s".
+std::string preg(int index) { return "p" + std::to_string(index) + ".s"; }
+
+// SVE contiguous-memory operand: [Xn] or [Xn, #imm, mul vl].
+std::string sve_mem_operand(const Instruction& inst) {
+  std::ostringstream os;
+  os << "[" << reg_name(inst.src1);
+  if (inst.imm != 0) os << ", #" << inst.imm << ", mul vl";
+  os << "]";
+  return os.str();
+}
+
 // Memory operand text for load/store/prfm.
 std::string mem_operand(const Instruction& inst) {
   std::ostringstream os;
@@ -95,6 +112,32 @@ std::string render(const Instruction& inst, int lanes) {
     case Op::kBne:
       os << "b.ne " << inst.label << "b";
       break;
+    case Op::kPtrue:
+      os << "ptrue " << preg(inst.dst.index);
+      break;
+    case Op::kWhilelt:
+      os << "whilelt " << preg(inst.dst.index) << ", " << reg_name(inst.src1)
+         << ", " << reg_name(inst.src2);
+      break;
+    case Op::kCntW:
+      os << "cntw " << reg_name(inst.dst);
+      break;
+    case Op::kLd1W:
+      os << "ld1w {" << zreg(inst.dst) << "}, p" << static_cast<int>(inst.pred)
+         << "/z, " << sve_mem_operand(inst);
+      break;
+    case Op::kSt1W:
+      os << "st1w {" << zreg(inst.dst) << "}, p" << static_cast<int>(inst.pred)
+         << ", " << sve_mem_operand(inst);
+      break;
+    case Op::kLd1RW:
+      os << "ld1rw {" << zreg(inst.dst) << "}, p"
+         << static_cast<int>(inst.pred) << "/z, " << mem_operand(inst);
+      break;
+    case Op::kFmlaZ:
+      os << "fmla " << zreg(inst.dst) << ", p" << static_cast<int>(inst.pred)
+         << "/m, " << zreg(inst.src1) << ", " << zreg(inst.src2);
+      break;
   }
   return os.str();
 }
@@ -144,7 +187,15 @@ std::string emit_cpp_wrapper(const Program& prog) {
         " \"v14\", \"v15\",\n"
      << "      \"v16\", \"v17\", \"v18\", \"v19\", \"v20\", \"v21\","
         " \"v22\", \"v23\", \"v24\", \"v25\", \"v26\", \"v27\", \"v28\","
-        " \"v29\", \"v30\", \"v31\");\n"
+        " \"v29\", \"v30\", \"v31\"";
+  if (prog.vl_agnostic()) {
+    // Predicated programs also burn predicate registers and the whilelt
+    // counter temps; v-clobbers cover the z registers' low halves, the
+    // explicit z names cover the scalable upper bits.
+    os << ",\n      \"p0\", \"p1\", \"p2\", \"p3\", \"p4\", \"p5\", \"p6\","
+          " \"p7\", \"x26\", \"x27\", \"x28\"";
+  }
+  os << ");\n"
      << "}\n";
   return os.str();
 }

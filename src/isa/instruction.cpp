@@ -20,13 +20,22 @@ std::string op_name(Op op) {
     case Op::kSubsImm: return "subs";
     case Op::kLabel: return "label";
     case Op::kBne: return "b.ne";
+    case Op::kPtrue: return "ptrue";
+    case Op::kWhilelt: return "whilelt";
+    case Op::kCntW: return "cntw";
+    case Op::kLd1W: return "ld1w";
+    case Op::kSt1W: return "st1w";
+    case Op::kLd1RW: return "ld1rw";
+    case Op::kFmlaZ: return "fmla.z";
   }
   return "?";
 }
 
 std::string reg_name(Reg r) {
   if (!r.valid()) return "<none>";
-  const char prefix = r.kind == RegKind::kX ? 'x' : 'v';
+  const char prefix = r.kind == RegKind::kX   ? 'x'
+                      : r.kind == RegKind::kP ? 'p'
+                                              : 'v';
   return prefix + std::to_string(static_cast<int>(r.index));
 }
 

@@ -1,4 +1,5 @@
-// A64 instruction IR.
+// A64 instruction IR: the NEON-era base subset plus the SVE predicated
+// extension used by the sve_sim backend.
 //
 // The code generator (Listing 1 in the paper) emits this IR rather than raw
 // text. One IR serves three consumers:
@@ -7,6 +8,14 @@
 //   * sim::PipelineSimulator -> cycle counts under a chip model (performance).
 //
 // Only the subset of A64 the generated micro-kernels need is represented.
+// Two instruction tiers coexist:
+//   * fixed-width NEON ops (kLdrQ/kStrQ/kFmla...) move whole 128-bit-view
+//     registers and are what the NeonBackend emits;
+//   * SVE predicated ops (kLd1W/kSt1W/kLd1RW/kFmlaZ, governed by kPtrue/
+//     kWhilelt predicates, with kCntW exposing the runtime vector length)
+//     are vector-length-agnostic: the same program executes correctly at
+//     any VL at or above its generation width, which is how the SveSim
+//     backend covers irregular edge tiles without scalar fallbacks.
 #pragma once
 
 #include <cstdint>
@@ -15,9 +24,12 @@
 namespace autogemm::isa {
 
 /// Register file: X = 64-bit general purpose (x0..x30),
-/// V = SIMD vector (v0..v31, 128-bit NEON view; the SVE configs widen the
-/// architectural element count but keep the same 32-register budget).
-enum class RegKind : std::uint8_t { kNone, kX, kV };
+/// V = SIMD vector (v0..v31; NEON reads them as 128-bit q/v registers, the
+/// SVE ops read the same architectural registers as scalable z registers —
+/// one 32-register budget either way),
+/// P = SVE predicate (p0..p15; the generators keep governing predicates in
+/// p0..p7, the range predicated loads/stores/FMLAs accept).
+enum class RegKind : std::uint8_t { kNone, kX, kV, kP };
 
 struct Reg {
   RegKind kind = RegKind::kNone;
@@ -29,8 +41,10 @@ struct Reg {
 
 constexpr Reg X(int i) { return {RegKind::kX, static_cast<std::int8_t>(i)}; }
 constexpr Reg V(int i) { return {RegKind::kV, static_cast<std::int8_t>(i)}; }
+constexpr Reg P(int i) { return {RegKind::kP, static_cast<std::int8_t>(i)}; }
 
-/// Opcodes. Vector memory ops move one full vector register.
+/// Opcodes. NEON vector memory ops move one full vector register; the SVE
+/// tier moves only the lanes its governing predicate activates.
 enum class Op : std::uint8_t {
   kLdrQ,     // ldr qD, [Xn], #imm  (post-index) | ldr qD, [Xn, #imm]
   kStrQ,     // str qD, ...
@@ -48,6 +62,14 @@ enum class Op : std::uint8_t {
   kSubsImm,  // subs Xd, Xn, #imm
   kLabel,    // local label (pseudo-op)
   kBne,      // b.ne label
+  // --- SVE predicated tier (vector-length-agnostic) ----------------------
+  kPtrue,    // ptrue pD.s                 all lanes active
+  kWhilelt,  // whilelt pD.s, Xn, Xm       lane i active iff Xn + i < Xm
+  kCntW,     // cntw Xd                    Xd = fp32 lanes per vector (VL)
+  kLd1W,     // ld1w {zD.s}, pG/z, [Xn, #imm, mul vl]   imm in vector units
+  kSt1W,     // st1w {zD.s}, pG,   [Xn, #imm, mul vl]
+  kLd1RW,    // ld1rw {zD.s}, pG/z, [Xn, #imm]          broadcast one fp32
+  kFmlaZ,    // fmla zD.s, pG/m, zN.s, zM.s             element-wise FMA
 };
 
 /// Memory addressing for load/store ops.
@@ -69,13 +91,25 @@ struct Instruction {
   AddrMode addr = AddrMode::kNone;
   PrefetchLevel prefetch = PrefetchLevel::kL1;
   std::int32_t label = -1;         // kLabel id / kBne target id
+  std::int8_t pred = -1;           // governing predicate index (SVE ops)
   std::string comment;             // carried through to the asm printer
 
-  bool is_load() const { return op == Op::kLdrQ || op == Op::kLdrS; }
-  bool is_store() const { return op == Op::kStrQ || op == Op::kStrS; }
-  bool is_fma() const { return op == Op::kFmla || op == Op::kFmlaS; }
-  bool is_vector_mem() const { return op == Op::kLdrQ || op == Op::kStrQ; }
+  bool is_load() const {
+    return op == Op::kLdrQ || op == Op::kLdrS || op == Op::kLd1W ||
+           op == Op::kLd1RW;
+  }
+  bool is_store() const {
+    return op == Op::kStrQ || op == Op::kStrS || op == Op::kSt1W;
+  }
+  bool is_fma() const {
+    return op == Op::kFmla || op == Op::kFmlaS || op == Op::kFmlaZ;
+  }
+  bool is_vector_mem() const {
+    return op == Op::kLdrQ || op == Op::kStrQ || op == Op::kLd1W ||
+           op == Op::kSt1W;
+  }
   bool is_branch() const { return op == Op::kBne; }
+  bool is_predicated() const { return pred >= 0; }
 };
 
 /// Human-readable mnemonic for diagnostics.

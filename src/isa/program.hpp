@@ -29,6 +29,11 @@ struct Abi {
 /// Instruction stream for one micro-kernel of register-tile (mr x nr) with a
 /// depth of kc, at SIMD lane width `lanes` (σ_lane: 4 for NEON, 16 for
 /// SVE-512 chips like A64FX / Graviton3 per the paper).
+///
+/// A program marked vl_agnostic() was generated with the SVE predicated tier
+/// at generation width `lanes` (its minimum VL): kWhilelt predicates sized
+/// from the runtime kCntW make the same instruction stream correct at any
+/// execution VL >= lanes, so `lanes` is a floor rather than a fixed width.
 class Program {
  public:
   Program() = default;
@@ -40,6 +45,8 @@ class Program {
   int nr() const { return nr_; }
   int kc() const { return kc_; }
   int lanes() const { return lanes_; }
+  bool vl_agnostic() const { return vl_agnostic_; }
+  void set_vl_agnostic(bool v) { vl_agnostic_ = v; }
 
   /// Appends an instruction and returns its index.
   int push(Instruction inst) {
@@ -71,6 +78,7 @@ class Program {
  private:
   std::string name_;
   int mr_ = 0, nr_ = 0, kc_ = 0, lanes_ = 4;
+  bool vl_agnostic_ = false;
   int next_label_ = 0;
   std::vector<Instruction> code_;
 };

@@ -24,7 +24,10 @@ struct Entry {
 };
 
 // Every register-feasible NEON (lanes=4) shape from the Table II grid, plus
-// the lane-scaled preferred shapes used for SVE-width modeling. Kept as a
+// the lane-scaled SVE-width preferred shapes. ALL entries — the wide ones
+// included — are host-executable vec4-composed template kernels; the wide
+// shapes let SVE-width register tiles run on this host while actual SVE
+// instruction streams stay simulator-only (sve_sim backend). Kept as a
 // flat table: ~40 entries, scanned linearly (dispatch happens once per
 // tile, outside the hot k loop).
 constexpr Entry kTable[] = {
@@ -87,15 +90,19 @@ constexpr Entry kTable[] = {
 
 }  // namespace
 
-MicroKernelFn find_microkernel(int mr, int nr) {
+namespace detail {
+
+MicroKernelFn neon_table_lookup(int mr, int nr) {
   for (const auto& e : kTable)
     if (e.mr == mr && e.nr == nr) return e.fn;
   return nullptr;
 }
 
+}  // namespace detail
+
 void run_tile(int rows, int cols, const float* a, long lda, const float* b,
               long ldb, float* c, long ldc, int kc) {
-  if (MicroKernelFn fn = find_microkernel(rows, cols)) {
+  if (MicroKernelFn fn = detail::neon_table_lookup(rows, cols)) {
     fn(a, lda, b, ldb, c, ldc, kc);
     return;
   }

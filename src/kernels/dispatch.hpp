@@ -5,12 +5,35 @@
 
 namespace autogemm::kernels {
 
+namespace detail {
+
+/// Internal lookup over the compiled NEON kernel table. Every entry is a
+/// host-executable C++ template instantiation composed from simd::vec4 —
+/// including the wide lane-scaled shapes (nr up to 80) that exist so
+/// SVE-width register tiles can be *executed on this host* while true SVE
+/// codegen remains simulator-only (the sve_sim backend has no compiled
+/// host kernels at all; see backend/backend.hpp). The NeonBackend and
+/// run_tile consult this directly; kernels/ cannot depend on backend/ (the
+/// registry sits above this layer), which is why the deprecated shim below
+/// delegates here rather than through the registry.
+MicroKernelFn neon_table_lookup(int mr, int nr);
+
+}  // namespace detail
+
 /// Returns the specialized kernel for the tile, or nullptr when no template
-/// instantiation exists (callers fall back to generic_microkernel). All
-/// register-feasible Table II shapes for sigma_lane=4 are instantiated,
-/// plus the SVE-scaled preferred shapes used when modeling A64FX-class
-/// chips (nr up to 80).
-MicroKernelFn find_microkernel(int mr, int nr);
+/// instantiation exists (callers fall back to generic_microkernel).
+///
+/// Deprecated: backend-neutral callers should resolve a backend and use
+/// KernelBackend::find_microkernel (backend/backend.hpp), which returns
+/// nullptr for simulator-only backends instead of silently handing out
+/// NEON kernels. This shim consults the NEON table and stays
+/// source-compatible for existing callers and tests.
+[[deprecated(
+    "use backend::get_backend(id).find_microkernel(mr, nr); this shim "
+    "always answers for the NEON backend")]]
+inline MicroKernelFn find_microkernel(int mr, int nr) {
+  return detail::neon_table_lookup(mr, nr);
+}
 
 /// Executes one (possibly clipped) tile: uses the specialized kernel when
 /// rows==mr and cols==nr match an instantiation, otherwise the generic one.

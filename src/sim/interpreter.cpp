@@ -11,12 +11,18 @@ namespace autogemm::sim {
 namespace {
 
 constexpr int kMaxLanes = 16;  // SVE-512 fp32
+constexpr int kPredRegs = 16;  // p0..p15
 
 struct State {
   std::array<std::uint64_t, 32> x{};
   std::array<std::array<float, kMaxLanes>, 32> v{};
+  std::array<std::array<bool, kMaxLanes>, kPredRegs> p{};
   bool zero_flag = false;
 };
+
+bool valid_pred(const isa::Instruction& inst) {
+  return inst.pred >= 0 && inst.pred < kPredRegs;
+}
 
 std::uint64_t address(const State& s, const isa::Instruction& inst) {
   const std::uint64_t base = s.x[inst.src1.index];
@@ -38,7 +44,15 @@ void post_index(State& s, const isa::Instruction& inst) {
 }  // namespace
 
 Status Interpreter::try_run(const isa::Program& prog, const KernelArgs& args) {
-  const int lanes = prog.lanes();
+  // Fixed-width programs always execute at their generation width; a
+  // vl_agnostic program may be widened to any VL >= its generation width.
+  int lanes = prog.lanes();
+  if (prog.vl_agnostic() && vector_length_ != 0) {
+    if (vector_length_ < prog.lanes())
+      return InvalidArgumentError(
+          "interpreter: VL below the program's generation width");
+    lanes = vector_length_;
+  }
   if (lanes < 1 || lanes > kMaxLanes)
     return InvalidArgumentError("interpreter: unsupported lane count");
 
@@ -138,6 +152,70 @@ Status Interpreter::try_run(const isa::Program& prog, const KernelArgs& args) {
             return InternalError("interpreter: branch to unbound label");
           pc = it->second;
         }
+        break;
+      }
+      case isa::Op::kPtrue: {
+        auto& pd = s.p[inst.dst.index];
+        pd.fill(false);
+        for (int i = 0; i < lanes; ++i) pd[i] = true;
+        break;
+      }
+      case isa::Op::kWhilelt: {
+        const auto lo = static_cast<std::int64_t>(s.x[inst.src1.index]);
+        const auto hi = static_cast<std::int64_t>(s.x[inst.src2.index]);
+        auto& pd = s.p[inst.dst.index];
+        pd.fill(false);
+        for (int i = 0; i < lanes; ++i) pd[i] = lo + i < hi;
+        break;
+      }
+      case isa::Op::kCntW:
+        s.x[inst.dst.index] = static_cast<std::uint64_t>(lanes);
+        break;
+      case isa::Op::kLd1W: {
+        if (!valid_pred(inst))
+          return InternalError("interpreter: ld1w without governing predicate");
+        const auto* src = reinterpret_cast<const float*>(
+            s.x[inst.src1.index] +
+            static_cast<std::int64_t>(inst.imm) * lanes * sizeof(float));
+        const auto& pg = s.p[inst.pred];
+        auto& vd = s.v[inst.dst.index];
+        for (int i = 0; i < kMaxLanes; ++i)
+          vd[i] = (i < lanes && pg[i]) ? src[i] : 0.0f;  // /z: inactive -> 0
+        break;
+      }
+      case isa::Op::kSt1W: {
+        if (!valid_pred(inst))
+          return InternalError("interpreter: st1w without governing predicate");
+        auto* dst = reinterpret_cast<float*>(
+            s.x[inst.src1.index] +
+            static_cast<std::int64_t>(inst.imm) * lanes * sizeof(float));
+        const auto& pg = s.p[inst.pred];
+        const auto& vd = s.v[inst.dst.index];
+        for (int i = 0; i < lanes; ++i)
+          if (pg[i]) dst[i] = vd[i];  // inactive lanes leave memory untouched
+        break;
+      }
+      case isa::Op::kLd1RW: {
+        if (!valid_pred(inst))
+          return InternalError(
+              "interpreter: ld1rw without governing predicate");
+        const auto* src = reinterpret_cast<const float*>(address(s, inst));
+        const float value = *src;
+        const auto& pg = s.p[inst.pred];
+        auto& vd = s.v[inst.dst.index];
+        for (int i = 0; i < kMaxLanes; ++i)
+          vd[i] = (i < lanes && pg[i]) ? value : 0.0f;
+        break;
+      }
+      case isa::Op::kFmlaZ: {
+        if (!valid_pred(inst))
+          return InternalError("interpreter: fmla.z without governing predicate");
+        const auto& pg = s.p[inst.pred];
+        auto& acc = s.v[inst.dst.index];
+        const auto& zn = s.v[inst.src1.index];
+        const auto& zm = s.v[inst.src2.index];
+        for (int i = 0; i < lanes; ++i)
+          if (pg[i]) acc[i] += zn[i] * zm[i];  // /m: inactive lanes merge
         break;
       }
       default:

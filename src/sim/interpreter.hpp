@@ -38,10 +38,20 @@ class Interpreter {
   explicit Interpreter(long max_steps = 100'000'000)
       : max_steps_(max_steps) {}
 
+  /// Execution vector length in fp32 lanes for vl_agnostic (SVE) programs.
+  /// 0 (default) executes at the program's generation width. A predicated
+  /// program must run at a VL at or above its generation width; fixed-width
+  /// NEON programs ignore this and always run at prog.lanes(). This is the
+  /// knob the VL-agnosticism crosscheck turns: the same program, executed
+  /// at two different VLs, must produce identical C.
+  void set_vector_length(int vl) { vector_length_ = vl; }
+  int vector_length() const { return vector_length_; }
+
   /// Runs the program to completion. Never throws on program faults:
-  /// returns kInvalidArgument for an unsupported lane count, kInternal for
-  /// an unbound label or an undecodable instruction, kDeadlineExceeded
-  /// when the step watchdog fires.
+  /// returns kInvalidArgument for an unsupported lane count or a VL below
+  /// a predicated program's generation width, kInternal for an unbound
+  /// label, an undecodable instruction, or a predicated op with an invalid
+  /// predicate index, kDeadlineExceeded when the step watchdog fires.
   Status try_run(const isa::Program& prog, const KernelArgs& args);
 
   /// Legacy wrapper: as try_run(), but throws std::runtime_error on any
@@ -53,6 +63,7 @@ class Interpreter {
 
  private:
   long max_steps_;
+  int vector_length_ = 0;
   long steps_ = 0;
 };
 

@@ -13,14 +13,21 @@ namespace autogemm::sim {
 namespace {
 
 // Register ids in the scoreboard: x0..x31 -> 0..31, v0..v31 -> 32..63,
-// NZCV flags -> 64.
+// NZCV flags -> 64, p0..p15 -> 65..80.
 constexpr int kVBase = 32;
 constexpr int kFlags = 64;
-constexpr int kRegCount = 65;
+constexpr int kPBase = 65;
+constexpr int kRegCount = 81;
 
 int reg_id(isa::Reg r) {
   if (!r.valid()) return -1;
-  return r.kind == isa::RegKind::kX ? r.index : kVBase + r.index;
+  switch (r.kind) {
+    case isa::RegKind::kX: return r.index;
+    case isa::RegKind::kV: return kVBase + r.index;
+    case isa::RegKind::kP: return kPBase + r.index;
+    case isa::RegKind::kNone: return -1;
+  }
+  return -1;
 }
 
 enum class Cls : std::uint8_t { kFma, kLoad, kStore, kInt, kPrfm };
@@ -30,14 +37,16 @@ struct DynInst {
   Cls cls = Cls::kInt;
   int dst = -1;       // result register (latency = class latency)
   int dst2 = -1;      // post-index base writeback (integer latency)
-  std::array<int, 3> src{-1, -1, -1};
+  std::array<int, 4> src{-1, -1, -1, -1};
   std::uint64_t addr = 0;
   bool has_addr = false;
 };
 
-// Phase 1: functional X-register execution unrolling control flow.
+// Phase 1: functional X-register execution unrolling control flow. `lanes`
+// is the execution vector length (already resolved against vl_agnostic),
+// needed for kCntW's materialized value and `mul vl` address scaling.
 Status build_trace(const isa::Program& prog, const SimOptions& opts,
-                   std::vector<DynInst>& trace) {
+                   int lanes, std::vector<DynInst>& trace) {
   std::array<std::uint64_t, 32> x{};
   bool zero_flag = false;
   x[isa::Abi::kA] = opts.a_base;
@@ -177,8 +186,78 @@ Status build_trace(const isa::Program& prog, const SimOptions& opts,
         }
         break;
       }
+      case isa::Op::kPtrue:
+        d.cls = Cls::kInt;
+        d.dst = reg_id(inst.dst);
+        trace.push_back(d);
+        break;
+      case isa::Op::kWhilelt:
+        d.cls = Cls::kInt;
+        d.dst = reg_id(inst.dst);
+        d.src[0] = reg_id(inst.src1);
+        d.src[1] = reg_id(inst.src2);
+        trace.push_back(d);
+        break;
+      case isa::Op::kCntW:
+        x[inst.dst.index] = static_cast<std::uint64_t>(lanes);
+        d.cls = Cls::kInt;
+        d.dst = reg_id(inst.dst);
+        trace.push_back(d);
+        break;
+      case isa::Op::kLd1W:
+        d.cls = Cls::kLoad;
+        d.dst = reg_id(inst.dst);
+        d.src[0] = reg_id(inst.src1);
+        d.src[1] = kPBase + inst.pred;
+        d.addr = x[inst.src1.index] +
+                 static_cast<std::int64_t>(inst.imm) * lanes * sizeof(float);
+        d.has_addr = true;
+        trace.push_back(d);
+        break;
+      case isa::Op::kSt1W:
+        d.cls = Cls::kStore;
+        d.src[0] = reg_id(inst.dst);   // value register
+        d.src[1] = reg_id(inst.src1);  // base register
+        d.src[2] = kPBase + inst.pred;
+        d.addr = x[inst.src1.index] +
+                 static_cast<std::int64_t>(inst.imm) * lanes * sizeof(float);
+        d.has_addr = true;
+        trace.push_back(d);
+        break;
+      case isa::Op::kLd1RW:
+        d.cls = Cls::kLoad;
+        d.dst = reg_id(inst.dst);
+        d.src[0] = reg_id(inst.src1);
+        d.src[1] = kPBase + inst.pred;
+        d.addr = mem_addr();
+        d.has_addr = true;
+        trace.push_back(d);
+        break;
+      case isa::Op::kFmlaZ:
+        d.cls = Cls::kFma;
+        d.dst = reg_id(inst.dst);
+        d.src[0] = reg_id(inst.dst);  // accumulator is read (p/m merging)
+        d.src[1] = reg_id(inst.src1);
+        d.src[2] = reg_id(inst.src2);
+        d.src[3] = kPBase + inst.pred;
+        trace.push_back(d);
+        break;
     }
     ++pc;
+  }
+  return Status::OK();
+}
+
+// Resolves the execution VL for a program against SimOptions, mirroring the
+// functional interpreter's rule.
+Status resolve_lanes(const isa::Program& prog, const SimOptions& opts,
+                     int& lanes) {
+  lanes = prog.lanes();
+  if (prog.vl_agnostic() && opts.vector_length != 0) {
+    if (opts.vector_length < prog.lanes())
+      return InvalidArgumentError(
+          "pipeline: VL below the program's generation width");
+    lanes = opts.vector_length;
   }
   return Status::OK();
 }
@@ -347,8 +426,10 @@ Status simulate_checked(const isa::Program& prog, const hw::HardwareModel& hw,
   const bool traced = obs::trace_enabled();
   const double anchor_us = traced ? obs::trace_now_us() : 0.0;
   out = SimStats{};
+  int lanes = 0;
+  AUTOGEMM_RETURN_IF_ERROR(resolve_lanes(prog, opts, lanes));
   std::vector<DynInst> trace;
-  AUTOGEMM_RETURN_IF_ERROR(build_trace(prog, opts, trace));
+  AUTOGEMM_RETURN_IF_ERROR(build_trace(prog, opts, lanes, trace));
   Scheduler sched(hw, opts);
   double end = 0.0;
   AUTOGEMM_RETURN_IF_ERROR(sched.run(trace, opts.launch_overhead, out, end));
@@ -362,8 +443,10 @@ Status simulate_repeated_checked(const isa::Program& prog,
                                  const SimOptions& opts, int launches,
                                  SimStats& out) {
   out = SimStats{};
+  int lanes = 0;
+  AUTOGEMM_RETURN_IF_ERROR(resolve_lanes(prog, opts, lanes));
   std::vector<DynInst> trace;
-  AUTOGEMM_RETURN_IF_ERROR(build_trace(prog, opts, trace));
+  AUTOGEMM_RETURN_IF_ERROR(build_trace(prog, opts, lanes, trace));
   Scheduler sched(hw, opts);
   double t = 0.0;
   for (int i = 0; i < launches; ++i) {

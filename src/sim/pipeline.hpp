@@ -51,6 +51,12 @@ struct SimOptions {
   /// assumption); when true the cache hierarchy decides.
   bool use_caches = true;
 
+  /// Execution vector length in fp32 lanes for vl_agnostic (SVE) programs:
+  /// 0 runs at the program's generation width, otherwise must be >= that
+  /// width. Fixed-width NEON programs ignore it. Affects `[.., mul vl]`
+  /// address arithmetic and the value kCntW materializes.
+  int vector_length = 0;
+
   long max_dynamic_instructions = 20'000'000;
 
   /// Scheduler watchdog: simulated-cycle budget (0 = unlimited). A

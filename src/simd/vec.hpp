@@ -2,10 +2,16 @@
 //
 // simd::vec<N> is a fixed-width fp32 vector with fused-multiply-add,
 // mapping to SSE on x86 hosts (and trivially to NEON on an AArch64 build),
-// with an unrolled scalar fallback elsewhere. The host micro-kernels use
-// it so the register-tiling structure of the generated assembly —
-// accumulator blocks of whole vectors, one broadcast FMA per (row, column
-// group, k) — is explicit rather than left to the autovectorizer.
+// with an unrolled scalar fallback elsewhere. The compiled host
+// micro-kernels of the *fixed-width backend tier* (kernels/, served by the
+// NEON backend's find_microkernel) use it so the register-tiling structure
+// of the generated assembly — accumulator blocks of whole vectors, one
+// broadcast FMA per (row, column group, k) — is explicit rather than left
+// to the autovectorizer. The predicated SVE tier is deliberately NOT built
+// from this type: its kernels are vector-length-agnostic isa:: programs
+// (codegen::generate_sve_microkernel) whose width is a runtime property,
+// executed on sim::Interpreter at a chosen VL rather than compiled here
+// (see backend/backend.hpp on host-executable vs simulator-only tiers).
 #pragma once
 
 #include <cstddef>
@@ -22,8 +28,11 @@
 namespace autogemm::simd {
 
 /// Four fp32 lanes — the sigma_lane = 4 NEON width the paper's NEON
-/// kernels are built from. Wider (SVE-like) widths compose from several
-/// vec4 registers exactly as the dispatch table's nr > 4 kernels do.
+/// kernels are built from. Wider *fixed* widths compose from several vec4
+/// registers exactly as the dispatch table's nr > 4 kernels do (including
+/// the lane-scaled shapes that let SVE-width register tiles execute on
+/// this host); true predicated SVE wears a runtime width and lives in the
+/// simulator-only backend instead.
 struct vec4 {
 #if defined(AUTOGEMM_SIMD_SSE)
   __m128 v;

@@ -37,40 +37,46 @@ GemmConfig config_from_candidate(int m, int n, int k, const Candidate& c) {
   cfg.loop_order = c.loop_order;
   cfg.packing = c.packing;
   cfg.parallel_strategy = c.strategy;
+  cfg.backend = c.backend;
   return cfg;
 }
 
 bool TuningRecords::add(const ShapeKey& shape, const Candidate& candidate,
                         double cost) {
-  auto it = records_.find(shape);
+  const RecordKey key{shape, candidate.backend};
+  auto it = records_.find(key);
   if (it != records_.end() && it->second.cost <= cost) return false;
-  records_[shape] = {candidate, cost};
+  records_[key] = {candidate, cost};
   return true;
 }
 
-std::optional<Candidate> TuningRecords::lookup(const ShapeKey& shape) const {
-  auto it = records_.find(shape);
+std::optional<Candidate> TuningRecords::lookup(
+    const ShapeKey& shape, backend::BackendId backend) const {
+  auto it = records_.find(RecordKey{shape, backend});
   if (it == records_.end()) return std::nullopt;
   return it->second.candidate;
 }
 
-std::optional<double> TuningRecords::cost(const ShapeKey& shape) const {
-  auto it = records_.find(shape);
+std::optional<double> TuningRecords::cost(const ShapeKey& shape,
+                                          backend::BackendId backend) const {
+  auto it = records_.find(RecordKey{shape, backend});
   if (it == records_.end()) return std::nullopt;
   return it->second.cost;
 }
 
 std::optional<Candidate> TuningRecords::lookup_nearest(
-    const ShapeKey& shape, double max_log2_distance) const {
+    const ShapeKey& shape, double max_log2_distance,
+    backend::BackendId backend) const {
   const auto dim_distance = [](int want, int have) {
     return std::abs(std::log2(static_cast<double>(want) / have));
   };
   double best = std::numeric_limits<double>::infinity();
   const Record* best_rec = nullptr;
   for (const auto& [key, rec] : records_) {
-    const double d = dim_distance(shape.m, key.m) +
-                     dim_distance(shape.n, key.n) +
-                     dim_distance(shape.k, key.k);
+    if (key.backend != backend) continue;
+    const double d = dim_distance(shape.m, key.shape.m) +
+                     dim_distance(shape.n, key.shape.n) +
+                     dim_distance(shape.k, key.shape.k);
     if (d < best) {
       best = d;
       best_rec = &rec;
@@ -82,16 +88,18 @@ std::optional<Candidate> TuningRecords::lookup_nearest(
 
 Status TuningRecords::save(std::ostream& os) const {
   os << "autogemm-records v1\n";
-  os << "# m n k mc nc kc order packing cost strategy c=fnv1a(line)\n";
+  os << "# m n k mc nc kc order packing cost strategy backend c=fnv1a(line)\n";
   bool corrupt_one = failpoint::should_fail("records.corrupt_save");
-  for (const auto& [shape, rec] : records_) {
+  for (const auto& [key, rec] : records_) {
+    const ShapeKey& shape = key.shape;
     std::ostringstream line;
     line << shape.m << ' ' << shape.n << ' ' << shape.k << ' '
          << rec.candidate.mc << ' ' << rec.candidate.nc << ' '
          << rec.candidate.kc << ' '
          << static_cast<int>(rec.candidate.loop_order) << ' '
          << static_cast<int>(rec.candidate.packing) << ' ' << rec.cost << ' '
-         << static_cast<int>(rec.candidate.strategy);
+         << static_cast<int>(rec.candidate.strategy) << ' '
+         << static_cast<int>(rec.candidate.backend);
     std::string payload = line.str();
     const std::uint32_t crc = fnv1a(payload);
     if (corrupt_one) {
@@ -158,8 +166,17 @@ Status TuningRecords::load(std::istream& is, LoadReport* report) {
     bool strategy_ok = true;
     if (parsed && (ls >> strategy))
       strategy_ok = strategy >= 0 && strategy <= 2;
-    const bool sane = parsed && strategy_ok && shape.m > 0 && shape.n > 0 &&
-                      shape.k > 0 && rec.candidate.mc > 0 &&
+    // Optional trailing backend field, introduced with the backend
+    // registry: legacy 9- and 10-field lines load as NEON (the only
+    // backend that existed when they were written); a present field must
+    // name a known backend.
+    int backend_int = static_cast<int>(backend::BackendId::kNeon);
+    bool backend_valid = true;
+    if (parsed && strategy_ok && (ls >> backend_int))
+      backend_valid = backend_int >= 0 &&
+                      backend_int <= static_cast<int>(backend::BackendId::kSveSim);
+    const bool sane = parsed && strategy_ok && backend_valid && shape.m > 0 &&
+                      shape.n > 0 && shape.k > 0 && rec.candidate.mc > 0 &&
                       rec.candidate.nc > 0 && rec.candidate.kc > 0 &&
                       order >= 0 && order <= 5 && packing >= 0 &&
                       packing <= 2 && std::isfinite(rec.cost);
@@ -173,7 +190,8 @@ Status TuningRecords::load(std::istream& is, LoadReport* report) {
     rec.candidate.loop_order = static_cast<LoopOrder>(order);
     rec.candidate.packing = static_cast<kernels::Packing>(packing);
     rec.candidate.strategy = static_cast<ParallelStrategy>(strategy);
-    records_[shape] = rec;
+    rec.candidate.backend = static_cast<backend::BackendId>(backend_int);
+    records_[RecordKey{shape, rec.candidate.backend}] = rec;
     ++local.loaded;
   }
   if (report != nullptr) *report = local;

@@ -14,6 +14,7 @@
 #include <optional>
 #include <string>
 
+#include "backend/backend_id.hpp"
 #include "common/status.hpp"
 #include "tune/search_space.hpp"
 
@@ -25,28 +26,41 @@ struct ShapeKey {
 };
 
 /// Builds a GemmConfig from a tuned candidate (the tune -> core bridge):
-/// the record's blocking/order/packing over the heuristic defaults.
+/// the record's blocking/order/packing/backend over the heuristic defaults.
 GemmConfig config_from_candidate(int m, int n, int k, const Candidate& c);
 
 class TuningRecords {
  public:
-  /// Inserts or improves the record for a shape (kept only if `cost` beats
-  /// the stored one). Returns true if stored.
+  /// Inserts or improves the record for a shape under the candidate's
+  /// backend (kept only if `cost` beats the stored one; records for the
+  /// same shape under *different* backends coexist — the per-shape winner
+  /// across backends is the lookup caller's choice). Returns true if
+  /// stored.
   bool add(const ShapeKey& shape, const Candidate& candidate, double cost);
 
-  std::optional<Candidate> lookup(const ShapeKey& shape) const;
-  std::optional<double> cost(const ShapeKey& shape) const;
+  /// Exact-shape record *for the requested backend only*: a mixed-backend
+  /// file never resolves an SVE blocking for a NEON caller or vice versa.
+  /// The default keeps legacy (pre-backend) callers on the NEON table.
+  std::optional<Candidate> lookup(
+      const ShapeKey& shape,
+      backend::BackendId backend = backend::BackendId::kNeon) const;
+  std::optional<double> cost(
+      const ShapeKey& shape,
+      backend::BackendId backend = backend::BackendId::kNeon) const;
   std::size_t size() const { return records_.size(); }
 
   /// Nearest-shape fallback for untuned shapes: returns the record whose
   /// shape minimizes sum_d |log2(want_d / have_d)| over (m, n, k) — tuned
   /// parameters transfer between shapes of similar aspect, so a serving
-  /// context prefers a close record over the cold heuristic. Returns
-  /// nullopt when empty or when the best distance exceeds
+  /// context prefers a close record over the cold heuristic. Scoped to
+  /// `backend` exactly like lookup(): records for other backends are
+  /// invisible, however near their shapes. Returns nullopt when no
+  /// in-backend record exists or the best distance exceeds
   /// `max_log2_distance` (default: within ~2x total across the three
   /// dimensions).
-  std::optional<Candidate> lookup_nearest(const ShapeKey& shape,
-                                          double max_log2_distance = 1.0) const;
+  std::optional<Candidate> lookup_nearest(
+      const ShapeKey& shape, double max_log2_distance = 1.0,
+      backend::BackendId backend = backend::BackendId::kNeon) const;
 
   /// Outcome of a tolerant load: how many records survived and how many
   /// lines were skipped as corrupt (malformed fields, out-of-range enums,
@@ -58,10 +72,14 @@ class TuningRecords {
 
   /// Text format: a `autogemm-records v1` header line, then one record per
   /// line with a trailing FNV-1a line checksum:
-  ///   m n k mc nc kc loop_order packing cost [strategy] c=<hex>
+  ///   m n k mc nc kc loop_order packing cost [strategy] [backend] c=<hex>
   /// `strategy` is the candidate's ParallelStrategy as an int; it is
   /// optional on load (legacy 9-field lines read as kAuto) and always
-  /// written on save. Returns non-OK if the stream enters a failed state.
+  /// written on save. `backend` is the candidate's BackendId as an int and
+  /// is likewise optional on load — legacy 9- and 10-field lines read as
+  /// NEON, the only backend that existed when they were written — and
+  /// always written on save. Returns non-OK if the stream enters a failed
+  /// state.
   Status save(std::ostream& os) const;
   /// Replaces the current contents. Headerless streams (seed-era files)
   /// load as v1, and lines without the `c=` checksum field are accepted
@@ -80,11 +98,18 @@ class TuningRecords {
   Status load_file(const std::string& path, LoadReport* report = nullptr);
 
  private:
+  /// Storage key: one record slot per (shape, backend) pair, so a tuning
+  /// campaign that prices both tiers keeps the per-shape winner of *each*.
+  struct RecordKey {
+    ShapeKey shape;
+    backend::BackendId backend = backend::BackendId::kNeon;
+    auto operator<=>(const RecordKey&) const = default;
+  };
   struct Record {
     Candidate candidate;
     double cost = 0;
   };
-  std::map<ShapeKey, Record> records_;
+  std::map<RecordKey, Record> records_;
 };
 
 }  // namespace autogemm::tune

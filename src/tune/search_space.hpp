@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "backend/backend_id.hpp"
 #include "core/plan.hpp"
 
 namespace autogemm::tune {
@@ -23,12 +24,16 @@ struct Candidate {
   /// the choice to the runtime heuristic, so serial tuning runs are
   /// unaffected.
   ParallelStrategy strategy = ParallelStrategy::kAuto;
+  /// Kernel backend the candidate targets (the registry axis). NEON by
+  /// default so legacy spaces, records and tests are untouched; the axis
+  /// is crossed in only by enumerate_space(..., include_backends = true).
+  backend::BackendId backend = backend::BackendId::kNeon;
 
   bool operator==(const Candidate&) const = default;
 };
 
 /// Numeric feature vector for the learning-based surrogate (GBT).
-std::array<double, 7> features(const Candidate& c);
+std::array<double, 8> features(const Candidate& c);
 
 /// The paper's blocking rule: all divisors of the dimension ("0 < mc <= M,
 /// M % mc == 0"). For prime or huge dimensions this is tiny/huge, so the
@@ -40,12 +45,20 @@ std::vector<int> blocking_choices(int dim, bool divisors_only);
 /// `include_parallel_strategies` additionally crosses in the explicit
 /// blocks-only / k-split scheduling choice (x2); off by default because
 /// the serial tuner cannot measure the difference.
+/// `include_backends` crosses in every registered kernel backend as a
+/// search axis, with per-backend tile feasibility: a (blocking, backend)
+/// pair is enumerated only when the backend can field a vector
+/// micro-kernel for the block's column count (fixed-width backends need a
+/// lane multiple; predicated backends mask any edge). Off by default so
+/// legacy spaces — and the tuner runs that feed NEON-only records files —
+/// are byte-identical to before the axis existed.
 std::vector<Candidate> enumerate_space(
     int m, int n, int k, bool divisors_only = true,
-    bool include_parallel_strategies = false);
+    bool include_parallel_strategies = false, bool include_backends = false);
 
 /// Size of the space without materializing it.
 std::size_t space_size(int m, int n, int k, bool divisors_only = true,
-                       bool include_parallel_strategies = false);
+                       bool include_parallel_strategies = false,
+                       bool include_backends = false);
 
 }  // namespace autogemm::tune

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "backend/backend.hpp"
 #include "baselines/library_zoo.hpp"
 #include "baselines/pricer.hpp"
 #include "common/timer.hpp"
@@ -58,6 +59,17 @@ double model_cost(const Candidate& c, long m, long n, long k,
   if (c.loop_order == LoopOrder::kMNK || c.loop_order == LoopOrder::kMKN)
     cycles += p.pack_cycles;  // B repacked per outer M iteration
   return cycles;
+}
+
+double model_cost_seconds(const Candidate& c, long m, long n, long k) {
+  // resolve_backend handles a kAuto-carrying candidate and rejects
+  // unregistered ids; the backend's pricing model brings its own lane
+  // width, so an SVE candidate is priced at 16 fp32 lanes per FMA while a
+  // NEON one pays 4 — the width-vs-clock tradeoff the tuner arbitrates.
+  const backend::KernelBackend& be =
+      backend::get_backend(backend::resolve_backend(c.backend));
+  const hw::HardwareModel hw = be.pricing_model();
+  return model_cost(c, m, n, k, hw) / (hw.freq_ghz * 1e9);
 }
 
 TuneResult tune_exhaustive(const std::vector<Candidate>& space, CostFn cost) {

@@ -35,6 +35,15 @@ struct TuneResult {
 double model_cost(const Candidate& c, long m, long n, long k,
                   const hw::HardwareModel& hw);
 
+/// Cross-backend analytic cost in *seconds*: model_cost evaluated on the
+/// candidate's own backend's pricing chip (NEON -> Graviton2, simulated
+/// SVE -> A64FX), divided by that chip's clock. Cycles from different
+/// chips are incommensurable — the SVE chip trades clock for width — so
+/// seconds is the unit in which a backend-axis search space (see
+/// enumerate_space's include_backends) can be ranked by one CostFn and
+/// per-shape NEON-vs-SVE winners emerge.
+double model_cost_seconds(const Candidate& c, long m, long n, long k);
+
 TuneResult tune_exhaustive(const std::vector<Candidate>& space, CostFn cost);
 
 /// Ranks by `model`, evaluates only the best `keep_fraction` (at least

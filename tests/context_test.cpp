@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "backend/backend.hpp"
 #include "common/matrix.hpp"
 #include "common/reference_gemm.hpp"
 #include "common/rng.hpp"
@@ -112,8 +113,12 @@ TEST(Context, LruEvictionOrder) {
 
 TEST(Context, TunedRecordsResolveExactAndNearest) {
   tune::TuningRecords records;
-  records.add({64, 64, 64},
-              {16, 32, 16, LoopOrder::kKNM, kernels::Packing::kOnline}, 10.0);
+  tune::Candidate tuned{16, 32, 16, LoopOrder::kKNM, kernels::Packing::kOnline};
+  // Records resolve within one backend only, so tag the record with the
+  // backend a kAuto context will resolve — keeps this green under the CI
+  // matrix's AUTOGEMM_BACKEND legs.
+  tuned.backend = backend::resolve_backend(backend::BackendId::kAuto);
+  records.add({64, 64, 64}, tuned, 10.0);
   Context ctx(std::move(records));
   // Exact shape: the tuned blocking is adopted verbatim.
   auto exact = ctx.plan_for(64, 64, 64);

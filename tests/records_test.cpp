@@ -250,5 +250,96 @@ TEST(Records, ConfigFromCandidateBridgesToCore) {
   EXPECT_GT(plan.projected_cycles(), 0.0);
 }
 
+TEST(Records, LegacyNineAndTenFieldLinesLoadAsNeon) {
+  // Lines written before the backend field existed (9 fields, and 10 with
+  // the parallel-strategy field) must load as NEON — the only backend that
+  // existed when they were written — and stay invisible to SVE lookups.
+  TuningRecords records;
+  std::stringstream ss(
+      "64 64 64 16 32 16 2 1 10.0\n"
+      "32 32 32 8 16 8 0 1 5.0 1\n");
+  EXPECT_TRUE(records.load(ss).ok());
+  EXPECT_EQ(records.size(), 2u);
+
+  const auto nine = records.lookup({64, 64, 64});  // backend defaults kNeon
+  ASSERT_TRUE(nine.has_value());
+  EXPECT_EQ(nine->backend, backend::BackendId::kNeon);
+  const auto ten = records.lookup({32, 32, 32}, backend::BackendId::kNeon);
+  ASSERT_TRUE(ten.has_value());
+  EXPECT_EQ(ten->backend, backend::BackendId::kNeon);
+  EXPECT_EQ(ten->strategy, ParallelStrategy::kBlocksOnly);
+
+  EXPECT_FALSE(
+      records.lookup({64, 64, 64}, backend::BackendId::kSveSim).has_value());
+}
+
+TEST(Records, UnknownBackendFieldSkippedNotMisfiled) {
+  // A backend id from the future must be skipped like any corrupt field,
+  // never silently loaded as some backend that happens to exist today.
+  TuningRecords records;
+  std::stringstream ss("64 64 64 16 32 16 2 1 10.0 0 7\n");
+  TuningRecords::LoadReport report;
+  EXPECT_EQ(records.load(ss, &report).code(), StatusCode::kDataLoss);
+  EXPECT_EQ(report.skipped, 1u);
+  EXPECT_EQ(records.size(), 0u);
+}
+
+TEST(Records, MixedBackendRecordsCoexistAndRoundTrip) {
+  // One shape, two backends: separate slots, both survive save/load, and
+  // each lookup resolves strictly within its requested backend.
+  TuningRecords records;
+  Candidate neon = make_candidate(16);
+  Candidate sve = make_candidate(24);
+  sve.backend = backend::BackendId::kSveSim;
+  EXPECT_TRUE(records.add({64, 64, 64}, neon, 10.0));
+  EXPECT_TRUE(records.add({64, 64, 64}, sve, 4.0));  // not an "improvement"
+                                                     // race: distinct keys
+  EXPECT_EQ(records.size(), 2u);
+
+  std::stringstream ss;
+  ASSERT_TRUE(records.save(ss).ok());
+  TuningRecords loaded;
+  ASSERT_TRUE(loaded.load(ss).ok());
+  EXPECT_EQ(loaded.size(), 2u);
+
+  const auto got_neon = loaded.lookup({64, 64, 64});
+  ASSERT_TRUE(got_neon.has_value());
+  EXPECT_EQ(got_neon->mc, 16);
+  EXPECT_EQ(got_neon->backend, backend::BackendId::kNeon);
+  const auto got_sve = loaded.lookup({64, 64, 64}, backend::BackendId::kSveSim);
+  ASSERT_TRUE(got_sve.has_value());
+  EXPECT_EQ(got_sve->mc, 24);
+  EXPECT_EQ(got_sve->backend, backend::BackendId::kSveSim);
+  EXPECT_NEAR(loaded.cost({64, 64, 64}, backend::BackendId::kSveSim).value(),
+              4.0, 1e-12);
+}
+
+TEST(Records, NearestLookupNeverCrossesBackends) {
+  TuningRecords records;
+  Candidate sve = make_candidate(32);
+  sve.backend = backend::BackendId::kSveSim;
+  records.add({512, 512, 512}, sve, 20.0);
+  records.add({64, 64, 64}, make_candidate(16), 10.0);
+
+  // 480^3 is nearest the SVE record; the same query restricted to NEON
+  // must reach past it to the (far) 64^3 NEON record — and since that
+  // exceeds the distance bound, come back empty rather than borrow the
+  // SVE entry.
+  const auto sve_near =
+      records.lookup_nearest({480, 480, 480}, 1.0, backend::BackendId::kSveSim);
+  ASSERT_TRUE(sve_near.has_value());
+  EXPECT_EQ(sve_near->mc, 32);
+  EXPECT_FALSE(records.lookup_nearest({480, 480, 480}).has_value());
+  // And the NEON record resolves for NEON queries near its own shape.
+  EXPECT_EQ(records.lookup_nearest({60, 60, 60})->mc, 16);
+}
+
+TEST(Records, ConfigFromCandidateCarriesBackend) {
+  Candidate c = make_candidate(16);
+  c.backend = backend::BackendId::kSveSim;
+  EXPECT_EQ(config_from_candidate(64, 64, 64, c).backend,
+            backend::BackendId::kSveSim);
+}
+
 }  // namespace
 }  // namespace autogemm::tune

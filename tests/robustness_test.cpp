@@ -11,6 +11,7 @@
 #include <limits>
 #include <vector>
 
+#include "backend/backend.hpp"
 #include "codegen/generator.hpp"
 #include "common/failpoint.hpp"
 #include "common/matrix.hpp"
@@ -181,8 +182,11 @@ TEST_F(Robustness, ProbeFailureQuarantinesTunedConfigAndReroutes) {
   // the ladder must quarantine it and serve the call with the heuristic
   // config — correct numerics, visible in health().
   tune::TuningRecords recs;
-  recs.add({64, 64, 64},
-           {16, 32, 16, LoopOrder::kKNM, kernels::Packing::kOnline}, 100.0);
+  tune::Candidate tuned{16, 32, 16, LoopOrder::kKNM, kernels::Packing::kOnline};
+  // Tag the record with the backend a kAuto context resolves, so the
+  // tuned-probe ladder is exercised under every CI backend-matrix leg.
+  tuned.backend = backend::resolve_backend(backend::BackendId::kAuto);
+  recs.add({64, 64, 64}, tuned, 100.0);
   Context ctx(std::move(recs), serial_opts());
 
   Matrix a(64, 64), b(64, 64), c(64, 64), c_ref(64, 64);
@@ -241,8 +245,9 @@ TEST_F(Robustness, AllCandidatesQuarantinedPinsShapeToReference) {
 
 TEST_F(Robustness, QuarantineSurvivesCacheClear) {
   tune::TuningRecords recs;
-  recs.add({48, 48, 48},
-           {16, 16, 16, LoopOrder::kKNM, kernels::Packing::kOnline}, 100.0);
+  tune::Candidate tuned{16, 16, 16, LoopOrder::kKNM, kernels::Packing::kOnline};
+  tuned.backend = backend::resolve_backend(backend::BackendId::kAuto);
+  recs.add({48, 48, 48}, tuned, 100.0);
   Context ctx(std::move(recs), serial_opts());
   Matrix a(48, 48), b(48, 48), c(48, 48);
   common::fill_random(a.view(), 1);

@@ -16,7 +16,12 @@
 //                        [--repeat R] [--verify]
 //                                           replay a shape trace against
 //                                           the serve engine
+//   autogemm crosscheck [--kc K]            NEON host path vs simulated-SVE
+//                                           vs reference on an irregular
+//                                           tile sweep (CI gate)
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/backend.hpp"
 #include "baselines/library_zoo.hpp"
 #include "baselines/pricer.hpp"
 #include "codegen/generator.hpp"
@@ -37,9 +43,11 @@
 #include "core/gemm.hpp"
 #include "hw/chip_database.hpp"
 #include "isa/asm_printer.hpp"
+#include "kernels/dispatch.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/engine.hpp"
+#include "sim/interpreter.hpp"
 #include "tiling/micro_tiling.hpp"
 #include "tune/records.hpp"
 #include "tune/tuner.hpp"
@@ -68,7 +76,10 @@ int usage() {
       "               [--deadline-us U] [--threads T] [--repeat R] [--verify]\n"
       "                                          replay a shape trace (lines\n"
       "                                          of `M N K [count] [lane]`)\n"
-      "                                          against the serve engine\n");
+      "                                          against the serve engine\n"
+      "  crosscheck [--kc K]                     NEON host path vs simulated\n"
+      "                                          SVE (two VLs) vs reference\n"
+      "                                          on irregular tiles\n");
   return 2;
 }
 
@@ -465,6 +476,88 @@ int cmd_serve_replay(int argc, char** argv) {
   return 0;
 }
 
+// Three-way crosscheck on a sweep of irregular micro-tiles — the shapes
+// the paper's predicated SVE tier exists for (column counts that are not
+// a multiple of any vector length). For each tile:
+//   * reference_gemm computes the ground truth;
+//   * the NEON host path (kernels::run_tile — compiled vec4 main loop plus
+//     scalar edge columns) must match it;
+//   * the SVE backend's generated VL-agnostic kernel, executed by the
+//     functional interpreter at every VL from its generation width up to
+//     the A64FX's 16 lanes, must match it at each VL.
+// Exit 0 and a final `crosscheck: ... failures=0` line on success — this
+// is the CI gate tools/ci.sh greps for.
+int cmd_crosscheck(int argc, char** argv) {
+  const int kc = std::atoi(flag_value(argc, argv, "--kc", "17"));
+  const struct { int mr, nr; } tiles[] = {
+      {5, 10}, {3, 7}, {6, 18}, {7, 22}, {2, 30}, {4, 13}, {8, 6}, {1, 27},
+  };
+  const backend::KernelBackend& sve =
+      backend::get_backend(backend::BackendId::kSveSim);
+  const int vl_max = sve.caps().vl_default;
+  int failures = 0, checks = 0;
+  for (const auto& t : tiles) {
+    const int mr = t.mr, nr = t.nr;
+    std::vector<float> a(static_cast<std::size_t>(mr) * kc);
+    std::vector<float> b(static_cast<std::size_t>(kc) * nr);
+    std::vector<float> c_ref(static_cast<std::size_t>(mr) * nr, 0.0f);
+    common::fill_random(common::MatrixView{a.data(), mr, kc, kc}, 7);
+    common::fill_random(common::MatrixView{b.data(), kc, nr, nr}, 13);
+    common::reference_gemm(common::ConstMatrixView{a.data(), mr, kc, kc},
+                           common::ConstMatrixView{b.data(), kc, nr, nr},
+                           common::MatrixView{c_ref.data(), mr, nr, nr});
+    const float tol = 1e-4f * static_cast<float>(kc);
+    const auto max_err = [&](const std::vector<float>& c) {
+      float e = 0.0f;
+      for (std::size_t i = 0; i < c.size(); ++i)
+        e = std::max(e, std::fabs(c[i] - c_ref[i]));
+      return e;
+    };
+
+    // NEON host path: the portable tile dispatcher every backend falls
+    // back to on this machine.
+    std::vector<float> c_neon(c_ref.size(), 0.0f);
+    kernels::run_tile(mr, nr, a.data(), kc, b.data(), nr, c_neon.data(), nr,
+                      kc);
+    const float neon_err = max_err(c_neon);
+    bool ok = neon_err <= tol;
+    ++checks;
+
+    // Simulated SVE: one generated program, executed at every legal VL.
+    std::string sve_report;
+    try {
+      const codegen::MicroKernel mk = sve.generate(mr, nr, kc, {});
+      for (int vl = mk.program.lanes(); vl <= vl_max; vl *= 2) {
+        std::vector<float> c_sve(c_ref.size(), 0.0f);
+        sim::Interpreter interp(/*max_steps=*/4'000'000);
+        interp.set_vector_length(vl);
+        sim::KernelArgs args;
+        args.a = a.data();
+        args.b = b.data();
+        args.c = c_sve.data();
+        args.lda = kc;
+        args.ldb = nr;
+        args.ldc = nr;
+        const Status s = interp.try_run(mk.program, args);
+        const float err = s.ok() ? max_err(c_sve) : -1.0f;
+        ++checks;
+        if (!s.ok() || err > tol) ok = false;
+        sve_report += " sve_vl" + std::to_string(vl) + "_err=" +
+                      (s.ok() ? std::to_string(err) : s.to_string());
+      }
+    } catch (const std::exception& e) {
+      ok = false;
+      sve_report = std::string(" sve_error=") + e.what();
+    }
+    if (!ok) ++failures;
+    std::printf("crosscheck %dx%dx%d neon_err=%g%s %s\n", mr, nr, kc,
+                neon_err, sve_report.c_str(), ok ? "OK" : "FAIL");
+  }
+  std::printf("crosscheck: tiles=%zu checks=%d failures=%d\n",
+              sizeof(tiles) / sizeof(tiles[0]), checks, failures);
+  return failures == 0 ? 0 : 6;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -479,6 +572,7 @@ int main(int argc, char** argv) {
     if (cmd == "tune") return cmd_tune(argc - 2, argv + 2);
     if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
     if (cmd == "serve-replay") return cmd_serve_replay(argc - 2, argv + 2);
+    if (cmd == "crosscheck") return cmd_crosscheck(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

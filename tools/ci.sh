@@ -19,6 +19,12 @@
 # clean accounting) — then runs the serve coalescing bench. The serve
 # tests also run under the asan configuration via the regular ctest pass.
 #
+# The release configuration ends with the backend matrix: the full ctest
+# suite re-runs under AUTOGEMM_BACKEND=neon and =sve_sim (kAuto contexts
+# resolve through the env, so every registered tier serves the whole test
+# load), followed by the NEON vs simulated-SVE vs reference_gemm
+# crosscheck over an irregular-tile sweep (tools/autogemm crosscheck).
+#
 # Every ctest invocation carries a per-test timeout: a test that hangs (the
 # exact failure mode the sim watchdogs and thread-pool hardening exist to
 # prevent) fails CI instead of wedging it. The release configuration
@@ -106,6 +112,22 @@ for config in "${configs[@]}"; do
       ./build/bench/bench_serve --json-out build/bench_serve.json \
         | tee build/serve_bench.txt
       grep -q 'speedup (batch=8 vs single-dispatch)' build/serve_bench.txt
+      echo "==== [release] backend matrix (AUTOGEMM_BACKEND=neon|sve_sim) ===="
+      # The tier-1 suite must hold under every registered backend: kAuto
+      # contexts resolve through the env override, so this exercises the
+      # compiled-NEON and portable-fallback-plus-SVE-probe paths end to end.
+      for backend in neon sve_sim; do
+        echo "---- backend=$backend ----"
+        AUTOGEMM_BACKEND=$backend ctest --test-dir build --output-on-failure \
+          -j "$jobs" --timeout "$test_timeout"
+      done
+      echo "==== [release] backend crosscheck (neon vs sve_sim vs reference) ===="
+      # Irregular-tile sweep: the compiled NEON host kernels and the
+      # generated predicated SVE programs (interpreted at every VL from the
+      # generation width up to 512-bit) must all agree with reference_gemm.
+      ./build/tools/autogemm crosscheck | tee build/backend_crosscheck.txt
+      grep -Eq 'crosscheck: tiles=[0-9]+ checks=[0-9]+ failures=0' \
+        build/backend_crosscheck.txt
       ;;
     asan)
       run_config asan build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
