@@ -155,6 +155,47 @@ struct OpenResult {
   bool accounting_clean = true;
 };
 
+struct DrainResult {
+  double drain_seconds = 0;   // drain() call duration (graceful stop cost)
+  std::uint64_t backlog = 0;  // queued requests at the moment drain() begins
+  std::uint64_t ok = 0;
+  bool stopped = false;
+  bool accounting_clean = true;
+};
+
+// Graceful-drain cost: fill the queue while the dispatcher is paused, then
+// time `drain()` — completing every in-flight request, refusing new work,
+// and stopping. The interesting number is drain latency as a function of
+// backlog depth, the bound an operator pays for a clean shutdown.
+DrainResult run_drain_bench(Context& ctx, RequestSet& reqs) {
+  reqs.reset();
+  serve::EngineOptions opts;
+  opts.queue_capacity = reqs.cs.size() + 8;
+  opts.shed_watermark = opts.queue_capacity;
+  opts.max_batch = 8;
+  opts.max_batch_delay_ns = 0;
+  opts.start_paused = true;  // accumulate the full backlog before draining
+  serve::Engine engine(ctx, opts);
+
+  std::vector<std::future<Status>> futures;
+  futures.reserve(reqs.cs.size());
+  for (std::size_t i = 0; i < reqs.cs.size(); ++i)
+    futures.push_back(engine.submit(reqs.request(i, serve::Lane::kBulk)));
+
+  DrainResult r;
+  r.backlog = engine.queue_depth();
+  engine.resume();
+  const std::uint64_t t0 = common::now_ns();
+  const Status drained = engine.drain(/*timeout_ns=*/60'000'000'000ull);
+  const std::uint64_t t1 = common::now_ns();
+  r.drain_seconds = static_cast<double>(t1 - t0) * 1e-9;
+  r.stopped = drained.ok() && engine.state() == serve::EngineState::kStopped;
+  for (auto& f : futures)
+    if (f.get().ok()) ++r.ok;
+  r.accounting_clean = engine.stats().accounting_clean();
+  return r;
+}
+
 // Paced submission at `rate_rps` against a small queue; overload rates
 // exercise the shed watermark and admission backpressure.
 OpenResult run_open_loop(Context& ctx, RequestSet& reqs, double rate_rps) {
@@ -327,6 +368,18 @@ int main(int argc, char** argv) {
                 r.accounting_clean ? "" : "ACCOUNTING-BROKEN");
   }
 
+  // --- graceful drain ---------------------------------------------------
+  bench::subheader("graceful drain (full backlog, max_batch=8)");
+  const DrainResult drain_r = run_drain_bench(ctx, reqs);
+  std::printf("drain: backlog=%llu  %.3f ms  (%.0f req/s)  ok=%llu %s%s\n",
+              static_cast<unsigned long long>(drain_r.backlog),
+              drain_r.drain_seconds * 1e3,
+              static_cast<double>(drain_r.backlog) /
+                  (drain_r.drain_seconds > 0 ? drain_r.drain_seconds : 1.0),
+              static_cast<unsigned long long>(drain_r.ok),
+              drain_r.stopped ? "stopped" : "DRAIN-INCOMPLETE",
+              drain_r.accounting_clean ? "" : " ACCOUNTING-BROKEN");
+
   // --- JSON -------------------------------------------------------------
   std::string json = "{\"bench\": \"serve\", \"shape\": \"" +
                      std::to_string(kM) + "x" + std::to_string(kN) + "x" +
@@ -361,7 +414,16 @@ int main(int argc, char** argv) {
                   r.queue_p99_us, r.accounting_clean ? "true" : "false");
     json += buf;
   }
-  json += "]}";
+  std::snprintf(buf, sizeof(buf),
+                "], \"drain\": {\"backlog\": %llu, \"seconds\": %.6f, "
+                "\"ok\": %llu, \"stopped\": %s, \"accounting_clean\": %s}",
+                static_cast<unsigned long long>(drain_r.backlog),
+                drain_r.drain_seconds,
+                static_cast<unsigned long long>(drain_r.ok),
+                drain_r.stopped ? "true" : "false",
+                drain_r.accounting_clean ? "true" : "false");
+  json += buf;
+  json += "}";
   json = bench::with_metrics(json);
   bench::write_json_file(
       !args.json_out.empty() ? args.json_out : "bench_serve.json", json);

@@ -33,6 +33,10 @@
 //   verify.portable          Context's portable-kernel probe miscompares
 //   serve.queue_full         serve::Engine admission sees a full queue
 //   serve.spawn              serve::Engine dispatcher thread creation fails
+//   serve.dispatcher_crash   serve::Engine dispatcher thread dies mid-loop
+//   serve.dispatcher_stall   serve::Engine dispatcher wedges (stops beating)
+//   serve.execute            serve::Engine dispatch fails a request before
+//                            execution (C untouched) — breaker/chaos tests
 #pragma once
 
 #include <atomic>

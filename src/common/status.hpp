@@ -43,6 +43,11 @@ enum class StatusCode : int {
   /// The requested path exists but is quarantined/disabled; a fallback
   /// served the request or the caller must use another path.
   kUnavailable = 6,
+  /// The operation is not valid in the object's current lifecycle state
+  /// (e.g. submitting to a draining serve::Engine). The caller must
+  /// observe a state change before the same call can succeed — retrying
+  /// blind is useless by definition.
+  kFailedPrecondition = 7,
 };
 
 inline const char* status_code_name(StatusCode code) {
@@ -54,8 +59,43 @@ inline const char* status_code_name(StatusCode code) {
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
   }
   return "UNKNOWN";
+}
+
+/// Retryability classification — the contract behind
+/// serve::Engine::submit_with_retry and any caller-side retry loop.
+/// A code is *transient* when the condition it reports is load- or
+/// time-dependent, so an identical call a moment later can legitimately
+/// succeed; every other code reports something a blind retry will only
+/// repeat.
+///
+/// | code                | transient | rationale                           |
+/// |---------------------|-----------|-------------------------------------|
+/// | kOk                 | —         | success; nothing to retry           |
+/// | kInvalidArgument    | no        | caller bug; the same operands fail  |
+/// |                     |           | the same validation every time      |
+/// | kResourceExhausted  | yes       | backpressure (full serve queue) or  |
+/// |                     |           | allocation pressure; drains as load |
+/// |                     |           | and memory pressure subside         |
+/// | kDataLoss           | no        | corrupt persistent data does not    |
+/// |                     |           | heal on re-read                     |
+/// | kDeadlineExceeded   | no        | the request deadline is absolute    |
+/// |                     |           | and the sim watchdog budgets are    |
+/// |                     |           | deterministic; a retry re-expires   |
+/// | kInternal           | no        | library fault; the degradation      |
+/// |                     |           | ladder reroutes on its own, a blind |
+/// |                     |           | resubmission just repeats the fault |
+/// | kUnavailable        | yes       | shed/displaced under overload or an |
+/// |                     |           | open circuit breaker; clears when   |
+/// |                     |           | load drops / the cooldown elapses   |
+/// | kFailedPrecondition | no        | lifecycle state (draining/stopped); |
+/// |                     |           | the caller must observe the state   |
+/// |                     |           | change, not spin                    |
+inline bool is_transient(StatusCode code) {
+  return code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kUnavailable;
 }
 
 class [[nodiscard]] Status {
@@ -108,6 +148,13 @@ inline Status InternalError(std::string msg) {
 inline Status UnavailableError(std::string msg) {
   return {StatusCode::kUnavailable, std::move(msg)};
 }
+inline Status FailedPreconditionError(std::string msg) {
+  return {StatusCode::kFailedPrecondition, std::move(msg)};
+}
+
+/// Status flavor of the classification above (OK is not transient — there
+/// is nothing to retry).
+inline bool is_transient(const Status& s) { return is_transient(s.code()); }
 
 /// Propagate a non-OK status to the caller (expression must be a Status).
 #define AUTOGEMM_RETURN_IF_ERROR(expr)                   \

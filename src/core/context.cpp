@@ -17,6 +17,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/interpreter.hpp"
+#include "sim/pipeline.hpp"
 
 namespace autogemm {
 
@@ -131,7 +132,7 @@ void fill_probe(std::vector<float>& buf, unsigned seed) {
 /// paper performs against other BLAS libraries at generation time, moved
 /// to first use so a config transferred from another machine is vetted on
 /// the machine that will trust it.
-Status probe_generated(int mr, int nr, int kc, int lanes) {
+Status probe_generated(int mr, int nr, int kc, int lanes, long max_steps) {
   codegen::MicroKernel mk;
   try {
     codegen::GeneratorOptions gopts;
@@ -153,7 +154,7 @@ Status probe_generated(int mr, int nr, int kc, int lanes) {
   fill_probe(a, 11);
   fill_probe(b, 23);
 
-  sim::Interpreter interp(/*max_steps=*/2'000'000);
+  sim::Interpreter interp(max_steps);
   sim::KernelArgs args;
   args.a = a.data();
   args.b = b.data();
@@ -185,7 +186,7 @@ Status probe_generated(int mr, int nr, int kc, int lanes) {
 /// honor. This is the only way an SVE instruction stream is vetted on an
 /// x86 host: the silicon path (find_microkernel) does not exist for it.
 Status probe_generated_vla(const backend::KernelBackend& be, int mr, int nr,
-                           int kc) {
+                           int kc, long max_steps) {
   codegen::MicroKernel mk;
   try {
     codegen::GeneratorOptions gopts;
@@ -203,7 +204,7 @@ Status probe_generated_vla(const backend::KernelBackend& be, int mr, int nr,
   fill_probe(a, 11);
   fill_probe(b, 23);
 
-  sim::Interpreter interp(/*max_steps=*/2'000'000);
+  sim::Interpreter interp(max_steps);
   interp.set_vector_length(be.caps().vl_default);
   sim::KernelArgs args;
   args.a = a.data();
@@ -518,9 +519,10 @@ Status Context::verify_config(const Plan& plan) {
         vla ? be.tile_feasible(t.mr, t.nr)
             : (t.nr % lanes == 0 && codegen::tile_feasible(t.mr, t.nr, lanes));
     if (probeable) {
+      const long max_steps = std::max(1L, opts_.watchdog.probe_max_steps);
       AUTOGEMM_RETURN_IF_ERROR(
-          vla ? probe_generated_vla(be, t.mr, t.nr, kc)
-              : probe_generated(t.mr, t.nr, kc, lanes));
+          vla ? probe_generated_vla(be, t.mr, t.nr, kc, max_steps)
+              : probe_generated(t.mr, t.nr, kc, lanes, max_steps));
       break;
     }
   }
@@ -1239,6 +1241,14 @@ std::size_t Context::plan_cache_size() const {
 std::size_t Context::packed_cache_size() const {
   std::lock_guard lock(mu_);
   return packed_lru_.size();
+}
+
+sim::SimOptions Context::pipeline_options() const {
+  sim::SimOptions o;
+  o.max_dynamic_instructions =
+      std::max(1L, opts_.watchdog.sim_max_dynamic_instructions);
+  o.max_cycles = opts_.watchdog.sim_max_cycles;
+  return o;
 }
 
 Context& default_context() {

@@ -72,7 +72,31 @@ namespace autogemm::obs {
 class Histogram;
 }  // namespace autogemm::obs
 
+namespace autogemm::sim {
+struct SimOptions;
+}  // namespace autogemm::sim
+
 namespace autogemm {
+
+/// Watchdog budgets for the simulation machinery a context drives. PR 2's
+/// anti-hang hardening introduced the budgets but hard-coded them; making
+/// them options lets the chaos harness tighten them at runtime (forcing
+/// kDeadlineExceeded probe outcomes and the quarantine ladder) without
+/// recompiling, and lets a paranoid embedder loosen them for giant tiles.
+struct WatchdogBudgets {
+  /// sim::Interpreter dynamic-instruction budget for each first-use
+  /// verification probe of a generated kernel (the only simulator the
+  /// execution path itself drives). A probe that exceeds it reports
+  /// kDeadlineExceeded and quarantines the config, exactly like a
+  /// miscompare.
+  long probe_max_steps = 2'000'000;
+  /// Budgets stamped into Context::pipeline_options() for callers that
+  /// price shapes through sim::simulate_checked under this context's
+  /// policy (the CLI and benches; the GEMM execution path never runs the
+  /// pipeline simulator).
+  long sim_max_dynamic_instructions = 20'000'000;
+  double sim_max_cycles = 0;  ///< 0 = unlimited
+};
 
 struct ContextOptions {
   /// Max distinct shapes whose Plans stay cached (LRU beyond that).
@@ -109,6 +133,9 @@ struct ContextOptions {
   /// global by design (traces interleave all contexts); a context never
   /// turns tracing *off* for others.
   bool trace = false;
+  /// Watchdog budgets (see WatchdogBudgets): interpreter probe step limit
+  /// and the pipeline-sim budgets pipeline_options() hands out.
+  WatchdogBudgets watchdog;
 };
 
 /// Monotonic cache counters (see Context::stats); the cache hit-rate bench
@@ -291,6 +318,12 @@ class Context {
   const tune::TuningRecords& records() const { return records_; }
   /// The backend this context resolved at construction (never kAuto).
   backend::BackendId backend_id() const { return backend_; }
+  /// sim::SimOptions pre-filled with this context's watchdog budgets
+  /// (options().watchdog), for callers pricing shapes through
+  /// sim::simulate_checked under the context's policy. Other fields keep
+  /// their SimOptions defaults.
+  sim::SimOptions pipeline_options() const;
+  const ContextOptions& options() const { return opts_; }
 
  private:
   struct ShapeKey {

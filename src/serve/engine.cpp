@@ -24,6 +24,8 @@ struct ServeObs {
   obs::Counter* admitted;
   obs::Counter* rejected_full;
   obs::Counter* rejected_stopped;
+  obs::Counter* rejected_draining;
+  obs::Counter* rejected_breaker;
   obs::Counter* invalid;
   obs::Counter* shed;
   obs::Counter* expired;
@@ -32,10 +34,22 @@ struct ServeObs {
   obs::Counter* batches;
   obs::Counter* dispatched_batched;
   obs::Counter* dispatched_single;
+  obs::Counter* breaker_open;
+  obs::Counter* breaker_half_open;
+  obs::Counter* breaker_closed;
+  obs::Counter* dispatcher_crash;
+  obs::Counter* dispatcher_stall;
+  obs::Counter* dispatcher_restart;
+  obs::Counter* inline_fallback;
+  obs::Counter* retries;
+  obs::Counter* retry_budget_exhausted;
   obs::Gauge* queue_depth;
+  obs::Gauge* breakers_open;
+  obs::Gauge* state;
   obs::Histogram* queue_seconds_interactive;
   obs::Histogram* queue_seconds_bulk;
   obs::Histogram* batch_size;
+  obs::Histogram* drain_seconds;
 };
 
 ServeObs& serve_obs() {
@@ -51,6 +65,10 @@ ServeObs& serve_obs() {
         &r.counter("autogemm_serve_rejected_total{reason=\"queue_full\"}");
     x.rejected_stopped =
         &r.counter("autogemm_serve_rejected_total{reason=\"stopped\"}");
+    x.rejected_draining =
+        &r.counter("autogemm_serve_rejected_total{reason=\"draining\"}");
+    x.rejected_breaker =
+        &r.counter("autogemm_serve_rejected_total{reason=\"breaker\"}");
     x.invalid = &r.counter("autogemm_serve_rejected_total{reason=\"invalid\"}");
     x.shed = &r.counter("autogemm_serve_shed_total");
     x.expired = &r.counter("autogemm_serve_expired_total");
@@ -63,7 +81,26 @@ ServeObs& serve_obs() {
         &r.counter("autogemm_serve_dispatched_total{mode=\"batched\"}");
     x.dispatched_single =
         &r.counter("autogemm_serve_dispatched_total{mode=\"single\"}");
+    x.breaker_open =
+        &r.counter("autogemm_serve_breaker_transitions_total{to=\"open\"}");
+    x.breaker_half_open = &r.counter(
+        "autogemm_serve_breaker_transitions_total{to=\"half_open\"}");
+    x.breaker_closed =
+        &r.counter("autogemm_serve_breaker_transitions_total{to=\"closed\"}");
+    x.dispatcher_crash =
+        &r.counter("autogemm_serve_dispatcher_events_total{event=\"crash\"}");
+    x.dispatcher_stall =
+        &r.counter("autogemm_serve_dispatcher_events_total{event=\"stall\"}");
+    x.dispatcher_restart =
+        &r.counter("autogemm_serve_dispatcher_events_total{event=\"restart\"}");
+    x.inline_fallback = &r.counter("autogemm_serve_inline_fallback_total");
+    x.retries = &r.counter("autogemm_serve_retries_total");
+    x.retry_budget_exhausted =
+        &r.counter("autogemm_serve_retry_budget_exhausted_total");
     x.queue_depth = &r.gauge("autogemm_serve_queue_depth");
+    x.breakers_open = &r.gauge("autogemm_serve_breakers_open");
+    // 0 = running, 1 = draining, 2 = stopped (EngineState order).
+    x.state = &r.gauge("autogemm_serve_state");
     x.queue_seconds_interactive =
         &r.histogram("autogemm_serve_queue_seconds{lane=\"interactive\"}");
     x.queue_seconds_bulk =
@@ -71,6 +108,7 @@ ServeObs& serve_obs() {
     // Batch sizes are small integers; scale 1 keeps the log2 buckets
     // aligned on request counts instead of microseconds.
     x.batch_size = &r.histogram("autogemm_serve_batch_size", /*scale=*/1.0);
+    x.drain_seconds = &r.histogram("autogemm_serve_drain_seconds");
     return x;
   }();
   return h;
@@ -99,7 +137,18 @@ Status shed_status() {
       "resubmit when load drops");
 }
 
+Status exec_failpoint_status() {
+  return InternalError(
+      "failpoint: serve.execute — execution failed before touching C");
+}
+
+std::string shape_text(int m, int n, int k) {
+  return std::to_string(m) + "x" + std::to_string(n) + "x" + std::to_string(k);
+}
+
 }  // namespace
+
+std::uint64_t Engine::common_now() { return common::now_ns(); }
 
 Engine::Engine(Context& ctx, const EngineOptions& opts)
     : ctx_(ctx),
@@ -114,16 +163,34 @@ Engine::Engine(Context& ctx, const EngineOptions& opts)
                           : std::max<std::size_t>(
                                 1, opts_.queue_capacity * 3 / 4)),
       paused_(opts_.start_paused) {
+  retry_tokens_ = opts_.retry_budget_tokens;
+  last_beat_ns_.store(common::now_ns(), std::memory_order_relaxed);
   try {
     if (failpoint::should_fail("serve.spawn"))
       throw std::system_error(std::make_error_code(
           std::errc::resource_unavailable_try_again));
-    dispatcher_ = std::thread([this] { dispatcher_loop(); });
+    dispatcher_alive_ = true;
+    dispatcher_ = std::thread([this] { dispatcher_loop(0); });
   } catch (const std::system_error&) {
     // No dispatcher thread: serve synchronously on the caller's thread
     // rather than refusing to serve at all. No coalescing, no lanes —
     // but every submission still completes with an honest Status.
-    inline_ = true;
+    dispatcher_alive_ = false;
+    inline_.store(true, std::memory_order_relaxed);
+    drained_ = true;  // nothing will ever queue
+  }
+  if (!inline_mode() && opts_.supervision_interval_ns > 0) {
+    try {
+      monitor_ = std::thread([this] { monitor_loop(); });
+    } catch (const std::system_error&) {
+      // Unsupervised but serving: a dispatcher crash now strands its
+      // queue exactly as before supervision existed. drain() still
+      // recovers (it detects the dead dispatcher itself).
+    }
+  }
+  {
+    std::lock_guard lock(mu_);
+    publish_state_locked();
   }
 }
 
@@ -175,6 +242,7 @@ std::future<Status> Engine::submit_internal(const GemmRequest& req,
   // later).
   const Status valid =
       validate_batch_item(BatchItem{req.a, req.b, req.c});
+  const ShapeKey shape{req.c.rows, req.c.cols, req.a.cols};
 
   Status reject;
   obs::Counter* reject_counter = nullptr;
@@ -184,24 +252,48 @@ std::future<Status> Engine::submit_internal(const GemmRequest& req,
   {
     std::lock_guard lock(mu_);
     ++stats_.submitted;
+    bool probe = false;
+    std::optional<Status> braked;
     if (!valid.ok()) {
       ++stats_.invalid;
       reject = valid;
       reject_counter = o.invalid;
-    } else if (stopping_) {
+    } else if (state_ != EngineState::kRunning) {
+      // Lifecycle rejections are kFailedPrecondition: the caller must
+      // observe the state change, retrying is useless by definition
+      // (is_transient classifies it accordingly).
       ++stats_.rejected;
-      reject = UnavailableError("serve: engine stopped; request not admitted");
-      reject_counter = o.rejected_stopped;
-    } else if (inline_) {
+      if (state_ == EngineState::kDraining) {
+        reject = FailedPreconditionError(
+            "serve: engine draining; new submissions are not admitted "
+            "(in-flight work is completing)");
+        reject_counter = o.rejected_draining;
+      } else {
+        reject = FailedPreconditionError(
+            "serve: engine stopped; request not admitted");
+        reject_counter = o.rejected_stopped;
+      }
+    } else if ((braked = breaker_admission_locked(shape, common::now_ns(),
+                                                  &probe))
+                   .has_value()) {
+      // Open circuit breaker: fast-fail without occupying a queue slot.
+      ++stats_.rejected;
+      ++stats_.breaker_rejected;
+      reject = *braked;
+      reject_counter = o.rejected_breaker;
+    } else if (inline_mode()) {
       ++stats_.admitted;
       o.admitted->add(1);
+      p.breaker_probe = probe;
       run_inline = true;
     } else {
+      p.breaker_probe = probe;
       bool full = depth_locked() >= opts_.queue_capacity;
       if (!full && failpoint::should_fail("serve.queue_full")) full = true;
       if (full && req.lane == Lane::kInteractive && !bulk_.empty()) {
         // Backpressure with priority: an interactive arrival displaces
         // the oldest bulk request instead of being turned away.
+        release_probe_locked(bulk_.front());
         victim = std::move(bulk_.front());
         bulk_.pop_front();
         have_victim = true;
@@ -209,6 +301,7 @@ std::future<Status> Engine::submit_internal(const GemmRequest& req,
         full = false;
       }
       if (full) {
+        release_probe_locked(p);  // the probe slot must not leak
         ++stats_.rejected;
         reject = ResourceExhaustedError(
             "serve: submission queue full (capacity " +
@@ -244,19 +337,184 @@ std::future<Status> Engine::submit_internal(const GemmRequest& req,
       o.expired->add(1);
       std::lock_guard lock(mu_);
       ++stats_.expired;
+      release_probe_locked(p);
     } else {
-      s = ctx_.run(req.a, req.b, req.c);
+      if (failpoint::should_fail("serve.execute")) {
+        s = exec_failpoint_status();
+      } else {
+        s = ctx_.run(req.a, req.b, req.c);
+      }
       o.dispatched_single->add(1);
       (s.ok() ? o.completed_ok : o.completed_error)->add(1);
       std::lock_guard lock(mu_);
       ++stats_.single_dispatches;
       ++(s.ok() ? stats_.completed_ok : stats_.completed_error);
+      breaker_outcome_locked(shape, s.ok(), p.breaker_probe,
+                             common::now_ns());
+      if (s.ok()) refill_retry_tokens_locked(1);
     }
     finish(p, s);
     return fut;
   }
   cv_.notify_one();
   return fut;
+}
+
+Status Engine::submit_with_retry(const GemmRequest& req,
+                                 const RetryPolicy& policy) {
+  ServeObs& o = serve_obs();
+  const int attempts = std::max(1, policy.max_attempts);
+  std::uint64_t rng = policy.seed;
+  std::uint64_t backoff =
+      std::max<std::uint64_t>(1, policy.initial_backoff_ns);
+  Status last;
+  for (int attempt = 1;; ++attempt) {
+    last = submit(req).get();
+    if (last.ok() || !is_transient(last) || attempt >= attempts) return last;
+    std::uint64_t delay = backoff;
+    if (policy.jitter > 0) {
+      // splitmix64 step — the schedule is reproducible per policy.seed.
+      std::uint64_t z = (rng += 0x9E3779B97F4A7C15ull);
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      z ^= z >> 31;
+      const double u =
+          static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0);
+      delay = static_cast<std::uint64_t>(
+          static_cast<double>(delay) *
+          (1.0 - std::min(1.0, policy.jitter) * u));
+    }
+    if (req.deadline_ns != 0 && common::now_ns() + delay >= req.deadline_ns)
+      return last;  // the retried attempt would expire anyway
+    if (!try_spend_retry_token()) {
+      {
+        std::lock_guard lock(mu_);
+        ++stats_.retry_budget_exhausted;
+      }
+      o.retry_budget_exhausted->add(1);
+      return last;
+    }
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.retries;
+    }
+    o.retries->add(1);
+    if (delay > 0)
+      std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
+    backoff = static_cast<std::uint64_t>(std::min(
+        static_cast<double>(policy.max_backoff_ns),
+        std::max(1.0,
+                 static_cast<double>(backoff) * policy.backoff_multiplier)));
+  }
+}
+
+bool Engine::try_spend_retry_token() {
+  if (opts_.retry_budget_tokens <= 0) return true;  // budget disabled
+  std::lock_guard lock(mu_);
+  if (retry_tokens_ < 1.0) return false;
+  retry_tokens_ -= 1.0;
+  return true;
+}
+
+void Engine::refill_retry_tokens_locked(std::uint64_t completions) {
+  if (opts_.retry_budget_tokens <= 0) return;
+  retry_tokens_ =
+      std::min(opts_.retry_budget_tokens,
+               retry_tokens_ + opts_.retry_token_ratio *
+                                   static_cast<double>(completions));
+}
+
+std::optional<Status> Engine::breaker_admission_locked(const ShapeKey& key,
+                                                       std::uint64_t now,
+                                                       bool* probe) {
+  if (opts_.breaker_failure_threshold == 0) return std::nullopt;
+  auto it = breakers_.find(key);
+  if (it == breakers_.end()) return std::nullopt;
+  Breaker& b = it->second;
+  if (b.st == Breaker::St::kOpen) {
+    if (now - b.opened_ns < opts_.breaker_cooldown_ns) {
+      return UnavailableError(
+          "serve: circuit breaker open for shape " +
+          shape_text(std::get<0>(key), std::get<1>(key), std::get<2>(key)) +
+          " after consecutive execution failures; fast-fail without "
+          "queueing, C untouched — retry after the cooldown");
+    }
+    set_breaker_state_locked(b, Breaker::St::kHalfOpen, now);
+  }
+  if (b.st == Breaker::St::kHalfOpen) {
+    if (b.probe_in_flight) {
+      return UnavailableError(
+          "serve: circuit breaker half-open for shape " +
+          shape_text(std::get<0>(key), std::get<1>(key), std::get<2>(key)) +
+          " with its probe in flight; fast-fail, C untouched");
+    }
+    b.probe_in_flight = true;
+    *probe = true;
+  }
+  return std::nullopt;
+}
+
+void Engine::breaker_outcome_locked(const ShapeKey& key, bool ok,
+                                    bool was_probe, std::uint64_t now) {
+  if (opts_.breaker_failure_threshold == 0) return;
+  if (ok) {
+    auto it = breakers_.find(key);
+    if (it == breakers_.end()) return;
+    Breaker& b = it->second;
+    b.consecutive_failures = 0;
+    if (was_probe) b.probe_in_flight = false;
+    if (b.st != Breaker::St::kClosed)
+      set_breaker_state_locked(b, Breaker::St::kClosed, now);
+    return;
+  }
+  Breaker& b = breakers_[key];
+  ++b.consecutive_failures;
+  if (was_probe) b.probe_in_flight = false;
+  if (b.st == Breaker::St::kHalfOpen ||
+      (b.st == Breaker::St::kClosed &&
+       b.consecutive_failures >= opts_.breaker_failure_threshold)) {
+    set_breaker_state_locked(b, Breaker::St::kOpen, now);
+  } else if (b.st == Breaker::St::kOpen) {
+    // Failures from requests admitted before the breaker opened keep the
+    // cooldown fresh — the bucket is demonstrably still unhealthy.
+    b.opened_ns = now;
+  }
+}
+
+void Engine::set_breaker_state_locked(Breaker& b, Breaker::St to,
+                                      std::uint64_t now) {
+  if (b.st == to) return;
+  ServeObs& o = serve_obs();
+  if (b.st == Breaker::St::kOpen && breakers_open_ > 0) --breakers_open_;
+  b.st = to;
+  switch (to) {
+    case Breaker::St::kOpen:
+      ++breakers_open_;
+      b.opened_ns = now;
+      b.probe_in_flight = false;
+      ++stats_.breaker_opens;
+      o.breaker_open->add(1);
+      break;
+    case Breaker::St::kHalfOpen:
+      b.probe_in_flight = false;
+      o.breaker_half_open->add(1);
+      break;
+    case Breaker::St::kClosed:
+      b.consecutive_failures = 0;
+      b.probe_in_flight = false;
+      o.breaker_closed->add(1);
+      break;
+  }
+  o.breakers_open->set(static_cast<double>(breakers_open_));
+}
+
+void Engine::release_probe_locked(const Pending& p) {
+  if (!p.breaker_probe) return;
+  auto it = breakers_.find(
+      ShapeKey{p.req.c.rows, p.req.c.cols, p.req.a.cols});
+  if (it == breakers_.end()) return;
+  if (it->second.st == Breaker::St::kHalfOpen)
+    it->second.probe_in_flight = false;
 }
 
 void Engine::take_same_shape_locked(int m, int n, int k,
@@ -279,20 +537,71 @@ void Engine::publish_depth_locked() {
   serve_obs().queue_depth->set(static_cast<double>(depth_locked()));
 }
 
-void Engine::dispatcher_loop() {
+void Engine::publish_state_locked() {
+  serve_obs().state->set(static_cast<double>(static_cast<int>(state_)));
+}
+
+void Engine::dispatcher_loop(std::uint64_t gen) {
   std::unique_lock<std::mutex> lock(mu_);
+  bool crashed = false;
+  try {
+    dispatcher_run(lock, gen);
+  } catch (...) {
+    // The dispatcher thread died mid-loop (the serve.dispatcher_crash
+    // failpoint, or an allocation failure in the loop bookkeeping). The
+    // queue is intact — every Pending lives in the engine, not on this
+    // stack — so the monitor can respawn a replacement that picks the
+    // backlog straight up.
+    crashed = true;
+  }
+  if (!lock.owns_lock()) lock.lock();
+  if (gen != dispatcher_gen_) return;  // superseded; successor owns the flags
+  dispatcher_alive_ = false;
+  if (crashed) {
+    dispatcher_dead_ = true;
+    ++stats_.dispatcher_crashes;
+    serve_obs().dispatcher_crash->add(1);
+    monitor_cv_.notify_all();
+  } else if (state_ != EngineState::kRunning && depth_locked() == 0) {
+    drained_ = true;
+    drain_cv_.notify_all();
+  }
+}
+
+void Engine::dispatcher_run(std::unique_lock<std::mutex>& lock,
+                            std::uint64_t gen) {
   for (;;) {
+    beat();
     cv_.wait(lock, [&] {
-      return stopping_ ||
-             (!paused_ && (!interactive_.empty() || !bulk_.empty()));
+      if (gen != dispatcher_gen_) return true;
+      const bool work = !interactive_.empty() || !bulk_.empty();
+      // Draining: wake to finish the backlog (or exit when it is gone) —
+      // but a paused engine stays paused until resume()/shutdown().
+      if (state_ != EngineState::kRunning && (!work || !paused_)) return true;
+      return !paused_ && work;
     });
-    if (interactive_.empty() && bulk_.empty()) {
-      if (stopping_) return;
+    if (gen != dispatcher_gen_) return;
+    beat();
+    if (failpoint::should_fail("serve.dispatcher_crash"))
+      throw std::runtime_error("failpoint: serve.dispatcher_crash");
+    if (failpoint::should_fail("serve.dispatcher_stall")) {
+      // A wedged dispatcher: publishes no heartbeat, makes no progress,
+      // holds no lock — exactly what the monitor must detect and route
+      // around.
+      lock.unlock();
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(opts_.stall_inject_ns));
+      lock.lock();
+      if (gen != dispatcher_gen_) return;  // superseded while wedged
       continue;
     }
-    // While stopping we drain: no shedding, no batch-window waits —
-    // everything already admitted is executed or expired, never dropped.
-    const bool draining = stopping_;
+    if (interactive_.empty() && bulk_.empty()) {
+      if (state_ != EngineState::kRunning) return;  // drained
+      continue;
+    }
+    // While draining: no shedding, no batch-window waits — everything
+    // already admitted is executed or expired, never dropped.
+    const bool draining = state_ != EngineState::kRunning;
 
     if (!draining && depth_locked() > shed_watermark_) {
       // Graceful degradation: bulk goes first, oldest first, until the
@@ -301,6 +610,7 @@ void Engine::dispatcher_loop() {
       // admission capacity instead).
       std::vector<Pending> victims;
       while (!bulk_.empty() && depth_locked() > shed_watermark_) {
+        release_probe_locked(bulk_.front());
         victims.push_back(std::move(bulk_.front()));
         bulk_.pop_front();
         ++stats_.shed;
@@ -345,7 +655,8 @@ void Engine::dispatcher_loop() {
       for (const auto& p : batch)
         if (p.req.deadline_ns != 0 && p.req.deadline_ns < wait_end)
           wait_end = p.req.deadline_ns;
-      while (batch.size() < opts_.max_batch && !stopping_) {
+      while (batch.size() < opts_.max_batch &&
+             state_ == EngineState::kRunning && gen == dispatcher_gen_) {
         if (cv_.wait_until(lock, to_time_point(wait_end)) ==
             std::cv_status::timeout) {
           take_same_shape_locked(m, n, k, &batch);
@@ -355,6 +666,8 @@ void Engine::dispatcher_loop() {
       }
     }
     publish_depth_locked();
+    dispatch_active_ = true;  // the monitor must not abandon us mid-GEMM
+    beat();
     lock.unlock();
     try {
       dispatch(std::move(batch));
@@ -365,7 +678,119 @@ void Engine::dispatcher_loop() {
       // guards allocation failure in the dispatch bookkeeping itself.)
     }
     lock.lock();
+    dispatch_active_ = false;
+    beat();
+    if (gen != dispatcher_gen_) return;  // superseded while dispatching
   }
+}
+
+void Engine::monitor_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto interval = std::chrono::nanoseconds(
+      std::max<std::uint64_t>(1, opts_.supervision_interval_ns));
+  for (;;) {
+    monitor_cv_.wait_for(lock, interval, [&] {
+      return monitor_stop_ || dispatcher_dead_;
+    });
+    if (monitor_stop_) return;
+    if (drained_ || inline_mode()) return;  // nothing left to supervise
+    const std::uint64_t now = common::now_ns();
+    const bool crash = dispatcher_dead_;
+    bool stall = false;
+    if (!crash) {
+      const bool work = !interactive_.empty() || !bulk_.empty();
+      const std::uint64_t beat_ns =
+          last_beat_ns_.load(std::memory_order_relaxed);
+      // A stall is only declarable when the dispatcher *should* be making
+      // progress: work is pending, the engine is not paused, and the
+      // dispatcher is not legitimately inside a long GEMM dispatch.
+      if (dispatcher_alive_ && work && !paused_ && !dispatch_active_ &&
+          now > beat_ns && now - beat_ns > opts_.heartbeat_timeout_ns)
+        stall = true;
+    }
+    if (!crash && !stall) continue;
+    ServeObs& o = serve_obs();
+    if (stall) {
+      ++stats_.dispatcher_stalls;
+      o.dispatcher_stall->add(1);
+      // Supersede the wedged thread: it observes the generation bump at
+      // its next lock acquisition and exits; the handle parks in
+      // abandoned_ and is joined at shutdown — never detached.
+      ++dispatcher_gen_;
+      dispatcher_alive_ = false;
+      if (dispatcher_.joinable()) abandoned_.push_back(std::move(dispatcher_));
+      cv_.notify_all();
+    }
+    dispatcher_dead_ = false;
+    if (restarts_used_ >= opts_.max_dispatcher_restarts) {
+      degrade_to_inline_locked(lock);
+      return;
+    }
+    // Exponential backoff between respawns: a dispatcher that dies on
+    // arrival (e.g. a persistently armed crash failpoint) must not spin
+    // the monitor.
+    std::uint64_t backoff = opts_.restart_backoff_ns;
+    for (std::uint32_t i = 0;
+         i < restarts_used_ && backoff < opts_.restart_backoff_max_ns; ++i)
+      backoff *= 2;
+    backoff = std::min(backoff, opts_.restart_backoff_max_ns);
+    ++restarts_used_;
+    if (backoff > 0) {
+      monitor_cv_.wait_for(lock, std::chrono::nanoseconds(backoff),
+                           [&] { return monitor_stop_; });
+      if (monitor_stop_) return;
+    }
+    ++dispatcher_gen_;
+    const std::uint64_t gen = dispatcher_gen_;
+    // A crashed thread has already exited; reclaim its handle before
+    // reusing the slot (a stalled one was parked in abandoned_ above).
+    if (dispatcher_.joinable()) dispatcher_.join();
+    last_beat_ns_.store(common::now_ns(), std::memory_order_relaxed);
+    try {
+      dispatcher_ = std::thread([this, gen] { dispatcher_loop(gen); });
+      dispatcher_alive_ = true;
+      ++stats_.dispatcher_restarts;
+      o.dispatcher_restart->add(1);
+      cv_.notify_all();
+    } catch (const std::system_error&) {
+      degrade_to_inline_locked(lock);
+      return;
+    }
+  }
+}
+
+void Engine::degrade_to_inline_locked(std::unique_lock<std::mutex>& lock) {
+  ServeObs& o = serve_obs();
+  // Restart budget exhausted (or respawn impossible): from here on every
+  // submission executes synchronously on its caller's thread. inline_ is
+  // set under mu_, so no request can slip into the queue afterwards.
+  inline_.store(true, std::memory_order_relaxed);
+  o.inline_fallback->add(1);
+  ++dispatcher_gen_;  // no dispatcher owns the queue anymore
+  dispatcher_alive_ = false;
+  dispatcher_dead_ = false;
+  if (dispatcher_.joinable()) abandoned_.push_back(std::move(dispatcher_));
+  cv_.notify_all();
+  // Drain the backlog on this thread, batch by shape like the dispatcher
+  // would — no admitted request is stranded by the degradation.
+  while (!interactive_.empty() || !bulk_.empty()) {
+    std::deque<Pending>& lane = !interactive_.empty() ? interactive_ : bulk_;
+    std::vector<Pending> batch;
+    batch.push_back(std::move(lane.front()));
+    lane.pop_front();
+    const GemmRequest& seed = batch.front().req;
+    take_same_shape_locked(seed.c.rows, seed.c.cols, seed.a.cols, &batch);
+    publish_depth_locked();
+    lock.unlock();
+    try {
+      dispatch(std::move(batch));
+    } catch (...) {
+    }
+    lock.lock();
+  }
+  publish_depth_locked();
+  drained_ = true;  // queue empty and no dispatcher will ever serve again
+  drain_cv_.notify_all();
 }
 
 void Engine::dispatch(std::vector<Pending> batch) {
@@ -392,10 +817,15 @@ void Engine::dispatch(std::vector<Pending> batch) {
     {
       std::lock_guard lock(mu_);
       stats_.expired += expired.size();
+      for (const auto& p : expired) release_probe_locked(p);
     }
     for (auto& p : expired) finish(p, deadline_status(p.req, now));
   }
   if (live.empty()) return;
+  // take_same_shape_locked built a same-shape batch, so one breaker key
+  // covers every live member.
+  const ShapeKey shape{live.front().req.c.rows, live.front().req.c.cols,
+                       live.front().req.a.cols};
 
   obs::SpanScope span("serve.dispatch",
                       static_cast<std::uint64_t>(live.size()),
@@ -441,7 +871,12 @@ void Engine::dispatch(std::vector<Pending> batch) {
     }
     // Prevalidated: every member passed validate_batch_item at admission
     // and conflict-swept members were demoted to singles above.
-    const Status s = ctx_.run_batched_prevalidated(items);
+    Status s;
+    if (failpoint::should_fail("serve.execute")) {
+      s = exec_failpoint_status();
+    } else {
+      s = ctx_.run_batched_prevalidated(items);
+    }
     o.batches->add(1);
     o.dispatched_batched->add(grouped.size());
     o.batch_size->observe(static_cast<double>(grouped.size()));
@@ -450,7 +885,11 @@ void Engine::dispatch(std::vector<Pending> batch) {
     for (std::size_t i : grouped) statuses[i] = s;
   }
   for (std::size_t i : singles) {
-    statuses[i] = ctx_.run(live[i].req.a, live[i].req.b, live[i].req.c);
+    if (failpoint::should_fail("serve.execute")) {
+      statuses[i] = exec_failpoint_status();
+    } else {
+      statuses[i] = ctx_.run(live[i].req.a, live[i].req.b, live[i].req.c);
+    }
     o.dispatched_single->add(1);
     (statuses[i].ok() ? o.completed_ok : o.completed_error)->add(1);
     ++(statuses[i].ok() ? ok : failed);
@@ -464,6 +903,11 @@ void Engine::dispatch(std::vector<Pending> batch) {
       stats_.batched_requests += grouped.size();
     }
     stats_.single_dispatches += singles.size();
+    const std::uint64_t done_ns = common::now_ns();
+    for (std::size_t i = 0; i < live.size(); ++i)
+      breaker_outcome_locked(shape, statuses[i].ok(), live[i].breaker_probe,
+                             done_ns);
+    refill_retry_tokens_locked(ok);
   }
   for (std::size_t i = 0; i < live.size(); ++i) finish(live[i], statuses[i]);
 }
@@ -481,14 +925,77 @@ void Engine::resume() {
   cv_.notify_all();
 }
 
+EngineState Engine::state() const {
+  std::lock_guard lock(mu_);
+  return state_;
+}
+
+Status Engine::drain(std::uint64_t timeout_ns) {
+  ServeObs& o = serve_obs();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (state_ == EngineState::kStopped) return Status::OK();
+  if (state_ == EngineState::kRunning) {
+    state_ = EngineState::kDraining;
+    drain_start_ns_ = common::now_ns();
+    publish_state_locked();
+    if (inline_mode() && depth_locked() == 0) drained_ = true;
+    cv_.notify_all();
+  }
+  if (dispatcher_dead_ && !drained_ && opts_.supervision_interval_ns == 0) {
+    // Supervision is disabled (the A/B hook) and the dispatcher died:
+    // nobody else will serve the backlog, so this caller does.
+    degrade_to_inline_locked(lock);
+  }
+  const std::uint64_t wait_deadline =
+      timeout_ns == 0 ? 0 : common::now_ns() + timeout_ns;
+  while (!drained_) {
+    if (wait_deadline == 0) {
+      drain_cv_.wait(lock);
+    } else if (drain_cv_.wait_until(lock, to_time_point(wait_deadline)) ==
+                   std::cv_status::timeout &&
+               !drained_) {
+      return DeadlineExceededError(
+          "serve: drain timed out with admitted work still pending; the "
+          "drain continues — call drain() again or shutdown() to finish");
+    }
+  }
+  if (state_ != EngineState::kStopped) {
+    state_ = EngineState::kStopped;
+    publish_state_locked();
+    o.drain_seconds->observe(
+        static_cast<double>(common::now_ns() - drain_start_ns_) * 1e-9);
+    drain_cv_.notify_all();
+  }
+  lock.unlock();
+  join_threads();
+  return Status::OK();
+}
+
 void Engine::shutdown() {
   {
     std::lock_guard lock(mu_);
-    stopping_ = true;
     paused_ = false;
   }
   cv_.notify_all();
+  (void)drain(0);
+}
+
+void Engine::join_threads() {
   std::lock_guard jl(join_mu_);
+  {
+    std::lock_guard lock(mu_);
+    monitor_stop_ = true;
+  }
+  monitor_cv_.notify_all();
+  cv_.notify_all();
+  if (monitor_.joinable()) monitor_.join();
+  std::vector<std::thread> doomed;
+  {
+    std::lock_guard lock(mu_);
+    doomed.swap(abandoned_);
+  }
+  for (auto& t : doomed)
+    if (t.joinable()) t.join();
   if (dispatcher_.joinable()) dispatcher_.join();
 }
 

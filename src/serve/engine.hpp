@@ -37,16 +37,69 @@
 // Layering: serve depends on core (Context, batched) and obs/common
 // only; nothing below depends back on serve (see DESIGN.md).
 //
-// ## Lifecycle
+// ## Resilience
 //
-// The engine owns its dispatcher thread: started in the constructor,
-// drained and joined by shutdown() (the destructor calls it). After
-// shutdown, submissions are rejected with kUnavailable; requests already
-// queued at shutdown are drained — executed or deadline-expired, never
-// abandoned. Every accepted future/callback completes exactly once, on
-// every path. If the dispatcher thread cannot be spawned at all, the
-// engine falls back to inline mode: submit() executes synchronously on
-// the caller's thread (no coalescing, but no lost requests either).
+// The engine treats partial failure as routine rather than fatal (the
+// same philosophy the kernel layer's degradation ladder applies, lifted
+// to the serving layer):
+//
+//   * **Dispatcher supervision.** The dispatcher publishes a heartbeat
+//     every loop iteration; a monitor thread (supervision_interval_ns)
+//     detects a crashed dispatcher (thread died — `serve.dispatcher_crash`
+//     failpoint) or a stalled one (no heartbeat while unserved work is
+//     pending for heartbeat_timeout_ns — `serve.dispatcher_stall`) and
+//     respawns it with exponential backoff, up to
+//     max_dispatcher_restarts. Queued requests live in the engine, not
+//     the thread, so they survive every restart. A stalled thread is
+//     never detached: it is superseded by a generation bump, parked, and
+//     joined at shutdown. When the restart budget is exhausted the
+//     engine degrades to inline mode — every submission executes
+//     synchronously on the caller's thread, and whatever was queued is
+//     drained by the monitor before it exits; no admitted request is
+//     ever stranded.
+//   * **Retry policy.** submit_with_retry(req, RetryPolicy) blocks on
+//     the future and resubmits transient outcomes (is_transient in
+//     common/status.hpp: kResourceExhausted, kUnavailable) with
+//     exponential backoff and seeded jitter, never sleeping past the
+//     request deadline. An engine-wide token bucket
+//     (retry_budget_tokens, refilled by successes at retry_token_ratio)
+//     caps the global retry volume so retries cannot amplify an
+//     overload into a retry storm.
+//   * **Circuit breakers.** Per shape bucket (m, n, k):
+//     breaker_failure_threshold consecutive execution failures open the
+//     breaker, and further submissions of that shape fast-fail with
+//     kUnavailable at admission — without occupying a queue slot —
+//     until breaker_cooldown_ns elapses. The breaker then admits one
+//     half-open probe request; its success closes the breaker, its
+//     failure reopens it. This sits above the config quarantine in
+//     core: quarantine retires a *kernel config* after a failed
+//     verification probe (the request is still served by the next
+//     candidate or the reference tier), while the breaker reacts to
+//     *request-level* execution failures that keep coming back non-OK.
+//   * **Lifecycle.** Running → Draining → Stopped. drain(timeout_ns)
+//     stops admission (new submissions complete with
+//     kFailedPrecondition), finishes everything already admitted, and
+//     returns OK once the engine is Stopped — or kDeadlineExceeded if
+//     the timeout expires first (the drain keeps going in the
+//     background; call drain again or shutdown() to finish). shutdown()
+//     is drain with no timeout. A paused engine stays paused across
+//     drain() (the test hook wins); shutdown() unpauses.
+//
+// Every resilience event mirrors to obs: breaker transition counters and
+// an open-breaker gauge, dispatcher crash/stall/restart counters, retry
+// counters, a drain-duration histogram and an engine-state gauge.
+//
+// ## Lifecycle (mechanics)
+//
+// The engine owns its dispatcher and monitor threads: started in the
+// constructor, drained and joined by shutdown() (the destructor calls
+// it). After shutdown, submissions are rejected with
+// kFailedPrecondition; requests already queued at shutdown are drained —
+// executed or deadline-expired, never abandoned. Every accepted
+// future/callback completes exactly once, on every path. If the
+// dispatcher thread cannot be spawned at all, the engine falls back to
+// inline mode: submit() executes synchronously on the caller's thread
+// (no coalescing, but no lost requests either).
 //
 // Completion callbacks run on the dispatcher thread; they must be cheap
 // and must not block (a slow callback stalls every queued request).
@@ -54,13 +107,16 @@
 // request completes.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "common/matrix.hpp"
@@ -110,17 +166,87 @@ struct EngineOptions {
   /// Construct with the dispatcher paused (tests build deterministic
   /// backlogs, then resume()).
   bool start_paused = false;
+
+  // --- dispatcher supervision (see the Resilience section above) ---
+
+  /// Monitor poll interval. 0 disables supervision entirely (no monitor
+  /// thread; a dead dispatcher strands its queue exactly as before PR 7
+  /// — only useful as an A/B hook).
+  std::uint64_t supervision_interval_ns = 5'000'000;
+  /// No heartbeat for this long while unserved work is pending (and the
+  /// engine is neither paused nor mid-dispatch) declares the dispatcher
+  /// stalled.
+  std::uint64_t heartbeat_timeout_ns = 500'000'000;
+  /// How many times a crashed/stalled dispatcher is respawned before the
+  /// engine degrades to inline mode.
+  std::uint32_t max_dispatcher_restarts = 3;
+  /// Respawn backoff: initial, doubling per restart, capped.
+  std::uint64_t restart_backoff_ns = 1'000'000;
+  std::uint64_t restart_backoff_max_ns = 100'000'000;
+  /// How long the `serve.dispatcher_stall` failpoint wedges the
+  /// dispatcher (the injected fault's magnitude; tests size it well
+  /// above heartbeat_timeout_ns).
+  std::uint64_t stall_inject_ns = 50'000'000;
+
+  // --- per-shape circuit breaker ---
+
+  /// Consecutive execution failures of one shape bucket that open its
+  /// breaker. 0 disables breakers.
+  std::uint32_t breaker_failure_threshold = 5;
+  /// How long an open breaker fast-fails its shape before admitting one
+  /// half-open probe.
+  std::uint64_t breaker_cooldown_ns = 100'000'000;
+
+  // --- retry budget (engine-wide token bucket) ---
+
+  /// Max retry tokens (the bucket starts full; each resubmission by
+  /// submit_with_retry spends one). 0 disables the budget (unlimited
+  /// retries — policy-level max_attempts still applies).
+  double retry_budget_tokens = 64.0;
+  /// Tokens refilled per successfully completed request, capped at
+  /// retry_budget_tokens. The classic ratio form: 0.1 sustains one
+  /// retry per ten successes.
+  double retry_token_ratio = 0.1;
 };
+
+/// Client-side retry schedule for Engine::submit_with_retry. Only
+/// transient outcomes (is_transient in common/status.hpp) are retried.
+struct RetryPolicy {
+  /// Total attempts, including the first (1 = no retries).
+  int max_attempts = 3;
+  /// Backoff before the second attempt; doubles (multiplier) per retry,
+  /// capped at max_backoff_ns.
+  std::uint64_t initial_backoff_ns = 1'000'000;
+  double backoff_multiplier = 2.0;
+  std::uint64_t max_backoff_ns = 100'000'000;
+  /// Fraction of each backoff randomized away (decorrelates retry
+  /// storms): the actual sleep is backoff * (1 - jitter * u) with
+  /// u ~ U[0,1) from a PRNG seeded by `seed`. 0 = deterministic full
+  /// backoff.
+  double jitter = 0.5;
+  /// Seeds the jitter PRNG — the whole retry schedule is reproducible
+  /// for a given (policy, outcome sequence), which the chaos harness
+  /// depends on.
+  std::uint64_t seed = 0;
+};
+
+/// Engine lifecycle (see the Resilience section). state() reports it;
+/// drain()/shutdown() advance it. There are no backward transitions.
+enum class EngineState { kRunning, kDraining, kStopped };
 
 /// Monotonic request accounting. Terminal outcomes partition admissions:
 /// after a drain (shutdown or an idle engine),
 ///   submitted == admitted + rejected + invalid
 ///   admitted  == completed_ok + completed_error + shed + expired
-/// accounting_clean() checks exactly that; serve-replay and CI assert it.
+/// accounting_clean() checks exactly that; serve-replay, the chaos
+/// harness and CI assert it.
 struct ServerStats {
   std::uint64_t submitted = 0;
   std::uint64_t admitted = 0;
-  std::uint64_t rejected = 0;   ///< backpressure (queue full) or stopped
+  /// Backpressure (queue full), breaker fast-fail, or lifecycle
+  /// (draining/stopped) — everything turned away at admission that was
+  /// not malformed. breaker_rejected below splits out the breaker share.
+  std::uint64_t rejected = 0;
   std::uint64_t invalid = 0;    ///< failed validation, never queued
   std::uint64_t shed = 0;       ///< bulk shed under overload (kUnavailable)
   std::uint64_t expired = 0;    ///< deadline exceeded before execution
@@ -131,6 +257,16 @@ struct ServerStats {
   std::uint64_t single_dispatches = 0;  ///< requests served by run()
   std::uint64_t max_queue_depth = 0;
 
+  // Resilience counters (informational; not part of the partition above
+  // except breaker_rejected, which is a subset of rejected).
+  std::uint64_t breaker_rejected = 0;    ///< fast-failed by an open breaker
+  std::uint64_t breaker_opens = 0;       ///< transitions into kOpen
+  std::uint64_t dispatcher_crashes = 0;  ///< dispatcher thread died
+  std::uint64_t dispatcher_stalls = 0;   ///< heartbeat timeout detections
+  std::uint64_t dispatcher_restarts = 0; ///< successful respawns
+  std::uint64_t retries = 0;             ///< resubmissions by submit_with_retry
+  std::uint64_t retry_budget_exhausted = 0;  ///< retries denied by the bucket
+
   bool accounting_clean() const {
     return submitted == admitted + rejected + invalid &&
            admitted == completed_ok + completed_error + shed + expired;
@@ -140,16 +276,17 @@ struct ServerStats {
 class Engine {
  public:
   explicit Engine(Context& ctx, const EngineOptions& opts = {});
-  ~Engine();  // shutdown(): drains and joins the dispatcher
+  ~Engine();  // shutdown(): drains and joins every owned thread
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   /// Submits a request; the future completes exactly once with the
   /// request's terminal Status (kOk, an execution error, kUnavailable
-  /// when shed, kDeadlineExceeded when expired, kResourceExhausted when
-  /// rejected at admission, kInvalidArgument when malformed). Thread-safe
-  /// (the MPSC producer side).
+  /// when shed or breaker-rejected, kDeadlineExceeded when expired,
+  /// kResourceExhausted when rejected at admission, kInvalidArgument
+  /// when malformed, kFailedPrecondition when draining/stopped).
+  /// Thread-safe (the MPSC producer side).
   std::future<Status> submit(const GemmRequest& req);
 
   /// Callback flavor: `done` is invoked exactly once with the terminal
@@ -157,23 +294,43 @@ class Engine {
   /// calling thread for admission-time rejections. Must not block.
   void submit(const GemmRequest& req, std::function<void(Status)> done);
 
+  /// Blocking flavor with client-side retries: submits, waits, and
+  /// resubmits transient outcomes per `policy` (exponential backoff,
+  /// seeded jitter, deadline-aware, engine-wide retry token bucket).
+  /// Returns the final attempt's terminal Status.
+  Status submit_with_retry(const GemmRequest& req,
+                           const RetryPolicy& policy = {});
+
   /// Stops/resumes dispatching (admission stays open; the queue fills up
   /// to capacity). Test hook for building deterministic backlogs.
   void pause();
   void resume();
 
-  /// Stops admitting, drains everything already queued (execute or
-  /// expire), joins the dispatcher. Idempotent.
+  /// Running → Draining: stops admission (kFailedPrecondition), finishes
+  /// everything already admitted (execute or expire), then → Stopped.
+  /// Returns OK once Stopped; kDeadlineExceeded if `timeout_ns` (0 =
+  /// unbounded) expires first — the drain continues in the background
+  /// and a later drain()/shutdown() completes it. Respects pause(): a
+  /// paused engine does not finish draining until resume() (or
+  /// shutdown(), which unpauses). Thread-safe and idempotent.
+  Status drain(std::uint64_t timeout_ns = 0);
+
+  /// drain() with no timeout, unpausing first. Idempotent.
   void shutdown();
+
+  EngineState state() const;
 
   /// Admitted-but-undispatched requests across both lanes.
   std::size_t queue_depth() const;
 
   ServerStats stats() const;
 
-  /// True when the dispatcher thread could not be spawned and the engine
-  /// serves submissions synchronously on the caller's thread.
-  bool inline_mode() const { return inline_; }
+  /// True when the engine serves submissions synchronously on the
+  /// caller's thread: the dispatcher could not be spawned at
+  /// construction, or the supervision restart budget was exhausted.
+  bool inline_mode() const {
+    return inline_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Pending {
@@ -185,11 +342,33 @@ class Engine {
     std::function<void(Status)> callback;
     std::uint64_t enqueue_ns = 0;
     bool done = false;
+    /// This request is a half-open breaker's single probe; if it never
+    /// executes (shed/displaced/expired), the probe slot is released.
+    bool breaker_probe = false;
   };
+
+  /// Per-shape-bucket circuit breaker (guarded by mu_).
+  struct Breaker {
+    enum class St { kClosed, kOpen, kHalfOpen };
+    St st = St::kClosed;
+    std::uint32_t consecutive_failures = 0;
+    std::uint64_t opened_ns = 0;
+    bool probe_in_flight = false;
+  };
+  using ShapeKey = std::tuple<int, int, int>;  // m, n, k
 
   std::future<Status> submit_internal(const GemmRequest& req,
                                       std::function<void(Status)> done);
-  void dispatcher_loop();
+  /// Thread body for dispatcher generation `gen`: runs dispatcher_run
+  /// and translates its exit (normal drain / crash / superseded) into
+  /// the supervision flags.
+  void dispatcher_loop(std::uint64_t gen);
+  void dispatcher_run(std::unique_lock<std::mutex>& lock, std::uint64_t gen);
+  void monitor_loop();
+  /// Restart budget exhausted (or respawn impossible): flips to inline
+  /// mode and drains the queue on the calling thread. Lock held on entry
+  /// and exit.
+  void degrade_to_inline_locked(std::unique_lock<std::mutex>& lock);
   /// Executes (or expires) a dequeued same-shape group. Runs unlocked.
   void dispatch(std::vector<Pending> batch);
   /// Completes the promise + callback exactly once (stats are counted at
@@ -199,26 +378,71 @@ class Engine {
   /// lanes, FIFO within each lane, up to max_batch.
   void take_same_shape_locked(int m, int n, int k,
                               std::vector<Pending>* batch);
+  /// Breaker admission decision for `key`: nullopt admits (marking
+  /// *probe when this admission is the half-open probe), a Status
+  /// fast-fails.
+  std::optional<Status> breaker_admission_locked(const ShapeKey& key,
+                                                 std::uint64_t now,
+                                                 bool* probe);
+  /// Feeds one executed request's outcome into its shape's breaker.
+  void breaker_outcome_locked(const ShapeKey& key, bool ok, bool was_probe,
+                              std::uint64_t now);
+  /// A pending request left the queue without executing; if it was a
+  /// half-open probe, free the probe slot so the next arrival probes.
+  void release_probe_locked(const Pending& p);
+  void set_breaker_state_locked(Breaker& b, Breaker::St to, std::uint64_t now);
+  bool try_spend_retry_token();
+  void refill_retry_tokens_locked(std::uint64_t completions);
+  void beat() {
+    last_beat_ns_.store(common_now(), std::memory_order_relaxed);
+  }
+  static std::uint64_t common_now();
+  /// Joins monitor, dispatcher and abandoned threads (idempotent).
+  void join_threads();
   std::size_t depth_locked() const {
     return interactive_.size() + bulk_.size();
   }
   void publish_depth_locked();
+  void publish_state_locked();
 
   Context& ctx_;
   const EngineOptions opts_;
   const std::size_t shed_watermark_;
 
   mutable std::mutex mu_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;        // dispatcher wakeups
+  std::condition_variable monitor_cv_;  // monitor wakeups
+  std::condition_variable drain_cv_;    // drain() waiters
   std::deque<Pending> interactive_;
   std::deque<Pending> bulk_;
   ServerStats stats_;
   bool paused_ = false;
-  bool stopping_ = false;
+  EngineState state_ = EngineState::kRunning;
+  std::uint64_t drain_start_ns_ = 0;
+  /// No dispatcher will ever serve again and the queue is empty — the
+  /// condition drain() waits for (also true in inline mode, where there
+  /// is nothing to drain).
+  bool drained_ = false;
 
-  bool inline_ = false;  // set once in the constructor, then read-only
+  // Supervision state (guarded by mu_ unless noted).
+  std::uint64_t dispatcher_gen_ = 0;  ///< current generation; stale exits
+  bool dispatcher_alive_ = false;
+  bool dispatcher_dead_ = false;      ///< crashed, awaiting the monitor
+  bool dispatch_active_ = false;      ///< executing a batch (unlocked)
+  bool monitor_stop_ = false;
+  std::uint32_t restarts_used_ = 0;
+  std::atomic<std::uint64_t> last_beat_ns_{0};
+  std::vector<std::thread> abandoned_;  ///< superseded stalled dispatchers
+
+  // Breakers + retry budget (guarded by mu_).
+  std::map<ShapeKey, Breaker> breakers_;
+  std::size_t breakers_open_ = 0;
+  double retry_tokens_ = 0;
+
+  std::atomic<bool> inline_{false};
   std::mutex join_mu_;
   std::thread dispatcher_;
+  std::thread monitor_;
 };
 
 }  // namespace autogemm::serve

@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <sstream>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "common/threadpool.hpp"
 #include "core/context.hpp"
 #include "hw/chip_database.hpp"
+#include "serve/engine.hpp"
 #include "sim/interpreter.hpp"
 #include "sim/pipeline.hpp"
 #include "test_util.hpp"
@@ -298,6 +300,110 @@ TEST_F(Failpoints, VerifyFailpointsReachTheProbePath) {
   EXPECT_TRUE(ctx.run(a.view(), b.view(), c.view(), overwrite()).ok());
   EXPECT_GE(failpoint::hits("verify.portable"), 1);
   EXPECT_EQ(ctx.health().reference_shapes, 1u);
+}
+
+// --------------------------------------------------------- serve.* injection
+// (serve.queue_full and serve.spawn are driven in serve_test.cpp; the
+// three supervision/breaker sites are driven here so the CI
+// fault-injection pass covers every serve site end-to-end. The richer
+// recovery semantics — respawn accounting, breaker state machine — live
+// in serve_test.cpp and the chaos harness.)
+
+namespace serve_fp {
+Context& serve_ctx() {
+  static ContextOptions opts = [] {
+    ContextOptions o;
+    o.threads = 1;
+    return o;
+  }();
+  static Context ctx(opts);
+  return ctx;
+}
+}  // namespace serve_fp
+
+TEST_F(Failpoints, ServeDispatcherCrashIsRecoveredBySupervision) {
+  serve::EngineOptions opts;
+  opts.start_paused = true;
+  opts.supervision_interval_ns = 1'000'000;
+  opts.restart_backoff_ns = 100'000;
+  serve::Engine engine(serve_fp::serve_ctx(), opts);
+  Matrix a(8, 8), b(8, 8), c(8, 8), c_ref(8, 8);
+  common::fill_random(a.view(), 1);
+  common::fill_random(b.view(), 2);
+  common::reference_gemm(a.view(), b.view(), c_ref.view());
+  serve::GemmRequest r;
+  r.a = a.view();
+  r.b = b.view();
+  r.c = c.view();
+  std::future<Status> f = engine.submit(r);
+  // The dispatcher dies on its first wakeup; the monitor respawns it and
+  // the queued request is served — never stranded, numerically right.
+  failpoint::arm("serve.dispatcher_crash", /*budget=*/1);
+  engine.resume();
+  EXPECT_TRUE(f.get().ok());
+  EXPECT_GE(failpoint::hits("serve.dispatcher_crash"), 1);
+  EXPECT_LT(common::max_rel_error(c.view(), c_ref.view()),
+            testutil::gemm_tolerance(8));
+  engine.shutdown();
+  const serve::ServerStats st = engine.stats();
+  EXPECT_EQ(st.dispatcher_crashes, 1u);
+  EXPECT_TRUE(st.accounting_clean());
+}
+
+TEST_F(Failpoints, ServeDispatcherStallIsDetectedBySupervision) {
+  serve::EngineOptions opts;
+  opts.start_paused = true;
+  opts.supervision_interval_ns = 1'000'000;
+  opts.heartbeat_timeout_ns = 3'000'000;
+  opts.stall_inject_ns = 60'000'000;
+  opts.restart_backoff_ns = 100'000;
+  serve::Engine engine(serve_fp::serve_ctx(), opts);
+  Matrix a(8, 8), b(8, 8), c(8, 8);
+  common::fill_random(a.view(), 3);
+  common::fill_random(b.view(), 4);
+  serve::GemmRequest r;
+  r.a = a.view();
+  r.b = b.view();
+  r.c = c.view();
+  std::future<Status> f = engine.submit(r);
+  // The dispatcher wedges (no heartbeat, work pending); the monitor
+  // supersedes it and a replacement serves the request.
+  failpoint::arm("serve.dispatcher_stall", /*budget=*/1);
+  engine.resume();
+  EXPECT_TRUE(f.get().ok());
+  EXPECT_GE(failpoint::hits("serve.dispatcher_stall"), 1);
+  engine.shutdown();  // also joins the superseded, wedged thread
+  const serve::ServerStats st = engine.stats();
+  EXPECT_EQ(st.dispatcher_stalls, 1u);
+  EXPECT_TRUE(st.accounting_clean());
+}
+
+TEST_F(Failpoints, ServeExecuteFailsTheRequestWithoutTouchingC) {
+  serve::EngineOptions opts;
+  opts.max_batch_delay_ns = 0;
+  serve::Engine engine(serve_fp::serve_ctx(), opts);
+  Matrix a(8, 8), b(8, 8), c(8, 8);
+  common::fill_random(a.view(), 5);
+  common::fill_random(b.view(), 6);
+  serve::GemmRequest r;
+  r.a = a.view();
+  r.b = b.view();
+  r.c = c.view();
+  failpoint::arm("serve.execute", /*budget=*/1);
+  const Status s = engine.submit(r).get();
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_GE(failpoint::hits("serve.execute"), 1);
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 8; ++j) EXPECT_EQ(c.at(i, j), 0.0f);
+  // The fault was per-dispatch: the engine keeps serving afterwards.
+  Matrix c2(8, 8);
+  r.c = c2.view();
+  EXPECT_TRUE(engine.submit(r).get().ok());
+  engine.shutdown();
+  const serve::ServerStats st = engine.stats();
+  EXPECT_EQ(st.completed_error, 1u);
+  EXPECT_EQ(st.completed_ok, 1u);
+  EXPECT_TRUE(st.accounting_clean());
 }
 
 }  // namespace

@@ -351,6 +351,51 @@ TEST_F(Robustness, PipelineCycleAndInstructionBudgets) {
   EXPECT_GT(stats.cycles, 0.0);
 }
 
+TEST_F(Robustness, ProbeWatchdogBudgetConfigurableThroughContext) {
+  // The first-use verification probe's interpreter budget used to be a
+  // hard-coded constant; it now flows from ContextOptions::watchdog. A
+  // starvation budget makes every generated probe trip kDeadlineExceeded
+  // — which quarantines the candidate and the ladder serves the call from
+  // a lower tier, numerically right (the chaos harness leans on exactly
+  // this knob).
+  ContextOptions opts = serial_opts();
+  opts.watchdog.probe_max_steps = 4;
+  Context ctx(opts);
+  Matrix a(16, 16), b(16, 16), c(16, 16), c_ref(16, 16);
+  common::fill_random(a.view(), 1);
+  common::fill_random(b.view(), 2);
+  common::reference_gemm(a.view(), b.view(), c_ref.view());
+  const Status s = ctx.run(a.view(), b.view(), c.view(), overwrite());
+  EXPECT_TRUE(s.ok()) << s.to_string();
+  EXPECT_LT(common::max_rel_error(c.view(), c_ref.view()),
+            testutil::gemm_tolerance(16));
+  const HealthReport h = ctx.health();
+  EXPECT_TRUE(h.degraded);
+  EXPECT_GE(h.quarantined_configs, 1u);
+}
+
+TEST_F(Robustness, PipelineBudgetsFlowFromContextOptions) {
+  ContextOptions opts = serial_opts();
+  opts.watchdog.sim_max_dynamic_instructions = 4;
+  opts.watchdog.sim_max_cycles = 1.0;
+  Context ctx(opts);
+  sim::SimOptions po = ctx.pipeline_options();
+  EXPECT_EQ(po.max_dynamic_instructions, 4);
+  EXPECT_EQ(po.max_cycles, 1.0);
+  // The handed-out options really bound a simulation.
+  const auto mk = codegen::generate_microkernel(4, 8, 32, 4, {});
+  po.lda = codegen::padded_k_a(32, 4);
+  po.ldb = 8;
+  po.ldc = 8;
+  sim::SimStats stats;
+  EXPECT_EQ(sim::simulate_checked(mk.program, hw::host_model(), po, stats)
+                .code(),
+            StatusCode::kDeadlineExceeded);
+  // Defaults are the former hard-coded values.
+  EXPECT_EQ(Context(serial_opts()).pipeline_options().max_dynamic_instructions,
+            20'000'000);
+}
+
 // --------------------------------------------------- damaged records intake
 
 TEST_F(Robustness, ContextLoadsDamagedRecordsFileDegraded) {

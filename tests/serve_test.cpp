@@ -388,8 +388,12 @@ TEST(Serve, ShutdownDrainsQueueThenRejects) {
   for (auto& f : fs) EXPECT_TRUE(f.get().ok());
   for (auto& p : ps) EXPECT_TRUE(p->c_matches_ref());
   Problem late(8, 8, 8, 110);
-  EXPECT_EQ(engine.submit(late.request()).get().code(),
-            StatusCode::kUnavailable);
+  // Lifecycle rejection: the engine is Stopped, so the caller must
+  // observe a state change — kFailedPrecondition, not a transient code.
+  const Status rejected = engine.submit(late.request()).get();
+  EXPECT_EQ(rejected.code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(is_transient(rejected));
+  EXPECT_EQ(engine.state(), EngineState::kStopped);
   engine.shutdown();  // idempotent
   const ServerStats st = engine.stats();
   EXPECT_EQ(st.completed_ok, 4u);
@@ -538,6 +542,301 @@ TEST(Serve, StatsStartCleanAndShutdownIsIdempotent) {
   engine.shutdown();
   engine.shutdown();
   EXPECT_TRUE(engine.stats().accounting_clean());
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle: Running -> Draining -> Stopped.
+
+TEST(Serve, DrainCompletesInFlightThenStops) {
+  EngineOptions opts;
+  opts.start_paused = true;
+  Engine engine(test_ctx(), opts);
+  EXPECT_EQ(engine.state(), EngineState::kRunning);
+  std::vector<std::unique_ptr<Problem>> ps;
+  std::vector<std::future<Status>> fs;
+  for (int i = 0; i < 4; ++i) {
+    ps.push_back(std::make_unique<Problem>(8, 8, 8, 150 + i));
+    fs.push_back(engine.submit(ps.back()->request()));
+  }
+  engine.resume();
+  const Status drained = engine.drain();
+  EXPECT_TRUE(drained.ok()) << drained.message();
+  EXPECT_EQ(engine.state(), EngineState::kStopped);
+  // Everything admitted before the drain completed, none dropped.
+  for (auto& f : fs) EXPECT_TRUE(f.get().ok());
+  for (auto& p : ps) EXPECT_TRUE(p->c_matches_ref());
+  const ServerStats st = engine.stats();
+  EXPECT_EQ(st.completed_ok, 4u);
+  EXPECT_TRUE(st.accounting_clean());
+}
+
+TEST(Serve, SubmitDuringDrainRejectedFailedPrecondition) {
+  EngineOptions opts;
+  opts.start_paused = true;  // the backlog cannot move: drain must time out
+  Engine engine(test_ctx(), opts);
+  Problem queued(8, 8, 8, 160);
+  std::future<Status> f = engine.submit(queued.request());
+  // drain() respects pause, so a bounded drain deterministically expires
+  // and leaves the engine Draining.
+  const Status timed_out = engine.drain(/*timeout_ns=*/5'000'000);
+  EXPECT_EQ(timed_out.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(engine.state(), EngineState::kDraining);
+  // New work is refused while draining — with the lifecycle code, and
+  // before it could ever occupy a queue slot.
+  Problem late(8, 8, 8, 161);
+  std::future<Status> rejected = engine.submit(late.request());
+  ASSERT_EQ(rejected.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(rejected.get().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(late.c_untouched());
+  // Unblock the dispatcher: the drain now finishes the in-flight work.
+  engine.resume();
+  const Status drained = engine.drain();
+  EXPECT_TRUE(drained.ok()) << drained.message();
+  EXPECT_EQ(engine.state(), EngineState::kStopped);
+  EXPECT_TRUE(f.get().ok());
+  EXPECT_TRUE(queued.c_matches_ref());
+  const ServerStats st = engine.stats();
+  EXPECT_EQ(st.rejected, 1u);
+  EXPECT_TRUE(st.accounting_clean());
+}
+
+TEST(Serve, DrainTimeoutExpiryLeavesDrainInProgress) {
+  EngineOptions opts;
+  opts.start_paused = true;
+  Engine engine(test_ctx(), opts);
+  Problem p(8, 8, 8, 165);
+  std::future<Status> f = engine.submit(p.request());
+  EXPECT_EQ(engine.drain(/*timeout_ns=*/1'000'000).code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(engine.state(), EngineState::kDraining);
+  // shutdown() unpauses and finishes what the timed-out drain started.
+  engine.shutdown();
+  EXPECT_EQ(engine.state(), EngineState::kStopped);
+  EXPECT_TRUE(f.get().ok());
+  EXPECT_TRUE(engine.stats().accounting_clean());
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breakers.
+
+TEST(Serve, BreakerOpensAfterConsecutiveFailuresThenRecovers) {
+  EngineOptions opts;
+  opts.max_batch_delay_ns = 0;
+  opts.breaker_failure_threshold = 3;
+  opts.breaker_cooldown_ns = 50'000'000;  // long enough to observe Open
+  Engine engine(test_ctx(), opts);
+  failpoint::disarm_all();
+  failpoint::arm("serve.execute", 3);
+  Problem p(8, 8, 8, 170);
+  for (int i = 0; i < 3; ++i) {
+    const Status s = engine.submit(p.request()).get();
+    EXPECT_EQ(s.code(), StatusCode::kInternal) << i;
+    EXPECT_TRUE(p.c_untouched()) << i;
+  }
+  failpoint::disarm_all();
+  // Threshold reached: the shape's breaker is open, and the next
+  // submission fast-fails at admission without queueing.
+  Problem fast(8, 8, 8, 171);
+  std::future<Status> ff = engine.submit(fast.request());
+  ASSERT_EQ(ff.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  const Status fast_failed = ff.get();
+  EXPECT_EQ(fast_failed.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(is_transient(fast_failed));
+  EXPECT_TRUE(fast.c_untouched());
+  // A *different* shape is unaffected — breakers are per bucket.
+  Problem other(12, 12, 12, 172);
+  EXPECT_TRUE(engine.submit(other.request()).get().ok());
+  // After the cooldown the half-open probe is admitted; the fault is
+  // gone, so it succeeds and closes the breaker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  Problem probe(8, 8, 8, 173);
+  EXPECT_TRUE(engine.submit(probe.request()).get().ok());
+  EXPECT_TRUE(probe.c_matches_ref());
+  Problem after(8, 8, 8, 174);
+  EXPECT_TRUE(engine.submit(after.request()).get().ok());
+  engine.shutdown();
+  const ServerStats st = engine.stats();
+  EXPECT_EQ(st.breaker_opens, 1u);
+  EXPECT_EQ(st.breaker_rejected, 1u);
+  EXPECT_EQ(st.completed_error, 3u);
+  EXPECT_TRUE(st.accounting_clean());
+}
+
+TEST(Serve, BreakerHalfOpenProbeFailureReopens) {
+  EngineOptions opts;
+  opts.max_batch_delay_ns = 0;
+  opts.breaker_failure_threshold = 1;
+  opts.breaker_cooldown_ns = 5'000'000;
+  Engine engine(test_ctx(), opts);
+  failpoint::disarm_all();
+  failpoint::arm("serve.execute", 2);
+  Problem p(8, 8, 8, 180);
+  // First failure opens the breaker (threshold 1).
+  EXPECT_EQ(engine.submit(p.request()).get().code(), StatusCode::kInternal);
+  // After the cooldown, the half-open probe is admitted — and fails
+  // (second budgeted hit), reopening the breaker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  Problem probe(8, 8, 8, 181);
+  EXPECT_EQ(engine.submit(probe.request()).get().code(),
+            StatusCode::kInternal);
+  failpoint::disarm_all();
+  // Freshly reopened: still fast-failing within the new cooldown.
+  Problem fast(8, 8, 8, 182);
+  EXPECT_EQ(engine.submit(fast.request()).get().code(),
+            StatusCode::kUnavailable);
+  // Second cooldown, healthy probe: the breaker closes for good.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  Problem healthy(8, 8, 8, 183);
+  EXPECT_TRUE(engine.submit(healthy.request()).get().ok());
+  EXPECT_TRUE(healthy.c_matches_ref());
+  engine.shutdown();
+  const ServerStats st = engine.stats();
+  EXPECT_EQ(st.breaker_opens, 2u);
+  EXPECT_TRUE(st.accounting_clean());
+}
+
+// ---------------------------------------------------------------------------
+// Client retries.
+
+TEST(Serve, SubmitWithRetrySucceedsAfterTransientRejections) {
+  failpoint::disarm_all();
+  Engine engine(test_ctx());
+  // The first two admission attempts see an injected full queue
+  // (kResourceExhausted — transient); the third succeeds.
+  failpoint::arm("serve.queue_full", 2);
+  Problem p(16, 12, 8, 190);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ns = 100'000;
+  policy.jitter = 0.0;  // deterministic schedule
+  const Status s = engine.submit_with_retry(p.request(), policy);
+  failpoint::disarm_all();
+  EXPECT_TRUE(s.ok()) << s.message();
+  EXPECT_TRUE(p.c_matches_ref());
+  engine.shutdown();
+  const ServerStats st = engine.stats();
+  EXPECT_EQ(st.retries, 2u);
+  EXPECT_EQ(st.rejected, 2u);
+  EXPECT_TRUE(st.accounting_clean());
+}
+
+TEST(Serve, RetryBudgetExhaustionUnderSustainedOverload) {
+  failpoint::disarm_all();
+  EngineOptions opts;
+  opts.retry_budget_tokens = 1.0;  // one retry engine-wide, never refilled
+  opts.retry_token_ratio = 0.0;
+  Engine engine(test_ctx(), opts);
+  failpoint::arm("serve.queue_full");  // sustained overload: every attempt
+  Problem p(8, 8, 8, 195);
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_ns = 10'000;
+  const Status s = engine.submit_with_retry(p.request(), policy);
+  failpoint::disarm_all();
+  // The policy allowed 5 attempts, but the engine-wide bucket only funded
+  // one retry: attempt 1 + retry 1, then the budget cut the storm off.
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(p.c_untouched());
+  const ServerStats st = engine.stats();
+  EXPECT_EQ(st.retries, 1u);
+  EXPECT_EQ(st.retry_budget_exhausted, 1u);
+  EXPECT_EQ(st.submitted, 2u);  // not 5: the bucket stopped resubmission
+  engine.shutdown();
+  EXPECT_TRUE(engine.stats().accounting_clean());
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher supervision.
+
+TEST(Serve, DispatcherCrashRecoveredByRespawn) {
+  failpoint::disarm_all();
+  EngineOptions opts;
+  opts.start_paused = true;
+  opts.supervision_interval_ns = 1'000'000;
+  opts.restart_backoff_ns = 100'000;
+  Engine engine(test_ctx(), opts);
+  std::vector<std::unique_ptr<Problem>> ps;
+  std::vector<std::future<Status>> fs;
+  for (int i = 0; i < 4; ++i) {
+    ps.push_back(std::make_unique<Problem>(8, 8, 8, 200 + i));
+    fs.push_back(engine.submit(ps.back()->request()));
+  }
+  // The dispatcher dies on its first wakeup with the whole backlog
+  // queued; the monitor must respawn it and nothing may be stranded.
+  failpoint::arm("serve.dispatcher_crash", 1);
+  engine.resume();
+  for (auto& f : fs) EXPECT_TRUE(f.get().ok());
+  for (auto& p : ps) EXPECT_TRUE(p->c_matches_ref());
+  failpoint::disarm_all();
+  EXPECT_FALSE(engine.inline_mode());
+  engine.shutdown();
+  const ServerStats st = engine.stats();
+  EXPECT_EQ(st.dispatcher_crashes, 1u);
+  EXPECT_EQ(st.dispatcher_restarts, 1u);
+  EXPECT_EQ(st.completed_ok, 4u);
+  EXPECT_TRUE(st.accounting_clean());
+}
+
+TEST(Serve, DispatcherStallDetectedAndRespawned) {
+  failpoint::disarm_all();
+  EngineOptions opts;
+  opts.start_paused = true;
+  opts.supervision_interval_ns = 1'000'000;
+  opts.heartbeat_timeout_ns = 3'000'000;
+  opts.stall_inject_ns = 60'000'000;  // wedged far past the timeout
+  opts.restart_backoff_ns = 100'000;
+  Engine engine(test_ctx(), opts);
+  Problem p0(8, 8, 8, 210), p1(8, 8, 8, 211);
+  std::future<Status> f0 = engine.submit(p0.request());
+  std::future<Status> f1 = engine.submit(p1.request());
+  // The dispatcher wedges (no heartbeat, no progress) with work pending;
+  // the monitor declares a stall, supersedes the thread (parked, joined
+  // at shutdown — never detached) and respawns.
+  failpoint::arm("serve.dispatcher_stall", 1);
+  engine.resume();
+  EXPECT_TRUE(f0.get().ok());
+  EXPECT_TRUE(f1.get().ok());
+  failpoint::disarm_all();
+  engine.shutdown();  // joins the wedged thread too
+  const ServerStats st = engine.stats();
+  EXPECT_EQ(st.dispatcher_stalls, 1u);
+  EXPECT_GE(st.dispatcher_restarts, 1u);
+  EXPECT_TRUE(st.accounting_clean());
+}
+
+TEST(Serve, RestartBudgetExhaustionDegradesToInline) {
+  failpoint::disarm_all();
+  EngineOptions opts;
+  opts.start_paused = true;
+  opts.supervision_interval_ns = 1'000'000;
+  opts.max_dispatcher_restarts = 0;  // first crash exhausts the budget
+  Engine engine(test_ctx(), opts);
+  std::vector<std::unique_ptr<Problem>> ps;
+  std::vector<std::future<Status>> fs;
+  for (int i = 0; i < 3; ++i) {
+    ps.push_back(std::make_unique<Problem>(8, 8, 8, 220 + i));
+    fs.push_back(engine.submit(ps.back()->request()));
+  }
+  failpoint::arm("serve.dispatcher_crash", 1);
+  engine.resume();
+  // The monitor drains the stranded backlog itself while degrading —
+  // every future still completes OK.
+  for (auto& f : fs) EXPECT_TRUE(f.get().ok());
+  for (auto& p : ps) EXPECT_TRUE(p->c_matches_ref());
+  failpoint::disarm_all();
+  EXPECT_TRUE(engine.inline_mode());
+  // Degraded but serving: submissions now execute inline, synchronously.
+  Problem after(8, 8, 8, 225);
+  std::future<Status> f = engine.submit(after.request());
+  ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_TRUE(f.get().ok());
+  EXPECT_TRUE(after.c_matches_ref());
+  engine.shutdown();
+  const ServerStats st = engine.stats();
+  EXPECT_EQ(st.dispatcher_crashes, 1u);
+  EXPECT_EQ(st.dispatcher_restarts, 0u);
+  EXPECT_TRUE(st.accounting_clean());
 }
 
 }  // namespace

@@ -13,9 +13,12 @@
 //                                           traced GEMM -> Chrome trace
 //   autogemm serve-replay TRACE [--capacity N] [--max-batch N]
 //                        [--window-us U] [--deadline-us U] [--threads T]
-//                        [--repeat R] [--verify]
+//                        [--repeat R] [--verify] [--drain-timeout-us U]
 //                                           replay a shape trace against
 //                                           the serve engine
+//   autogemm chaos [--seed S] [--seeds N] [--submitters T] [--requests R]
+//                                           seeded chaos runs against the
+//                                           serve engine (CI resilience gate)
 //   autogemm crosscheck [--kc K]            NEON host path vs simulated-SVE
 //                                           vs reference on an irregular
 //                                           tile sweep (CI gate)
@@ -46,6 +49,7 @@
 #include "kernels/dispatch.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/chaos.hpp"
 #include "serve/engine.hpp"
 #include "sim/interpreter.hpp"
 #include "tiling/micro_tiling.hpp"
@@ -74,9 +78,16 @@ int usage() {
       "                                          the phase table)\n"
       "  serve-replay TRACE [--capacity N] [--max-batch N] [--window-us U]\n"
       "               [--deadline-us U] [--threads T] [--repeat R] [--verify]\n"
+      "               [--drain-timeout-us U]\n"
       "                                          replay a shape trace (lines\n"
       "                                          of `M N K [count] [lane]`)\n"
-      "                                          against the serve engine\n"
+      "                                          against the serve engine;\n"
+      "                                          --drain-timeout-us bounds the\n"
+      "                                          graceful drain\n"
+      "  chaos [--seed S] [--seeds N] [--submitters T] [--requests R]\n"
+      "                                          seeded fault-injection runs\n"
+      "                                          against the serve engine; any\n"
+      "                                          invariant violation is fatal\n"
       "  crosscheck [--kc K]                     NEON host path vs simulated\n"
       "                                          SVE (two VLs) vs reference\n"
       "                                          on irregular tiles\n");
@@ -315,6 +326,8 @@ int cmd_serve_replay(int argc, char** argv) {
       std::atoi(flag_value(argc, argv, "--threads", "1")));
   const int repeat = std::atoi(flag_value(argc, argv, "--repeat", "1"));
   const bool verify = has_flag(argc, argv, "--verify");
+  const long drain_timeout_us =
+      std::atol(flag_value(argc, argv, "--drain-timeout-us", "0"));
 
   struct Line {
     int m, n, k, count;
@@ -405,6 +418,19 @@ int cmd_serve_replay(int argc, char** argv) {
       }
     }
   }
+  // Graceful lifecycle: a bounded drain first (rejecting new work while
+  // finishing the admitted backlog), then shutdown() to guarantee Stopped
+  // even if the bound expired.
+  std::size_t drain_timeouts = 0;
+  if (drain_timeout_us > 0) {
+    const Status drained = engine.drain(
+        static_cast<std::uint64_t>(drain_timeout_us) * 1000);
+    if (!drained.ok()) {
+      ++drain_timeouts;
+      std::printf("drain: timeout after %ldus (%s); finishing via shutdown\n",
+                  drain_timeout_us, drained.to_string().c_str());
+    }
+  }
   engine.shutdown();
 
   std::size_t unready = 0, ok = 0, failed = 0, rejected = 0, shed = 0,
@@ -474,6 +500,33 @@ int cmd_serve_replay(int argc, char** argv) {
     return 5;
   }
   return 0;
+}
+
+// Seeded chaos runs against the serve engine (serve/chaos.hpp). Each seed
+// is one reproducible experiment; the run fails on any invariant
+// violation. CI drives this with a fixed seed range under both release
+// and ASan configs; a failing seed replays with `autogemm chaos --seed N`.
+int cmd_chaos(int argc, char** argv) {
+  const std::uint64_t seed0 = static_cast<std::uint64_t>(
+      std::atoll(flag_value(argc, argv, "--seed", "1")));
+  const int seeds = std::atoi(flag_value(argc, argv, "--seeds", "1"));
+  serve::ChaosOptions copts;
+  copts.submitters = std::atoi(flag_value(argc, argv, "--submitters", "3"));
+  copts.requests_per_submitter =
+      std::atoi(flag_value(argc, argv, "--requests", "60"));
+  copts.verbose = true;
+  std::size_t violations = 0;
+  for (int i = 0; i < std::max(1, seeds); ++i) {
+    copts.seed = seed0 + static_cast<std::uint64_t>(i);
+    const serve::ChaosReport rep = serve::run_chaos(copts);
+    violations += rep.violations.size();
+    for (const std::string& v : rep.violations)
+      std::fprintf(stderr, "violation [seed=%llu]: %s\n",
+                   static_cast<unsigned long long>(rep.seed), v.c_str());
+  }
+  std::printf("chaos: seeds=%d violations=%zu\n", std::max(1, seeds),
+              violations);
+  return violations == 0 ? 0 : 7;
 }
 
 // Three-way crosscheck on a sweep of irregular micro-tiles — the shapes
@@ -572,6 +625,7 @@ int main(int argc, char** argv) {
     if (cmd == "tune") return cmd_tune(argc - 2, argv + 2);
     if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
     if (cmd == "serve-replay") return cmd_serve_replay(argc - 2, argv + 2);
+    if (cmd == "chaos") return cmd_chaos(argc - 2, argv + 2);
     if (cmd == "crosscheck") return cmd_crosscheck(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -16,8 +16,13 @@
 # replays the canned request trace through the serving engine twice —
 # once at low load (zero sheds, clean accounting, results verified) and
 # once with a fault-injected full queue (explicit overload events, still
-# clean accounting) — then runs the serve coalescing bench. The serve
-# tests also run under the asan configuration via the regular ctest pass.
+# clean accounting) — then drives 20 seeds of the chaos harness through
+# `autogemm chaos` (dispatcher crash/stall, allocation/execution/verify
+# faults; any invariant violation is a nonzero exit) and runs the serve
+# coalescing + graceful-drain bench, copying its JSON to BENCH_serve.json
+# at the repo root. The serve tests also run under the asan configuration
+# via the regular ctest pass, and the asan configuration repeats the
+# 20-seed chaos pass under the sanitizers.
 #
 # The release configuration ends with the backend matrix: the full ctest
 # suite re-runs under AUTOGEMM_BACKEND=neon and =sve_sim (kAuto contexts
@@ -108,10 +113,22 @@ for config in "${configs[@]}"; do
         --capacity 16 | tee build/serve_smoke_overload.txt
       grep -q 'accounting=clean' build/serve_smoke_overload.txt
       grep -Eq 'overload_events=[1-9]' build/serve_smoke_overload.txt
+      echo "==== [release] serve chaos pass (20 seeds) ===="
+      # Seeded chaos harness through the CLI: 20 distinct seeds of the
+      # multi-threaded workload with failpoint combinations firing
+      # (dispatcher crash/stall, allocation failure, overload, execution
+      # and verification faults). Exit is nonzero on any invariant
+      # violation — unresolved future, dishonest status, corrupted C, or
+      # broken accounting.
+      ./build/tools/autogemm chaos --seed 1 --seeds 20 \
+        | tee build/serve_chaos.txt
+      grep -q 'chaos: seeds=20 violations=0' build/serve_chaos.txt
       echo "==== [release] serve coalescing bench ===="
       ./build/bench/bench_serve --json-out build/bench_serve.json \
         | tee build/serve_bench.txt
       grep -q 'speedup (batch=8 vs single-dispatch)' build/serve_bench.txt
+      grep -q 'drain: backlog=' build/serve_bench.txt
+      cp build/bench_serve.json BENCH_serve.json
       echo "==== [release] backend matrix (AUTOGEMM_BACKEND=neon|sve_sim) ===="
       # The tier-1 suite must hold under every registered backend: kAuto
       # contexts resolve through the env override, so this exercises the
@@ -132,6 +149,13 @@ for config in "${configs[@]}"; do
     asan)
       run_config asan build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DAUTOGEMM_SANITIZE=ON
+      echo "==== [asan] serve chaos pass (20 seeds) ===="
+      # The same 20 chaos seeds under address/undefined sanitizers: the
+      # crash/stall recovery and abandoned-thread bookkeeping must be
+      # leak- and race-of-lifetime-free, not just functionally clean.
+      ./build-asan/tools/autogemm chaos --seed 1 --seeds 20 \
+        | tee build-asan/serve_chaos.txt
+      grep -q 'chaos: seeds=20 violations=0' build-asan/serve_chaos.txt
       ;;
     *)
       echo "unknown config: $config (expected release or asan)" >&2
