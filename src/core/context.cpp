@@ -280,6 +280,7 @@ struct ObsHandles {
   obs::Counter* packed_misses;
   obs::Counter* packed_evictions;
   obs::Counter* packed_invalidations;
+  obs::Counter* plan_invalidations;
   obs::Counter* resolved_exact;
   obs::Counter* resolved_nearest;
   obs::Counter* resolved_heuristic;
@@ -306,6 +307,8 @@ ObsHandles& obs_handles() {
     x.packed_evictions = &r.counter("autogemm_packed_cache_evictions_total");
     x.packed_invalidations =
         &r.counter("autogemm_packed_cache_invalidations_total");
+    x.plan_invalidations =
+        &r.counter("autogemm_plan_cache_invalidations_total");
     x.resolved_exact =
         &r.counter("autogemm_plan_resolved_total{source=\"exact\"}");
     x.resolved_nearest =
@@ -375,11 +378,23 @@ const char* health_kind_name(HealthEvent::Kind kind) {
   return "unknown";
 }
 
-/// Per-shape latency histogram, with a hard cardinality cap: shapes past
-/// the first kMaxShapeLabels distinct ones share the "other" series so an
-/// adversarial shape stream cannot grow the registry without bound. The
-/// unlabeled autogemm_gemm_seconds histogram always sees every call.
-constexpr std::size_t kMaxShapeLabels = 128;
+/// Cardinality cap for the per-shape latency series (see the
+/// set_shape_label_cap contract in context.hpp): labels go to the first
+/// `cap` distinct shapes, first-come-first-served; later shapes share
+/// "other" so an adversarial shape stream cannot grow the registry without
+/// bound. The unlabeled autogemm_gemm_seconds histogram always sees every
+/// call. AUTOGEMM_SHAPE_LABEL_CAP overrides the default of 128.
+std::atomic<std::size_t>& shape_label_cap_storage() {
+  static std::atomic<std::size_t> cap{[]() -> std::size_t {
+    if (const char* env = std::getenv("AUTOGEMM_SHAPE_LABEL_CAP")) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(env, &end, 10);
+      if (end != env && *end == '\0') return static_cast<std::size_t>(v);
+    }
+    return 128;
+  }()};
+  return cap;
+}
 
 obs::Histogram& shape_latency_histogram(int m, int n, int k) {
   static std::mutex mu;
@@ -388,7 +403,7 @@ obs::Histogram& shape_latency_histogram(int m, int n, int k) {
   {
     std::lock_guard lock(mu);
     if (seen.count(label) == 0) {
-      if (seen.size() >= kMaxShapeLabels) label = "other";
+      if (seen.size() >= shape_label_cap_storage().load()) label = "other";
       else seen.insert(label);
     }
   }
@@ -398,10 +413,47 @@ obs::Histogram& shape_latency_histogram(int m, int n, int k) {
 
 /// Per-thread last_error slots, keyed by context id. Thread-local (not
 /// guarded by mu_) so concurrent run* calls on different threads cannot
-/// clobber each other's error between a failing call and the query.
-std::map<std::uint64_t, Status>& thread_errors() {
-  static thread_local std::map<std::uint64_t, Status> errors;
-  return errors;
+/// clobber each other's error between a failing call and the query. Each
+/// thread's map registers itself in a process-wide registry so ~Context
+/// can sweep its id out of every live thread's map — without the sweep, a
+/// long-lived thread that churns contexts grows its map without bound
+/// (one dead slot per destroyed context that ever failed on it). The
+/// per-map mutex is only contended by that sweep; a thread's own
+/// reads/writes of its map are otherwise uncontended.
+///
+/// Lock order: registry mutex before any map mutex. Threads touching only
+/// their own map take just that map's mutex, so the sweep cannot deadlock
+/// with normal operation. Both registry statics are leaked on purpose:
+/// threads may still deregister during process teardown.
+struct ThreadErrorMap {
+  std::mutex mu;
+  std::map<std::uint64_t, Status> errors;
+};
+
+std::mutex& thread_error_registry_mu() {
+  static std::mutex& mu = *new std::mutex;
+  return mu;
+}
+
+std::set<ThreadErrorMap*>& thread_error_registry() {
+  static std::set<ThreadErrorMap*>& reg = *new std::set<ThreadErrorMap*>;
+  return reg;
+}
+
+ThreadErrorMap& thread_errors() {
+  struct Holder {
+    ThreadErrorMap map;
+    Holder() {
+      std::lock_guard lock(thread_error_registry_mu());
+      thread_error_registry().insert(&map);
+    }
+    ~Holder() {
+      std::lock_guard lock(thread_error_registry_mu());
+      thread_error_registry().erase(&map);
+    }
+  };
+  static thread_local Holder holder;
+  return holder.map;
 }
 
 }  // namespace
@@ -436,7 +488,26 @@ Context::Context(tune::TuningRecords records, const ContextOptions& opts)
   if (opts_.trace) obs::set_trace_enabled(true);
 }
 
-Context::~Context() = default;
+Context::~Context() {
+  // Sweep this context's id out of every live thread's last_error slots:
+  // without this, threads that outlive a churn of contexts accumulate one
+  // dead Status per destroyed context forever.
+  std::lock_guard reg_lock(thread_error_registry_mu());
+  for (ThreadErrorMap* m : thread_error_registry()) {
+    std::lock_guard lock(m->mu);
+    m->errors.erase(id_);
+  }
+}
+
+std::size_t Context::thread_error_slots() {
+  std::lock_guard reg_lock(thread_error_registry_mu());
+  std::size_t total = 0;
+  for (ThreadErrorMap* m : thread_error_registry()) {
+    std::lock_guard lock(m->mu);
+    total += m->errors.size();
+  }
+  return total;
+}
 
 common::ThreadPool* Context::effective_pool() {
   if (opts_.threads == 1) return nullptr;
@@ -476,7 +547,11 @@ void Context::record_event(HealthEvent::Kind kind, std::string detail) {
 Status Context::record_error(Status s) {
   if (!s.ok()) {
     obs_handles().failures->add(1);
-    thread_errors()[id_] = s;
+    ThreadErrorMap& tm = thread_errors();
+    {
+      std::lock_guard lock(tm.mu);
+      tm.errors[id_] = s;
+    }
     std::lock_guard lock(mu_);
     health_.last_error = s;
   }
@@ -539,10 +614,20 @@ Context::PlanEntry Context::entry_for(int m, int n, int k) {
     std::lock_guard lock(mu_);
     auto it = plan_index_.find(key);
     if (it != plan_index_.end()) {
-      ++stats_.plan_hits;
-      obs_handles().plan_hits->add(1);
-      plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
-      return it->second->second;
+      if (it->second->second.generation == records_gen_) {
+        ++stats_.plan_hits;
+        obs_handles().plan_hits->add(1);
+        plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
+        return it->second->second;
+      }
+      // Stale hit: the records table changed since this entry resolved
+      // (publish_record bumped the generation), so the cached plan may no
+      // longer be the shape's best resolution — exact records beat the
+      // nearest/heuristic rung this entry may be on, and even a nearest
+      // resolution can improve when a neighbor shape was published. Drop
+      // it and re-resolve through the full ladder below.
+      plan_lru_.erase(it->second);
+      plan_index_.erase(it);
     }
     ++stats_.plan_misses;
     obs_handles().plan_misses->add(1);
@@ -566,13 +651,21 @@ Context::PlanEntry Context::entry_for(int m, int n, int k) {
   const tune::ShapeKey shape{m, n, k};
   // Record resolution is scoped to this context's backend: a mixed-backend
   // records file never hands an SVE blocking to a NEON context (or vice
-  // versa), for both the exact and the nearest-shape rung.
-  if (auto exact = records_.lookup(shape, backend_)) {
-    candidates.push_back({tune::config_from_candidate(m, n, k, *exact), 0});
-  } else if (auto nearest = records_.lookup_nearest(
-                 shape, /*max_log2_distance=*/1.0, backend_)) {
-    // Plan construction clamps the transferred blocking to this problem.
-    candidates.push_back({tune::config_from_candidate(m, n, k, *nearest), 1});
+  // versa), for both the exact and the nearest-shape rung. The lookups
+  // hold mu_ — publish_record mutates the table — and the generation is
+  // snapshotted in the same critical section, so a publish racing this
+  // resolve leaves the inserted entry stale and the next hit re-resolves.
+  std::uint64_t resolve_gen = 0;
+  {
+    std::lock_guard lock(mu_);
+    resolve_gen = records_gen_;
+    if (auto exact = records_.lookup(shape, backend_)) {
+      candidates.push_back({tune::config_from_candidate(m, n, k, *exact), 0});
+    } else if (auto nearest = records_.lookup_nearest(
+                   shape, /*max_log2_distance=*/1.0, backend_)) {
+      // Plan construction clamps the transferred blocking to this problem.
+      candidates.push_back({tune::config_from_candidate(m, n, k, *nearest), 1});
+    }
   }
   candidates.push_back({default_config(m, n, k), 2});
   // A context-level strategy override beats whatever the candidates carry
@@ -587,6 +680,7 @@ Context::PlanEntry Context::entry_for(int m, int n, int k) {
 
   PlanEntry entry;  // plan == nullptr -> reference pin
   entry.latency = &shape_latency_histogram(m, n, k);
+  entry.generation = resolve_gen;
   for (const auto& cand : candidates) {
     StatusOr<Plan> plan_or = Plan::create(m, n, k, cand.cfg);
     if (!plan_or.ok()) {
@@ -1202,6 +1296,53 @@ std::size_t Context::invalidate(const void* data) {
   return dropped;
 }
 
+bool Context::invalidate_plan(int m, int n, int k) {
+  const ShapeKey key{m, n, k};
+  std::lock_guard lock(mu_);
+  auto it = plan_index_.find(key);
+  if (it == plan_index_.end()) return false;
+  plan_lru_.erase(it->second);
+  plan_index_.erase(it);
+  ++stats_.plan_invalidations;
+  obs_handles().plan_invalidations->add(1);
+  return true;
+}
+
+bool Context::publish_record(int m, int n, int k,
+                             const tune::Candidate& candidate, double cost) {
+  // The backend is a property of the context, not of the record handed in:
+  // pin it so a tuner that enumerated under kAuto cannot publish a record
+  // this context's resolution (scoped to backend_) would never see.
+  tune::Candidate pinned = candidate;
+  pinned.backend = backend_;
+  std::lock_guard lock(mu_);
+  if (!records_.add(tune::ShapeKey{m, n, k}, pinned, cost)) return false;
+  // Every cached entry resolved against the old table; bumping the
+  // generation makes each re-resolve lazily on its next hit (neighbors of
+  // the published shape may now prefer it on the nearest rung). The
+  // published shape itself is dropped eagerly so the very next request
+  // executes the new config even through plan_for's shared_ptr path.
+  ++records_gen_;
+  auto it = plan_index_.find(ShapeKey{m, n, k});
+  if (it != plan_index_.end()) {
+    plan_lru_.erase(it->second);
+    plan_index_.erase(it);
+    ++stats_.plan_invalidations;
+    obs_handles().plan_invalidations->add(1);
+  }
+  return true;
+}
+
+bool Context::has_exact_record(int m, int n, int k) const {
+  std::lock_guard lock(mu_);
+  return records_.lookup(tune::ShapeKey{m, n, k}, backend_).has_value();
+}
+
+tune::TuningRecords Context::records_snapshot() const {
+  std::lock_guard lock(mu_);
+  return records_;
+}
+
 void Context::clear() {
   std::lock_guard lock(mu_);
   plan_index_.clear();
@@ -1228,9 +1369,10 @@ HealthReport Context::health() const {
 }
 
 Status Context::last_error() const {
-  const auto& errors = thread_errors();
-  const auto it = errors.find(id_);
-  return it != errors.end() ? it->second : Status::OK();
+  ThreadErrorMap& tm = thread_errors();
+  std::lock_guard lock(tm.mu);
+  const auto it = tm.errors.find(id_);
+  return it != tm.errors.end() ? it->second : Status::OK();
 }
 
 std::size_t Context::plan_cache_size() const {
@@ -1261,5 +1403,11 @@ Context& default_context() {
   }());
   return ctx;
 }
+
+void set_shape_label_cap(std::size_t cap) {
+  shape_label_cap_storage().store(cap);
+}
+
+std::size_t shape_label_cap() { return shape_label_cap_storage().load(); }
 
 }  // namespace autogemm

@@ -148,6 +148,11 @@ struct ContextStats {
   std::uint64_t packed_misses = 0;
   std::uint64_t packed_evictions = 0;
   std::uint64_t packed_invalidations = 0;
+  /// Plans dropped by shape: explicit invalidate_plan() calls plus entries
+  /// evicted by publish_record() so the published config takes effect.
+  /// Stale-generation re-resolves (a cache hit observing a newer records
+  /// generation) count as plan_misses, not invalidations.
+  std::uint64_t plan_invalidations = 0;
   /// How plan configs were resolved on miss: tuned record (exact shape),
   /// tuned record (nearest shape), or the default_config heuristic.
   std::uint64_t resolved_exact = 0;
@@ -293,6 +298,37 @@ class Context {
   /// Returns the number of entries dropped.
   std::size_t invalidate(const void* data);
 
+  /// Drops the cached Plan for one shape so the next call re-resolves it
+  /// through the full candidate ladder (tuned exact -> nearest ->
+  /// heuristic). This is the shape-keyed counterpart to invalidate(ptr):
+  /// without it a shape resolved heuristically before a record existed
+  /// stays pinned to that plan for the cache's lifetime. Quarantine and
+  /// verification state survive — a poisoned config stays poisoned.
+  /// Returns true if an entry was dropped.
+  bool invalidate_plan(int m, int n, int k);
+
+  /// Publishes a tuned candidate into the live context: inserts it into
+  /// the in-memory records table (kept only if `cost` beats any stored
+  /// record for the shape under this context's backend — the candidate's
+  /// backend field is pinned to backend_id() first), bumps the records
+  /// generation so every cached plan re-resolves on its next hit (nearest
+  /// -shape neighbors refresh too), and drops this shape's cached entry so
+  /// the very next request executes the published config. The critical
+  /// section is a map insert plus one list erase — safe to call from a
+  /// background tuner while the dispatcher is serving. Returns true if the
+  /// record was stored (false: an equal-or-better record already existed).
+  /// Persistence is the caller's job (records_snapshot + save_file_merged).
+  bool publish_record(int m, int n, int k, const tune::Candidate& candidate,
+                      double cost);
+
+  /// True when the records table holds an exact-shape record for this
+  /// context's backend — the online tuner's "already tuned" test.
+  bool has_exact_record(int m, int n, int k) const;
+
+  /// Thread-safe copy of the records table (the publication target of
+  /// publish_record), for persistence via TuningRecords::save_file_merged.
+  tune::TuningRecords records_snapshot() const;
+
   /// Drops all cached plans and packed operands (stats, quarantine and
   /// health are kept — a poisoned config stays poisoned).
   void clear();
@@ -315,7 +351,15 @@ class Context {
 
   std::size_t plan_cache_size() const;
   std::size_t packed_cache_size() const;
+  /// Direct reference to the records table. Unsynchronized: publish_record
+  /// mutates the table under the context lock, so this reference is only
+  /// safe while no concurrent publisher (e.g. a running OnlineTuner) is
+  /// attached — use records_snapshot() otherwise.
   const tune::TuningRecords& records() const { return records_; }
+  /// Total last_error slots currently held across every live thread's
+  /// per-thread map, for all contexts (test hook for the destructor sweep
+  /// that keeps context churn from growing the maps without bound).
+  static std::size_t thread_error_slots();
   /// The backend this context resolved at construction (never kAuto).
   backend::BackendId backend_id() const { return backend_; }
   /// sim::SimOptions pre-filled with this context's watchdog budgets
@@ -358,6 +402,10 @@ class Context {
   struct PlanEntry {
     std::shared_ptr<const Plan> plan;
     obs::Histogram* latency = nullptr;
+    /// records_gen_ observed when this entry resolved. A hit whose
+    /// generation is behind the live counter is stale — the records table
+    /// changed since — and re-resolves as a miss.
+    std::uint64_t generation = 0;
   };
 
   PlanEntry entry_for(int m, int n, int k);
@@ -390,9 +438,15 @@ class Context {
   backend::BackendId backend_ = backend::BackendId::kNeon;
   const std::uint64_t id_ = next_id();
   std::uint64_t records_skipped_ = 0;  // set before records_ loads
-  const tune::TuningRecords records_;
+  /// Mutated only by publish_record (under mu_); every read on the plan
+  /// resolution path also holds mu_. The records() accessor hands out an
+  /// unsynchronized reference — see its comment.
+  tune::TuningRecords records_;
 
   mutable std::mutex mu_;
+  /// Bumped by publish_record under mu_; PlanEntry::generation snapshots
+  /// it at resolve so stale cache hits re-resolve.
+  std::uint64_t records_gen_ = 0;
   // Plan LRU: list front = most recently used; index into the list.
   std::list<std::pair<ShapeKey, PlanEntry>> plan_lru_;
   std::map<ShapeKey, decltype(plan_lru_)::iterator> plan_index_;
@@ -414,5 +468,20 @@ class Context {
 /// serial (threads = 1) so the historical behavior of the free functions
 /// is preserved exactly; construct your own Context to opt into the pool.
 Context& default_context();
+
+/// Cardinality cap for the per-shape latency series
+/// (autogemm_gemm_seconds{shape="MxNxK"}): labels are assigned first-come-
+/// first-served to the first `cap` distinct shapes a process executes;
+/// every later shape shares the "other" series. The cap bounds registry
+/// growth under an adversarial shape stream — it does NOT track hotness,
+/// so a shape that becomes hot after the cap fills stays aggregated under
+/// "other" forever (which is why the online tuner ranks hot shapes from
+/// the serve engine's per-shape request accounting, never from these
+/// labels). Initialized from AUTOGEMM_SHAPE_LABEL_CAP (default 128);
+/// raising the cap at runtime admits new labels, lowering it never evicts
+/// already-assigned ones. The unlabeled autogemm_gemm_seconds histogram
+/// always sees every call regardless of the cap.
+void set_shape_label_cap(std::size_t cap);
+std::size_t shape_label_cap();
 
 }  // namespace autogemm

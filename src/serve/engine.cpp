@@ -192,9 +192,36 @@ Engine::Engine(Context& ctx, const EngineOptions& opts)
     std::lock_guard lock(mu_);
     publish_state_locked();
   }
+  if (opts_.enable_online_tuner) {
+    // Constructed last so the tuner's background thread never observes a
+    // half-built engine. The feed reads shape_requests_ under mu_; the
+    // tuner applies its own top_k, so the feed hands over the full
+    // ranking.
+    tune::OnlineTunerOptions topts = opts_.tuner;
+    topts.start_paused = topts.start_paused || opts_.start_paused;
+    tuner_ = std::make_unique<tune::OnlineTuner>(
+        ctx_, [this] { return hot_shapes(); }, topts);
+  }
 }
 
 Engine::~Engine() { shutdown(); }
+
+std::vector<tune::HotShape> Engine::hot_shapes(std::size_t limit) const {
+  std::vector<tune::HotShape> out;
+  {
+    std::lock_guard lock(mu_);
+    out.reserve(shape_requests_.size());
+    for (const auto& [key, count] : shape_requests_)
+      out.push_back(tune::HotShape{std::get<0>(key), std::get<1>(key),
+                                   std::get<2>(key), count});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const tune::HotShape& a, const tune::HotShape& b) {
+                     return a.requests > b.requests;
+                   });
+  if (limit != 0 && out.size() > limit) out.resize(limit);
+  return out;
+}
 
 std::future<Status> Engine::submit(const GemmRequest& req) {
   return submit_internal(req, nullptr);
@@ -283,6 +310,7 @@ std::future<Status> Engine::submit_internal(const GemmRequest& req,
       reject_counter = o.rejected_breaker;
     } else if (inline_mode()) {
       ++stats_.admitted;
+      ++shape_requests_[shape];
       o.admitted->add(1);
       p.breaker_probe = probe;
       run_inline = true;
@@ -310,6 +338,7 @@ std::future<Status> Engine::submit_internal(const GemmRequest& req,
         reject_counter = o.rejected_full;
       } else {
         ++stats_.admitted;
+        ++shape_requests_[shape];
         o.admitted->add(1);
         p.enqueue_ns = common::now_ns();
         (req.lane == Lane::kInteractive ? interactive_ : bulk_)
@@ -932,6 +961,12 @@ EngineState Engine::state() const {
 
 Status Engine::drain(std::uint64_t timeout_ns) {
   ServeObs& o = serve_obs();
+  // Tuner first, and without mu_ held: pause() blocks until any in-flight
+  // tuning cycle parks, and that cycle's hot-shape feed takes mu_ itself.
+  // A parked tuner cannot publish mid-drain, preserving the lifecycle
+  // invariant that nothing mutates plan resolution while the backlog
+  // finishes.
+  if (tuner_ != nullptr) tuner_->pause();
   std::unique_lock<std::mutex> lock(mu_);
   if (state_ == EngineState::kStopped) return Status::OK();
   if (state_ == EngineState::kRunning) {
@@ -982,6 +1017,10 @@ void Engine::shutdown() {
 
 void Engine::join_threads() {
   std::lock_guard jl(join_mu_);
+  // Stop (join) the tuner before the engine's own threads: its thread is
+  // the only one that can still reach ctx_ through the engine. The object
+  // survives so online_tuner()->stats() stays valid after shutdown.
+  if (tuner_ != nullptr) tuner_->stop();
   {
     std::lock_guard lock(mu_);
     monitor_stop_ = true;

@@ -34,8 +34,23 @@
 // counters, per-lane queue-latency and batch-size histograms) with
 // serve.submit / serve.batch / serve.dispatch trace spans.
 //
-// Layering: serve depends on core (Context, batched) and obs/common
-// only; nothing below depends back on serve (see DESIGN.md).
+// Layering: serve depends on core (Context, batched), tune (the online
+// tuner it can own — see below) and obs/common; nothing below depends
+// back on serve (see DESIGN.md). The OnlineTuner itself lives in tune/
+// and sees the engine only through an injected hot-shape callback.
+//
+// ## Online tuning
+//
+// With EngineOptions::enable_online_tuner the engine owns a
+// tune::OnlineTuner fed by its per-shape *request accounting* (every
+// admitted request increments its exact (m, n, k) bucket — deliberately
+// not the obs shape labels, whose FCFS cap makes late-hot shapes
+// invisible). The tuner runs beside the dispatcher at low priority,
+// searches the hottest not-yet-exactly-tuned shapes, and publishes
+// winners into the live Context so subsequent requests execute the
+// searched config. drain() pauses the tuner before draining;
+// join_threads() stops it — the lifecycle invariants above are
+// unchanged.
 //
 // ## Resilience
 //
@@ -119,9 +134,12 @@
 #include <tuple>
 #include <vector>
 
+#include <memory>
+
 #include "common/matrix.hpp"
 #include "common/status.hpp"
 #include "core/context.hpp"
+#include "tune/online_tuner.hpp"
 
 #include <condition_variable>
 
@@ -207,6 +225,17 @@ struct EngineOptions {
   /// retry_budget_tokens. The classic ratio form: 0.1 sustains one
   /// retry per ten successes.
   double retry_token_ratio = 0.1;
+
+  // --- online tuning (see the Online tuning section above) ---
+
+  /// Owns a tune::OnlineTuner fed from the engine's per-shape request
+  /// accounting. Off by default: tuning spends CPU the dispatcher could
+  /// use, so the embedder opts in.
+  bool enable_online_tuner = false;
+  /// Tuner knobs (interval, budgets, records persistence path, ...). The
+  /// engine forces start_paused when its own start_paused is set, and
+  /// always pauses the tuner on drain.
+  tune::OnlineTunerOptions tuner;
 };
 
 /// Client-side retry schedule for Engine::submit_with_retry. Only
@@ -332,6 +361,17 @@ class Engine {
     return inline_.load(std::memory_order_relaxed);
   }
 
+  /// Hottest shape buckets by admitted-request count, descending; at most
+  /// `limit` entries (0 = all). Counts are monotonic over the engine's
+  /// lifetime and include inline-mode admissions. This — not the obs
+  /// shape labels — is the online tuner's ranking feed.
+  std::vector<tune::HotShape> hot_shapes(std::size_t limit = 0) const;
+
+  /// The owned online tuner; nullptr unless enable_online_tuner was set.
+  /// Valid for the engine's lifetime (it is stopped, not destroyed, at
+  /// shutdown, so stats() stays queryable after drain).
+  tune::OnlineTuner* online_tuner() { return tuner_.get(); }
+
  private:
   struct Pending {
     GemmRequest req;
@@ -438,6 +478,15 @@ class Engine {
   std::map<ShapeKey, Breaker> breakers_;
   std::size_t breakers_open_ = 0;
   double retry_tokens_ = 0;
+
+  /// Admitted requests per exact shape (guarded by mu_): the hot-shape
+  /// feed for the online tuner. Unbounded in distinct shapes by design —
+  /// one uint64 per shape is cheap next to the plan cache, and capping it
+  /// would reintroduce the FCFS-label blindness this exists to fix.
+  std::map<ShapeKey, std::uint64_t> shape_requests_;
+  /// Constructed last (after the threads), stopped by join_threads(),
+  /// never reset — online_tuner() stays valid after shutdown.
+  std::unique_ptr<tune::OnlineTuner> tuner_;
 
   std::atomic<bool> inline_{false};
   std::mutex join_mu_;

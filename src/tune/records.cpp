@@ -230,6 +230,27 @@ Status TuningRecords::save_file(const std::string& path) const {
   return Status::OK();
 }
 
+void TuningRecords::merge_from(const TuningRecords& other) {
+  for (const auto& [key, rec] : other.records_)
+    add(key.shape, rec.candidate, rec.cost);
+}
+
+Status TuningRecords::save_file_merged(const std::string& path) const {
+  TuningRecords merged = *this;
+  TuningRecords on_disk;
+  const Status loaded = on_disk.load_file(path);
+  if (loaded.code() == StatusCode::kInvalidArgument) {
+    // The file is a records file of a version we cannot parse: blindly
+    // replacing it would silently destroy every record it holds.
+    return loaded;
+  }
+  // kUnavailable (no file yet) merges nothing; kDataLoss merges whatever
+  // the tolerant loader salvaged around the damage.
+  if (loaded.ok() || loaded.code() == StatusCode::kDataLoss)
+    merged.merge_from(on_disk);
+  return merged.save_file(path);
+}
+
 Status TuningRecords::load_file(const std::string& path, LoadReport* report) {
   std::ifstream is(path);
   if (!is)

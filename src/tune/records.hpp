@@ -91,10 +91,31 @@ class TuningRecords {
   /// loaded): the format itself is unintelligible, not merely damaged.
   Status load(std::istream& is, LoadReport* report = nullptr);
 
+  /// add()-merges every record from `other` into this table: per
+  /// (shape, backend) slot the lower-cost record wins, so merging is
+  /// order-independent and never discards a better measurement.
+  void merge_from(const TuningRecords& other);
+
   /// Atomic save: writes to a temp file in the destination directory, then
   /// renames over `path`, so a crash or write failure mid-save can never
   /// leave a truncated records file behind (the old contents survive).
   Status save_file(const std::string& path) const;
+
+  /// Merge-on-save for concurrent writers (the online tuner persisting
+  /// into a file a tuning campaign — or a second process — also writes):
+  /// re-reads `path`, add()-merges the on-disk records into a copy of this
+  /// table (per-slot min cost, so neither writer's better record is lost),
+  /// then save_file()s the union atomically. A missing/unreadable file
+  /// degrades to a plain save of this table; a *damaged* file contributes
+  /// its salvageable records. The one refusal is an intelligible-but-
+  /// unknown format version (kInvalidArgument): overwriting a future
+  /// format with ours would destroy data we cannot see. Last-writer-wins
+  /// races between two merged saves can still drop the *other* writer's
+  /// record added between our read and our rename — but only where ours
+  /// measured cheaper; an external file lock is the caller's concern if
+  /// that window matters.
+  Status save_file_merged(const std::string& path) const;
+
   Status load_file(const std::string& path, LoadReport* report = nullptr);
 
  private:

@@ -2,6 +2,9 @@
 // invalidation, and concurrent use.
 #include <gtest/gtest.h>
 
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -10,6 +13,7 @@
 #include "common/reference_gemm.hpp"
 #include "common/rng.hpp"
 #include "core/context.hpp"
+#include "obs/metrics.hpp"
 #include "test_util.hpp"
 
 namespace autogemm {
@@ -334,6 +338,175 @@ TEST(Context, LastErrorIsPerThread) {
     EXPECT_EQ(mismatches[t], 0) << "thread " << t << " read a foreign error";
   // The process-wide channel still reports *some* failure.
   EXPECT_FALSE(ctx.health().last_error.ok());
+}
+
+TEST(Context, PublishRecordRepublishesIntoLivePlans) {
+  // The stale-plan regression: before publish_record/invalidate_plan, a
+  // record added after a shape's first use was invisible forever — the
+  // cached Plan pinned the heuristic config until clear() nuked everything.
+  // A record published mid-flight must execute on the very next call.
+  ContextOptions opts;
+  opts.threads = 1;
+  Context ctx(opts);
+  Problem p(64, 48, 32);
+  ctx.gemm(p.a.view(), p.b.view(), p.c.view(), overwrite());
+  EXPECT_LT(p.error(), testutil::gemm_tolerance(p.k_depth));
+  ASSERT_EQ(ctx.stats().resolved_heuristic, 1u);
+  ASSERT_FALSE(ctx.has_exact_record(64, 48, 32));
+
+  tune::Candidate tuned{16, 16, 16, LoopOrder::kKNM,
+                        kernels::Packing::kOffline};
+  EXPECT_TRUE(ctx.publish_record(64, 48, 32, tuned, 1.0));
+  EXPECT_TRUE(ctx.has_exact_record(64, 48, 32));
+  // Publication eagerly evicted the shape's cached plan.
+  EXPECT_EQ(ctx.stats().plan_invalidations, 1u);
+
+  // Next call re-resolves exact and *executes* the tuned blocking.
+  ctx.gemm(p.a.view(), p.b.view(), p.c.view(), overwrite());
+  EXPECT_LT(p.error(), testutil::gemm_tolerance(p.k_depth));
+  EXPECT_EQ(ctx.stats().resolved_exact, 1u);
+  auto plan = ctx.plan_for(64, 48, 32);
+  EXPECT_EQ(plan->config().mc, 16);
+  EXPECT_EQ(plan->config().kc, 16);
+  EXPECT_EQ(plan->config().loop_order, LoopOrder::kKNM);
+}
+
+TEST(Context, InvalidatePlanDropsExactlyOneShape) {
+  ContextOptions opts;
+  opts.threads = 1;
+  Context ctx(opts);
+  (void)ctx.plan_for(32, 32, 32);
+  (void)ctx.plan_for(48, 48, 48);
+  ASSERT_EQ(ctx.plan_cache_size(), 2u);
+  EXPECT_TRUE(ctx.invalidate_plan(32, 32, 32));
+  EXPECT_FALSE(ctx.invalidate_plan(32, 32, 32));  // already gone
+  EXPECT_EQ(ctx.plan_cache_size(), 1u);
+  EXPECT_EQ(ctx.stats().plan_invalidations, 1u);
+  // The survivor still hits; the dropped shape re-resolves.
+  (void)ctx.plan_for(48, 48, 48);
+  EXPECT_EQ(ctx.stats().plan_hits, 1u);
+  (void)ctx.plan_for(32, 32, 32);
+  EXPECT_EQ(ctx.stats().plan_misses, 3u);
+}
+
+TEST(Context, PublishRefreshesNearestNeighborViaGeneration) {
+  // publish_record only evicts the exact shape eagerly; *neighboring*
+  // shapes that could now resolve through the new record via the
+  // nearest-rung are refreshed lazily by the records-generation check on
+  // their next cache hit.
+  ContextOptions opts;
+  opts.threads = 1;
+  Context ctx(opts);
+  (void)ctx.plan_for(60, 60, 60);
+  ASSERT_EQ(ctx.stats().resolved_heuristic, 1u);
+
+  tune::Candidate tuned{16, 32, 16, LoopOrder::kKNM,
+                        kernels::Packing::kOnline};
+  EXPECT_TRUE(ctx.publish_record(64, 64, 64, tuned, 10.0));
+
+  // The 60^3 entry is generation-stale: the next request re-resolves (a
+  // miss, not an invalidation) and now lands on the nearest rung.
+  auto plan = ctx.plan_for(60, 60, 60);
+  EXPECT_EQ(ctx.stats().resolved_nearest, 1u);
+  EXPECT_EQ(plan->config().mc, 16);
+  EXPECT_EQ(plan->config().loop_order, LoopOrder::kKNM);
+  EXPECT_EQ(ctx.stats().plan_misses, 2u);
+  EXPECT_EQ(ctx.stats().plan_invalidations, 0u);
+}
+
+TEST(Context, ThreadErrorSlotsSweptOnContextDestruction) {
+  // The last_error side-table leak: per-(thread, context) error slots
+  // must die with the context, not accrete for the thread's lifetime.
+  const std::size_t before = Context::thread_error_slots();
+  {
+    ContextOptions opts;
+    opts.threads = 1;
+    Context ctx(opts);
+    Matrix bad_a(4, 3), bad_b(5, 4), bad_c(4, 4);
+    ctx.gemm(bad_a.view(), bad_b.view(), bad_c.view());
+    EXPECT_FALSE(ctx.last_error().ok());
+    EXPECT_EQ(Context::thread_error_slots(), before + 1);
+  }
+  EXPECT_EQ(Context::thread_error_slots(), before);
+}
+
+TEST(Context, ContextChurnDoesNotLeakThreadErrorSlots) {
+  // 64 short-lived contexts on one long-lived thread (the serve/bench
+  // pattern): the thread's map must not grow by one dead slot each.
+  const std::size_t before = Context::thread_error_slots();
+  for (int i = 0; i < 64; ++i) {
+    ContextOptions opts;
+    opts.threads = 1;
+    Context ctx(opts);
+    Matrix bad_a(4, 3), bad_b(5, 4), bad_c(4, 4);
+    ctx.gemm(bad_a.view(), bad_b.view(), bad_c.view());
+    EXPECT_FALSE(ctx.last_error().ok());
+  }
+  EXPECT_EQ(Context::thread_error_slots(), before);
+}
+
+TEST(Context, ThreadErrorSlotsSweptAcrossLiveThreads) {
+  // Destroying a context on the main thread must erase the slot a
+  // *still-running* worker thread created — the sweep walks every
+  // registered thread map, not just the destroying thread's.
+  const std::size_t before = Context::thread_error_slots();
+  ContextOptions opts;
+  opts.threads = 1;
+  auto ctx = std::make_unique<Context>(opts);
+  std::mutex mu;
+  std::condition_variable cv;
+  int stage = 0;
+  std::thread worker([&] {
+    Matrix bad_a(4, 3), bad_b(5, 4), bad_c(4, 4);
+    ctx->gemm(bad_a.view(), bad_b.view(), bad_c.view());
+    EXPECT_FALSE(ctx->last_error().ok());
+    {
+      std::lock_guard lock(mu);
+      stage = 1;
+    }
+    cv.notify_all();
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return stage == 2; });
+  });
+  {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return stage == 1; });
+  }
+  EXPECT_EQ(Context::thread_error_slots(), before + 1);
+  ctx.reset();  // worker is alive and parked; its slot must still vanish
+  EXPECT_EQ(Context::thread_error_slots(), before);
+  {
+    std::lock_guard lock(mu);
+    stage = 2;
+  }
+  cv.notify_all();
+  worker.join();
+}
+
+TEST(Context, ShapeLabelCapIsConfigurable) {
+  // With the cap forced to zero, a never-seen shape must land in the
+  // "other" bucket instead of minting a new labeled series; previously
+  // admitted labels keep theirs (FCFS — lowering never evicts).
+  const std::size_t saved = shape_label_cap();
+  set_shape_label_cap(0);
+  EXPECT_EQ(shape_label_cap(), 0u);
+  obs::Registry& reg = obs::default_registry();
+  obs::Histogram& other =
+      reg.histogram("autogemm_gemm_seconds{shape=\"other\"}");
+  obs::Histogram& dedicated =
+      reg.histogram("autogemm_gemm_seconds{shape=\"991x7x3\"}");
+  const std::uint64_t other_before = other.snapshot().count;
+  const std::uint64_t dedicated_before = dedicated.snapshot().count;
+  ContextOptions opts;
+  opts.threads = 1;
+  Context ctx(opts);
+  Problem p(991, 7, 3);
+  ctx.gemm(p.a.view(), p.b.view(), p.c.view(), overwrite());
+  EXPECT_LT(p.error(), testutil::gemm_tolerance(p.k_depth));
+  EXPECT_GT(other.snapshot().count, other_before);
+  EXPECT_EQ(dedicated.snapshot().count, dedicated_before);
+  set_shape_label_cap(saved);
+  EXPECT_EQ(shape_label_cap(), saved);
 }
 
 TEST(Sgemm, RowMajorBlasShim) {

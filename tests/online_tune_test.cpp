@@ -1,0 +1,217 @@
+// tune::OnlineTuner: budgeted search over a hot-shape feed, promotion
+// into a live Context, demotion when the incumbent holds, merge-on-save
+// persistence, and failpoint behavior.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.hpp"
+#include "common/timer.hpp"
+#include "core/context.hpp"
+#include "tune/online_tuner.hpp"
+#include "tune/records.hpp"
+
+namespace autogemm::tune {
+namespace {
+
+ContextOptions serial_ctx() {
+  ContextOptions o;
+  o.threads = 1;
+  return o;
+}
+
+/// Tests drive run_cycle() themselves; the background loop stays parked.
+OnlineTunerOptions paused_opts() {
+  OnlineTunerOptions o;
+  o.start_paused = true;
+  o.min_requests = 1;
+  return o;
+}
+
+bool same_blocking(const Candidate& c, const GemmConfig& cfg) {
+  return c.mc == cfg.mc && c.nc == cfg.nc && c.kc == cfg.kc &&
+         c.loop_order == cfg.loop_order && c.packing == cfg.packing;
+}
+
+/// Rigged deterministic cost: the incumbent (whatever config the shape
+/// currently executes) prices 2.0, everything else 1.0 — promotion is
+/// guaranteed and host-independent.
+OnlineTunerOptions promote_opts(Context& ctx, int m, int n, int k) {
+  OnlineTunerOptions o = paused_opts();
+  const GemmConfig inc = ctx.plan_for(m, n, k)->config();
+  o.cost_override = [inc](const Candidate& c, int, int, int) {
+    return same_blocking(c, inc) ? 2.0 : 1.0;
+  };
+  return o;
+}
+
+/// Rigged the other way: the incumbent is unbeatable — every search must
+/// end in a demotion and publish nothing.
+OnlineTunerOptions demote_opts(Context& ctx, int m, int n, int k) {
+  OnlineTunerOptions o = paused_opts();
+  const GemmConfig inc = ctx.plan_for(m, n, k)->config();
+  o.cost_override = [inc](const Candidate& c, int, int, int) {
+    return same_blocking(c, inc) ? 0.5 : 1.0;
+  };
+  return o;
+}
+
+HotShapeFn fixed_feed(int m, int n, int k, std::uint64_t requests = 100) {
+  return [=] { return std::vector<HotShape>{HotShape{m, n, k, requests}}; };
+}
+
+TEST(OnlineTune, PromotesHotShapeAndPublishesIntoContext) {
+  Context ctx(serial_ctx());
+  const int m = 48, n = 56, k = 40;
+  OnlineTuner tuner(ctx, fixed_feed(m, n, k), promote_opts(ctx, m, n, k));
+  EXPECT_EQ(ctx.stats().resolved_heuristic, 1u);  // promote_opts resolved it
+  EXPECT_TRUE(tuner.run_cycle());
+  const OnlineTunerStats s = tuner.stats();
+  EXPECT_EQ(s.cycles, 1u);
+  EXPECT_EQ(s.searches, 1u);
+  EXPECT_EQ(s.promotions, 1u);
+  EXPECT_EQ(s.demotions, 0u);
+  EXPECT_GT(s.evaluations, 0u);
+  // Published: the record is live and the next request resolves exact.
+  EXPECT_TRUE(ctx.has_exact_record(m, n, k));
+  (void)ctx.plan_for(m, n, k);
+  EXPECT_EQ(ctx.stats().resolved_exact, 1u);
+}
+
+TEST(OnlineTune, SkipsShapesAlreadyExactlyTuned) {
+  Context ctx(serial_ctx());
+  const int m = 32, n = 32, k = 32;
+  Candidate cand{16, 16, 16, LoopOrder::kKNM, kernels::Packing::kOnline};
+  ASSERT_TRUE(ctx.publish_record(m, n, k, cand, 1.0));
+  OnlineTuner tuner(ctx, fixed_feed(m, n, k), paused_opts());
+  EXPECT_FALSE(tuner.run_cycle());
+  const OnlineTunerStats s = tuner.stats();
+  EXPECT_EQ(s.cycles, 1u);
+  EXPECT_EQ(s.searches, 0u);  // filtered before any search spent budget
+  EXPECT_EQ(s.promotions, 0u);
+}
+
+TEST(OnlineTune, MinRequestsGateSkipsColdShapes) {
+  Context ctx(serial_ctx());
+  OnlineTunerOptions opts = paused_opts();
+  opts.min_requests = 1000;
+  OnlineTuner tuner(ctx, fixed_feed(24, 24, 24, /*requests=*/5), opts);
+  EXPECT_FALSE(tuner.run_cycle());
+  EXPECT_EQ(tuner.stats().searches, 0u);
+}
+
+TEST(OnlineTune, DemotionWhenIncumbentHoldsPublishesNothing) {
+  Context ctx(serial_ctx());
+  const int m = 40, n = 44, k = 36;
+  OnlineTuner tuner(ctx, fixed_feed(m, n, k), demote_opts(ctx, m, n, k));
+  EXPECT_FALSE(tuner.run_cycle());
+  const OnlineTunerStats s = tuner.stats();
+  EXPECT_EQ(s.searches, 1u);
+  EXPECT_EQ(s.promotions, 0u);
+  EXPECT_EQ(s.demotions, 1u);
+  EXPECT_FALSE(ctx.has_exact_record(m, n, k));
+}
+
+TEST(OnlineTune, WallClockSearchCompletesAndStaysCorrect) {
+  // No cost override: the real serial wall-clock measurement path, on a
+  // tiny shape with a tight budget. The outcome (promote or demote) is
+  // host-dependent; what must hold is that the search completes, spends
+  // real evaluations, and the context still answers correctly after.
+  Context ctx(serial_ctx());
+  const int m = 16, n = 16, k = 16;
+  OnlineTunerOptions opts = paused_opts();
+  opts.search_budget_ns = 50'000'000;  // 50 ms
+  opts.measure_reps = 1;
+  OnlineTuner tuner(ctx, fixed_feed(m, n, k), opts);
+  (void)tuner.run_cycle();
+  const OnlineTunerStats s = tuner.stats();
+  EXPECT_EQ(s.searches, 1u);
+  EXPECT_EQ(s.promotions + s.demotions, 1u);
+  EXPECT_GT(s.evaluations, 0u);
+  std::vector<float> a(m * k, 0.5f), b(k * n, 0.5f), c(m * n, 0.0f);
+  const Status st = ctx.run(common::ConstMatrixView{a.data(), m, k, k},
+                            common::ConstMatrixView{b.data(), k, n, n},
+                            common::MatrixView{c.data(), m, n, n});
+  EXPECT_TRUE(st.ok());
+  // C = A*B with all entries 0.25 summed over k.
+  EXPECT_NEAR(c[0], 0.25f * k, 1e-3);
+}
+
+TEST(OnlineTune, PersistMergeKeepsConcurrentWriterRecords) {
+  const std::string path = "/tmp/autogemm_online_tune_merge_test.txt";
+  std::remove(path.c_str());
+  // A "concurrent campaign" wrote a record for a different shape first.
+  TuningRecords external;
+  Candidate foreign{8, 8, 8, LoopOrder::kNKM, kernels::Packing::kOnline};
+  foreign.backend = backend::BackendId::kNeon;
+  external.add({128, 128, 128}, foreign, 123.0);
+  ASSERT_TRUE(external.save_file(path).ok());
+
+  Context ctx(serial_ctx());
+  const int m = 48, n = 40, k = 32;
+  OnlineTunerOptions opts = promote_opts(ctx, m, n, k);
+  opts.records_path = path;
+  OnlineTuner tuner(ctx, fixed_feed(m, n, k), opts);
+  EXPECT_TRUE(tuner.run_cycle());
+  EXPECT_EQ(tuner.stats().persisted, 1u);
+  EXPECT_EQ(tuner.stats().persist_failures, 0u);
+
+  // The file now holds the union: the promotion AND the foreign record.
+  TuningRecords loaded;
+  ASSERT_TRUE(loaded.load_file(path).ok());
+  EXPECT_TRUE(loaded.lookup({128, 128, 128}).has_value());
+  EXPECT_TRUE(loaded.lookup({m, n, k}, ctx.backend_id()).has_value());
+  // Round trip: a fresh context over the file resolves the shape exact.
+  ContextOptions copts = serial_ctx();
+  copts.records_path = path;
+  Context ctx2(copts);
+  (void)ctx2.plan_for(m, n, k);
+  EXPECT_EQ(ctx2.stats().resolved_exact, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(OnlineTune, PersistFailureCountedNotFatal) {
+  const std::string path = "/tmp/autogemm_online_tune_persistfail_test.txt";
+  std::remove(path.c_str());
+  Context ctx(serial_ctx());
+  const int m = 56, n = 48, k = 24;
+  OnlineTunerOptions opts = promote_opts(ctx, m, n, k);
+  opts.records_path = path;
+  OnlineTuner tuner(ctx, fixed_feed(m, n, k), opts);
+  failpoint::arm("records.save_fail", 1);
+  EXPECT_TRUE(tuner.run_cycle());  // promotion itself still succeeds
+  failpoint::disarm_all();
+  EXPECT_EQ(tuner.stats().promotions, 1u);
+  EXPECT_EQ(tuner.stats().persist_failures, 1u);
+  EXPECT_EQ(tuner.stats().persisted, 0u);
+  // In-memory publication is unaffected by the failed persist.
+  EXPECT_TRUE(ctx.has_exact_record(m, n, k));
+  std::remove(path.c_str());
+}
+
+TEST(OnlineTune, BackgroundLoopRunsPausesAndStops) {
+  Context ctx(serial_ctx());
+  OnlineTunerOptions opts;
+  opts.cycle_interval_ns = 1'000'000;  // 1 ms
+  OnlineTuner tuner(ctx, [] { return std::vector<HotShape>{}; }, opts);
+  const std::uint64_t deadline = common::now_ns() + 5'000'000'000ull;
+  while (tuner.stats().cycles < 2 && common::now_ns() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_GE(tuner.stats().cycles, 2u) << "background loop never cycled";
+  tuner.pause();
+  EXPECT_TRUE(tuner.paused());
+  const std::uint64_t parked = tuner.stats().cycles;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(tuner.stats().cycles, parked) << "paused loop kept cycling";
+  tuner.resume();
+  EXPECT_FALSE(tuner.paused());
+  tuner.stop();
+  tuner.stop();  // idempotent
+}
+
+}  // namespace
+}  // namespace autogemm::tune

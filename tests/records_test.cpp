@@ -341,5 +341,110 @@ TEST(Records, ConfigFromCandidateCarriesBackend) {
             backend::BackendId::kSveSim);
 }
 
+TEST(Records, MergeFromKeepsPerKeyMinimum) {
+  TuningRecords a, b;
+  a.add({8, 8, 8}, make_candidate(4), 500.0);
+  a.add({16, 16, 16}, make_candidate(8), 100.0);
+  b.add({8, 8, 8}, make_candidate(2), 400.0);     // better: wins the slot
+  b.add({16, 16, 16}, make_candidate(64), 150.0);  // worse: ignored
+  b.add({32, 32, 32}, make_candidate(16), 50.0);   // new shape: unioned
+  a.merge_from(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.lookup({8, 8, 8})->mc, 2);
+  EXPECT_EQ(a.cost({8, 8, 8}).value(), 400.0);
+  EXPECT_EQ(a.lookup({16, 16, 16})->mc, 8);
+  EXPECT_EQ(a.lookup({32, 32, 32})->mc, 16);
+}
+
+TEST(Records, SaveFileMergedTwoWritersUnion) {
+  // The blind-overwrite regression: two writers sharing one records file
+  // (campaign + online tuner) used to last-write-win the whole table.
+  // save_file_merged folds the on-disk table in first, per-slot min cost.
+  const std::string path = "/tmp/autogemm_records_two_writer_test.txt";
+  std::remove(path.c_str());
+  TuningRecords writer_a;
+  writer_a.add({8, 8, 8}, make_candidate(4), 500.0);
+  writer_a.add({16, 16, 16}, make_candidate(8), 100.0);
+  ASSERT_TRUE(writer_a.save_file(path).ok());
+
+  TuningRecords writer_b;
+  writer_b.add({8, 8, 8}, make_candidate(2), 400.0);    // beats A's
+  writer_b.add({32, 32, 32}, make_candidate(16), 50.0);  // A never saw it
+  ASSERT_TRUE(writer_b.save_file_merged(path).ok());
+
+  TuningRecords loaded;
+  ASSERT_TRUE(loaded.load_file(path).ok());
+  EXPECT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded.lookup({8, 8, 8})->mc, 2);
+  EXPECT_EQ(loaded.lookup({16, 16, 16})->mc, 8);  // A's record survived
+  EXPECT_EQ(loaded.lookup({32, 32, 32})->mc, 16);
+
+  // A third writer with a *worse* record for a contested slot loses it.
+  TuningRecords writer_c;
+  writer_c.add({8, 8, 8}, make_candidate(64), 450.0);
+  ASSERT_TRUE(writer_c.save_file_merged(path).ok());
+  TuningRecords reloaded;
+  ASSERT_TRUE(reloaded.load_file(path).ok());
+  EXPECT_EQ(reloaded.lookup({8, 8, 8})->mc, 2);
+  EXPECT_EQ(reloaded.cost({8, 8, 8}).value(), 400.0);
+  std::remove(path.c_str());
+}
+
+TEST(Records, SaveFileMergedCreatesMissingFile) {
+  const std::string path = "/tmp/autogemm_records_merge_fresh_test.txt";
+  std::remove(path.c_str());
+  TuningRecords records;
+  records.add({4, 5, 6}, make_candidate(2), 42.0);
+  ASSERT_TRUE(records.save_file_merged(path).ok());
+  TuningRecords loaded;
+  ASSERT_TRUE(loaded.load_file(path).ok());
+  EXPECT_EQ(loaded.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Records, SaveFileMergedRefusesUnknownVersion) {
+  // An unknown on-disk version means the file belongs to a future build:
+  // merging would silently destroy records this build cannot parse, so
+  // the save refuses and leaves the file byte-identical.
+  const std::string path = "/tmp/autogemm_records_merge_version_test.txt";
+  const std::string future = "autogemm-records v9\n64 64 64 16 32 16 2 1 10.0\n";
+  {
+    std::ofstream out(path);
+    out << future;
+  }
+  TuningRecords records;
+  records.add({4, 5, 6}, make_candidate(2), 42.0);
+  EXPECT_EQ(records.save_file_merged(path).code(),
+            StatusCode::kInvalidArgument);
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), future);
+  std::remove(path.c_str());
+}
+
+TEST(Records, SaveFileMergedSalvagesCorruptLines) {
+  // A partially corrupt v1 file merges its *valid* records (kDataLoss is
+  // a salvage, not a refusal — matching the tolerant loader's posture).
+  const std::string path = "/tmp/autogemm_records_merge_salvage_test.txt";
+  std::remove(path.c_str());
+  TuningRecords good;
+  good.add({64, 64, 64}, make_candidate(16), 10.0);
+  ASSERT_TRUE(good.save_file(path).ok());
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "garbage line that is not a record\n";
+  }
+  TuningRecords records;
+  records.add({4, 5, 6}, make_candidate(2), 42.0);
+  ASSERT_TRUE(records.save_file_merged(path).ok());
+  TuningRecords loaded;
+  ASSERT_TRUE(loaded.load_file(path).ok());  // rewrite dropped the garbage
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.lookup({64, 64, 64})->mc, 16);
+  EXPECT_EQ(loaded.lookup({4, 5, 6})->mc, 2);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace autogemm::tune

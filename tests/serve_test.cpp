@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -837,6 +839,184 @@ TEST(Serve, RestartBudgetExhaustionDegradesToInline) {
   EXPECT_EQ(st.dispatcher_crashes, 1u);
   EXPECT_EQ(st.dispatcher_restarts, 0u);
   EXPECT_TRUE(st.accounting_clean());
+}
+
+/// Rigged deterministic tuner cost for serve-level tests: the shape's
+/// current (incumbent) config prices 2.0, everything else 1.0, so a
+/// search always promotes, independent of host noise.
+std::function<double(const tune::Candidate&, int, int, int)> rig_promote(
+    Context& ctx, int m, int n, int k) {
+  const GemmConfig inc = ctx.plan_for(m, n, k)->config();
+  return [inc](const tune::Candidate& c, int, int, int) {
+    const bool is_inc = c.mc == inc.mc && c.nc == inc.nc && c.kc == inc.kc &&
+                        c.loop_order == inc.loop_order &&
+                        c.packing == inc.packing;
+    return is_inc ? 2.0 : 1.0;
+  };
+}
+
+TEST(Serve, HotShapesRankByAdmittedRequests) {
+  Engine engine(test_ctx());
+  std::vector<std::unique_ptr<Problem>> ps;
+  std::vector<std::future<Status>> fs;
+  for (int i = 0; i < 3; ++i) {  // 24x16x8 admitted three times
+    ps.push_back(std::make_unique<Problem>(24, 16, 8, 500 + i));
+    fs.push_back(engine.submit(ps.back()->request()));
+  }
+  ps.push_back(std::make_unique<Problem>(8, 8, 8, 510));  // once
+  fs.push_back(engine.submit(ps.back()->request()));
+  for (auto& f : fs) EXPECT_TRUE(f.get().ok());
+
+  const std::vector<tune::HotShape> hot = engine.hot_shapes();
+  ASSERT_EQ(hot.size(), 2u);
+  EXPECT_EQ(hot[0].m, 24);
+  EXPECT_EQ(hot[0].n, 16);
+  EXPECT_EQ(hot[0].k, 8);
+  EXPECT_EQ(hot[0].requests, 3u);
+  EXPECT_EQ(hot[1].requests, 1u);
+  EXPECT_EQ(engine.hot_shapes(1).size(), 1u);  // limit truncates
+  engine.shutdown();
+  EXPECT_TRUE(engine.stats().accounting_clean());
+}
+
+TEST(Serve, TunerManualCyclePromotesFromRequestAccounting) {
+  // End-to-end through the engine's own feed: admitted-request accounting
+  // ranks the hot shape, a manual tuner cycle searches it, and the
+  // promoted record serves the *next* request through the exact rung —
+  // all deterministic (tuner thread parked, rigged cost).
+  ContextOptions copts;
+  copts.threads = 1;
+  Context ctx(copts);
+  const int m = 40, n = 36, k = 28;
+  EngineOptions opts;
+  opts.enable_online_tuner = true;
+  opts.tuner.start_paused = true;
+  opts.tuner.min_requests = 4;
+  opts.tuner.cost_override = rig_promote(ctx, m, n, k);
+  Engine engine(ctx, opts);
+  ASSERT_NE(engine.online_tuner(), nullptr);
+
+  std::vector<std::unique_ptr<Problem>> ps;
+  std::vector<std::future<Status>> fs;
+  for (int i = 0; i < 8; ++i) {
+    ps.push_back(std::make_unique<Problem>(m, n, k, 600 + i));
+    fs.push_back(engine.submit(ps.back()->request()));
+  }
+  for (auto& f : fs) EXPECT_TRUE(f.get().ok());
+  for (auto& p : ps) EXPECT_TRUE(p->c_matches_ref());
+
+  EXPECT_TRUE(engine.online_tuner()->run_cycle());
+  EXPECT_EQ(engine.online_tuner()->stats().promotions, 1u);
+  EXPECT_TRUE(ctx.has_exact_record(m, n, k));
+
+  // Traffic after the promotion executes the searched config, correctly.
+  const std::uint64_t exact_before = ctx.stats().resolved_exact;
+  Problem after(m, n, k, 700);
+  EXPECT_TRUE(engine.submit(after.request()).get().ok());
+  EXPECT_TRUE(after.c_matches_ref());
+  EXPECT_EQ(ctx.stats().resolved_exact, exact_before + 1);
+
+  // A second cycle is a no-op: the shape now resolves exact.
+  EXPECT_FALSE(engine.online_tuner()->run_cycle());
+  EXPECT_EQ(engine.online_tuner()->stats().promotions, 1u);
+
+  engine.shutdown();
+  EXPECT_TRUE(engine.stats().accounting_clean());
+}
+
+TEST(Serve, BackgroundTunerPromotesWhileServing) {
+  // The live loop: the tuner thread discovers the hot shape and promotes
+  // on its own while requests keep flowing and resolving.
+  ContextOptions copts;
+  copts.threads = 1;
+  Context ctx(copts);
+  const int m = 44, n = 28, k = 20;
+  EngineOptions opts;
+  opts.enable_online_tuner = true;
+  opts.tuner.cycle_interval_ns = 1'000'000;  // 1 ms
+  opts.tuner.min_requests = 4;
+  opts.tuner.cost_override = rig_promote(ctx, m, n, k);
+  Engine engine(ctx, opts);
+
+  const std::uint64_t deadline = common::now_ns() + 10'000'000'000ull;
+  std::uint64_t promotions = 0;
+  int batch = 0;
+  while (promotions == 0 && common::now_ns() < deadline) {
+    std::vector<std::unique_ptr<Problem>> ps;
+    std::vector<std::future<Status>> fs;
+    for (int i = 0; i < 4; ++i) {
+      ps.push_back(std::make_unique<Problem>(m, n, k, 800 + 4 * batch + i));
+      fs.push_back(engine.submit(ps.back()->request()));
+    }
+    ++batch;
+    for (auto& f : fs) EXPECT_TRUE(f.get().ok());
+    for (auto& p : ps) EXPECT_TRUE(p->c_matches_ref());
+    promotions = engine.online_tuner()->stats().promotions;
+  }
+  EXPECT_GE(promotions, 1u) << "background tuner never promoted";
+  EXPECT_TRUE(ctx.has_exact_record(m, n, k));
+  engine.shutdown();
+  EXPECT_TRUE(engine.stats().accounting_clean());
+}
+
+TEST(Serve, DrainPausesOnlineTuner) {
+  ContextOptions copts;
+  copts.threads = 1;
+  Context ctx(copts);
+  EngineOptions opts;
+  opts.enable_online_tuner = true;
+  opts.tuner.cycle_interval_ns = 1'000'000;
+  Engine engine(ctx, opts);
+  Problem p(16, 12, 8, 900);
+  EXPECT_TRUE(engine.submit(p.request()).get().ok());
+  const Status drained = engine.drain();
+  EXPECT_TRUE(drained.ok()) << drained.message();
+  EXPECT_TRUE(engine.online_tuner()->paused());
+  EXPECT_TRUE(engine.stats().accounting_clean());
+}
+
+TEST(Serve, TunerPromotionUnderFailpointsKeepsFuturesResolving) {
+  // Chaos leg: the persist path fails (records.save_fail) and scratch
+  // allocation misbehaves (alloc.aligned_buffer) while the tuner promotes
+  // — every future must still resolve, accounting must stay clean, and
+  // the persist failure must be counted, not fatal.
+  const std::string path = "/tmp/autogemm_serve_tuner_failpoint_test.txt";
+  std::remove(path.c_str());
+  ContextOptions copts;
+  copts.threads = 1;
+  Context ctx(copts);
+  const int m = 36, n = 44, k = 24;
+  EngineOptions opts;
+  opts.enable_online_tuner = true;
+  opts.tuner.start_paused = true;
+  opts.tuner.min_requests = 4;
+  opts.tuner.records_path = path;
+  opts.tuner.cost_override = rig_promote(ctx, m, n, k);
+  Engine engine(ctx, opts);
+
+  // Operands are built *before* arming: the failpoints target the serving
+  // and tuning paths, not the test fixture's own matrix allocations.
+  std::vector<std::unique_ptr<Problem>> ps;
+  for (int i = 0; i < 8; ++i)
+    ps.push_back(std::make_unique<Problem>(m, n, k, 1000 + i));
+  failpoint::arm("records.save_fail", 1);
+  failpoint::arm("alloc.aligned_buffer", 3);
+  std::vector<std::future<Status>> fs;
+  for (auto& p : ps) fs.push_back(engine.submit(p->request()));
+  // Every future reaches a terminal state — ok or a clean error, never a
+  // hang — whatever the failpoints did to the allocation path.
+  for (auto& f : fs) (void)f.get();
+
+  EXPECT_TRUE(engine.online_tuner()->run_cycle());
+  failpoint::disarm_all();
+  const tune::OnlineTunerStats ts = engine.online_tuner()->stats();
+  EXPECT_EQ(ts.promotions, 1u);
+  EXPECT_EQ(ts.persist_failures, 1u);
+  EXPECT_TRUE(ctx.has_exact_record(m, n, k));
+
+  engine.shutdown();
+  EXPECT_TRUE(engine.stats().accounting_clean());
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -78,12 +78,18 @@ int usage() {
       "                                          the phase table)\n"
       "  serve-replay TRACE [--capacity N] [--max-batch N] [--window-us U]\n"
       "               [--deadline-us U] [--threads T] [--repeat R] [--verify]\n"
-      "               [--drain-timeout-us U]\n"
+      "               [--drain-timeout-us U] [--tune] [--records FILE]\n"
       "                                          replay a shape trace (lines\n"
       "                                          of `M N K [count] [lane]`)\n"
       "                                          against the serve engine;\n"
       "                                          --drain-timeout-us bounds the\n"
-      "                                          graceful drain\n"
+      "                                          graceful drain; --tune runs\n"
+      "                                          an online-tuner cycle over\n"
+      "                                          the replay's hot shapes\n"
+      "                                          (model-cost, deterministic),\n"
+      "                                          --records FILE loads prior\n"
+      "                                          promotions and persists new\n"
+      "                                          ones (merge-on-save)\n"
       "  chaos [--seed S] [--seeds N] [--submitters T] [--requests R]\n"
       "                                          seeded fault-injection runs\n"
       "                                          against the serve engine; any\n"
@@ -328,6 +334,8 @@ int cmd_serve_replay(int argc, char** argv) {
   const bool verify = has_flag(argc, argv, "--verify");
   const long drain_timeout_us =
       std::atol(flag_value(argc, argv, "--drain-timeout-us", "0"));
+  const bool tune_enabled = has_flag(argc, argv, "--tune");
+  const std::string records_file = flag_value(argc, argv, "--records", "");
 
   struct Line {
     int m, n, k, count;
@@ -382,11 +390,34 @@ int cmd_serve_replay(int argc, char** argv) {
 
   ContextOptions copts;
   copts.threads = threads;
+  // A prior run's persisted promotions feed this run's context: shapes
+  // tuned last time resolve through the exact rung from request one.
+  bool records_loaded = false;
+  if (!records_file.empty() && std::ifstream(records_file).good()) {
+    copts.records_path = records_file;
+    records_loaded = true;
+  }
   Context ctx(copts);
   serve::EngineOptions eopts;
   eopts.queue_capacity = capacity;
   eopts.max_batch = max_batch;
   eopts.max_batch_delay_ns = static_cast<std::uint64_t>(window_us) * 1000;
+  if (tune_enabled) {
+    eopts.enable_online_tuner = true;
+    // Deterministic for CI: promotion decided by the analytic model, not
+    // host wall-clock — the same trace promotes the same configs
+    // everywhere. The tuner thread stays parked; a manual cycle below
+    // runs after the replay was submitted (publication races live
+    // traffic, which is the point).
+    eopts.tuner.start_paused = true;
+    eopts.tuner.min_requests = 2;
+    eopts.tuner.top_k = 8;
+    eopts.tuner.records_path = records_file;
+    eopts.tuner.cost_override = [](const tune::Candidate& c, int m, int n,
+                                   int k) {
+      return tune::model_cost_seconds(c, m, n, k);
+    };
+  }
   serve::Engine engine(ctx, eopts);
 
   struct Submitted {
@@ -418,6 +449,14 @@ int cmd_serve_replay(int argc, char** argv) {
       }
     }
   }
+  // With tuning on, run one cycle now — while the replay's futures are
+  // still in flight, so promotion demonstrably does not block traffic.
+  tune::OnlineTunerStats tuner_stats;
+  if (tune_enabled && engine.online_tuner() != nullptr) {
+    engine.online_tuner()->run_cycle();
+    tuner_stats = engine.online_tuner()->stats();
+  }
+
   // Graceful lifecycle: a bounded drain first (rejecting new work while
   // finishing the admitted backlog), then shutdown() to guarantee Stopped
   // even if the bound expired.
@@ -484,6 +523,17 @@ int cmd_serve_replay(int argc, char** argv) {
   std::printf("queue_latency_us: interactive_p50=%.1f interactive_p99=%.1f "
               "bulk_p50=%.1f bulk_p99=%.1f\n",
               p50_i, p99_i, p50_b, p99_b);
+  if (tune_enabled) {
+    const ContextStats cs = ctx.stats();
+    std::printf("tuning: searches=%llu promotions=%llu demotions=%llu "
+                "records_loaded=%d resolved_exact=%llu persisted=%llu\n",
+                static_cast<unsigned long long>(tuner_stats.searches),
+                static_cast<unsigned long long>(tuner_stats.promotions),
+                static_cast<unsigned long long>(tuner_stats.demotions),
+                records_loaded ? 1 : 0,
+                static_cast<unsigned long long>(cs.resolved_exact),
+                static_cast<unsigned long long>(tuner_stats.persisted));
+  }
   const bool clean = st.accounting_clean() && unready == 0 &&
                      st.submitted == requests.size();
   std::printf("overload_events=%llu accounting=%s\n",

@@ -129,6 +129,33 @@ for config in "${configs[@]}"; do
       grep -q 'speedup (batch=8 vs single-dispatch)' build/serve_bench.txt
       grep -q 'drain: backlog=' build/serve_bench.txt
       cp build/bench_serve.json BENCH_serve.json
+      echo "==== [release] online-tuning smoke: serve-replay --tune ===="
+      # Repeated-irregular-shape trace with the online tuner (model-cost,
+      # deterministic): pass one must promote at least one searched config
+      # while the replay's futures are in flight and persist it; pass two
+      # must load the records file and resolve the promoted shapes through
+      # the exact rung with no new promotions — the records round trip.
+      rm -f build/online_tune_records.txt
+      ./build/tools/autogemm serve-replay tools/traces/online_tune.trace \
+        --verify --tune --records build/online_tune_records.txt \
+        | tee build/online_tune_first.txt
+      grep -q 'accounting=clean' build/online_tune_first.txt
+      grep -Eq 'tuning: .*promotions=[1-9]' build/online_tune_first.txt
+      grep -Eq 'tuning: .*persisted=[1-9]' build/online_tune_first.txt
+      ./build/tools/autogemm serve-replay tools/traces/online_tune.trace \
+        --verify --tune --records build/online_tune_records.txt \
+        | tee build/online_tune_second.txt
+      grep -q 'accounting=clean' build/online_tune_second.txt
+      grep -Eq 'tuning: .*records_loaded=1' build/online_tune_second.txt
+      grep -Eq 'tuning: .*resolved_exact=[1-9]' build/online_tune_second.txt
+      echo "==== [release] online tuning bench ===="
+      # Real wall-clock tuning beside live traffic; the JSON carries
+      # baseline/concurrent/tuned p50+p99 and the dispatcher-impact ratio.
+      ./build/bench/bench_online_tune 120 100 \
+        --json-out build/bench_online_tune.json \
+        | tee build/online_tune_bench.txt
+      grep -q 'concurrent p99 / baseline p99' build/online_tune_bench.txt
+      cp build/bench_online_tune.json BENCH_online_tune.json
       echo "==== [release] backend matrix (AUTOGEMM_BACKEND=neon|sve_sim) ===="
       # The tier-1 suite must hold under every registered backend: kAuto
       # contexts resolve through the env override, so this exercises the
