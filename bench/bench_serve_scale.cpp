@@ -1,0 +1,208 @@
+// Sharded serving scale-out bench: goodput and tail latency vs offered
+// load, 1 shard vs 2 (BENCH_serve_scale.json — ROADMAP item 4).
+//
+// The open-loop generator (serve/load_gen) offers the same fixed-rate
+// arrival schedule to a 1-shard and a 2-shard ShardedEngine and measures
+// what each configuration actually completes. The regime that separates
+// them is *moderate overload with under-filled batches*: each dispatcher
+// holds an under-filled same-shape group open for max_batch_delay, so a
+// single dispatcher serializes those windows and its service rate is
+// capped near (group size)/(window). N shards run N dispatchers whose
+// window waits overlap in wall-clock — the fleet's ceiling scales with
+// the shard count even on a single-core host, because the waits are
+// sleeps, not compute. (At extreme overload the per-shape backlog fills
+// every batch instantly and the window stops binding, so the sweep spans
+// underload through deep overload to show the whole curve.)
+//
+// Per point the JSON records offered/achieved/goodput, OK-latency
+// p50/p99, per-lane shed/displaced/rejected counts, router steals, and
+// the accounting verdict for the aggregate AND every shard. The headline
+// `scale acceptance` line (CI-gating) requires the 2-shard fleet to
+// complete strictly more goodput than 1 shard at the same offered load on
+// every overloaded point.
+//
+//   build/bench/bench_serve_scale [seconds-per-point] [--json-out F]
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "serve/load_gen.hpp"
+#include "serve/router.hpp"
+
+namespace {
+
+using namespace autogemm;
+
+// The offered-load sweep (requests/second). The middle points sit between
+// the 1-shard and 2-shard window-bound ceilings — the regime the
+// acceptance criterion reads.
+const double kOfferedSweep[] = {2'000, 6'000, 12'000, 24'000};
+// Points at or above this offered rate overload a single shard; the
+// acceptance comparison runs on these.
+constexpr double kOverloadFrom = 10'000;
+
+// Eight distinct small shapes: enough spread that the FNV router splits
+// them across shards and per-shape backlogs stay below max_batch (keeping
+// the batch window binding under overload).
+std::vector<serve::LoadShape> shape_mix() {
+  std::vector<serve::LoadShape> shapes;
+  for (int i = 0; i < 8; ++i)
+    shapes.push_back({6 + 2 * i, 8 + ((i * 3) % 5), 8 + (i % 4), 1.0});
+  return shapes;
+}
+
+struct Point {
+  std::size_t shards = 0;
+  serve::LoadReport rep;
+  std::uint64_t steals = 0;
+  std::uint64_t displaced = 0;
+  bool aggregate_clean = false;
+  bool shards_clean = false;
+};
+
+Point run_point(std::size_t shards, double offered, double seconds) {
+  serve::ShardedEngineOptions so;
+  so.shards = shards;
+  so.context.threads = 1;
+  so.worker.queue_capacity = 64;   // per shard
+  so.worker.max_batch = 16;
+  so.worker.max_batch_delay_ns = 2'000'000;  // the window that binds
+  auto made = serve::ShardedEngine::create(so);
+  if (!made.ok()) {
+    std::fprintf(stderr, "engine construction failed: %s\n",
+                 made.status().to_string().c_str());
+    std::exit(1);
+  }
+  std::unique_ptr<serve::ShardedEngine> se = std::move(made).value();
+
+  serve::LoadGenOptions lo;
+  lo.offered_rps = offered;
+  lo.requests = static_cast<std::size_t>(offered * seconds);
+  lo.arrivals = serve::ArrivalProcess::kFixedRate;  // same schedule for
+                                                    // every configuration
+  lo.seed = 42;
+
+  Point pt;
+  pt.shards = shards;
+  pt.rep = serve::run_open_loop(
+      [&](const serve::GemmRequest& req, std::function<void(Status)> done) {
+        se->submit(req, std::move(done));
+      },
+      shape_mix(), lo);
+  (void)se->drain();
+  const serve::ShardedStats ss = se->stats();
+  pt.steals = ss.steals;
+  pt.displaced = ss.aggregate.displaced;
+  pt.aggregate_clean = ss.aggregate.accounting_clean();
+  pt.shards_clean = true;
+  for (const serve::ServerStats& s : ss.shards)
+    if (!s.accounting_clean()) pt.shards_clean = false;
+  return pt;
+}
+
+std::string point_json(const Point& p) {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"shards\": %zu, \"offered_rps\": %.0f, \"achieved_rps\": %.1f, "
+      "\"goodput_rps\": %.1f, \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+      "\"ok\": %llu, \"shed\": %llu, \"displaced\": %llu, "
+      "\"rejected_interactive\": %llu, \"rejected_bulk\": %llu, "
+      "\"shed_interactive\": %llu, \"shed_bulk\": %llu, "
+      "\"steals\": %llu, \"unresolved\": %llu, "
+      "\"accounting_clean_aggregate\": %s, "
+      "\"accounting_clean_all_shards\": %s}",
+      p.shards, p.rep.offered_rps, p.rep.achieved_rps, p.rep.goodput_rps,
+      p.rep.p50_ms, p.rep.p99_ms,
+      static_cast<unsigned long long>(p.rep.total_ok()),
+      static_cast<unsigned long long>(p.rep.total_shed()),
+      static_cast<unsigned long long>(p.displaced),
+      static_cast<unsigned long long>(p.rep.interactive.rejected),
+      static_cast<unsigned long long>(p.rep.bulk.rejected),
+      static_cast<unsigned long long>(p.rep.interactive.shed),
+      static_cast<unsigned long long>(p.rep.bulk.shed),
+      static_cast<unsigned long long>(p.steals),
+      static_cast<unsigned long long>(p.rep.unresolved),
+      p.aggregate_clean ? "true" : "false",
+      p.shards_clean ? "true" : "false");
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv, 0, 1);
+  const double seconds = [&] {
+    const std::string s = args.pos(0, "0.6");
+    const double v = std::atof(s.c_str());
+    return v > 0 ? v : 0.6;
+  }();
+
+  bench::header("serve scale-out: goodput vs offered load, 1 vs 2 shards");
+  std::printf("open-loop fixed-rate arrivals, %.2fs per point, 8-shape mix, "
+              "per-shard capacity 64, batch window 2ms\n\n", seconds);
+
+  std::vector<Point> points;
+  for (std::size_t shards : {std::size_t{1}, std::size_t{2}}) {
+    bench::subheader("shards=" + std::to_string(shards));
+    for (double offered : kOfferedSweep) {
+      Point p = run_point(shards, offered, seconds);
+      points.push_back(p);
+      std::printf(
+          "point shards=%zu offered=%.0f/s goodput=%.0f/s p50=%.3fms "
+          "p99=%.3fms ok=%llu shed=%llu steals=%llu accounting=%s\n",
+          p.shards, offered, p.rep.goodput_rps, p.rep.p50_ms, p.rep.p99_ms,
+          static_cast<unsigned long long>(p.rep.total_ok()),
+          static_cast<unsigned long long>(p.rep.total_shed()),
+          static_cast<unsigned long long>(p.steals),
+          p.aggregate_clean && p.shards_clean && p.rep.unresolved == 0
+              ? "clean"
+              : "BROKEN");
+    }
+  }
+
+  // --- acceptance: strictly more goodput from 2 shards at the same
+  // offered load, on every overloaded point, with clean books everywhere.
+  bool pass = true;
+  double min_ratio = 1e30;
+  for (const Point& p : points) {
+    if (!p.aggregate_clean || !p.shards_clean || p.rep.unresolved != 0)
+      pass = false;
+  }
+  std::printf("\n");
+  for (double offered : kOfferedSweep) {
+    if (offered < kOverloadFrom) continue;
+    const Point* one = nullptr;
+    const Point* two = nullptr;
+    for (const Point& p : points) {
+      if (p.rep.offered_rps != offered) continue;
+      (p.shards == 1 ? one : two) = &p;
+    }
+    const double ratio = two->rep.goodput_rps / one->rep.goodput_rps;
+    min_ratio = std::min(min_ratio, ratio);
+    if (two->rep.goodput_rps <= one->rep.goodput_rps) pass = false;
+    std::printf("overload point offered=%.0f/s: goodput 2-shard %.0f/s vs "
+                "1-shard %.0f/s (%.2fx)\n",
+                offered, two->rep.goodput_rps, one->rep.goodput_rps, ratio);
+  }
+  std::printf("scale acceptance (2-shard goodput strictly above 1-shard at "
+              "same offered load, all books clean): min ratio %.2fx -- %s\n",
+              min_ratio, pass ? "PASS" : "FAIL");
+
+  std::string json = "{\"bench\": \"serve_scale\", \"seconds_per_point\": " +
+                     std::to_string(seconds) + ", \"points\": [";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (i != 0) json += ", ";
+    json += point_json(points[i]);
+  }
+  json += "], \"acceptance\": {\"min_goodput_ratio\": " +
+          std::to_string(min_ratio) +
+          ", \"pass\": " + (pass ? std::string("true") : "false") + "}}";
+  bench::write_json_file(
+      !args.json_out.empty() ? args.json_out : "bench_serve_scale.json",
+      bench::with_metrics(json));
+  return pass ? 0 : 1;
+}

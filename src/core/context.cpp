@@ -513,7 +513,8 @@ common::ThreadPool* Context::effective_pool() {
   if (opts_.threads == 1) return nullptr;
   if (pool_degraded_.load(std::memory_order_relaxed)) return nullptr;
   std::call_once(pool_once_, [this] {
-    auto p = std::make_unique<common::ThreadPool>(opts_.threads);
+    auto p =
+        std::make_unique<common::ThreadPool>(opts_.threads, opts_.pool_pin_cpus);
     if (p->spawn_failures() > 0) {
       record_event(HealthEvent::Kind::kPoolDegraded,
                    "thread pool spawned " + std::to_string(p->size()) + " of " +

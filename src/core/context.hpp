@@ -106,6 +106,11 @@ struct ContextOptions {
   /// Worker threads for the owned pool: 0 = hardware_concurrency,
   /// 1 = serial (no pool is created).
   unsigned threads = 0;
+  /// Best-effort CPU affinity for the owned pool's workers (empty = none).
+  /// The sharded serving layer assigns each shard's context a core slice
+  /// from the hw:: topology model so one shard's packing/kernel work stays
+  /// inside its NUMA/CMG domain; correctness never depends on it.
+  std::vector<int> pool_pin_cpus;
   /// Optional tuned-parameter table (see tune/records.hpp); empty = none.
   std::string records_path;
   /// Parallel scheduling policy for pooled execution. kAuto defers to the

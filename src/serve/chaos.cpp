@@ -1,10 +1,12 @@
 #include "serve/chaos.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <future>
+#include <memory>
 #include <thread>
 #include <utility>
 
@@ -12,6 +14,7 @@
 #include "common/matrix.hpp"
 #include "common/timer.hpp"
 #include "core/context.hpp"
+#include "serve/router.hpp"
 
 namespace autogemm::serve {
 
@@ -116,13 +119,15 @@ bool c_is_untouched(const common::Matrix& c) {
 }  // namespace
 
 std::string ChaosReport::summary() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(
       buf, sizeof(buf),
-      "seed=%llu resolved=%llu ok=%llu transient=%llu expired=%llu "
-      "errors=%llu faults_fired=%llu restarts=%llu crashes=%llu "
-      "stalls=%llu breaker_opens=%llu inline=%d violations=%zu",
-      static_cast<unsigned long long>(seed),
+      "seed=%llu shards=%d steals=%llu resolved=%llu ok=%llu "
+      "transient=%llu expired=%llu errors=%llu faults_fired=%llu "
+      "restarts=%llu crashes=%llu stalls=%llu breaker_opens=%llu "
+      "inline=%d violations=%zu",
+      static_cast<unsigned long long>(seed), shards,
+      static_cast<unsigned long long>(steals),
       static_cast<unsigned long long>(resolved),
       static_cast<unsigned long long>(ok),
       static_cast<unsigned long long>(transient),
@@ -179,7 +184,6 @@ ChaosReport run_chaos(const ChaosOptions& opts) {
     // lower tier — correctness must survive that too.
     copts.watchdog.probe_max_steps = 64;
   }
-  Context ctx(copts);
 
   EngineOptions eopts;
   const std::size_t caps[] = {8, 16, 32};
@@ -198,7 +202,40 @@ ChaosReport run_chaos(const ChaosOptions& opts) {
   eopts.breaker_cooldown_ns = 2'000'000;
   const double retry_buckets[] = {0.0, 16.0, 64.0};
   eopts.retry_budget_tokens = retry_buckets[rng.below(3)];
-  Engine engine(ctx, eopts);
+
+  // Single-engine runs build a bare Engine; --shards N > 1 builds a
+  // ShardedEngine from the *same* seeded option draws (each worker gets
+  // the drawn EngineOptions, stealing at the router defaults), so a
+  // sharded seed stresses the same failure schedule through the router.
+  const int shard_count = std::max(1, opts.shards);
+  rep.shards = shard_count;
+  std::unique_ptr<Context> ctx;
+  std::unique_ptr<Engine> single;
+  std::unique_ptr<ShardedEngine> fleet;
+  if (shard_count > 1) {
+    ShardedEngineOptions sopts;
+    sopts.shards = static_cast<std::size_t>(shard_count);
+    sopts.context = copts;
+    sopts.worker = eopts;
+    auto made = ShardedEngine::create(sopts);
+    if (!made.ok()) {
+      rep.violations.push_back("sharded engine construction failed: " +
+                               made.status().to_string());
+      return rep;
+    }
+    fleet = std::move(made).value();
+  } else {
+    ctx = std::make_unique<Context>(copts);
+    single = std::make_unique<Engine>(*ctx, eopts);
+  }
+  const auto submit_future = [&](const GemmRequest& g) {
+    return fleet != nullptr ? fleet->submit(g) : single->submit(g);
+  };
+  const auto submit_retry = [&](const GemmRequest& g,
+                                const RetryPolicy& policy) {
+    return fleet != nullptr ? fleet->submit_with_retry(g, policy)
+                            : single->submit_with_retry(g, policy);
+  };
 
   // --- controller: seeded failpoint schedule until the workload ends ---
   std::atomic<bool> workload_done{false};
@@ -251,10 +288,10 @@ ChaosReport run_chaos(const ChaosOptions& opts) {
           policy.initial_backoff_ns = 50'000;
           policy.max_backoff_ns = 1'000'000;
           policy.seed = prng.next();
-          r.result = engine.submit_with_retry(g, policy);
+          r.result = submit_retry(g, policy);
           r.resolved = true;
         } else {
-          futures.emplace_back(i, engine.submit(g));
+          futures.emplace_back(i, submit_future(g));
         }
       }
       for (auto& [idx, fut] : futures) {
@@ -274,12 +311,32 @@ ChaosReport run_chaos(const ChaosOptions& opts) {
   rep.failpoint_hits = hits_total;
 
   // --- drain: the engine must reach Stopped whatever happened above ---
-  const Status drained = engine.drain(/*timeout_ns=*/10'000'000'000ull);
+  const Status drained = fleet != nullptr
+                             ? fleet->drain(/*timeout_ns=*/10'000'000'000ull)
+                             : single->drain(/*timeout_ns=*/10'000'000'000ull);
   if (!drained.ok())
     rep.violations.push_back("drain(10s) did not complete: " +
                              drained.to_string());
-  rep.degraded_inline = engine.inline_mode();
-  rep.stats = engine.stats();
+  if (fleet != nullptr) {
+    rep.degraded_inline = fleet->inline_shards() > 0;
+    const ShardedStats ss = fleet->stats();
+    rep.stats = ss.aggregate;
+    rep.steals = ss.steals;
+    for (std::size_t i = 0; i < ss.shards.size(); ++i)
+      if (!ss.shards[i].accounting_clean())
+        rep.violations.push_back(
+            "shard " + std::to_string(i) +
+            " accounting not clean after drain: submitted=" +
+            std::to_string(ss.shards[i].submitted) +
+            " admitted=" + std::to_string(ss.shards[i].admitted) +
+            " ok=" + std::to_string(ss.shards[i].completed_ok) +
+            " err=" + std::to_string(ss.shards[i].completed_error) +
+            " shed=" + std::to_string(ss.shards[i].shed) +
+            " expired=" + std::to_string(ss.shards[i].expired));
+  } else {
+    rep.degraded_inline = single->inline_mode();
+    rep.stats = single->stats();
+  }
   if (!rep.stats.accounting_clean())
     rep.violations.push_back(
         "accounting not clean after drain: submitted=" +

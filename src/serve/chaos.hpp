@@ -43,20 +43,29 @@ struct ChaosOptions {
   int submitters = 3;
   /// Requests issued by each submitter.
   int requests_per_submitter = 60;
+  /// Fleet size. 1 (default) hammers a bare Engine; > 1 hammers a
+  /// ShardedEngine (same seeded option draws per worker, stealing at the
+  /// router defaults) and additionally asserts the per-shard AND aggregate
+  /// accounting invariants after the drain.
+  int shards = 1;
   /// Print a per-run summary line to stdout.
   bool verbose = false;
 };
 
 struct ChaosReport {
   std::uint64_t seed = 0;
+  int shards = 1;              ///< fleet size the run exercised
+  std::uint64_t steals = 0;    ///< router diversions (sharded runs only)
   ServerStats stats;           ///< engine stats after the final drain
+                               ///< (aggregate across shards when sharded)
   std::uint64_t resolved = 0;  ///< futures/retry calls that completed
   std::uint64_t ok = 0;
   std::uint64_t transient = 0;  ///< kUnavailable / kResourceExhausted
   std::uint64_t expired = 0;    ///< kDeadlineExceeded
   std::uint64_t errors = 0;     ///< kInternal
   std::uint64_t failpoint_hits = 0;  ///< injected faults that actually fired
-  bool degraded_inline = false;      ///< engine ended in inline mode
+  bool degraded_inline = false;  ///< engine (any shard, when sharded) ended
+                                 ///< in inline mode
   /// Invariant violations, human-readable. Empty = clean run.
   std::vector<std::string> violations;
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/failpoint.hpp"
+#include "common/threadpool.hpp"
 #include "common/timer.hpp"
 #include "core/batched.hpp"
 #include "obs/metrics.hpp"
@@ -114,6 +115,54 @@ ServeObs& serve_obs() {
   return h;
 }
 
+}  // namespace
+
+/// Shard-labeled twins of the key serve metrics. Resolved once per shard
+/// index and cached process-wide: two engines serving the same shard label
+/// (one fleet torn down, another built) share handles, mirroring how the
+/// registry itself deduplicates by name.
+struct ShardObs {
+  obs::Counter* submitted;
+  obs::Counter* admitted;
+  obs::Counter* rejected;
+  obs::Counter* shed;
+  obs::Counter* displaced;
+  obs::Counter* expired;
+  obs::Counter* completed_ok;
+  obs::Counter* completed_error;
+  obs::Gauge* queue_depth;
+};
+
+namespace {
+
+ShardObs* shard_obs_for(int shard) {
+  if (shard < 0) return nullptr;
+  static std::mutex mu;
+  // Map nodes are stable, so &value survives later insertions; entries
+  // live for the process (one per shard label ever seen, bounded).
+  static std::map<int, ShardObs> table;
+  std::lock_guard lock(mu);
+  auto it = table.find(shard);
+  if (it != table.end()) return &it->second;
+  obs::Registry& r = obs::default_registry();
+  const std::string label = "{shard=\"" + std::to_string(shard) + "\"}";
+  ShardObs x;
+  x.submitted = &r.counter("autogemm_serve_submitted_total" + label);
+  x.admitted = &r.counter("autogemm_serve_admitted_total" + label);
+  x.rejected = &r.counter("autogemm_serve_rejected_total" + label);
+  x.shed = &r.counter("autogemm_serve_shed_total" + label);
+  x.displaced = &r.counter("autogemm_serve_displaced_total" + label);
+  x.expired = &r.counter("autogemm_serve_expired_total" + label);
+  x.completed_ok =
+      &r.counter("autogemm_serve_completed_total{result=\"ok\",shard=\"" +
+                 std::to_string(shard) + "\"}");
+  x.completed_error =
+      &r.counter("autogemm_serve_completed_total{result=\"error\",shard=\"" +
+                 std::to_string(shard) + "\"}");
+  x.queue_depth = &r.gauge("autogemm_serve_queue_depth" + label);
+  return &table.emplace(shard, x).first->second;
+}
+
 std::chrono::steady_clock::time_point to_time_point(std::uint64_t ns) {
   // common::now_ns() is steady_clock time-since-epoch in nanoseconds, so
   // an absolute ns value converts losslessly to a steady time_point.
@@ -163,6 +212,7 @@ Engine::Engine(Context& ctx, const EngineOptions& opts)
                           : std::max<std::size_t>(
                                 1, opts_.queue_capacity * 3 / 4)),
       paused_(opts_.start_paused) {
+  shard_obs_ = shard_obs_for(opts_.shard);
   retry_tokens_ = opts_.retry_budget_tokens;
   last_beat_ns_.store(common::now_ns(), std::memory_order_relaxed);
   try {
@@ -253,6 +303,7 @@ std::future<Status> Engine::submit_internal(const GemmRequest& req,
                       static_cast<std::uint64_t>(std::max(0, req.c.cols)));
   (req.lane == Lane::kInteractive ? o.submitted_interactive : o.submitted_bulk)
       ->add(1);
+  if (shard_obs_ != nullptr) shard_obs_->submitted->add(1);
 
   Pending p;
   p.req = req;
@@ -312,6 +363,7 @@ std::future<Status> Engine::submit_internal(const GemmRequest& req,
       ++stats_.admitted;
       ++shape_requests_[shape];
       o.admitted->add(1);
+      if (shard_obs_ != nullptr) shard_obs_->admitted->add(1);
       p.breaker_probe = probe;
       run_inline = true;
     } else {
@@ -326,6 +378,7 @@ std::future<Status> Engine::submit_internal(const GemmRequest& req,
         bulk_.pop_front();
         have_victim = true;
         ++stats_.shed;
+        ++stats_.displaced;
         full = false;
       }
       if (full) {
@@ -340,6 +393,7 @@ std::future<Status> Engine::submit_internal(const GemmRequest& req,
         ++stats_.admitted;
         ++shape_requests_[shape];
         o.admitted->add(1);
+        if (shard_obs_ != nullptr) shard_obs_->admitted->add(1);
         p.enqueue_ns = common::now_ns();
         (req.lane == Lane::kInteractive ? interactive_ : bulk_)
             .push_back(std::move(p));
@@ -351,10 +405,15 @@ std::future<Status> Engine::submit_internal(const GemmRequest& req,
   }
   if (have_victim) {
     o.shed->add(1);
+    if (shard_obs_ != nullptr) {
+      shard_obs_->shed->add(1);
+      shard_obs_->displaced->add(1);
+    }
     finish(victim, shed_status());
   }
   if (reject_counter != nullptr) {
     reject_counter->add(1);
+    if (shard_obs_ != nullptr) shard_obs_->rejected->add(1);
     finish(p, reject);
     return fut;
   }
@@ -364,6 +423,7 @@ std::future<Status> Engine::submit_internal(const GemmRequest& req,
     if (past_deadline(req, now)) {
       s = deadline_status(req, now);
       o.expired->add(1);
+      if (shard_obs_ != nullptr) shard_obs_->expired->add(1);
       std::lock_guard lock(mu_);
       ++stats_.expired;
       release_probe_locked(p);
@@ -375,6 +435,9 @@ std::future<Status> Engine::submit_internal(const GemmRequest& req,
       }
       o.dispatched_single->add(1);
       (s.ok() ? o.completed_ok : o.completed_error)->add(1);
+      if (shard_obs_ != nullptr)
+        (s.ok() ? shard_obs_->completed_ok : shard_obs_->completed_error)
+            ->add(1);
       std::lock_guard lock(mu_);
       ++stats_.single_dispatches;
       ++(s.ok() ? stats_.completed_ok : stats_.completed_error);
@@ -563,7 +626,9 @@ void Engine::take_same_shape_locked(int m, int n, int k,
 }
 
 void Engine::publish_depth_locked() {
-  serve_obs().queue_depth->set(static_cast<double>(depth_locked()));
+  const double depth = static_cast<double>(depth_locked());
+  serve_obs().queue_depth->set(depth);
+  if (shard_obs_ != nullptr) shard_obs_->queue_depth->set(depth);
 }
 
 void Engine::publish_state_locked() {
@@ -571,6 +636,10 @@ void Engine::publish_state_locked() {
 }
 
 void Engine::dispatcher_loop(std::uint64_t gen) {
+  // Placement hint only: a respawned dispatcher re-pins itself, and a
+  // host without the assigned CPUs just leaves the thread unpinned.
+  if (!opts_.affinity_cpus.empty())
+    common::pin_current_thread(opts_.affinity_cpus);
   std::unique_lock<std::mutex> lock(mu_);
   bool crashed = false;
   try {
@@ -648,6 +717,7 @@ void Engine::dispatcher_run(std::unique_lock<std::mutex>& lock,
         publish_depth_locked();
         lock.unlock();
         serve_obs().shed->add(victims.size());
+        if (shard_obs_ != nullptr) shard_obs_->shed->add(victims.size());
         for (auto& v : victims) finish(v, shed_status());
         lock.lock();
         continue;
@@ -843,6 +913,7 @@ void Engine::dispatch(std::vector<Pending> batch) {
   }
   if (!expired.empty()) {
     o.expired->add(expired.size());
+    if (shard_obs_ != nullptr) shard_obs_->expired->add(expired.size());
     {
       std::lock_guard lock(mu_);
       stats_.expired += expired.size();
@@ -922,6 +993,10 @@ void Engine::dispatch(std::vector<Pending> batch) {
     o.dispatched_single->add(1);
     (statuses[i].ok() ? o.completed_ok : o.completed_error)->add(1);
     ++(statuses[i].ok() ? ok : failed);
+  }
+  if (shard_obs_ != nullptr) {
+    if (ok > 0) shard_obs_->completed_ok->add(ok);
+    if (failed > 0) shard_obs_->completed_error->add(failed);
   }
   {
     std::lock_guard lock(mu_);

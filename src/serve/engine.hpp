@@ -122,6 +122,7 @@
 // request completes.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -144,6 +145,11 @@
 #include <condition_variable>
 
 namespace autogemm::serve {
+
+/// Shard-labeled obs twin handles (engine.cpp internal; one set per shard
+/// index, resolved once and shared by every engine that serves that
+/// shard's label over the process lifetime).
+struct ShardObs;
 
 /// Priority lane. Interactive requests are served first; bulk requests
 /// age into priority (see EngineOptions::bulk_aging_ns) and are the
@@ -184,6 +190,18 @@ struct EngineOptions {
   /// Construct with the dispatcher paused (tests build deterministic
   /// backlogs, then resume()).
   bool start_paused = false;
+  /// Shard index when this engine is one worker of a serve::ShardedEngine
+  /// (-1 = standalone). A shard-aware engine mirrors its admission and
+  /// completion accounting onto shard-labeled obs twins
+  /// (autogemm_serve_*{shard="i"}) and a per-shard queue-depth gauge, so
+  /// fleet dashboards can tell a hot shard from a degraded one. The
+  /// unlabeled aggregate metrics are unchanged.
+  int shard = -1;
+  /// Best-effort CPU affinity for the dispatcher thread (and any respawn
+  /// of it); empty = unpinned. The router fills this from
+  /// hw::shard_core_assignment so a shard's dispatcher runs inside the
+  /// same core slice as its context's pool.
+  std::vector<int> affinity_cpus;
 
   // --- dispatcher supervision (see the Resilience section above) ---
 
@@ -278,6 +296,11 @@ struct ServerStats {
   std::uint64_t rejected = 0;
   std::uint64_t invalid = 0;    ///< failed validation, never queued
   std::uint64_t shed = 0;       ///< bulk shed under overload (kUnavailable)
+  /// Subset of `shed`: bulk requests displaced by an interactive arrival
+  /// at a full queue (the priority-backpressure path), as opposed to the
+  /// dispatcher's watermark shedding. Per-lane overload reporting (the
+  /// open-loop load harness) splits the two.
+  std::uint64_t displaced = 0;
   std::uint64_t expired = 0;    ///< deadline exceeded before execution
   std::uint64_t completed_ok = 0;
   std::uint64_t completed_error = 0;
@@ -299,6 +322,34 @@ struct ServerStats {
   bool accounting_clean() const {
     return submitted == admitted + rejected + invalid &&
            admitted == completed_ok + completed_error + shed + expired;
+  }
+
+  /// Accumulates another engine's stats into this one — the router's
+  /// aggregate view across shards. Counters sum; max_queue_depth takes
+  /// the max (a sum of per-shard maxima is not a depth any queue ever
+  /// had). Summing preserves the accounting partition, so an aggregate of
+  /// clean shards is itself clean.
+  void merge_from(const ServerStats& o) {
+    submitted += o.submitted;
+    admitted += o.admitted;
+    rejected += o.rejected;
+    invalid += o.invalid;
+    shed += o.shed;
+    displaced += o.displaced;
+    expired += o.expired;
+    completed_ok += o.completed_ok;
+    completed_error += o.completed_error;
+    batches += o.batches;
+    batched_requests += o.batched_requests;
+    single_dispatches += o.single_dispatches;
+    max_queue_depth = std::max(max_queue_depth, o.max_queue_depth);
+    breaker_rejected += o.breaker_rejected;
+    breaker_opens += o.breaker_opens;
+    dispatcher_crashes += o.dispatcher_crashes;
+    dispatcher_stalls += o.dispatcher_stalls;
+    dispatcher_restarts += o.dispatcher_restarts;
+    retries += o.retries;
+    retry_budget_exhausted += o.retry_budget_exhausted;
   }
 };
 
@@ -448,6 +499,10 @@ class Engine {
   Context& ctx_;
   const EngineOptions opts_;
   const std::size_t shed_watermark_;
+  /// Shard-labeled obs twins; nullptr when opts_.shard < 0 (standalone).
+  /// Points into a process-wide per-shard table, never freed (same
+  /// lifetime contract as the registry handles themselves).
+  ShardObs* shard_obs_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;        // dispatcher wakeups

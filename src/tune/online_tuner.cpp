@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <map>
+#include <tuple>
 #include <utility>
 
 #include "common/timer.hpp"
@@ -74,6 +76,27 @@ TunerObs& tuner_obs() {
 }
 
 }  // namespace
+
+std::vector<HotShape> merge_hot_shapes(
+    const std::vector<std::vector<HotShape>>& feeds, std::size_t limit) {
+  std::map<std::tuple<int, int, int>, std::uint64_t> counts;
+  for (const auto& feed : feeds)
+    for (const HotShape& hs : feed) counts[{hs.m, hs.n, hs.k}] += hs.requests;
+  std::vector<HotShape> out;
+  out.reserve(counts.size());
+  for (const auto& [key, requests] : counts)
+    out.push_back(HotShape{std::get<0>(key), std::get<1>(key),
+                           std::get<2>(key), requests});
+  // The map iterates ascending (m, n, k); a stable sort on requests then
+  // yields a fully deterministic hottest-first ranking with key-ordered
+  // ties.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const HotShape& a, const HotShape& b) {
+                     return a.requests > b.requests;
+                   });
+  if (limit != 0 && out.size() > limit) out.resize(limit);
+  return out;
+}
 
 OnlineTuner::OnlineTuner(Context& ctx, HotShapeFn hot_shapes,
                          OnlineTunerOptions opts)
@@ -294,6 +317,14 @@ bool OnlineTuner::tune_shape(const HotShape& hs) {
     ++stats_.demotions;
     tuner_obs().demotions->add(1);
     return false;
+  }
+  if (opts_.on_promote) {
+    try {
+      opts_.on_promote(m, n, k, result.best, result.best_cost);
+    } catch (...) {
+      // A fan-out failure must not kill the tuner thread; the record is
+      // already live in the bound context.
+    }
   }
   std::lock_guard lock(mu_);
   ++stats_.promotions;

@@ -68,6 +68,14 @@ struct HotShape {
 /// tuner thread; implementations must be thread-safe.
 using HotShapeFn = std::function<std::vector<HotShape>()>;
 
+/// Merges per-feeder hot-shape snapshots (e.g. one per shard of a
+/// serve::ShardedEngine) by summing request counts per exact (m, n, k),
+/// returning the merged ranking hottest-first (ties broken by ascending
+/// (m, n, k) so the result is deterministic). `limit` caps the output
+/// (0 = all).
+std::vector<HotShape> merge_hot_shapes(
+    const std::vector<std::vector<HotShape>>& feeds, std::size_t limit = 0);
+
 struct OnlineTunerOptions {
   /// Sleep between tuning cycles.
   std::uint64_t cycle_interval_ns = 100'000'000;  // 100 ms
@@ -101,6 +109,14 @@ struct OnlineTunerOptions {
   /// by the CI smoke and tests: model cost makes promotion reproducible
   /// on noisy shared hosts). The incumbent is priced the same way.
   std::function<double(const Candidate&, int m, int n, int k)> cost_override;
+  /// Called from the tuner thread after each successful promotion (the
+  /// record is already published into the bound context). The sharded
+  /// serving router uses this to fan the winning record out to its other
+  /// shards' contexts, keeping the tuner bound to exactly one Context and
+  /// the layering acyclic (tune/ still knows nothing about serve/). Must
+  /// be cheap; exceptions are swallowed.
+  std::function<void(int m, int n, int k, const Candidate& best, double cost)>
+      on_promote;
 };
 
 /// Monotonic counters (snapshot via OnlineTuner::stats).

@@ -51,6 +51,7 @@
 #include "obs/trace.hpp"
 #include "serve/chaos.hpp"
 #include "serve/engine.hpp"
+#include "serve/router.hpp"
 #include "sim/interpreter.hpp"
 #include "tiling/micro_tiling.hpp"
 #include "tune/records.hpp"
@@ -79,6 +80,7 @@ int usage() {
       "  serve-replay TRACE [--capacity N] [--max-batch N] [--window-us U]\n"
       "               [--deadline-us U] [--threads T] [--repeat R] [--verify]\n"
       "               [--drain-timeout-us U] [--tune] [--records FILE]\n"
+      "               [--shards N]\n"
       "                                          replay a shape trace (lines\n"
       "                                          of `M N K [count] [lane]`)\n"
       "                                          against the serve engine;\n"
@@ -89,8 +91,11 @@ int usage() {
       "                                          (model-cost, deterministic),\n"
       "                                          --records FILE loads prior\n"
       "                                          promotions and persists new\n"
-      "                                          ones (merge-on-save)\n"
+      "                                          ones (merge-on-save);\n"
+      "                                          --shards N replays through a\n"
+      "                                          sharded multi-engine fleet\n"
       "  chaos [--seed S] [--seeds N] [--submitters T] [--requests R]\n"
+      "        [--shards N]\n"
       "                                          seeded fault-injection runs\n"
       "                                          against the serve engine; any\n"
       "                                          invariant violation is fatal\n"
@@ -336,6 +341,8 @@ int cmd_serve_replay(int argc, char** argv) {
       std::atol(flag_value(argc, argv, "--drain-timeout-us", "0"));
   const bool tune_enabled = has_flag(argc, argv, "--tune");
   const std::string records_file = flag_value(argc, argv, "--records", "");
+  const int shards =
+      std::max(1, std::atoi(flag_value(argc, argv, "--shards", "1")));
 
   struct Line {
     int m, n, k, count;
@@ -397,28 +404,53 @@ int cmd_serve_replay(int argc, char** argv) {
     copts.records_path = records_file;
     records_loaded = true;
   }
-  Context ctx(copts);
   serve::EngineOptions eopts;
   eopts.queue_capacity = capacity;
   eopts.max_batch = max_batch;
   eopts.max_batch_delay_ns = static_cast<std::uint64_t>(window_us) * 1000;
+  tune::OnlineTunerOptions topts;
   if (tune_enabled) {
-    eopts.enable_online_tuner = true;
     // Deterministic for CI: promotion decided by the analytic model, not
     // host wall-clock — the same trace promotes the same configs
     // everywhere. The tuner thread stays parked; a manual cycle below
     // runs after the replay was submitted (publication races live
     // traffic, which is the point).
-    eopts.tuner.start_paused = true;
-    eopts.tuner.min_requests = 2;
-    eopts.tuner.top_k = 8;
-    eopts.tuner.records_path = records_file;
-    eopts.tuner.cost_override = [](const tune::Candidate& c, int m, int n,
-                                   int k) {
+    topts.start_paused = true;
+    topts.min_requests = 2;
+    topts.top_k = 8;
+    topts.records_path = records_file;
+    topts.cost_override = [](const tune::Candidate& c, int m, int n, int k) {
       return tune::model_cost_seconds(c, m, n, k);
     };
   }
-  serve::Engine engine(ctx, eopts);
+  // --shards 1 (the default) drives a bare Engine; --shards N > 1 drives
+  // a ShardedEngine (shape-affine routing + stealing), where --tune means
+  // the router-owned fleet-wide tuner, never a per-worker one.
+  std::unique_ptr<Context> ctx;
+  std::unique_ptr<serve::Engine> engine;
+  std::unique_ptr<serve::ShardedEngine> fleet;
+  if (shards > 1) {
+    serve::ShardedEngineOptions sopts;
+    sopts.shards = static_cast<std::size_t>(shards);
+    sopts.context = copts;
+    sopts.worker = eopts;
+    sopts.enable_online_tuner = tune_enabled;
+    sopts.tuner = topts;
+    auto made = serve::ShardedEngine::create(sopts);
+    if (!made.ok()) {
+      std::fprintf(stderr, "cannot build sharded engine: %s\n",
+                   made.status().to_string().c_str());
+      return 1;
+    }
+    fleet = std::move(made).value();
+  } else {
+    if (tune_enabled) {
+      eopts.enable_online_tuner = true;
+      eopts.tuner = topts;
+    }
+    ctx = std::make_unique<Context>(copts);
+    engine = std::make_unique<serve::Engine>(*ctx, eopts);
+  }
 
   struct Submitted {
     std::future<Status> future;
@@ -445,16 +477,19 @@ int cmd_serve_replay(int argc, char** argv) {
           g.deadline_ns = common::now_ns() +
                           static_cast<std::uint64_t>(deadline_us) * 1000;
         (line.lane == serve::Lane::kInteractive ? interactive : bulk) += 1;
-        req.future = engine.submit(g);
+        req.future =
+            fleet != nullptr ? fleet->submit(g) : engine->submit(g);
       }
     }
   }
   // With tuning on, run one cycle now — while the replay's futures are
   // still in flight, so promotion demonstrably does not block traffic.
   tune::OnlineTunerStats tuner_stats;
-  if (tune_enabled && engine.online_tuner() != nullptr) {
-    engine.online_tuner()->run_cycle();
-    tuner_stats = engine.online_tuner()->stats();
+  tune::OnlineTuner* tuner =
+      fleet != nullptr ? fleet->online_tuner() : engine->online_tuner();
+  if (tune_enabled && tuner != nullptr) {
+    tuner->run_cycle();
+    tuner_stats = tuner->stats();
   }
 
   // Graceful lifecycle: a bounded drain first (rejecting new work while
@@ -462,15 +497,18 @@ int cmd_serve_replay(int argc, char** argv) {
   // even if the bound expired.
   std::size_t drain_timeouts = 0;
   if (drain_timeout_us > 0) {
-    const Status drained = engine.drain(
-        static_cast<std::uint64_t>(drain_timeout_us) * 1000);
+    const std::uint64_t bound =
+        static_cast<std::uint64_t>(drain_timeout_us) * 1000;
+    const Status drained =
+        fleet != nullptr ? fleet->drain(bound) : engine->drain(bound);
     if (!drained.ok()) {
       ++drain_timeouts;
       std::printf("drain: timeout after %ldus (%s); finishing via shutdown\n",
                   drain_timeout_us, drained.to_string().c_str());
     }
   }
-  engine.shutdown();
+  if (fleet != nullptr) fleet->shutdown();
+  else engine->shutdown();
 
   std::size_t unready = 0, ok = 0, failed = 0, rejected = 0, shed = 0,
               expired = 0, invalid = 0, mismatches = 0;
@@ -497,7 +535,14 @@ int cmd_serve_replay(int argc, char** argv) {
     }
   }
 
-  const serve::ServerStats st = engine.stats();
+  serve::ShardedStats fleet_stats;
+  serve::ServerStats st;
+  if (fleet != nullptr) {
+    fleet_stats = fleet->stats();
+    st = fleet_stats.aggregate;
+  } else {
+    st = engine->stats();
+  }
   const auto q_us = [](const char* name) {
     const auto snap = obs::default_registry().histogram(name).snapshot();
     return std::make_pair(snap.quantile(0.5) * 1e6, snap.quantile(0.99) * 1e6);
@@ -520,22 +565,35 @@ int cmd_serve_replay(int argc, char** argv) {
               static_cast<unsigned long long>(st.batched_requests),
               static_cast<unsigned long long>(st.single_dispatches),
               static_cast<unsigned long long>(st.max_queue_depth));
+  if (fleet != nullptr)
+    std::printf("shards: n=%zu steals=%llu routed=%llu inline=%zu\n",
+                fleet->shards(),
+                static_cast<unsigned long long>(fleet_stats.steals),
+                static_cast<unsigned long long>(fleet_stats.routed),
+                fleet->inline_shards());
   std::printf("queue_latency_us: interactive_p50=%.1f interactive_p99=%.1f "
               "bulk_p50=%.1f bulk_p99=%.1f\n",
               p50_i, p99_i, p50_b, p99_b);
   if (tune_enabled) {
-    const ContextStats cs = ctx.stats();
+    std::uint64_t resolved_exact = 0;
+    if (fleet != nullptr) {
+      for (std::size_t i = 0; i < fleet->shards(); ++i)
+        resolved_exact += fleet->shard_context(i).stats().resolved_exact;
+    } else {
+      resolved_exact = ctx->stats().resolved_exact;
+    }
     std::printf("tuning: searches=%llu promotions=%llu demotions=%llu "
                 "records_loaded=%d resolved_exact=%llu persisted=%llu\n",
                 static_cast<unsigned long long>(tuner_stats.searches),
                 static_cast<unsigned long long>(tuner_stats.promotions),
                 static_cast<unsigned long long>(tuner_stats.demotions),
                 records_loaded ? 1 : 0,
-                static_cast<unsigned long long>(cs.resolved_exact),
+                static_cast<unsigned long long>(resolved_exact),
                 static_cast<unsigned long long>(tuner_stats.persisted));
   }
   const bool clean = st.accounting_clean() && unready == 0 &&
-                     st.submitted == requests.size();
+                     st.submitted == requests.size() &&
+                     (fleet == nullptr || fleet_stats.accounting_clean());
   std::printf("overload_events=%llu accounting=%s\n",
               static_cast<unsigned long long>(st.rejected + st.shed),
               clean ? "clean" : "BROKEN");
@@ -564,6 +622,7 @@ int cmd_chaos(int argc, char** argv) {
   copts.submitters = std::atoi(flag_value(argc, argv, "--submitters", "3"));
   copts.requests_per_submitter =
       std::atoi(flag_value(argc, argv, "--requests", "60"));
+  copts.shards = std::max(1, std::atoi(flag_value(argc, argv, "--shards", "1")));
   copts.verbose = true;
   std::size_t violations = 0;
   for (int i = 0; i < std::max(1, seeds); ++i) {

@@ -20,9 +20,17 @@
 # `autogemm chaos` (dispatcher crash/stall, allocation/execution/verify
 # faults; any invariant violation is a nonzero exit) and runs the serve
 # coalescing + graceful-drain bench, copying its JSON to BENCH_serve.json
-# at the repo root. The serve tests also run under the asan configuration
-# via the regular ctest pass, and the asan configuration repeats the
-# 20-seed chaos pass under the sanitizers.
+# at the repo root. A sharded-serving pass then replays the same trace
+# through a 2-shard ShardedEngine (clean low-load replay, then a
+# stall-injected run that must divert work via the router's bounded
+# stealing), runs 6 chaos seeds with --shards 2, and runs the open-loop
+# scale bench (bench_serve_scale), whose `scale acceptance ... PASS` line
+# gates on the 2-shard fleet completing strictly more goodput than 1
+# shard at the same offered load; its JSON is copied to
+# BENCH_serve_scale.json at the repo root. The serve tests also run under
+# the asan configuration via the regular ctest pass, and the asan
+# configuration repeats the 20-seed chaos pass plus the 6-seed sharded
+# chaos pass under the sanitizers.
 #
 # The release configuration ends with the backend matrix: the full ctest
 # suite re-runs under AUTOGEMM_BACKEND=neon and =sve_sim (kAuto contexts
@@ -156,6 +164,39 @@ for config in "${configs[@]}"; do
         | tee build/online_tune_bench.txt
       grep -q 'concurrent p99 / baseline p99' build/online_tune_bench.txt
       cp build/bench_online_tune.json BENCH_online_tune.json
+      echo "==== [release] sharded serve smoke: 2-shard replay ===="
+      # The canned trace through a 2-shard ShardedEngine: deterministic
+      # shape-hash routing must spread the trace across both workers, all
+      # futures resolve, and the aggregate plus every shard balances.
+      ./build/tools/autogemm serve-replay tools/traces/serve_smoke.trace \
+        --verify --shards 2 | tee build/serve_smoke_sharded.txt
+      grep -q 'overload_events=0 accounting=clean' \
+        build/serve_smoke_sharded.txt
+      grep -q 'shards: n=2' build/serve_smoke_sharded.txt
+      echo "==== [release] sharded serve smoke: stall-driven stealing ===="
+      # Stall one dispatcher via the env-armed failpoint against a small
+      # queue: the router's bounded work-stealing must divert backlog to
+      # the healthy shard (nonzero steals) with the books still clean.
+      AUTOGEMM_FAILPOINTS='serve.dispatcher_stall=1' \
+        ./build/tools/autogemm serve-replay tools/traces/serve_smoke.trace \
+        --shards 2 --capacity 16 | tee build/serve_smoke_steal.txt
+      grep -q 'accounting=clean' build/serve_smoke_steal.txt
+      grep -Eq 'steals=[1-9]' build/serve_smoke_steal.txt
+      echo "==== [release] sharded serve chaos pass (6 seeds, 2 shards) ===="
+      # Chaos with the fleet in the loop: per-shard failure isolation,
+      # stealing under stalls and the merged accounting must survive the
+      # same failpoint storms the single-engine pass runs.
+      ./build/tools/autogemm chaos --seed 1 --seeds 6 --shards 2 \
+        | tee build/serve_chaos_sharded.txt
+      grep -q 'chaos: seeds=6 violations=0' build/serve_chaos_sharded.txt
+      echo "==== [release] serve scale-out bench (open-loop, 1 vs 2 shards) ===="
+      # Open-loop offered-load sweep: the gating acceptance line requires
+      # the 2-shard fleet to complete strictly more goodput than 1 shard
+      # at every overloaded point, with clean accounting on all of them.
+      ./build/bench/bench_serve_scale --json-out build/bench_serve_scale.json \
+        | tee build/serve_scale_bench.txt
+      grep -Eq 'scale acceptance.*PASS' build/serve_scale_bench.txt
+      cp build/bench_serve_scale.json BENCH_serve_scale.json
       echo "==== [release] backend matrix (AUTOGEMM_BACKEND=neon|sve_sim) ===="
       # The tier-1 suite must hold under every registered backend: kAuto
       # contexts resolve through the env override, so this exercises the
@@ -183,6 +224,12 @@ for config in "${configs[@]}"; do
       ./build-asan/tools/autogemm chaos --seed 1 --seeds 20 \
         | tee build-asan/serve_chaos.txt
       grep -q 'chaos: seeds=20 violations=0' build-asan/serve_chaos.txt
+      echo "==== [asan] sharded serve chaos pass (6 seeds, 2 shards) ===="
+      # The fleet's cross-shard machinery — router stealing, tuner
+      # fan-out, concurrent drain, shard teardown — under the sanitizers.
+      ./build-asan/tools/autogemm chaos --seed 1 --seeds 6 --shards 2 \
+        | tee build-asan/serve_chaos_sharded.txt
+      grep -q 'chaos: seeds=6 violations=0' build-asan/serve_chaos_sharded.txt
       ;;
     *)
       echo "unknown config: $config (expected release or asan)" >&2
