@@ -1,0 +1,215 @@
+// Mixed-precision GPT-2-style serving bench: fp32-vs-int8 goodput and
+// tail latency for a token-generation trace through a 2-shard fleet
+// (BENCH_quant_serve.json).
+//
+// The workload is the GEMM census of one decoder block
+// (dnn::TransformerBlock::gemm_shapes) at GPT-2 geometry scaled to bench
+// duration: a *prefill* phase (the prompt's tokens hit every GEMM at
+// once) interleaved at decode cadence with the *decode* phase (one new
+// token per step, M = 1 — the skinny-M irregular shapes the paper's
+// tiling targets). Weight-bearing GEMMs (QKV, out-projection, FC1, FC2)
+// are offered at both precisions side by side — the engine buckets on
+// (shape, dtype), so fp32 and int8 requests of the same shape never
+// co-batch and the int8 tier's cached QPackedB amortizes across the
+// trace. Attention's activation-activation GEMMs are fp32 only, exactly
+// as the transformer block runs them.
+//
+// The open-loop generator paces arrivals at a fixed rate regardless of
+// completions and reports the per-tier split: submitted/ok, goodput, and
+// OK-latency p50/p99 for fp32 and int8 separately (LoadReport.f32/.i8).
+//
+// Acceptance (CI-gating): every request resolves (zero unresolved
+// callbacks), the fleet's aggregate AND per-shard accounting is clean,
+// and both tiers complete work. The fp32-vs-int8 comparison is reported,
+// not gated — batching windows, not kernel speed, dominate per-request
+// latency at these shapes.
+//
+//   build/bench/bench_quant_serve [seconds] [--json-out F]
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "dnn/transformer.hpp"
+#include "serve/load_gen.hpp"
+#include "serve/router.hpp"
+
+namespace {
+
+using namespace autogemm;
+
+// GPT-2 geometry at 1/12 width: same shape *structure* (fused QKV at 3x
+// width, 4x FFN, per-head attention), dimensions sized so a sub-second
+// trace completes thousands of requests. 48 prompt tokens avoids
+// colliding with any hidden dimension, keeping the weight-vs-activation
+// split below unambiguous.
+dnn::TransformerConfig bench_config() {
+  dnn::TransformerConfig cfg;
+  cfg.d_model = 64;
+  cfg.n_heads = 4;
+  cfg.d_ff = 256;
+  return cfg;
+}
+constexpr int kPrefillTokens = 48;
+constexpr int kDecodeTokens = 1;
+// One prefill per 32 decode steps — a short-prompt generation cadence.
+constexpr double kDecodeWeight = 32.0;
+constexpr double kPrefillWeight = 1.0;
+
+/// Expands one phase's GEMM census into the offered mix. Weight-bearing
+/// GEMMs (neither free dimension equals the token count — true for any
+/// token count outside the hidden dimensions) are offered at fp32 AND
+/// int8, half the phase weight each; activation GEMMs stay fp32.
+void add_phase(int tokens, double phase_weight,
+               std::vector<serve::LoadShape>* mix) {
+  const dnn::TransformerConfig cfg = bench_config();
+  std::map<std::array<int, 3>, int> census;
+  for (const std::array<int, 3>& s :
+       dnn::TransformerBlock::gemm_shapes(tokens, cfg))
+    ++census[s];
+  for (const auto& [shape, count] : census) {
+    const double w = phase_weight * count;
+    serve::LoadShape ls;
+    ls.m = shape[0];
+    ls.n = shape[1];
+    ls.k = shape[2];
+    const bool weight_gemm = shape[1] != tokens && shape[2] != tokens;
+    if (weight_gemm) {
+      ls.weight = w / 2;
+      ls.dtype = common::DType::kF32;
+      mix->push_back(ls);
+      ls.dtype = common::DType::kI8;
+      mix->push_back(ls);
+    } else {
+      ls.weight = w;
+      ls.dtype = common::DType::kF32;
+      mix->push_back(ls);
+    }
+  }
+}
+
+std::string tier_json(const serve::DtypeOutcomes& t) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"submitted\": %llu, \"ok\": %llu, \"goodput_rps\": %.1f, "
+                "\"p50_ms\": %.4f, \"p99_ms\": %.4f}",
+                static_cast<unsigned long long>(t.submitted),
+                static_cast<unsigned long long>(t.ok), t.goodput_rps, t.p50_ms,
+                t.p99_ms);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv, 0, 1);
+  const double seconds = [&] {
+    const std::string s = args.pos(0, "0.6");
+    const double v = std::atof(s.c_str());
+    return v > 0 ? v : 0.6;
+  }();
+  constexpr double kOfferedRps = 2'000;
+
+  const dnn::TransformerConfig cfg = bench_config();
+  bench::header("quant serve: GPT-2-style mixed fp32/int8 token trace, "
+                "2-shard fleet");
+  std::printf(
+      "decoder block d_model=%d n_heads=%d d_ff=%d; prefill %d tokens : "
+      "decode 1 token at 1:%.0f cadence; weight GEMMs offered at fp32+int8, "
+      "offered %.0f/s for %.2fs\n\n",
+      cfg.d_model, cfg.n_heads, cfg.d_ff, kPrefillTokens, kDecodeWeight,
+      kOfferedRps, seconds);
+
+  std::vector<serve::LoadShape> mix;
+  add_phase(kDecodeTokens, kDecodeWeight, &mix);
+  add_phase(kPrefillTokens, kPrefillWeight, &mix);
+
+  serve::ShardedEngineOptions so;
+  so.shards = 2;
+  so.context.threads = 1;
+  so.worker.queue_capacity = 256;
+  so.worker.max_batch = 16;
+  so.worker.max_batch_delay_ns = 500'000;
+  auto made = serve::ShardedEngine::create(so);
+  if (!made.ok()) {
+    std::fprintf(stderr, "engine construction failed: %s\n",
+                 made.status().to_string().c_str());
+    return 1;
+  }
+  std::unique_ptr<serve::ShardedEngine> se = std::move(made).value();
+
+  serve::LoadGenOptions lo;
+  lo.offered_rps = kOfferedRps;
+  lo.requests = static_cast<std::size_t>(kOfferedRps * seconds);
+  lo.arrivals = serve::ArrivalProcess::kPoisson;  // decode traffic is bursty
+  lo.seed = 42;
+
+  const serve::LoadReport rep = serve::run_open_loop(
+      [&](const serve::GemmRequest& req, std::function<void(Status)> done) {
+        se->submit(req, std::move(done));
+      },
+      mix, lo);
+  (void)se->drain();
+  const serve::ShardedStats ss = se->stats();
+  bool shards_clean = true;
+  for (const serve::ServerStats& s : ss.shards)
+    if (!s.accounting_clean()) shards_clean = false;
+  const bool aggregate_clean = ss.aggregate.accounting_clean();
+
+  std::printf("%s\n", rep.summary().c_str());
+  std::printf(
+      "tier fp32: submitted=%llu ok=%llu goodput=%.0f/s p50=%.3fms "
+      "p99=%.3fms\n",
+      static_cast<unsigned long long>(rep.f32.submitted),
+      static_cast<unsigned long long>(rep.f32.ok), rep.f32.goodput_rps,
+      rep.f32.p50_ms, rep.f32.p99_ms);
+  std::printf(
+      "tier int8: submitted=%llu ok=%llu goodput=%.0f/s p50=%.3fms "
+      "p99=%.3fms\n",
+      static_cast<unsigned long long>(rep.i8.submitted),
+      static_cast<unsigned long long>(rep.i8.ok), rep.i8.goodput_rps,
+      rep.i8.p50_ms, rep.i8.p99_ms);
+  std::printf("fleet: steals=%llu accounting aggregate=%s shards=%s\n",
+              static_cast<unsigned long long>(ss.steals),
+              aggregate_clean ? "clean" : "BROKEN",
+              shards_clean ? "clean" : "BROKEN");
+
+  const bool pass = rep.unresolved == 0 && aggregate_clean && shards_clean &&
+                    rep.f32.ok > 0 && rep.i8.ok > 0;
+  std::printf(
+      "quant serve acceptance (zero unresolved, clean books on the "
+      "aggregate and every shard, both tiers completing): %s\n",
+      pass ? "PASS" : "FAIL");
+
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"bench\": \"quant_serve\", \"seconds\": %.3f, "
+      "\"config\": {\"d_model\": %d, \"n_heads\": %d, \"d_ff\": %d, "
+      "\"prefill_tokens\": %d}, "
+      "\"offered_rps\": %.0f, \"achieved_rps\": %.1f, \"goodput_rps\": %.1f, "
+      "\"p50_ms\": %.4f, \"p99_ms\": %.4f, \"ok\": %llu, \"shed\": %llu, "
+      "\"steals\": %llu, \"unresolved\": %llu, ",
+      seconds, cfg.d_model, cfg.n_heads, cfg.d_ff, kPrefillTokens,
+      rep.offered_rps, rep.achieved_rps, rep.goodput_rps, rep.p50_ms,
+      rep.p99_ms, static_cast<unsigned long long>(rep.total_ok()),
+      static_cast<unsigned long long>(rep.total_shed()),
+      static_cast<unsigned long long>(ss.steals),
+      static_cast<unsigned long long>(rep.unresolved));
+  std::string json = buf;
+  json += "\"f32\": " + tier_json(rep.f32) + ", \"i8\": " + tier_json(rep.i8);
+  json += std::string(", \"accounting_clean_aggregate\": ") +
+          (aggregate_clean ? "true" : "false") +
+          ", \"accounting_clean_all_shards\": " +
+          (shards_clean ? "true" : "false") +
+          ", \"acceptance\": {\"pass\": " + (pass ? "true" : "false") + "}}";
+  bench::write_json_file(
+      !args.json_out.empty() ? args.json_out : "bench_quant_serve.json",
+      bench::with_metrics(json));
+  return pass ? 0 : 1;
+}

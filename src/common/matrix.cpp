@@ -33,4 +33,20 @@ double max_rel_error(ConstMatrixView a, ConstMatrixView b) {
   return worst;
 }
 
+double rel_frobenius_error(ConstMatrixView a, ConstMatrixView b) {
+  if (a.rows != b.rows || a.cols != b.cols)
+    throw std::invalid_argument("rel_frobenius_error: shape mismatch");
+  double num = 0.0, denom = 0.0;
+  for (int r = 0; r < a.rows; ++r) {
+    for (int c = 0; c < a.cols; ++c) {
+      const double x = a.at(r, c);
+      const double y = b.at(r, c);
+      num += (x - y) * (x - y);
+      denom += y * y;
+    }
+  }
+  if (denom == 0.0) return num == 0.0 ? 0.0 : std::sqrt(num);
+  return std::sqrt(num / denom);
+}
+
 }  // namespace autogemm::common

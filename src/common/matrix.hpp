@@ -98,4 +98,13 @@ class Matrix {
 /// The paper verifies all libraries agree within 1e-6 on this metric.
 double max_rel_error(ConstMatrixView a, ConstMatrixView b);
 
+/// Relative Frobenius error ||a - b||_F / ||b||_F (0 when b is all-zero
+/// and a == b). The standard accuracy metric for *quantized* kernels:
+/// quantization noise is bounded relative to each channel's magnitude, so
+/// elements whose exact value happens to land near zero carry relative
+/// elementwise errors that say nothing about the approximation quality —
+/// the norm ratio is what the int8 tier's 1e-2 contract is stated in
+/// (quant/qgemm.hpp).
+double rel_frobenius_error(ConstMatrixView a, ConstMatrixView b);
+
 }  // namespace autogemm::common

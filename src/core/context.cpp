@@ -16,6 +16,8 @@
 #include "kernels/dispatch.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "quant/qgemm.hpp"
+#include "quant/qpacked.hpp"
 #include "sim/interpreter.hpp"
 #include "sim/pipeline.hpp"
 
@@ -396,19 +398,62 @@ std::atomic<std::size_t>& shape_label_cap_storage() {
   return cap;
 }
 
-obs::Histogram& shape_latency_histogram(int m, int n, int k) {
+/// One FCFS label set shared by the shape-only series and the dtype twins:
+/// the cap bounds the union, and a shape capped to "other" aggregates under
+/// "other" in every dtype series too (no family can leak past the cap).
+std::string capped_shape_label(int m, int n, int k) {
   static std::mutex mu;
   static std::set<std::string>& seen = *new std::set<std::string>;
   std::string label = shape_string(m, n, k);
-  {
-    std::lock_guard lock(mu);
-    if (seen.count(label) == 0) {
-      if (seen.size() >= shape_label_cap_storage().load()) label = "other";
-      else seen.insert(label);
-    }
+  std::lock_guard lock(mu);
+  if (seen.count(label) == 0) {
+    if (seen.size() >= shape_label_cap_storage().load()) label = "other";
+    else seen.insert(label);
   }
+  return label;
+}
+
+obs::Histogram& shape_latency_histogram(int m, int n, int k) {
   return obs::default_registry().histogram(
-      "autogemm_gemm_seconds{shape=\"" + label + "\"}");
+      "autogemm_gemm_seconds{shape=\"" + capped_shape_label(m, n, k) + "\"}");
+}
+
+/// Dtype-labeled twin, alongside (never instead of) the legacy shape-only
+/// series: autogemm_gemm_seconds{shape=...,dtype=...} separates fp32 and
+/// int8 latency for one shape in one process — the serving dashboards'
+/// per-tier view.
+obs::Histogram& shape_dtype_latency_histogram(int m, int n, int k,
+                                              common::DType dtype) {
+  return obs::default_registry().histogram(
+      "autogemm_gemm_seconds{shape=\"" + capped_shape_label(m, n, k) +
+      "\",dtype=\"" + common::dtype_name(dtype) + "\"}");
+}
+
+/// Cached per-shape histogram pointers for the quantized path (registry
+/// entries are stable for the registry's lifetime, so caching is safe).
+/// Keyed by the *capped* label, so the cache is bounded by the shape-label
+/// cap plus the "other" slot even under an adversarial shape stream.
+struct QuantShapeObs {
+  obs::Histogram* latency = nullptr;        // legacy shape-only series
+  obs::Histogram* latency_dtype = nullptr;  // {shape=...,dtype="i8"} twin
+};
+
+const QuantShapeObs& quant_shape_obs(int m, int n, int k) {
+  static std::mutex mu;
+  static std::map<std::string, QuantShapeObs>& cache =
+      *new std::map<std::string, QuantShapeObs>;
+  const std::string label = capped_shape_label(m, n, k);
+  std::lock_guard lock(mu);
+  auto [it, inserted] = cache.try_emplace(label);
+  if (inserted) {
+    obs::Registry& r = obs::default_registry();
+    it->second.latency =
+        &r.histogram("autogemm_gemm_seconds{shape=\"" + label + "\"}");
+    it->second.latency_dtype = &r.histogram(
+        "autogemm_gemm_seconds{shape=\"" + label + "\",dtype=\"" +
+        common::dtype_name(common::DType::kI8) + "\"}");
+  }
+  return it->second;
 }
 
 /// Per-thread last_error slots, keyed by context id. Thread-local (not
@@ -681,6 +726,8 @@ Context::PlanEntry Context::entry_for(int m, int n, int k) {
 
   PlanEntry entry;  // plan == nullptr -> reference pin
   entry.latency = &shape_latency_histogram(m, n, k);
+  entry.latency_dtype =
+      &shape_dtype_latency_histogram(m, n, k, common::DType::kF32);
   entry.generation = resolve_gen;
   for (const auto& cand : candidates) {
     StatusOr<Plan> plan_or = Plan::create(m, n, k, cand.cfg);
@@ -818,6 +865,7 @@ Status Context::execute_entry(const PlanEntry& entry, ConstMatrixView a,
   h.flops->add(2 * m * n * k);
   h.gemm_seconds->observe(seconds);
   if (entry.latency != nullptr) entry.latency->observe(seconds);
+  if (entry.latency_dtype != nullptr) entry.latency_dtype->observe(seconds);
   return s;
 }
 
@@ -946,7 +994,8 @@ StatusOr<std::shared_ptr<const PackedA>> Context::packed_a_for(
     packed_lru_.splice(packed_lru_.begin(), packed_lru_, it->second);
     return it->second->second.a;
   }
-  packed_lru_.emplace_front(key, PackedEntry{std::move(packed), nullptr, plan});
+  packed_lru_.emplace_front(
+      key, PackedEntry{std::move(packed), nullptr, plan, nullptr});
   packed_index_[key] = packed_lru_.begin();
   while (packed_lru_.size() > opts_.packed_capacity) {
     packed_index_.erase(packed_lru_.back().first);
@@ -981,7 +1030,8 @@ StatusOr<std::shared_ptr<const PackedB>> Context::packed_b_for(
     packed_lru_.splice(packed_lru_.begin(), packed_lru_, it->second);
     return it->second->second.b;
   }
-  packed_lru_.emplace_front(key, PackedEntry{nullptr, std::move(packed), plan});
+  packed_lru_.emplace_front(
+      key, PackedEntry{nullptr, std::move(packed), plan, nullptr});
   packed_index_[key] = packed_lru_.begin();
   while (packed_lru_.size() > opts_.packed_capacity) {
     packed_index_.erase(packed_lru_.back().first);
@@ -1087,6 +1137,132 @@ void Context::gemm_const_a(ConstMatrixView a, ConstMatrixView b, MatrixView c,
 void Context::gemm_const_b(ConstMatrixView a, ConstMatrixView b, MatrixView c,
                            const GemmExParams& params) {
   (void)run_const_b(a, b, c, params);
+}
+
+StatusOr<std::shared_ptr<const quant::QPackedB>> Context::qpacked_b_for(
+    ConstMatrixView b) {
+  const PackedKey key{b.data, b.rows, b.cols, b.ld, /*is_a=*/false,
+                      common::DType::kI8};
+  {
+    std::lock_guard lock(mu_);
+    auto it = packed_index_.find(key);
+    if (it != packed_index_.end()) {
+      ++stats_.packed_hits;
+      obs_handles().packed_hits->add(1);
+      packed_lru_.splice(packed_lru_.begin(), packed_lru_, it->second);
+      return it->second->second.qb;
+    }
+    ++stats_.packed_misses;
+    obs_handles().packed_misses->add(1);
+  }
+  StatusOr<quant::QPackedB> packed_or = quant::QPackedB::create(b);
+  if (!packed_or.ok()) return packed_or.status();
+  auto packed =
+      std::make_shared<const quant::QPackedB>(std::move(packed_or).value());
+  std::lock_guard lock(mu_);
+  auto it = packed_index_.find(key);
+  if (it != packed_index_.end()) {
+    packed_lru_.splice(packed_lru_.begin(), packed_lru_, it->second);
+    return it->second->second.qb;
+  }
+  packed_lru_.emplace_front(
+      key, PackedEntry{nullptr, nullptr, nullptr, std::move(packed)});
+  packed_index_[key] = packed_lru_.begin();
+  while (packed_lru_.size() > opts_.packed_capacity) {
+    packed_index_.erase(packed_lru_.back().first);
+    packed_lru_.pop_back();
+    ++stats_.packed_evictions;
+    obs_handles().packed_evictions->add(1);
+  }
+  return packed_lru_.front().second.qb;
+}
+
+Status Context::execute_quant(ConstMatrixView a, ConstMatrixView b,
+                              const quant::QPackedB* qb, MatrixView c,
+                              const quant::QGemmOptions& opts) {
+  const std::uint64_t m = static_cast<std::uint64_t>(std::max(0, c.rows));
+  const std::uint64_t n = static_cast<std::uint64_t>(std::max(0, c.cols));
+  const std::uint64_t k = static_cast<std::uint64_t>(std::max(0, a.cols));
+  obs::SpanScope span("context.execute_i8", m * n, k);
+  ObsHandles& h = obs_handles();
+  const std::uint64_t t0 = common::now_ns();
+  const Status s = qb != nullptr ? quant::qgemm(a, *qb, c, opts)
+                                 : quant::qgemm(a, b, c, opts);
+  const double seconds = static_cast<double>(common::now_ns() - t0) * 1e-9;
+  h.calls->add(1);
+  h.flops->add(2 * m * n * k);
+  h.gemm_seconds->observe(seconds);
+  const QuantShapeObs& qobs = quant_shape_obs(c.rows, c.cols, a.cols);
+  qobs.latency->observe(seconds);
+  qobs.latency_dtype->observe(seconds);
+  return s;
+}
+
+Status Context::run_i8(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+                       float alpha, float beta) {
+  obs::SpanScope span("context.run_i8",
+                      static_cast<std::uint64_t>(std::max(0, c.rows)),
+                      static_cast<std::uint64_t>(std::max(0, c.cols)));
+  GemmExParams params;
+  params.alpha = alpha;
+  params.beta = beta;
+  const Status v = validate_call(a, b, c, params);
+  if (!v.ok()) return record_error(v);
+  const int m = c.rows, n = c.cols, k = a.cols;
+  if (m == 0 || n == 0) return Status::OK();
+  if (k == 0) {
+    detail::scale_c(c, beta);
+    return Status::OK();
+  }
+  quant::QGemmOptions qopts;
+  qopts.alpha = alpha;
+  qopts.beta = beta;
+  return record_error(execute_quant(a, b, nullptr, c, qopts));
+}
+
+Status Context::run_const_b_i8(ConstMatrixView a, ConstMatrixView b,
+                               MatrixView c, float alpha, float beta) {
+  obs::SpanScope span("context.run_const_b_i8",
+                      static_cast<std::uint64_t>(std::max(0, c.rows)),
+                      static_cast<std::uint64_t>(std::max(0, c.cols)));
+  GemmExParams params;
+  params.alpha = alpha;
+  params.beta = beta;
+  const Status v = validate_call(a, b, c, params);
+  if (!v.ok()) return record_error(v);
+  const int m = c.rows, n = c.cols, k = a.cols;
+  if (m == 0 || n == 0) return Status::OK();
+  if (k == 0) {
+    detail::scale_c(c, beta);
+    return Status::OK();
+  }
+  quant::QGemmOptions qopts;
+  qopts.alpha = alpha;
+  qopts.beta = beta;
+  auto qb_or = qpacked_b_for(b);
+  if (!qb_or.ok() &&
+      qb_or.status().code() != StatusCode::kResourceExhausted) {
+    return record_error(qb_or.status());  // C untouched
+  }
+  if (!qb_or.ok()) {
+    // Quantized packing scratch did not fit; the pack-per-call path still
+    // serves the request correctly.
+    record_event(HealthEvent::Kind::kAllocFallback,
+                 "QPackedB allocation failed; serving unpacked");
+    return record_error(execute_quant(a, b, nullptr, c, qopts));
+  }
+  const std::shared_ptr<const quant::QPackedB> qb = qb_or.value();
+  return record_error(execute_quant(a, b, qb.get(), c, qopts));
+}
+
+void Context::gemm_i8(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+                      float alpha, float beta) {
+  (void)run_i8(a, b, c, alpha, beta);
+}
+
+void Context::gemm_const_b_i8(ConstMatrixView a, ConstMatrixView b,
+                              MatrixView c, float alpha, float beta) {
+  (void)run_const_b_i8(a, b, c, alpha, beta);
 }
 
 Status Context::run_batched(const std::vector<BatchItem>& items) {

@@ -60,6 +60,7 @@
 #include <vector>
 
 #include "backend/backend_id.hpp"
+#include "common/dtype.hpp"
 #include "common/matrix.hpp"
 #include "common/status.hpp"
 #include "common/threadpool.hpp"
@@ -71,6 +72,11 @@
 namespace autogemm::obs {
 class Histogram;
 }  // namespace autogemm::obs
+
+namespace autogemm::quant {
+class QPackedB;
+struct QGemmOptions;
+}  // namespace autogemm::quant
 
 namespace autogemm::sim {
 struct SimOptions;
@@ -252,6 +258,27 @@ class Context {
   Status run_const_b(common::ConstMatrixView a, common::ConstMatrixView b,
                      common::MatrixView c, const GemmExParams& params = {});
 
+  /// Quantized int8 entry point: C = alpha * deq(q(A) * q(B)) + beta * C
+  /// with symmetric per-channel int8 quantization of both fp32 operands
+  /// and exact int32 accumulation (quant/qgemm.hpp; the accuracy contract
+  /// — relative Frobenius error <= 1e-2 vs an fp64 reference — lives
+  /// there). No transposes: operands are taken canonical. Shares the obs
+  /// accounting of run() plus the dtype-labeled latency twin
+  /// autogemm_gemm_seconds{shape=...,dtype="i8"}.
+  Status run_i8(common::ConstMatrixView a, common::ConstMatrixView b,
+                common::MatrixView c, float alpha = 1.0f, float beta = 1.0f);
+
+  /// As run_i8(), with B promised constant across calls: its quantized
+  /// packed form (quant::QPackedB — int8 blocks + per-column scales) is
+  /// cached in the same pointer-keyed LRU as the fp32 PackedA/PackedB
+  /// entries, under the same invalidate(ptr)/clear() contract. fp32 and
+  /// int8 packings of the same buffer coexist (the cache key carries the
+  /// dtype), so a weight matrix served at both precisions packs once per
+  /// tier. DNN weight matrices served at int8 are the motivating caller.
+  Status run_const_b_i8(common::ConstMatrixView a, common::ConstMatrixView b,
+                        common::MatrixView c, float alpha = 1.0f,
+                        float beta = 1.0f);
+
   /// Legacy void wrappers over the run* entry points: failures are
   /// recorded in last_error() instead of thrown (C stays untouched on
   /// validation failures).
@@ -261,6 +288,11 @@ class Context {
                     common::MatrixView c, const GemmExParams& params = {});
   void gemm_const_b(common::ConstMatrixView a, common::ConstMatrixView b,
                     common::MatrixView c, const GemmExParams& params = {});
+  void gemm_i8(common::ConstMatrixView a, common::ConstMatrixView b,
+               common::MatrixView c, float alpha = 1.0f, float beta = 1.0f);
+  void gemm_const_b_i8(common::ConstMatrixView a, common::ConstMatrixView b,
+                       common::MatrixView c, float alpha = 1.0f,
+                       float beta = 1.0f);
 
   /// C_i += A_i * B_i for every item through the cached per-shape plans
   /// and the owned pool. The whole batch is validated up front
@@ -393,12 +425,18 @@ class Context {
     const void* data = nullptr;
     int rows = 0, cols = 0, ld = 0;
     bool is_a = false;
+    /// Packing tier the entry was built for: fp32 (PackedA/PackedB) and
+    /// int8 (quant::QPackedB) packings of the same buffer are distinct
+    /// cache lines; invalidate(ptr) drops both.
+    common::DType dtype = common::DType::kF32;
     auto operator<=>(const PackedKey&) const = default;
   };
   struct PackedEntry {
     std::shared_ptr<const PackedA> a;
     std::shared_ptr<const PackedB> b;
     std::shared_ptr<const Plan> plan;  // layout the packing was built for
+    /// Quantized tier (key.dtype == kI8): int8 blocks + per-column scales.
+    std::shared_ptr<const quant::QPackedB> qb;
   };
   /// A cached, verified resolution for one shape. `plan == nullptr` means
   /// the shape is pinned to the reference path. `latency` is the shape's
@@ -407,6 +445,9 @@ class Context {
   struct PlanEntry {
     std::shared_ptr<const Plan> plan;
     obs::Histogram* latency = nullptr;
+    /// The {shape=...,dtype="f32"} twin of `latency` (same registry
+    /// stability argument; the quantized path keeps its own i8 twins).
+    obs::Histogram* latency_dtype = nullptr;
     /// records_gen_ observed when this entry resolved. A hit whose
     /// generation is behind the live counter is stale — the records table
     /// changed since — and re-resolves as a miss.
@@ -430,6 +471,14 @@ class Context {
       common::ConstMatrixView a, const std::shared_ptr<const Plan>& plan);
   StatusOr<std::shared_ptr<const PackedB>> packed_b_for(
       common::ConstMatrixView b, const std::shared_ptr<const Plan>& plan);
+  StatusOr<std::shared_ptr<const quant::QPackedB>> qpacked_b_for(
+      common::ConstMatrixView b);
+  /// Times one quantized call and updates the obs accounting (calls/flops,
+  /// unlabeled + shape-labeled + dtype-labeled latency series). Exactly one
+  /// of b / qb drives the kernel.
+  Status execute_quant(common::ConstMatrixView a, common::ConstMatrixView b,
+                       const quant::QPackedB* qb, common::MatrixView c,
+                       const quant::QGemmOptions& opts);
   common::ThreadPool* effective_pool();
   void note_strategy(bool serial, ParallelStrategy chosen);
   void record_event(HealthEvent::Kind kind, std::string detail);
@@ -482,7 +531,11 @@ Context& default_context();
 /// so a shape that becomes hot after the cap fills stays aggregated under
 /// "other" forever (which is why the online tuner ranks hot shapes from
 /// the serve engine's per-shape request accounting, never from these
-/// labels). Initialized from AUTOGEMM_SHAPE_LABEL_CAP (default 128);
+/// labels). The dtype-labeled twins
+/// (autogemm_gemm_seconds{shape=...,dtype=...}) draw from the same
+/// first-come-first-served label set, so the cap bounds the union of both
+/// families — a shape capped to "other" is "other" in every dtype series
+/// too. Initialized from AUTOGEMM_SHAPE_LABEL_CAP (default 128);
 /// raising the cap at runtime admits new labels, lowering it never evicts
 /// already-assigned ones. The unlabeled autogemm_gemm_seconds histogram
 /// always sees every call regardless of the cap.

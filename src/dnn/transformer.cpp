@@ -1,0 +1,225 @@
+#include "dnn/transformer.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "core/context.hpp"
+
+namespace autogemm::dnn {
+
+namespace {
+
+using common::ConstMatrixView;
+using common::Matrix;
+using common::MatrixView;
+
+/// splitmix64 — same deterministic weight-fill source as models.hpp's
+/// builders and the serve fixtures.
+struct Rng {
+  std::uint64_t s;
+  explicit Rng(std::uint64_t seed) : s(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (s += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  double uniform() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+};
+
+/// Uniform in +-1/sqrt(fan_in): keeps activations O(1) through arbitrarily
+/// many blocks, so the int8 accuracy contract is exercised on data with a
+/// realistic dynamic range rather than on exploding magnitudes.
+void fill_weight(Matrix& w, Rng& rng) {
+  const float scale =
+      1.0f / std::sqrt(static_cast<float>(w.rows() > 0 ? w.rows() : 1));
+  for (int r = 0; r < w.rows(); ++r)
+    for (int c = 0; c < w.cols(); ++c)
+      w.at(r, c) = static_cast<float>(rng.uniform() * 2.0 - 1.0) * scale;
+}
+
+/// Pre-norm layernorm, eps 1e-5, no learned affine (gamma=1, beta=0 — the
+/// GEMM census, not the normalization parameters, is what this model
+/// exists to exercise).
+void layernorm(ConstMatrixView x, MatrixView out) {
+  for (int r = 0; r < x.rows; ++r) {
+    double mean = 0;
+    for (int c = 0; c < x.cols; ++c) mean += x.at(r, c);
+    mean /= x.cols > 0 ? x.cols : 1;
+    double var = 0;
+    for (int c = 0; c < x.cols; ++c) {
+      const double d = x.at(r, c) - mean;
+      var += d * d;
+    }
+    var /= x.cols > 0 ? x.cols : 1;
+    const float inv = 1.0f / std::sqrt(static_cast<float>(var) + 1e-5f);
+    for (int c = 0; c < x.cols; ++c)
+      out.at(r, c) = (x.at(r, c) - static_cast<float>(mean)) * inv;
+  }
+}
+
+/// tanh-approximation GELU (the GPT-2 activation), applied in place.
+void gelu_inplace(MatrixView z) {
+  constexpr float kSqrt2OverPi = 0.7978845608028654f;
+  for (int r = 0; r < z.rows; ++r) {
+    for (int c = 0; c < z.cols; ++c) {
+      const float v = z.at(r, c);
+      const float t = std::tanh(kSqrt2OverPi * (v + 0.044715f * v * v * v));
+      z.at(r, c) = 0.5f * v * (1.0f + t);
+    }
+  }
+}
+
+/// Causal-masked row softmax over a (tokens x tokens) score matrix: row r
+/// attends to columns [0, r] only. Max-subtracted for overflow safety.
+void causal_softmax(MatrixView scores) {
+  for (int r = 0; r < scores.rows; ++r) {
+    float mx = scores.at(r, 0);
+    for (int c = 1; c <= r; ++c) mx = std::max(mx, scores.at(r, c));
+    double sum = 0;
+    for (int c = 0; c <= r; ++c) {
+      const float e = std::exp(scores.at(r, c) - mx);
+      scores.at(r, c) = e;
+      sum += e;
+    }
+    const float inv = static_cast<float>(1.0 / (sum > 0 ? sum : 1.0));
+    for (int c = 0; c <= r; ++c) scores.at(r, c) *= inv;
+    for (int c = r + 1; c < scores.cols; ++c) scores.at(r, c) = 0.0f;
+  }
+}
+
+/// One weight-bearing GEMM at the family's configured precision. Both
+/// tiers overwrite C (beta = 0) and route through the const-B cache, so
+/// the decode loop re-packs nothing.
+Status weight_gemm(Context& ctx, ConstMatrixView a, ConstMatrixView b,
+                   MatrixView c, common::DType dtype) {
+  if (dtype == common::DType::kI8)
+    return ctx.run_const_b_i8(a, b, c, /*alpha=*/1.0f, /*beta=*/0.0f);
+  GemmExParams p;
+  p.beta = 0.0f;
+  return ctx.run_const_b(a, b, c, p);
+}
+
+Status validate_config(const TransformerConfig& cfg) {
+  if (cfg.d_model <= 0 || cfg.n_heads <= 0 || cfg.d_ff <= 0 ||
+      cfg.d_model % cfg.n_heads != 0)
+    return InvalidArgumentError(
+        "transformer: need d_model > 0, d_ff > 0 and n_heads dividing "
+        "d_model (got d_model=" +
+        std::to_string(cfg.d_model) + " n_heads=" +
+        std::to_string(cfg.n_heads) + " d_ff=" + std::to_string(cfg.d_ff) +
+        ")");
+  for (const common::DType dt :
+       {cfg.qkv_dtype, cfg.attn_out_dtype, cfg.ff_dtype}) {
+    if (dt != common::DType::kF32 && dt != common::DType::kI8)
+      return InvalidArgumentError(
+          std::string("transformer: weight GEMMs run fp32 or int8; dtype \"") +
+          common::dtype_name(dt) + "\" has no Context entry point");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+TransformerBlock::TransformerBlock(const TransformerConfig& cfg)
+    : cfg_(cfg),
+      w_qkv_(cfg.d_model, 3 * cfg.d_model),
+      w_out_(cfg.d_model, cfg.d_model),
+      w_fc1_(cfg.d_model, cfg.d_ff),
+      w_fc2_(cfg.d_ff, cfg.d_model) {
+  Rng rng(static_cast<std::uint64_t>(cfg.seed) * 0x9E3779B97F4A7C15ull + 7ull);
+  fill_weight(w_qkv_, rng);
+  fill_weight(w_out_, rng);
+  fill_weight(w_fc1_, rng);
+  fill_weight(w_fc2_, rng);
+}
+
+Status TransformerBlock::forward(ConstMatrixView x, MatrixView y,
+                                 Context& ctx) const {
+  AUTOGEMM_RETURN_IF_ERROR(validate_config(cfg_));
+  const int tokens = x.rows;
+  const int d = cfg_.d_model;
+  if (x.cols != d || y.rows != tokens || y.cols != d)
+    return InvalidArgumentError(
+        "transformer: x must be tokens x d_model and y must match (x is " +
+        std::to_string(x.rows) + "x" + std::to_string(x.cols) + ", y is " +
+        std::to_string(y.rows) + "x" + std::to_string(y.cols) +
+        ", d_model=" + std::to_string(d) + ")");
+  if (tokens == 0) return Status::OK();
+  const int hd = d / cfg_.n_heads;
+
+  // ---- attention half: h = x + W_out . Attn(LN1(x)) ----
+  Matrix ln(tokens, d);
+  layernorm(x, ln.view());
+
+  Matrix qkv(tokens, 3 * d);  // [Q | K | V], one fused projection
+  AUTOGEMM_RETURN_IF_ERROR(
+      weight_gemm(ctx, ln.view(), w_qkv_.view(), qkv.view(), cfg_.qkv_dtype));
+
+  // Per-head GEMMs stay fp32: Q, K and V change every call, so nothing
+  // amortizes quantizing them, and softmax output is the worst case for a
+  // symmetric int8 grid (header). scores is reused across heads.
+  Matrix attn(tokens, d);
+  Matrix scores(tokens, tokens);
+  const float inv_sqrt_hd = 1.0f / std::sqrt(static_cast<float>(hd));
+  for (int h = 0; h < cfg_.n_heads; ++h) {
+    const ConstMatrixView q = qkv.cview().block(0, h * hd, tokens, hd);
+    const ConstMatrixView k = qkv.cview().block(0, d + h * hd, tokens, hd);
+    const ConstMatrixView v = qkv.cview().block(0, 2 * d + h * hd, tokens, hd);
+    // scores = (1/sqrt(hd)) . Q . K^T — the trans_b GEMM the gemm_ex layer
+    // exists for, at the skinny-K (K = head_dim) shape class.
+    GemmExParams sp;
+    sp.trans_b = Trans::kYes;
+    sp.alpha = inv_sqrt_hd;
+    sp.beta = 0.0f;
+    AUTOGEMM_RETURN_IF_ERROR(ctx.run(q, k, scores.view(), sp));
+    causal_softmax(scores.view());
+    GemmExParams pv;
+    pv.beta = 0.0f;
+    AUTOGEMM_RETURN_IF_ERROR(
+        ctx.run(scores.view(), v, attn.view().block(0, h * hd, tokens, hd),
+                pv));
+  }
+
+  Matrix proj(tokens, d);
+  AUTOGEMM_RETURN_IF_ERROR(weight_gemm(ctx, attn.view(), w_out_.view(),
+                                       proj.view(), cfg_.attn_out_dtype));
+  Matrix res(tokens, d);  // h = x + attention output
+  for (int r = 0; r < tokens; ++r)
+    for (int c = 0; c < d; ++c) res.at(r, c) = x.at(r, c) + proj.at(r, c);
+
+  // ---- FFN half: y = h + W_fc2 . gelu(W_fc1 . LN2(h)) ----
+  layernorm(res.view(), ln.view());
+  Matrix ff1(tokens, cfg_.d_ff);
+  AUTOGEMM_RETURN_IF_ERROR(
+      weight_gemm(ctx, ln.view(), w_fc1_.view(), ff1.view(), cfg_.ff_dtype));
+  gelu_inplace(ff1.view());
+  Matrix ff2(tokens, d);
+  AUTOGEMM_RETURN_IF_ERROR(
+      weight_gemm(ctx, ff1.view(), w_fc2_.view(), ff2.view(), cfg_.ff_dtype));
+  for (int r = 0; r < tokens; ++r)
+    for (int c = 0; c < d; ++c) y.at(r, c) = res.at(r, c) + ff2.at(r, c);
+  return Status::OK();
+}
+
+std::vector<std::array<int, 3>> TransformerBlock::gemm_shapes(
+    int tokens, const TransformerConfig& cfg) {
+  std::vector<std::array<int, 3>> out;
+  if (tokens <= 0 || !validate_config(cfg).ok()) return out;
+  const int d = cfg.d_model;
+  const int hd = d / cfg.n_heads;
+  out.push_back({tokens, 3 * d, d});  // QKV projection
+  for (int h = 0; h < cfg.n_heads; ++h) {
+    out.push_back({tokens, tokens, hd});  // Q . K^T scores
+    out.push_back({tokens, hd, tokens});  // P . V mix
+  }
+  out.push_back({tokens, d, d});       // attention out-projection
+  out.push_back({tokens, cfg.d_ff, d});  // FC1
+  out.push_back({tokens, d, cfg.d_ff});  // FC2
+  return out;
+}
+
+}  // namespace autogemm::dnn

@@ -1,4 +1,12 @@
 // Runtime dispatch from a (mr, nr) tile shape to the host micro-kernel.
+//
+// The table below serves the fp32 tier: MicroKernelFn operates on float
+// operand blocks with fp32 accumulation. The int8 widening-accumulate tier
+// has its own kernel signature (int8 operands, int32 accumulators, fp32
+// requantization) and dispatches through kernels/qkernel.hpp — the two
+// tables are deliberately separate because the element types, accumulator
+// widths and epilogues differ, while the (mr, nr) tile vocabulary is shared
+// so tune:: can enumerate either dtype over one search space.
 #pragma once
 
 #include "kernels/microkernel.hpp"

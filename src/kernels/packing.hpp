@@ -6,6 +6,12 @@
 // each block is visited), and offline (B packed once ahead of time and
 // reused across calls — the mode LibShalom and autoGEMM use for the
 // ResNet-50 evaluation, where the weight matrix B is constant).
+//
+// Packed layouts are dtype-generic: a packed block holds rows*dst_ld
+// *elements* of whatever element type the tier packs. The fp32 routines
+// below pack float elements; the int8 tier's packers (quantize-as-you-pack
+// with per-channel scales) live in kernels/qkernel.hpp and follow the same
+// rows/cols/dst_ld contract with int8_t elements.
 #pragma once
 
 #include "common/matrix.hpp"
@@ -13,7 +19,7 @@
 namespace autogemm::kernels {
 
 /// Copies src(rows x cols) into dst with leading dimension dst_ld
-/// (dst must hold rows*dst_ld floats; dst_ld >= cols).
+/// (dst must hold rows*dst_ld elements — float here; dst_ld >= cols).
 void pack_block(common::ConstMatrixView src, float* dst, long dst_ld);
 
 /// pack_block with every element scaled by alpha (used to fold the BLAS

@@ -1,0 +1,58 @@
+// Symmetric int8 quantization primitives.
+//
+// Scheme: symmetric, zero-point-free. A scale s maps fp32 x to
+// q = clamp(round(x / s), -127, 127); dequantization is x~ = s * q. The
+// scale for a channel (or tensor) is max|x| / 127, so the representable
+// range exactly covers the data and the round-trip error obeys
+//
+//     |x - s * q(x)| <= s / 2        (round-to-nearest, no saturation)
+//
+// per element — the bound round_trip_bound() reports. Per-channel
+// granularity (one scale per row of A / per column of B) keeps that bound
+// tied to each channel's own magnitude, which is why per-channel error is
+// never worse than per-tensor on the same data (the property the tests
+// pin). Symmetry matters downstream: GEMM against symmetric quantization
+// needs no zero-point correction terms, so the int32 accumulator is a
+// plain widening dot product (kernels/qkernel.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace autogemm::quant {
+
+/// Quantized range bound: symmetric int8 uses [-127, 127], never -128.
+inline constexpr float kQMax = 127.0f;
+
+/// Scale for a channel whose max absolute value is max_abs. An all-zero
+/// channel gets a minimal positive scale so division is always defined
+/// (every value then quantizes to 0, which is exact).
+float compute_scale(float max_abs);
+
+/// Per-row scales of a (one per row — the A-operand granularity).
+std::vector<float> per_row_scales(common::ConstMatrixView a);
+
+/// Per-column scales of b (one per column — the B-operand granularity).
+std::vector<float> per_col_scales(common::ConstMatrixView b);
+
+/// Single per-tensor scale over the whole view.
+float per_tensor_scale(common::ConstMatrixView m);
+
+/// Quantizes src row-major into dst (same shape, leading dimension dst_ld)
+/// with one scale per row; `scales` has src.rows entries. Use a vector
+/// filled with per_tensor_scale() for per-tensor granularity.
+void quantize_rows(common::ConstMatrixView src, const float* scales,
+                   std::int8_t* dst, long dst_ld);
+
+/// Dequantizes src (rows x cols int8, leading dimension src_ld) into dst
+/// with one scale per row.
+void dequantize_rows(const std::int8_t* src, long src_ld, const float* scales,
+                     common::MatrixView dst);
+
+/// The guaranteed per-element round-trip bound for the given scales:
+/// max_i scales[i] / 2.
+float round_trip_bound(const float* scales, std::size_t count);
+
+}  // namespace autogemm::quant

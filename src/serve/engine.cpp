@@ -115,6 +115,35 @@ ServeObs& serve_obs() {
   return h;
 }
 
+/// Dtype-labeled twin of the batch counter, alongside (never instead of)
+/// the unlabeled aggregate: autogemm_serve_batches_total{dtype=...} splits
+/// dispatch volume by execution tier, the serving-side mirror of the
+/// autogemm_gemm_seconds{shape=,dtype=} latency twins in core.
+/// Executes one request on its tier: fp32 through the tuned plan path,
+/// int8 through the cached-QPackedB quantized path (a serving stream
+/// repeats B data pointers per shape, so the quantized packing is built
+/// once and hits the packed LRU on every later request).
+Status run_request(Context& ctx, const serve::GemmRequest& req) {
+  if (req.dtype == common::DType::kI8)
+    return ctx.run_const_b_i8(req.a, req.b, req.c);
+  return ctx.run(req.a, req.b, req.c);
+}
+
+obs::Counter& dtype_batches_counter(common::DType dtype) {
+  static std::mutex mu;
+  static std::map<common::DType, obs::Counter*>& cache =
+      *new std::map<common::DType, obs::Counter*>;
+  std::lock_guard lock(mu);
+  auto it = cache.find(dtype);
+  if (it == cache.end()) {
+    obs::Counter& c = obs::default_registry().counter(
+        "autogemm_serve_batches_total{dtype=\"" +
+        std::string(common::dtype_name(dtype)) + "\"}");
+    it = cache.emplace(dtype, &c).first;
+  }
+  return *it->second;
+}
+
 }  // namespace
 
 /// Shard-labeled twins of the key serve metrics. Resolved once per shard
@@ -260,10 +289,19 @@ std::vector<tune::HotShape> Engine::hot_shapes(std::size_t limit) const {
   std::vector<tune::HotShape> out;
   {
     std::lock_guard lock(mu_);
+    // Buckets key on (m, n, k, dtype); the tuner prices *shapes*, so a
+    // shape's fp32 and int8 traffic counts as one bucket here. The map is
+    // ordered, so all dtypes of one shape are adjacent.
     out.reserve(shape_requests_.size());
-    for (const auto& [key, count] : shape_requests_)
-      out.push_back(tune::HotShape{std::get<0>(key), std::get<1>(key),
-                                   std::get<2>(key), count});
+    for (const auto& [key, count] : shape_requests_) {
+      if (!out.empty() && out.back().m == std::get<0>(key) &&
+          out.back().n == std::get<1>(key) && out.back().k == std::get<2>(key)) {
+        out.back().requests += count;
+      } else {
+        out.push_back(tune::HotShape{std::get<0>(key), std::get<1>(key),
+                                     std::get<2>(key), count});
+      }
+    }
   }
   std::stable_sort(out.begin(), out.end(),
                    [](const tune::HotShape& a, const tune::HotShape& b) {
@@ -318,9 +356,15 @@ std::future<Status> Engine::submit_internal(const GemmRequest& req,
   // Validation happens at admission so a malformed request never occupies
   // a queue slot (and its error surfaces immediately, not a batch window
   // later).
-  const Status valid =
-      validate_batch_item(BatchItem{req.a, req.b, req.c});
-  const ShapeKey shape{req.c.rows, req.c.cols, req.a.cols};
+  Status valid = validate_batch_item(BatchItem{req.a, req.b, req.c});
+  if (valid.ok() && req.dtype != common::DType::kF32 &&
+      req.dtype != common::DType::kI8) {
+    valid = InvalidArgumentError(
+        std::string("serve: unsupported request dtype \"") +
+        common::dtype_name(req.dtype) + "\" (servable tiers: f32, i8)");
+  }
+  const ShapeKey shape{req.c.rows, req.c.cols, req.a.cols,
+                       static_cast<int>(req.dtype)};
 
   Status reject;
   obs::Counter* reject_counter = nullptr;
@@ -431,7 +475,7 @@ std::future<Status> Engine::submit_internal(const GemmRequest& req,
       if (failpoint::should_fail("serve.execute")) {
         s = exec_failpoint_status();
       } else {
-        s = ctx_.run(req.a, req.b, req.c);
+        s = run_request(ctx_, req);
       }
       o.dispatched_single->add(1);
       (s.ok() ? o.completed_ok : o.completed_error)->add(1);
@@ -602,20 +646,21 @@ void Engine::set_breaker_state_locked(Breaker& b, Breaker::St to,
 
 void Engine::release_probe_locked(const Pending& p) {
   if (!p.breaker_probe) return;
-  auto it = breakers_.find(
-      ShapeKey{p.req.c.rows, p.req.c.cols, p.req.a.cols});
+  auto it = breakers_.find(ShapeKey{p.req.c.rows, p.req.c.cols, p.req.a.cols,
+                                    static_cast<int>(p.req.dtype)});
   if (it == breakers_.end()) return;
   if (it->second.st == Breaker::St::kHalfOpen)
     it->second.probe_in_flight = false;
 }
 
-void Engine::take_same_shape_locked(int m, int n, int k,
+void Engine::take_same_shape_locked(int m, int n, int k, common::DType dtype,
                                     std::vector<Pending>* batch) {
   for (std::deque<Pending>* lane : {&interactive_, &bulk_}) {
     for (auto it = lane->begin();
          it != lane->end() && batch->size() < opts_.max_batch;) {
       const GemmRequest& r = it->req;
-      if (r.c.rows == m && r.c.cols == n && r.a.cols == k) {
+      if (r.c.rows == m && r.c.cols == n && r.a.cols == k &&
+          r.dtype == dtype) {
         batch->push_back(std::move(*it));
         it = lane->erase(it);
       } else {
@@ -740,7 +785,8 @@ void Engine::dispatcher_run(std::unique_lock<std::mutex>& lock,
 
     const GemmRequest& seed = batch.front().req;
     const int m = seed.c.rows, n = seed.c.cols, k = seed.a.cols;
-    take_same_shape_locked(m, n, k, &batch);
+    const common::DType dt = seed.dtype;
+    take_same_shape_locked(m, n, k, dt, &batch);
 
     if (!draining && opts_.max_batch_delay_ns > 0 &&
         batch.size() < opts_.max_batch) {
@@ -758,10 +804,10 @@ void Engine::dispatcher_run(std::unique_lock<std::mutex>& lock,
              state_ == EngineState::kRunning && gen == dispatcher_gen_) {
         if (cv_.wait_until(lock, to_time_point(wait_end)) ==
             std::cv_status::timeout) {
-          take_same_shape_locked(m, n, k, &batch);
+          take_same_shape_locked(m, n, k, dt, &batch);
           break;
         }
-        take_same_shape_locked(m, n, k, &batch);
+        take_same_shape_locked(m, n, k, dt, &batch);
       }
     }
     publish_depth_locked();
@@ -878,7 +924,8 @@ void Engine::degrade_to_inline_locked(std::unique_lock<std::mutex>& lock) {
     batch.push_back(std::move(lane.front()));
     lane.pop_front();
     const GemmRequest& seed = batch.front().req;
-    take_same_shape_locked(seed.c.rows, seed.c.cols, seed.a.cols, &batch);
+    take_same_shape_locked(seed.c.rows, seed.c.cols, seed.a.cols, seed.dtype,
+                           &batch);
     publish_depth_locked();
     lock.unlock();
     try {
@@ -922,10 +969,11 @@ void Engine::dispatch(std::vector<Pending> batch) {
     for (auto& p : expired) finish(p, deadline_status(p.req, now));
   }
   if (live.empty()) return;
-  // take_same_shape_locked built a same-shape batch, so one breaker key
-  // covers every live member.
+  // take_same_shape_locked built a same-shape same-dtype batch, so one
+  // breaker key covers every live member.
+  const common::DType dt = live.front().req.dtype;
   const ShapeKey shape{live.front().req.c.rows, live.front().req.c.cols,
-                       live.front().req.a.cols};
+                       live.front().req.a.cols, static_cast<int>(dt)};
 
   obs::SpanScope span("serve.dispatch",
                       static_cast<std::uint64_t>(live.size()),
@@ -961,34 +1009,53 @@ void Engine::dispatch(std::vector<Pending> batch) {
   std::vector<Status> statuses(live.size());
   std::uint64_t ok = 0, failed = 0;
   if (!grouped.empty()) {
-    if (singles.empty()) {
-      // The common path: the whole dispatch is one group; `items` is
-      // already exactly it.
+    if (dt == common::DType::kI8) {
+      // Quantized group: there is no run_batched for the int8 tier, but
+      // the group still amortizes — every member hits the same cached
+      // QPackedB (packed on the first request of this B pointer), so the
+      // per-member cost is quantize-A plus the widening kernel.
+      for (std::size_t i : grouped) {
+        if (failpoint::should_fail("serve.execute")) {
+          statuses[i] = exec_failpoint_status();
+        } else {
+          statuses[i] =
+              ctx_.run_const_b_i8(live[i].req.a, live[i].req.b, live[i].req.c);
+        }
+        (statuses[i].ok() ? o.completed_ok : o.completed_error)->add(1);
+        ++(statuses[i].ok() ? ok : failed);
+      }
     } else {
-      items.clear();
-      for (std::size_t i : grouped)
-        items.push_back(BatchItem{live[i].req.a, live[i].req.b, live[i].req.c});
-    }
-    // Prevalidated: every member passed validate_batch_item at admission
-    // and conflict-swept members were demoted to singles above.
-    Status s;
-    if (failpoint::should_fail("serve.execute")) {
-      s = exec_failpoint_status();
-    } else {
-      s = ctx_.run_batched_prevalidated(items);
+      if (singles.empty()) {
+        // The common path: the whole dispatch is one group; `items` is
+        // already exactly it.
+      } else {
+        items.clear();
+        for (std::size_t i : grouped)
+          items.push_back(
+              BatchItem{live[i].req.a, live[i].req.b, live[i].req.c});
+      }
+      // Prevalidated: every member passed validate_batch_item at admission
+      // and conflict-swept members were demoted to singles above.
+      Status s;
+      if (failpoint::should_fail("serve.execute")) {
+        s = exec_failpoint_status();
+      } else {
+        s = ctx_.run_batched_prevalidated(items);
+      }
+      (s.ok() ? o.completed_ok : o.completed_error)->add(grouped.size());
+      (s.ok() ? ok : failed) += grouped.size();
+      for (std::size_t i : grouped) statuses[i] = s;
     }
     o.batches->add(1);
+    dtype_batches_counter(dt).add(1);
     o.dispatched_batched->add(grouped.size());
     o.batch_size->observe(static_cast<double>(grouped.size()));
-    (s.ok() ? o.completed_ok : o.completed_error)->add(grouped.size());
-    (s.ok() ? ok : failed) += grouped.size();
-    for (std::size_t i : grouped) statuses[i] = s;
   }
   for (std::size_t i : singles) {
     if (failpoint::should_fail("serve.execute")) {
       statuses[i] = exec_failpoint_status();
     } else {
-      statuses[i] = ctx_.run(live[i].req.a, live[i].req.b, live[i].req.c);
+      statuses[i] = run_request(ctx_, live[i].req);
     }
     o.dispatched_single->add(1);
     (statuses[i].ok() ? o.completed_ok : o.completed_error)->add(1);

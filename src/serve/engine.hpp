@@ -137,6 +137,7 @@
 
 #include <memory>
 
+#include "common/dtype.hpp"
 #include "common/matrix.hpp"
 #include "common/status.hpp"
 #include "core/context.hpp"
@@ -162,6 +163,15 @@ struct GemmRequest {
   common::ConstMatrixView a;
   common::ConstMatrixView b;
   common::MatrixView c;
+  /// Execution tier. fp32 runs the tuned kernel path; int8 quantizes both
+  /// operands (Context::run_const_b_i8 — B's quantized packing is cached
+  /// under its data pointer, so serving traffic that repeats a weight
+  /// matrix amortizes the packing). Shape buckets key on (m, n, k, dtype):
+  /// fp32 and int8 requests of the same shape never co-batch — they run
+  /// different kernels with different packed layouts, and a mixed group
+  /// would serialize through the slower tier's path. Other dtypes are
+  /// rejected at admission with kInvalidArgument.
+  common::DType dtype = common::DType::kF32;
   Lane lane = Lane::kBulk;
   /// Absolute deadline in common::now_ns() time; 0 = no deadline. A
   /// request past its deadline completes with kDeadlineExceeded before
@@ -414,8 +424,9 @@ class Engine {
 
   /// Hottest shape buckets by admitted-request count, descending; at most
   /// `limit` entries (0 = all). Counts are monotonic over the engine's
-  /// lifetime and include inline-mode admissions. This — not the obs
-  /// shape labels — is the online tuner's ranking feed.
+  /// lifetime, include inline-mode admissions, and aggregate across
+  /// dtypes (a shape hot at both tiers ranks by its total traffic). This
+  /// — not the obs shape labels — is the online tuner's ranking feed.
   std::vector<tune::HotShape> hot_shapes(std::size_t limit = 0) const;
 
   /// The owned online tuner; nullptr unless enable_online_tuner was set.
@@ -446,7 +457,10 @@ class Engine {
     std::uint64_t opened_ns = 0;
     bool probe_in_flight = false;
   };
-  using ShapeKey = std::tuple<int, int, int>;  // m, n, k
+  /// Shape-bucket key: m, n, k, dtype (as int). Carrying the dtype keeps
+  /// fp32 and int8 traffic in separate buckets — batching, breakers and
+  /// per-shape accounting never mix tiers.
+  using ShapeKey = std::tuple<int, int, int, int>;
 
   std::future<Status> submit_internal(const GemmRequest& req,
                                       std::function<void(Status)> done);
@@ -465,9 +479,10 @@ class Engine {
   /// Completes the promise + callback exactly once (stats are counted at
   /// the call sites, which know the outcome category).
   static void finish(Pending& p, const Status& s);
-  /// Moves every queued request matching (m, n, k) into *batch, both
-  /// lanes, FIFO within each lane, up to max_batch.
-  void take_same_shape_locked(int m, int n, int k,
+  /// Moves every queued request matching (m, n, k, dtype) into *batch,
+  /// both lanes, FIFO within each lane, up to max_batch. Dtype is part of
+  /// the match: an int8 request never joins an fp32 group.
+  void take_same_shape_locked(int m, int n, int k, common::DType dtype,
                               std::vector<Pending>* batch);
   /// Breaker admission decision for `key`: nullopt admits (marking
   /// *probe when this admission is the half-open probe), a Status

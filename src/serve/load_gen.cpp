@@ -52,6 +52,7 @@ struct Slot {
   std::uint64_t done_ns = 0;
   StatusCode code = StatusCode::kInternal;
   Lane lane = Lane::kBulk;
+  common::DType dtype = common::DType::kF32;
   std::atomic<bool> done{false};
 };
 
@@ -156,6 +157,7 @@ LoadReport run_open_loop(const SubmitFn& submit,
     slots[i].lane = rng.uniform() < opts.interactive_fraction
                         ? Lane::kInteractive
                         : Lane::kBulk;
+    slots[i].dtype = shapes[si].dtype;
   }
   const std::vector<std::uint64_t> schedule = arrival_offsets_ns(opts);
 
@@ -170,6 +172,7 @@ LoadReport run_open_loop(const SubmitFn& submit,
     req.a = op.a.view();
     req.b = op.b.view();
     req.c = cs[i].view();
+    req.dtype = slots[i].dtype;
     req.lane = slots[i].lane;
     const std::uint64_t now = common::now_ns();
     if (opts.deadline_rel_ns != 0) req.deadline_ns = now + opts.deadline_rel_ns;
@@ -192,21 +195,29 @@ LoadReport run_open_loop(const SubmitFn& submit,
 
   // --- aggregate ---
   std::vector<double> ok_ms;
+  std::vector<double> f32_ms, i8_ms;
   ok_ms.reserve(n);
   std::uint64_t last_done_ns = last_submit_ns;
   for (std::size_t i = 0; i < n; ++i) {
     LaneOutcomes& lane =
         slots[i].lane == Lane::kInteractive ? rep.interactive : rep.bulk;
+    DtypeOutcomes& tier =
+        slots[i].dtype == common::DType::kI8 ? rep.i8 : rep.f32;
     ++lane.submitted;
+    ++tier.submitted;
     if (!slots[i].done.load(std::memory_order_acquire)) {
       ++rep.unresolved;
       continue;
     }
     count_outcome(lane, slots[i].code);
     last_done_ns = std::max(last_done_ns, slots[i].done_ns);
-    if (slots[i].code == StatusCode::kOk)
-      ok_ms.push_back(
-          static_cast<double>(slots[i].done_ns - slots[i].submit_ns) * 1e-6);
+    if (slots[i].code == StatusCode::kOk) {
+      ++tier.ok;
+      const double ms =
+          static_cast<double>(slots[i].done_ns - slots[i].submit_ns) * 1e-6;
+      ok_ms.push_back(ms);
+      (slots[i].dtype == common::DType::kI8 ? i8_ms : f32_ms).push_back(ms);
+    }
   }
   const double submit_span_s =
       static_cast<double>(last_submit_ns - start_ns) * 1e-9;
@@ -220,6 +231,15 @@ LoadReport run_open_loop(const SubmitFn& submit,
   rep.p50_ms = quantile_ms(ok_ms, 0.50);
   rep.p99_ms = quantile_ms(ok_ms, 0.99);
   rep.max_ms = ok_ms.empty() ? 0.0 : ok_ms.back();
+  const auto tier_stats = [&rep](std::vector<double>& ms,
+                                 DtypeOutcomes& tier) {
+    std::sort(ms.begin(), ms.end());
+    tier.goodput_rps = static_cast<double>(tier.ok) / rep.elapsed_s;
+    tier.p50_ms = quantile_ms(ms, 0.50);
+    tier.p99_ms = quantile_ms(ms, 0.99);
+  };
+  tier_stats(f32_ms, rep.f32);
+  tier_stats(i8_ms, rep.i8);
   return rep;
 }
 

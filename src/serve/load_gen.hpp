@@ -62,10 +62,14 @@ struct LoadGenOptions {
   std::uint64_t completion_timeout_ns = 30'000'000'000ull;
 };
 
-/// One shape in the offered mix; weights need not normalize.
+/// One shape in the offered mix; weights need not normalize. The dtype
+/// rides along on every request generated for this shape, so a mix can
+/// offer fp32 and int8 traffic side by side (they never co-batch — the
+/// engine buckets on (shape, dtype)).
 struct LoadShape {
   int m = 8, n = 8, k = 8;
   double weight = 1.0;
+  common::DType dtype = common::DType::kF32;
 };
 
 /// Terminal-outcome counts for one lane.
@@ -78,6 +82,18 @@ struct LaneOutcomes {
   std::uint64_t errors = 0;    ///< everything else non-OK
 };
 
+/// Per-tier slice of one run's outcomes (fp32 vs int8 when the mix offers
+/// both); a tier absent from the mix reports zeros. Latency quantiles are
+/// over that tier's OK requests only, same rationale as the run-level
+/// p50/p99.
+struct DtypeOutcomes {
+  std::uint64_t submitted = 0;
+  std::uint64_t ok = 0;
+  double goodput_rps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
 struct LoadReport {
   double offered_rps = 0;   ///< configured arrival rate
   double achieved_rps = 0;  ///< realized submission rate (pacing fidelity)
@@ -88,6 +104,9 @@ struct LoadReport {
   std::uint64_t requests = 0;
   LaneOutcomes interactive;
   LaneOutcomes bulk;
+  /// fp32-vs-int8 split (BENCH_quant_serve's goodput/p99 comparison).
+  DtypeOutcomes f32;
+  DtypeOutcomes i8;
   /// Submission-to-completion latency over OK requests only (a shed
   /// request "completes" fast; mixing it in would flatter overload).
   double p50_ms = 0;

@@ -19,9 +19,11 @@
 //   autogemm chaos [--seed S] [--seeds N] [--submitters T] [--requests R]
 //                                           seeded chaos runs against the
 //                                           serve engine (CI resilience gate)
-//   autogemm crosscheck [--kc K]            NEON host path vs simulated-SVE
-//                                           vs reference on an irregular
-//                                           tile sweep (CI gate)
+//   autogemm crosscheck [--kc K] [--dtype f32|int8]
+//                                           f32: NEON host path vs simulated
+//                                           -SVE vs reference; int8: portable
+//                                           vs widening quantized kernels vs
+//                                           fp64 reference (CI gates)
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -49,6 +51,7 @@
 #include "kernels/dispatch.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "quant/qgemm.hpp"
 #include "serve/chaos.hpp"
 #include "serve/engine.hpp"
 #include "serve/router.hpp"
@@ -82,7 +85,8 @@ int usage() {
       "               [--drain-timeout-us U] [--tune] [--records FILE]\n"
       "               [--shards N]\n"
       "                                          replay a shape trace (lines\n"
-      "                                          of `M N K [count] [lane]`)\n"
+      "                                          of `M N K [count] [lane]\n"
+      "                                          [dtype]`, dtype f32|int8)\n"
       "                                          against the serve engine;\n"
       "                                          --drain-timeout-us bounds the\n"
       "                                          graceful drain; --tune runs\n"
@@ -99,9 +103,11 @@ int usage() {
       "                                          seeded fault-injection runs\n"
       "                                          against the serve engine; any\n"
       "                                          invariant violation is fatal\n"
-      "  crosscheck [--kc K]                     NEON host path vs simulated\n"
-      "                                          SVE (two VLs) vs reference\n"
-      "                                          on irregular tiles\n");
+      "  crosscheck [--kc K] [--dtype f32|int8]  f32: NEON host path vs\n"
+      "                                          simulated SVE vs reference;\n"
+      "                                          int8: portable vs widening\n"
+      "                                          quantized kernels vs fp64\n"
+      "                                          reference, on irregular tiles\n");
   return 2;
 }
 
@@ -319,10 +325,16 @@ int cmd_trace(int argc, char** argv) {
 // Replays a shape trace against the serve engine and prints request
 // accounting in a grep-friendly form (tools/ci.sh asserts on the
 // `overload_events=` / `accounting=` line). Trace lines are
-// `M N K [count] [lane]`; `#` starts a comment; lane is `interactive`
-// or `bulk` (default). Requests of one shape share their A and B
-// operands, so same-shape groups exercise run_batched's shared-operand
-// packing exactly as a production stream of one model's layer would.
+// `M N K [count] [lane] [dtype]`; `#` starts a comment; lane is
+// `interactive` or `bulk` (default); dtype is any spelling
+// common::parse_dtype accepts (default f32 — `int8` routes the request
+// through the engine's quantized bucket, which never co-batches with
+// the same shape's fp32 traffic). Requests of one shape share their A
+// and B operands, so same-shape groups exercise run_batched's
+// shared-operand packing (and the int8 tier's cached QPackedB) exactly
+// as a production stream of one model's layer would. --verify checks
+// fp32 results elementwise against the reference GEMM and int8 results
+// against the quant tier's relative-Frobenius contract (1e-2).
 int cmd_serve_replay(int argc, char** argv) {
   if (argc < 1) return usage();
   const std::string path = argv[0];
@@ -347,6 +359,7 @@ int cmd_serve_replay(int argc, char** argv) {
   struct Line {
     int m, n, k, count;
     serve::Lane lane;
+    common::DType dtype;
   };
   std::vector<Line> lines;
   std::ifstream in(path);
@@ -359,12 +372,13 @@ int cmd_serve_replay(int argc, char** argv) {
     const auto hash = raw.find('#');
     if (hash != std::string::npos) raw.resize(hash);
     std::istringstream ls(raw);
-    Line line{0, 0, 0, 1, serve::Lane::kBulk};
+    Line line{0, 0, 0, 1, serve::Lane::kBulk, common::DType::kF32};
     if (!(ls >> line.m >> line.n >> line.k)) continue;  // blank/comment
     std::string tok;
     while (ls >> tok) {
       if (tok == "interactive") line.lane = serve::Lane::kInteractive;
       else if (tok == "bulk") line.lane = serve::Lane::kBulk;
+      else if (common::parse_dtype(tok, &line.dtype)) continue;
       else line.count = std::atoi(tok.c_str());
     }
     if (line.m < 0 || line.n < 0 || line.k < 0 || line.count < 1) {
@@ -456,8 +470,10 @@ int cmd_serve_replay(int argc, char** argv) {
     std::future<Status> future;
     common::Matrix c;
     Operands* operands;
-    Submitted(std::future<Status> f, int m, int n, Operands* o)
-        : future(std::move(f)), c(m, n), operands(o) {}
+    common::DType dtype;
+    Submitted(std::future<Status> f, int m, int n, Operands* o,
+              common::DType d)
+        : future(std::move(f)), c(m, n), operands(o), dtype(d) {}
   };
   std::vector<std::unique_ptr<Submitted>> requests;
   std::size_t interactive = 0, bulk = 0;
@@ -466,13 +482,14 @@ int cmd_serve_replay(int argc, char** argv) {
       Operands& ops = shape_for(line.m, line.n, line.k);
       for (int i = 0; i < line.count; ++i) {
         requests.push_back(std::make_unique<Submitted>(
-            std::future<Status>(), line.m, line.n, &ops));
+            std::future<Status>(), line.m, line.n, &ops, line.dtype));
         Submitted& req = *requests.back();
         serve::GemmRequest g;
         g.a = ops.a.view();
         g.b = ops.b.view();
         g.c = req.c.view();
         g.lane = line.lane;
+        g.dtype = line.dtype;
         if (deadline_us > 0)
           g.deadline_ns = common::now_ns() +
                           static_cast<std::uint64_t>(deadline_us) * 1000;
@@ -522,10 +539,18 @@ int cmd_serve_replay(int argc, char** argv) {
     switch (s.code()) {
       case StatusCode::kOk:
         ++ok;
-        if (verify &&
-            common::max_rel_error(req->c.view(), req->operands->c_ref.view()) >
-                1e-3f)
-          ++mismatches;
+        if (verify) {
+          // int8 results are judged by the quant tier's norm contract;
+          // exact elementwise bounds don't apply to quantized output.
+          const bool bad =
+              req->dtype == common::DType::kI8
+                  ? common::rel_frobenius_error(req->c.view(),
+                                                req->operands->c_ref.view()) >
+                        1e-2
+                  : common::max_rel_error(req->c.view(),
+                                          req->operands->c_ref.view()) > 1e-3f;
+          if (bad) ++mismatches;
+        }
         break;
       case StatusCode::kResourceExhausted: ++rejected; break;
       case StatusCode::kUnavailable: ++shed; break;
@@ -638,6 +663,59 @@ int cmd_chaos(int argc, char** argv) {
   return violations == 0 ? 0 : 7;
 }
 
+// Quantized crosscheck (`crosscheck --dtype int8`) on the same irregular
+// tile sweep as the f32 leg. For each tile:
+//   * reference_gemm computes the fp64-accumulated ground truth;
+//   * the portable scalar quantized kernel must satisfy the int8 accuracy
+//     contract (relative Frobenius error <= 1e-2, quant/qgemm.hpp);
+//   * the widening SIMD path must satisfy it too AND agree with the
+//     portable kernel bit-for-bit — integer accumulation is exact on
+//     both, so any divergence is a kernel bug, not rounding.
+// Exit 0 and a final `crosscheck: ... failures=0` line on success — the
+// CI gate greps for it, same contract as the f32 leg.
+int cmd_crosscheck_i8(int kc, const int (*tiles)[2], std::size_t n_tiles) {
+  int failures = 0, checks = 0;
+  for (std::size_t t = 0; t < n_tiles; ++t) {
+    const int mr = tiles[t][0], nr = tiles[t][1];
+    common::Matrix a(mr, kc), b(kc, nr);
+    common::Matrix c_ref(mr, nr), c_port(mr, nr), c_simd(mr, nr);
+    common::fill_random(a.view(), 7);
+    common::fill_random(b.view(), 13);
+    common::reference_gemm(a.view(), b.view(), c_ref.view());
+
+    quant::QGemmOptions qo;
+    qo.beta = 0.0f;
+    qo.force_portable = true;
+    const Status sp = quant::qgemm(a.view(), b.view(), c_port.view(), qo);
+    qo.force_portable = false;
+    const Status ss = quant::qgemm(a.view(), b.view(), c_simd.view(), qo);
+    const double port_err =
+        sp.ok() ? common::rel_frobenius_error(c_port.view(), c_ref.view())
+                : -1.0;
+    const double simd_err =
+        ss.ok() ? common::rel_frobenius_error(c_simd.view(), c_ref.view())
+                : -1.0;
+    bool identical = sp.ok() && ss.ok();
+    for (int r = 0; identical && r < mr; ++r)
+      for (int c = 0; c < nr; ++c)
+        if (c_port.at(r, c) != c_simd.at(r, c)) {
+          identical = false;
+          break;
+        }
+    checks += 3;
+    const bool ok = sp.ok() && ss.ok() && port_err <= 1e-2 &&
+                    simd_err <= 1e-2 && identical;
+    if (!ok) ++failures;
+    std::printf("crosscheck i8 %dx%dx%d portable_err=%g simd_err=%g "
+                "bit_identical=%s %s\n",
+                mr, nr, kc, port_err, simd_err, identical ? "yes" : "NO",
+                ok ? "OK" : "FAIL");
+  }
+  std::printf("crosscheck: dtype=i8 tiles=%zu checks=%d failures=%d\n",
+              n_tiles, checks, failures);
+  return failures == 0 ? 0 : 6;
+}
+
 // Three-way crosscheck on a sweep of irregular micro-tiles — the shapes
 // the paper's predicated SVE tier exists for (column counts that are not
 // a multiple of any vector length). For each tile:
@@ -648,9 +726,24 @@ int cmd_chaos(int argc, char** argv) {
 //     functional interpreter at every VL from its generation width up to
 //     the A64FX's 16 lanes, must match it at each VL.
 // Exit 0 and a final `crosscheck: ... failures=0` line on success — this
-// is the CI gate tools/ci.sh greps for.
+// is the CI gate tools/ci.sh greps for. `--dtype int8` swaps in the
+// quantized-tier leg above over the same tiles.
 int cmd_crosscheck(int argc, char** argv) {
   const int kc = std::atoi(flag_value(argc, argv, "--kc", "17"));
+  static const int tiles_i8[][2] = {
+      {5, 10}, {3, 7}, {6, 18}, {7, 22}, {2, 30}, {4, 13}, {8, 6}, {1, 27},
+  };
+  const std::string dtype_flag = flag_value(argc, argv, "--dtype", "f32");
+  common::DType dtype = common::DType::kF32;
+  if (!common::parse_dtype(dtype_flag, &dtype) ||
+      dtype == common::DType::kBf16) {
+    std::fprintf(stderr, "crosscheck: unsupported --dtype %s (f32|int8)\n",
+                 dtype_flag.c_str());
+    return 2;
+  }
+  if (dtype == common::DType::kI8)
+    return cmd_crosscheck_i8(kc, tiles_i8,
+                             sizeof(tiles_i8) / sizeof(tiles_i8[0]));
   const struct { int mr, nr; } tiles[] = {
       {5, 10}, {3, 7}, {6, 18}, {7, 22}, {2, 30}, {4, 13}, {8, 6}, {1, 27},
   };

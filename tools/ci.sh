@@ -213,6 +213,39 @@ for config in "${configs[@]}"; do
       ./build/tools/autogemm crosscheck | tee build/backend_crosscheck.txt
       grep -Eq 'crosscheck: tiles=[0-9]+ checks=[0-9]+ failures=0' \
         build/backend_crosscheck.txt
+      echo "==== [release] quantized crosscheck (portable vs widening vs fp64) ===="
+      # The int8 leg over the same irregular tiles: both quantized kernels
+      # must meet the 1e-2 relative-Frobenius contract against the fp64
+      # reference AND agree with each other bit-for-bit (integer
+      # accumulation is exact on both paths).
+      ./build/tools/autogemm crosscheck --dtype int8 \
+        | tee build/quant_crosscheck.txt
+      grep -Eq 'crosscheck: dtype=i8 tiles=[0-9]+ checks=[0-9]+ failures=0' \
+        build/quant_crosscheck.txt
+      echo "==== [release] quantized serve smoke: GPT-2 decode trace ===="
+      # The mixed fp32/int8 token-generation trace (prefill burst + skinny-M
+      # decode steps) through a 2-shard fleet: every future resolves, fp32
+      # results verify elementwise, int8 results verify against the norm
+      # contract, and the books balance on the aggregate and every shard.
+      ./build/tools/autogemm serve-replay tools/traces/gpt2_decode.trace \
+        --verify --shards 2 | tee build/quant_serve_smoke.txt
+      grep -q 'overload_events=0 accounting=clean' build/quant_serve_smoke.txt
+      echo "==== [release] quantized GEMM bench ===="
+      # Gates the int8 tier's twin contract: rel-err <= 1e-2 vs fp64 on
+      # every shape AND >= 1.3x over fp32 at the compute-bound shapes.
+      ./build/bench/bench_quant --json-out build/bench_quant.json \
+        | tee build/quant_bench.txt
+      grep -q 'quant acceptance: PASS' build/quant_bench.txt
+      cp build/bench_quant.json BENCH_quant.json
+      echo "==== [release] quantized serving bench (mixed dtype, 2 shards) ===="
+      # Open-loop GPT-2-style mixed trace: zero unresolved futures, clean
+      # accounting everywhere, both tiers completing; the JSON carries the
+      # fp32-vs-int8 goodput and p99 split.
+      ./build/bench/bench_quant_serve \
+        --json-out build/bench_quant_serve.json \
+        | tee build/quant_serve_bench.txt
+      grep -Eq 'quant serve acceptance.*PASS' build/quant_serve_bench.txt
+      cp build/bench_quant_serve.json BENCH_quant_serve.json
       ;;
     asan)
       run_config asan build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -230,6 +263,32 @@ for config in "${configs[@]}"; do
       ./build-asan/tools/autogemm chaos --seed 1 --seeds 6 --shards 2 \
         | tee build-asan/serve_chaos_sharded.txt
       grep -q 'chaos: seeds=6 violations=0' build-asan/serve_chaos_sharded.txt
+      echo "==== [asan] quantized crosscheck ===="
+      # Bit-identity between the portable and SIMD int8 paths must hold
+      # with the sanitizers' memory layout too — scale/pack buffers are
+      # the quant tier's pointer-heavy surface.
+      ./build-asan/tools/autogemm crosscheck --dtype int8 \
+        | tee build-asan/quant_crosscheck.txt
+      grep -Eq 'crosscheck: dtype=i8 tiles=[0-9]+ checks=[0-9]+ failures=0' \
+        build-asan/quant_crosscheck.txt
+      echo "==== [asan] quantized serve smoke: GPT-2 decode trace ===="
+      ./build-asan/tools/autogemm serve-replay \
+        tools/traces/gpt2_decode.trace --drain-timeout-us 2000000 \
+        --verify --shards 2 | tee build-asan/quant_serve_smoke.txt
+      grep -q 'overload_events=0 accounting=clean' \
+        build-asan/quant_serve_smoke.txt
+      echo "==== [asan] quantized GEMM bench ===="
+      # The accuracy gate is exact under ASan; the 1.3x compute-bound
+      # speedup gate also holds because instrumentation slows fp32 and
+      # int8 alike (both sides are measured in the same binary).
+      ./build-asan/bench/bench_quant --json-out build-asan/bench_quant.json \
+        | tee build-asan/quant_bench.txt
+      grep -q 'quant acceptance: PASS' build-asan/quant_bench.txt
+      echo "==== [asan] quantized serving bench (mixed dtype, 2 shards) ===="
+      ./build-asan/bench/bench_quant_serve 0.3 \
+        --json-out build-asan/bench_quant_serve.json \
+        | tee build-asan/quant_serve_bench.txt
+      grep -Eq 'quant serve acceptance.*PASS' build-asan/quant_serve_bench.txt
       ;;
     *)
       echo "unknown config: $config (expected release or asan)" >&2
